@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_history` — prediction quality with vs without the history
+//!   features `x[t-1]` as a function of training-set size (supports the
+//!   paper's Sec. IV-B claim that the previous input is load-bearing);
+//! * `ablation_forest` — training cost vs tree count and depth (the
+//!   "learning method" discussion of Sec. V-E);
+//! * `ablation_adder` — characterization cost across the three adder
+//!   micro-architectures (the substrate choice that shapes the delay
+//!   distribution).
+//!
+//! The accuracy side of the history/forest ablations lives in
+//! `tests/ablations.rs`, where assertions (not timings) are the point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot::dta::Characterizer;
+use tevot::workload::random_workload;
+use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_ml::ForestParams;
+use tevot_netlist::fu::{AdderStyle, FunctionalUnit};
+use tevot_timing::{ClockSpeedup, DelayModel, OperatingCondition};
+
+fn cond() -> OperatingCondition {
+    OperatingCondition::new(0.9, 50.0)
+}
+
+fn bench_history_ablation(c: &mut Criterion) {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let train = random_workload(fu, 400, 3);
+    let truth = characterizer.characterize(cond(), &train, &ClockSpeedup::PAPER);
+    let mut group = c.benchmark_group("ablation_history");
+    for encoding in [FeatureEncoding::with_history(), FeatureEncoding::without_history()] {
+        let label = if encoding.has_history() { "with_history_130" } else { "no_history_66" };
+        let data = build_delay_dataset(encoding, &[(&train, &truth)]);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(0);
+                let params = TevotParams { encoding, ..TevotParams::default() };
+                std::hint::black_box(TevotModel::train(&data, &params, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_ablation(c: &mut Criterion) {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let train = random_workload(fu, 400, 3);
+    let truth = characterizer.characterize(cond(), &train, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+    let mut group = c.benchmark_group("ablation_forest");
+    for trees in [1usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("trees", trees), &trees, |b, &trees| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(0);
+                let params = TevotParams {
+                    forest: ForestParams { num_trees: trees, ..ForestParams::default() },
+                    ..TevotParams::default()
+                };
+                std::hint::black_box(TevotModel::train(&data, &params, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_adder_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_adder");
+    for style in [AdderStyle::RippleCarry, AdderStyle::CarryLookahead, AdderStyle::KoggeStone] {
+        let fu = FunctionalUnit::IntAdd;
+        let nl = fu.build_with_adder_style(style);
+        let characterizer = Characterizer::with_netlist(fu, nl, DelayModel::tsmc45_like());
+        let work = random_workload(fu, 64, 1);
+        group.bench_function(format!("{style:?}"), |b| {
+            b.iter(|| std::hint::black_box(characterizer.trace(cond(), &work)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiplier_ablation(c: &mut Criterion) {
+    use tevot_netlist::fu::{int_mul_with_style, MultiplierStyle};
+    let mut group = c.benchmark_group("ablation_multiplier");
+    group.sample_size(10);
+    for style in [MultiplierStyle::RippleArray, MultiplierStyle::CarrySave, MultiplierStyle::Booth]
+    {
+        let fu = FunctionalUnit::IntMul;
+        let nl = int_mul_with_style(style);
+        let characterizer = Characterizer::with_netlist(fu, nl, DelayModel::tsmc45_like());
+        let work = random_workload(fu, 16, 1);
+        group.bench_function(format!("{style:?}"), |b| {
+            b.iter(|| std::hint::black_box(characterizer.trace(cond(), &work)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_history_ablation, bench_forest_ablation, bench_adder_ablation,
+        bench_multiplier_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the application substrate: Sobel/Gaussian
+//! filter throughput under exact, profiling and fault-injecting
+//! arithmetic, plus PSNR scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tevot_imgproc::synth::synthetic_image;
+use tevot_imgproc::{
+    psnr_db, Application, ExactArithmetic, FaultyArithmetic, FuErrorRates, ProfilingArithmetic,
+};
+
+fn bench_filters(c: &mut Criterion) {
+    let image = synthetic_image(64, 64, 42);
+    let mut group = c.benchmark_group("filters");
+    group.throughput(Throughput::Elements((64 * 64) as u64));
+    for app in Application::ALL {
+        group.bench_function(format!("{app}/exact"), |b| {
+            b.iter(|| std::hint::black_box(app.run(&image, &mut ExactArithmetic)));
+        });
+        group.bench_function(format!("{app}/profiling"), |b| {
+            b.iter(|| {
+                let mut prof = ProfilingArithmetic::new();
+                std::hint::black_box(app.run(&image, &mut prof))
+            });
+        });
+        group.bench_function(format!("{app}/faulty"), |b| {
+            let rates = FuErrorRates { int_add: 0.01, int_mul: 0.01, fp_add: 0.01, fp_mul: 0.01 };
+            b.iter(|| {
+                let mut faulty = FaultyArithmetic::new(rates, 7);
+                std::hint::black_box(app.run(&image, &mut faulty))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_psnr(c: &mut Criterion) {
+    let a = synthetic_image(128, 128, 1);
+    let b_img = synthetic_image(128, 128, 2);
+    c.bench_function("psnr_128x128", |b| {
+        b.iter(|| std::hint::black_box(psnr_db(&a, &b_img)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filters, bench_psnr
+}
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks for the core pipeline stages: gate-level
+//! simulation throughput per FU, static timing analysis, feature
+//! generation, forest training, TEVoT inference, and the headline
+//! model-vs-simulation speedup ratio (paper Sec. V-C).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot::dta::Characterizer;
+use tevot::workload::random_workload;
+use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_sim::TimingSimulator;
+use tevot_timing::{sta, ClockSpeedup, DelayModel, OperatingCondition};
+
+fn cond() -> OperatingCondition {
+    OperatingCondition::new(0.9, 50.0)
+}
+
+fn bench_gate_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_sim");
+    for fu in FunctionalUnit::ALL {
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, cond());
+        let vectors: Vec<Vec<bool>> = random_workload(fu, 64, 1)
+            .operands()
+            .iter()
+            .map(|&(a, b)| fu.encode_operands(a, b))
+            .collect();
+        group.throughput(Throughput::Elements(vectors.len() as u64));
+        group.bench_function(fu.name(), |bench| {
+            bench.iter_batched(
+                || TimingSimulator::new(&nl, &ann),
+                |mut sim| {
+                    for v in &vectors {
+                        std::hint::black_box(sim.step(v).dynamic_delay_ps());
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta");
+    for fu in [FunctionalUnit::IntAdd, FunctionalUnit::IntMul] {
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, cond());
+        group.bench_function(fu.name(), |bench| {
+            bench.iter(|| std::hint::black_box(sta::run(&nl, &ann).critical_delay_ps()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_gen(c: &mut Criterion) {
+    let encoding = FeatureEncoding::with_history();
+    let mut buf = Vec::new();
+    c.bench_function("feature_gen/encode_130", |bench| {
+        bench.iter(|| {
+            encoding.encode_into(
+                cond(),
+                std::hint::black_box((0xDEAD_BEEF, 0x1234_5678)),
+                std::hint::black_box((0x0BAD_F00D, 0xFEED_FACE)),
+                &mut buf,
+            );
+            std::hint::black_box(buf.len())
+        });
+    });
+}
+
+fn trained_model(fu: FunctionalUnit, n: usize) -> (TevotModel, tevot::Workload) {
+    let characterizer = Characterizer::new(fu);
+    let train = random_workload(fu, n, 3);
+    let truth = characterizer.characterize(cond(), &train, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+    let mut rng = SmallRng::seed_from_u64(0);
+    (TevotModel::train(&data, &TevotParams::default(), &mut rng), train)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let train = random_workload(fu, 600, 3);
+    let truth = characterizer.characterize(cond(), &train, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+    c.bench_function("training/rf_600x130", |bench| {
+        bench.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            std::hint::black_box(TevotModel::train(&data, &TevotParams::default(), &mut rng))
+        });
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (model, train) = trained_model(FunctionalUnit::IntAdd, 600);
+    let ops = train.operands();
+    let mut group = c.benchmark_group("inference");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("predict_delay", |bench| {
+        let mut t = 1;
+        bench.iter(|| {
+            let d = model.predict_delay_ps(cond(), ops[t], ops[t - 1]);
+            t = if t + 1 < ops.len() { t + 1 } else { 1 };
+            std::hint::black_box(d)
+        });
+    });
+    group.finish();
+}
+
+/// The Sec. V-C claim in benchmark form: one gate-level simulated cycle vs
+/// one TEVoT prediction, side by side per FU.
+fn bench_model_vs_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_vs_sim");
+    for fu in [FunctionalUnit::IntAdd, FunctionalUnit::IntMul] {
+        let (model, work) = trained_model(fu, 400);
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, cond());
+        let ops = work.operands();
+        let vectors: Vec<Vec<bool>> =
+            ops.iter().map(|&(a, b)| fu.encode_operands(a, b)).collect();
+
+        group.bench_function(format!("{}/simulation", fu.name()), |bench| {
+            bench.iter_batched(
+                || TimingSimulator::new(&nl, &ann),
+                |mut sim| {
+                    for v in vectors.iter().take(16) {
+                        std::hint::black_box(sim.step(v).dynamic_delay_ps());
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("{}/tevot", fu.name()), |bench| {
+            bench.iter(|| {
+                for t in 1..17 {
+                    std::hint::black_box(model.predict_delay_ps(cond(), ops[t], ops[t - 1]));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gate_sim, bench_sta, bench_feature_gen, bench_training,
+        bench_inference, bench_model_vs_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! **Extension** (paper Sec. IV-B2): the interpretability argument made
+//! concrete.
+//!
+//! The paper picks the random forest partly for "its superior
+//! interpretability — it can interpret the significance disparity between
+//! different features". This binary trains TEVoT on one FU across the
+//! Fig. 3 grid and prints the learned feature importances: which operand
+//! bits sensitize the long paths, how much the history input matters, and
+//! where V and T rank.
+//!
+//! Usage: `cargo run --release -p tevot-bench --bin ext_feature_importance
+//! [--fu int-add|int-mul|fp-add|fp-mul]`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot::dta::Characterizer;
+use tevot::workload::random_workload;
+use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_bench::config::StudyConfig;
+use tevot_bench::table::{pct, TextTable};
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_timing::{ClockSpeedup, ConditionGrid};
+
+fn main() {
+    let config = StudyConfig::from_env();
+    let fu = match std::env::args().skip_while(|a| a != "--fu").nth(1).as_deref() {
+        Some("int-mul") => FunctionalUnit::IntMul,
+        Some("fp-add") => FunctionalUnit::FpAdd,
+        Some("fp-mul") => FunctionalUnit::FpMul,
+        _ => FunctionalUnit::IntAdd,
+    };
+    let characterizer = Characterizer::new(fu);
+    let work = random_workload(fu, 800, config.seed);
+    let chars: Vec<_> = ConditionGrid::fig3()
+        .iter()
+        .map(|c| {
+            eprintln!("[importance] characterizing {fu} at {c}...");
+            characterizer.characterize(c, &work, &ClockSpeedup::PAPER)
+        })
+        .collect();
+    let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &runs);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+
+    let mut importances = model.feature_importances();
+    importances.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!("\n{fu}: top-15 features by impurity-decrease importance");
+    let mut table = TextTable::new(&["rank", "feature", "importance"]);
+    for (rank, (name, value)) in importances.iter().take(15).enumerate() {
+        table.row_owned(vec![(rank + 1).to_string(), name.clone(), pct(*value)]);
+    }
+    println!("{}", table.render());
+
+    // At a single condition the (dominant) V/T scale features drop out
+    // and the per-bit sensitization structure becomes visible.
+    let single = &chars[4]; // (0.90V, 50C) in the fig3 grid
+    let data_one =
+        build_delay_dataset(FeatureEncoding::with_history(), &[(&work, single)]);
+    let model_one = TevotModel::train(&data_one, &TevotParams::default(), &mut rng);
+    let mut imp_one = model_one.feature_importances();
+    imp_one.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "top-10 features at the single condition {} (scale features excluded by \
+         construction):",
+        single.condition()
+    );
+    let mut table = TextTable::new(&["rank", "feature", "importance"]);
+    for (rank, (name, value)) in imp_one.iter().take(10).enumerate() {
+        table.row_owned(vec![(rank + 1).to_string(), name.clone(), pct(*value)]);
+    }
+    println!("{}", table.render());
+
+    let group = |prefix: &str| -> f64 {
+        importances.iter().filter(|(n, _)| n.starts_with(prefix)).map(|(_, v)| v).sum()
+    };
+    println!("grouped importance shares (multi-condition model):");
+    println!("  current input  x[t]:    {}", pct(group("a[t] ") + group("b[t] ")));
+    println!("  history input  x[t-1]:  {}", pct(group("a[t-1]") + group("b[t-1]")));
+    println!("  voltage V:              {}", pct(group("V")));
+    println!("  temperature T:          {}", pct(group("T")));
+    println!(
+        "\nReading: the condition features carry the delay *scale*; the operand \
+         bits (and, for transition-sensitive circuits, their history) carry the \
+         sensitization. The significance disparity between bit positions is \
+         exactly what the paper's Sec. IV-B2 argues the forest can expose."
+    );
+}

@@ -1,0 +1,57 @@
+//! Reproduces **Fig. 1**: the same circuit exhibits different dynamic
+//! delays under different input transitions, because the sensitized
+//! longest path — not the static critical path — determines when the
+//! outputs settle.
+//!
+//! The paper's example: an inverter (1 ns) feeding an AND gate (1 ns) on
+//! one input, with the other input arriving through a 0.5 ns buffer.
+//! When only `y` toggles, the output settles after 1.5 ns; when `x`
+//! toggles, the inverter is on the sensitized path and the output settles
+//! after 2 ns.
+//!
+//! Usage: `cargo run -p tevot-bench --bin fig1_dynamic_delay`
+
+use tevot_netlist::NetlistBuilder;
+use tevot_sim::TimingSimulator;
+use tevot_timing::{DelayAnnotation, OperatingCondition};
+
+fn main() {
+    let mut b = NetlistBuilder::new("fig1");
+    let x = b.input("x");
+    let y = b.input("y");
+    let inv = b.not(x);
+    let byp = b.buf(y);
+    let out = b.and(inv, byp);
+    b.output("o", out);
+    let nl = b.finish();
+
+    let mut delays = vec![0u32; nl.num_nets()];
+    delays[inv.index()] = 1000;
+    delays[byp.index()] = 500;
+    delays[out.index()] = 1000;
+    let ann = DelayAnnotation::new("fig1", OperatingCondition::nominal(), delays);
+
+    println!("Fig. 1 reproduction: dynamic delay depends on which input toggles\n");
+    println!("circuit: x -> INV(1ns) -> AND(1ns) <- BUF(0.5ns) <- y\n");
+
+    let mut sim = TimingSimulator::new(&nl, &ann);
+    println!("(a) initial state: x=0, y=0, output settled at 0");
+
+    let c1 = sim.step(&[false, true]);
+    println!(
+        "(b) first input change (y: 0->1): output -> {} after {} ps (paper: 1.5 ns)",
+        c1.settled_outputs()[0] as u8,
+        c1.dynamic_delay_ps()
+    );
+
+    let c2 = sim.step(&[true, true]);
+    println!(
+        "(c) second input change (x: 0->1): output -> {} after {} ps (paper: 2 ns)",
+        c2.settled_outputs()[0] as u8,
+        c2.dynamic_delay_ps()
+    );
+
+    assert_eq!(c1.dynamic_delay_ps(), 1500);
+    assert_eq!(c2.dynamic_delay_ps(), 2000);
+    println!("\nBoth delays match the paper's Fig. 1 example.");
+}

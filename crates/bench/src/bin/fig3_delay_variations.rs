@@ -1,0 +1,92 @@
+//! Reproduces **Fig. 3**: average dynamic delay per operating condition
+//! for the three datasets and four FUs — the delay-variation
+//! characterization that motivates workload-aware modeling.
+//!
+//! The paper plots 9 (V, T) pairs; the default (quick) configuration uses
+//! exactly that grid. Expected shape: delay falls as voltage rises;
+//! temperature *reduces* delay at 0.81 V (inverse temperature dependence)
+//! but increases it at 0.90–1.00 V; and `random_data` sits well above the
+//! application datasets, most prominently for INT ADD.
+//!
+//! Usage: `cargo run --release -p tevot-bench --bin fig3_delay_variations
+//! [--full]`
+
+use tevot_bench::config::StudyConfig;
+use tevot_bench::study::{dataset_index, DatasetKind, Study};
+use tevot_bench::table::TextTable;
+
+fn main() {
+    let config = StudyConfig::from_env();
+    println!(
+        "Fig. 3 reproduction: average dynamic delay (ps) across {} conditions",
+        config.conditions.len()
+    );
+    let study = Study::run(config);
+
+    for fu_study in &study.fus {
+        println!("\n{} (cf. paper Fig. 3)", fu_study.fu);
+        let mut table = TextTable::new(&["(V, T)", "random_data", "sobel_data", "gauss_data"]);
+        for cond_study in &fu_study.conditions {
+            let mut row = vec![cond_study.condition.to_string()];
+            for dataset in DatasetKind::ALL {
+                let avg = cond_study.tests[dataset_index(dataset)].average_delay_ps();
+                row.push(format!("{avg:.0}"));
+            }
+            table.row_owned(row);
+        }
+        println!("{}", table.render());
+
+        // Summarize the two headline effects.
+        let delays: Vec<f64> = fu_study
+            .conditions
+            .iter()
+            .map(|c| c.tests[dataset_index(DatasetKind::Random)].average_delay_ps())
+            .collect();
+        let conds: Vec<_> = fu_study.conditions.iter().map(|c| c.condition).collect();
+        let at = |v: f64, t: f64| -> Option<f64> {
+            conds
+                .iter()
+                .position(|c| (c.voltage() - v).abs() < 1e-6 && (c.temperature() - t).abs() < 1e-6)
+                .map(|i| delays[i])
+        };
+        if let (Some(low_cold), Some(low_hot), Some(high_cold), Some(high_hot)) =
+            (at(0.81, 0.0), at(0.81, 100.0), at(1.00, 0.0), at(1.00, 100.0))
+        {
+            println!(
+                "  inverse temperature dependence @0.81V: {:.0} ps (0C) -> {:.0} ps (100C) [{}]",
+                low_cold,
+                low_hot,
+                if low_hot < low_cold { "delay falls, ITD ok" } else { "UNEXPECTED" }
+            );
+            println!(
+                "  normal dependence @1.00V: {:.0} ps (0C) -> {:.0} ps (100C) [{}]",
+                high_cold,
+                high_hot,
+                if high_hot > high_cold { "delay rises, ok" } else { "UNEXPECTED" }
+            );
+        }
+        let random_mean = mean(&delays);
+        let app_mean = mean(
+            &fu_study
+                .conditions
+                .iter()
+                .flat_map(|c| {
+                    [
+                        c.tests[dataset_index(DatasetKind::Sobel)].average_delay_ps(),
+                        c.tests[dataset_index(DatasetKind::Gauss)].average_delay_ps(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "  random vs application mean delay: {:.0} ps vs {:.0} ps ({:+.0}%)",
+            random_mean,
+            app_mean,
+            (random_mean / app_mean - 1.0) * 100.0
+        );
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}

@@ -1,0 +1,137 @@
+//! Experiment scaling.
+//!
+//! The paper's full experiment (100 conditions, 200 K training vectors,
+//! a Xeon server) is out of reach for a single-core CI box, so every
+//! experiment binary runs a reduced but shape-preserving configuration by
+//! default and accepts `--full` for the complete Table I grid. See
+//! DESIGN.md ("Scaling note").
+
+use tevot_timing::{ClockSpeedup, ConditionGrid};
+
+/// Sizing knobs shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Operating-condition grid.
+    pub conditions: ConditionGrid,
+    /// Clock speedups (paper: 5/10/15 %).
+    pub speedups: Vec<ClockSpeedup>,
+    /// Random training vectors per FU.
+    pub train_random: usize,
+    /// Application training vectors per FU per application (the paper's
+    /// "5% randomly-picked images" slice).
+    pub train_app: usize,
+    /// Test vectors per FU per dataset.
+    pub test_len: usize,
+    /// Synthetic corpus: image count and square edge length.
+    pub corpus_images: usize,
+    /// Edge length of each corpus image.
+    pub image_size: usize,
+    /// Random-forest size (paper default: 10).
+    pub num_trees: usize,
+    /// Length of the Fmax characterization suite (random + directed
+    /// corners) that sets each condition's fastest error-free period.
+    pub characterization_len: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl StudyConfig {
+    /// The default reduced configuration: the Fig. 3 condition grid
+    /// (9 points) and a few thousand vectors per FU.
+    pub fn quick() -> Self {
+        StudyConfig {
+            conditions: ConditionGrid::fig3(),
+            speedups: ClockSpeedup::PAPER.to_vec(),
+            train_random: 1500,
+            // At least one whole wavefront block of every kernel's op
+            // stream, so the training slice sees every instruction slot.
+            train_app: 600,
+            test_len: 500,
+            corpus_images: 6,
+            image_size: 48,
+            num_trees: 10,
+            characterization_len: 300,
+            seed: 0xDAC2020,
+        }
+    }
+
+    /// The full Table I grid (100 conditions) with larger samples. Expect
+    /// tens of minutes of single-core runtime.
+    pub fn full() -> Self {
+        StudyConfig {
+            conditions: ConditionGrid::paper(),
+            train_random: 2500,
+            train_app: 800,
+            test_len: 800,
+            corpus_images: 10,
+            image_size: 64,
+            ..Self::quick()
+        }
+    }
+
+    /// A minimal smoke-test configuration (used by integration tests and
+    /// `--tiny`): three conditions, a few hundred vectors.
+    pub fn tiny() -> Self {
+        StudyConfig {
+            conditions: ConditionGrid::new(vec![0.81, 1.00], vec![0.0, 100.0]),
+            train_random: 400,
+            train_app: 200,
+            test_len: 150,
+            corpus_images: 2,
+            image_size: 32,
+            ..Self::quick()
+        }
+    }
+
+    /// Parses command-line arguments: `--full` selects [`Self::full`],
+    /// `--tiny` the smoke-test scale, `--seed N` overrides the RNG seed.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let args: Vec<String> = args.collect();
+        let mut config = if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else if args.iter().any(|a| a == "--tiny") {
+            Self::tiny()
+        } else {
+            Self::quick()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--seed") {
+            if let Some(seed) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+                config.seed = seed;
+            }
+        }
+        config
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_uses_fig3_grid() {
+        let c = StudyConfig::quick();
+        assert_eq!(c.conditions.len(), 9);
+        assert_eq!(c.speedups.len(), 3);
+        assert_eq!(c.num_trees, 10);
+    }
+
+    #[test]
+    fn full_flag_selects_paper_grid() {
+        let c = StudyConfig::from_args(["--full".to_string()].into_iter());
+        assert_eq!(c.conditions.len(), 100);
+    }
+
+    #[test]
+    fn seed_override() {
+        let c = StudyConfig::from_args(
+            ["--seed".to_string(), "123".to_string()].into_iter(),
+        );
+        assert_eq!(c.seed, 123);
+        assert_eq!(c.conditions.len(), 9);
+    }
+}

@@ -1,0 +1,225 @@
+//! The shared DTA study: workload construction and per-condition
+//! characterization for all four FUs — the data everything from Fig. 3 to
+//! Table IV is computed from.
+
+use tevot::dta::{Characterization, Characterizer};
+use tevot::workload::{characterization_workload, random_workload};
+use tevot::Workload;
+use tevot_imgproc::profile::profile_application;
+use tevot_imgproc::synth::synthetic_corpus;
+use tevot_imgproc::{Application, GrayImage};
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_timing::OperatingCondition;
+
+use crate::config::StudyConfig;
+
+/// The three evaluation datasets of the paper (Table III columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Uniformly random operands.
+    Random,
+    /// Operands profiled from the Sobel filter.
+    Sobel,
+    /// Operands profiled from the Gaussian filter.
+    Gauss,
+}
+
+impl DatasetKind {
+    /// All datasets in the paper's column order.
+    pub const ALL: [DatasetKind; 3] = [DatasetKind::Random, DatasetKind::Sobel, DatasetKind::Gauss];
+
+    /// The paper's dataset label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Random => "random_data",
+            DatasetKind::Sobel => "sobel_data",
+            DatasetKind::Gauss => "gauss_data",
+        }
+    }
+
+    /// The application a dataset was profiled from, if any.
+    pub fn application(self) -> Option<Application> {
+        match self {
+            DatasetKind::Random => None,
+            DatasetKind::Sobel => Some(Application::Sobel),
+            DatasetKind::Gauss => Some(Application::Gaussian),
+        }
+    }
+}
+
+/// Everything characterized at one operating condition for one FU.
+#[derive(Debug, Clone)]
+pub struct ConditionStudy {
+    /// The operating condition.
+    pub condition: OperatingCondition,
+    /// The fastest error-free period (max dynamic delay of the training
+    /// workload) that the clock speedups are applied to.
+    pub base_period_ps: u64,
+    /// The overclocked periods, one per configured speedup.
+    pub periods_ps: Vec<u64>,
+    /// Characterization of the (mixed) training workload.
+    pub train: Characterization,
+    /// Characterization of the Fmax suite that set the base period (the
+    /// "maximum delay measured offline", which the Delay-based baseline
+    /// calibrates against).
+    pub fmax: Characterization,
+    /// Characterizations of the test datasets, indexed like
+    /// [`DatasetKind::ALL`].
+    pub tests: Vec<Characterization>,
+}
+
+/// One FU's workloads plus its characterizations across all conditions.
+#[derive(Debug)]
+pub struct FuStudy {
+    /// The functional unit.
+    pub fu: FunctionalUnit,
+    /// The mixed training workload (random + application slices, like the
+    /// paper's 200 K random + 5 % images).
+    pub train_workload: Workload,
+    /// Test workloads indexed like [`DatasetKind::ALL`].
+    pub test_workloads: Vec<Workload>,
+    /// Per-condition characterizations.
+    pub conditions: Vec<ConditionStudy>,
+}
+
+impl FuStudy {
+    /// The test workload for one dataset.
+    pub fn test_workload(&self, kind: DatasetKind) -> &Workload {
+        &self.test_workloads[dataset_index(kind)]
+    }
+}
+
+/// Index of a dataset inside the study vectors.
+pub fn dataset_index(kind: DatasetKind) -> usize {
+    DatasetKind::ALL.iter().position(|&k| k == kind).expect("known dataset")
+}
+
+/// The complete DTA study for all four FUs.
+#[derive(Debug)]
+pub struct Study {
+    /// The configuration it was run with.
+    pub config: StudyConfig,
+    /// The synthetic image corpus (shared with the quality experiments).
+    pub corpus: Vec<GrayImage>,
+    /// Per-FU studies, indexed like [`FunctionalUnit::ALL`].
+    pub fus: Vec<FuStudy>,
+}
+
+impl Study {
+    /// Runs the whole study: generates workloads, profiles the
+    /// applications, and characterizes every (FU, condition, dataset)
+    /// combination. Progress goes to stderr.
+    pub fn run(config: StudyConfig) -> Study {
+        Self::run_for(config, &FunctionalUnit::ALL)
+    }
+
+    /// Runs the study for a single FU (useful for focused experiments).
+    pub fn run_single(config: StudyConfig, fu: FunctionalUnit) -> Study {
+        Self::run_for(config, &[fu])
+    }
+
+    fn run_for(config: StudyConfig, fus: &[FunctionalUnit]) -> Study {
+        let corpus =
+            synthetic_corpus(config.corpus_images, config.image_size, config.image_size, config.seed);
+        eprintln!("[study] profiling application workloads...");
+        let ops_needed = config.train_app + config.test_len;
+        let sobel = profile_application(Application::Sobel, &corpus, ops_needed);
+        let gauss = profile_application(Application::Gaussian, &corpus, ops_needed);
+        let fus = fus
+            .iter()
+            .map(|&fu| Self::run_fu(&config, fu, &sobel, &gauss))
+            .collect();
+        Study { config, corpus, fus }
+    }
+
+    fn run_fu(
+        config: &StudyConfig,
+        fu: FunctionalUnit,
+        sobel: &tevot_imgproc::profile::ApplicationProfile,
+        gauss: &tevot_imgproc::profile::ApplicationProfile,
+    ) -> FuStudy {
+        let train_random = random_workload(fu, config.train_random, config.seed);
+        let sobel_all = sobel.workload(fu);
+        let gauss_all = gauss.workload(fu);
+        let train = train_random
+            .concat(&sobel_all.truncated(config.train_app), "train")
+            .concat(&gauss_all.truncated(config.train_app), "train_mixed");
+
+        let test_random = random_workload(fu, config.test_len, config.seed + 1);
+        let tail = |w: &Workload, name: &str| {
+            let ops = w.operands();
+            let start = ops.len().saturating_sub(config.test_len);
+            Workload::new(name, ops[start..].to_vec())
+        };
+        let test_sobel = tail(sobel_all, "sobel_data");
+        let test_gauss = tail(gauss_all, "gauss_data");
+
+        let characterizer = Characterizer::new(fu);
+        let fmax_suite = characterization_workload(fu, config.characterization_len, config.seed);
+        // The "fastest error-free clock frequency" the speedups are
+        // applied to is measured the way a DVFS table is built: per
+        // *voltage*, at the characterization temperature (25 C), with a
+        // suite of random vectors plus directed corner transitions (full
+        // carry-propagate runs, massive cancellations, maximum alignment
+        // shifts) so the long sensitizable paths are represented. The die
+        // then runs at whatever temperature it runs at — the dynamic
+        // variation the paper models — so the effective margin (and the
+        // error rate) genuinely varies across the (V, T) grid, including
+        // the inverse-temperature-dependence corner where a *cold* die at
+        // low voltage is the slow one.
+        let mut base_by_voltage: Vec<(f64, u64)> = Vec::new();
+        let mut base_at = |v: f64, characterizer: &Characterizer| -> u64 {
+            if let Some(&(_, b)) =
+                base_by_voltage.iter().find(|&&(bv, _)| (bv - v).abs() < 5e-4)
+            {
+                return b;
+            }
+            let char_cond = OperatingCondition::new(v, 25.0);
+            let b = characterizer
+                .trace(char_cond, &fmax_suite)
+                .fastest_error_free_period_ps();
+            base_by_voltage.push((v, b));
+            b
+        };
+        let mut conditions = Vec::with_capacity(config.conditions.len());
+        for cond in config.conditions.iter() {
+            eprintln!("[study] {fu} @ {cond}");
+            let base = base_at(cond.voltage(), &characterizer);
+            // The per-condition Fmax measurement still exists offline — it
+            // is what the Delay-based baseline calibrates against.
+            let fmax_trace = characterizer.trace(cond, &fmax_suite);
+            let train_trace = characterizer.trace(cond, &train);
+            let periods: Vec<u64> =
+                config.speedups.iter().map(|s| s.apply_to_period(base)).collect();
+            let train_char = train_trace.characterization(&periods);
+            let fmax_char = fmax_trace.characterization(&periods);
+            let tests = [&test_random, &test_sobel, &test_gauss]
+                .iter()
+                .map(|w| characterizer.trace(cond, w).characterization(&periods))
+                .collect();
+            conditions.push(ConditionStudy {
+                condition: cond,
+                base_period_ps: base,
+                periods_ps: periods,
+                train: train_char,
+                fmax: fmax_char,
+                tests,
+            });
+        }
+        FuStudy {
+            fu,
+            train_workload: train,
+            test_workloads: vec![test_random, test_sobel, test_gauss],
+            conditions,
+        }
+    }
+
+    /// The study of one FU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FU was not part of the study.
+    pub fn fu(&self, fu: FunctionalUnit) -> &FuStudy {
+        self.fus.iter().find(|s| s.fu == fu).expect("FU not studied")
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal command-line argument parsing (flag/value pairs), with typed
+//! accessors and helpful errors. Deliberately dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus `--flag value` / `--flag`
+/// pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: String,
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// An error produced while parsing or querying arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program name). The first token is the
+    /// subcommand; every `--name value` pair becomes a value, every bare
+    /// `--name` a flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a missing subcommand or a stray positional
+    /// token.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut iter = argv.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand (try `tevot help`)".into()))?;
+        let mut values = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {token:?}")));
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(name.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Ok(Args { command, values, flags, consumed: Default::default() })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A string value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required string value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name).ok_or_else(|| ArgError(format!("missing required --{name} <value>")))
+    }
+
+    /// A parsed value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}"))),
+        }
+    }
+
+    /// A required parsed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent or unparsable.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let s = self.require(name)?;
+        s.parse().map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}")))
+    }
+
+    /// Whether a bare `--name` flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Rejects any argument that no accessor asked about — catches typos
+    /// like `--voltag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown argument.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for name in self.values.keys().chain(self.flags.iter()) {
+            if !consumed.iter().any(|c| c == name) {
+                return Err(ArgError(format!("unknown argument --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = parse(&["train", "--fu", "int-add", "--full", "--seed", "7"]);
+        assert_eq!(a.command(), "train");
+        assert_eq!(a.get("fu"), Some("int-add"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("tiny"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_arguments() {
+        let a = parse(&["train", "--mystery", "1"]);
+        assert!(a.finish().is_err());
+        let _ = a.get("mystery");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn requires_missing_value() {
+        let a = parse(&["predict"]);
+        assert!(a.require("model").is_err());
+        assert!(a.require_parsed::<f64>("voltage").is_err());
+    }
+
+    #[test]
+    fn rejects_positional() {
+        let err = Args::parse(["x".to_string(), "stray".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("positional"));
+    }
+
+    #[test]
+    fn missing_subcommand() {
+        assert!(Args::parse(std::iter::empty()).is_err());
+    }
+}

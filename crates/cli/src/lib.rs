@@ -1,0 +1,341 @@
+//! `tevot` — command-line interface to the TEVoT pipeline.
+//!
+//! The binary in `main.rs` is a thin wrapper over [`run`]; the command
+//! implementations live here so integration tests can drive them
+//! in-process.
+//!
+//! ```text
+//! tevot stats        --fu <unit>
+//! tevot characterize --fu <unit> --voltage <V> --temperature <C>
+//!                    [--vectors N] [--seed S] [--sdf out.sdf] [--vcd out.vcd]
+//! tevot train        --fu <unit> --out model.tevot
+//!                    [--grid fig3|paper] [--vectors N] [--trees N]
+//!                    [--seed S] [--no-history]
+//! tevot predict      --model model.tevot --voltage <V> --temperature <C>
+//!                    --clock-ps <N> --a <u32> --b <u32>
+//!                    [--prev-a <u32>] [--prev-b <u32>]
+//! tevot sweep        --model model.tevot [--grid fig3|paper]
+//!                    [--vectors N] [--seed S] [--clock-ps N]
+//! ```
+//!
+//! Units: `int-add`, `int-mul`, `fp-add`, `fp-mul`. Operands accept
+//! decimal or `0x` hex.
+
+pub mod args;
+
+/// `println!` that exits quietly when stdout is gone (e.g. piped to
+/// `head`), instead of panicking on the broken pipe.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+
+use args::{ArgError, Args};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot::dta::Characterizer;
+use tevot::workload::random_workload;
+use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_ml::ForestParams;
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_sim::trace::dump_vcd;
+use tevot_timing::{sdf, ClockSpeedup, ConditionGrid, DelayModel, OperatingCondition};
+
+const HELP: &str = "\
+tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
+
+  tevot stats        --fu <unit>
+  tevot characterize --fu <unit> --voltage <V> --temperature <C>
+                     [--vectors N] [--seed S] [--sdf out.sdf] [--vcd out.vcd]
+  tevot train        --fu <unit> --out model.tevot
+                     [--grid fig3|paper] [--vectors N] [--trees N] [--seed S]
+                     [--no-history]
+  tevot predict      --model model.tevot --voltage <V> --temperature <C>
+                     --clock-ps <N> --a <u32> --b <u32>
+                     [--prev-a <u32>] [--prev-b <u32>]
+  tevot sweep        --model model.tevot [--grid fig3|paper] [--vectors N]
+                     [--seed S] [--clock-ps N]
+  tevot ter          --model model.tevot --voltage <V> --temperature <C>
+                     --clock-ps <N> [--workload trace.txt | --fu <unit>
+                     --vectors N] [--validate] [--seed S]
+
+units: int-add | int-mul | fp-add | fp-mul; operands take decimal or 0x hex.
+workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.";
+
+/// Executes one CLI invocation (`argv` without the program name).
+///
+/// # Errors
+///
+/// Returns a descriptive error for unknown subcommands, malformed
+/// arguments, unreadable files or invalid model data.
+pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(argv)?;
+    match args.command() {
+        "help" | "--help" | "-h" => {
+            outln!("{HELP}");
+            Ok(())
+        }
+        "stats" => cmd_stats(&args),
+        "characterize" => cmd_characterize(&args),
+        "train" => cmd_train(&args),
+        "predict" => cmd_predict(&args),
+        "sweep" => cmd_sweep(&args),
+        "ter" => cmd_ter(&args),
+        other => Err(ArgError(format!("unknown subcommand {other:?}")).into()),
+    }
+}
+
+/// `tevot ter`: predicted timing error rate of a workload trace at one
+/// condition and clock, optionally validated against gate-level
+/// simulation.
+fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model = load_model(args.require("model")?)?;
+    let cond = condition(args)?;
+    let clock: u64 = args.require_parsed("clock-ps")?;
+    let workload_path = args.get("workload").map(str::to_owned);
+    let fu = args.get("fu").map(parse_fu).transpose()?;
+    let vectors: usize = args.get_or("vectors", 400)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let validate = args.flag("validate");
+    args.finish()?;
+
+    let work = match workload_path {
+        Some(path) => tevot::Workload::from_text(&std::fs::read_to_string(&path)?)
+            .map_err(ArgError)?,
+        None => random_workload(fu.unwrap_or(FunctionalUnit::IntAdd), vectors, seed),
+    };
+    let ops = work.operands();
+    let errors = (1..ops.len())
+        .filter(|&t| model.predict_error(cond, clock, ops[t], ops[t - 1]))
+        .count();
+    let predicted = errors as f64 / (ops.len() - 1) as f64;
+    outln!(
+        "workload {:?} ({} transitions) at {cond}, clock {clock} ps:",
+        work.name(),
+        ops.len() - 1
+    );
+    outln!("  predicted TER: {:.2}%", predicted * 100.0);
+
+    if validate {
+        let fu = fu.ok_or_else(|| {
+            ArgError("--validate needs --fu to pick the gate-level netlist".into())
+        })?;
+        eprintln!("validating against gate-level simulation...");
+        let characterizer = Characterizer::new(fu);
+        let truth = characterizer.characterize_with_periods(cond, &work, &[clock]);
+        outln!("  simulated TER: {:.2}%", truth.timing_error_rate(0) * 100.0);
+    }
+    Ok(())
+}
+
+fn parse_fu(name: &str) -> Result<FunctionalUnit, ArgError> {
+    match name {
+        "int-add" => Ok(FunctionalUnit::IntAdd),
+        "int-mul" => Ok(FunctionalUnit::IntMul),
+        "fp-add" => Ok(FunctionalUnit::FpAdd),
+        "fp-mul" => Ok(FunctionalUnit::FpMul),
+        other => Err(ArgError(format!(
+            "unknown unit {other:?} (expected int-add | int-mul | fp-add | fp-mul)"
+        ))),
+    }
+}
+
+fn parse_grid(name: &str) -> Result<ConditionGrid, ArgError> {
+    match name {
+        "fig3" => Ok(ConditionGrid::fig3()),
+        "paper" => Ok(ConditionGrid::paper()),
+        other => Err(ArgError(format!("unknown grid {other:?} (expected fig3 | paper)"))),
+    }
+}
+
+fn parse_u32(s: &str) -> Result<u32, ArgError> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| ArgError(format!("cannot parse operand {s:?} as u32")))
+}
+
+fn condition(args: &Args) -> Result<OperatingCondition, ArgError> {
+    let v: f64 = args.require_parsed("voltage")?;
+    let t: f64 = args.require_parsed("temperature")?;
+    Ok(OperatingCondition::new(v, t))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
+    let fu = parse_fu(args.require("fu")?)?;
+    args.finish()?;
+    let nl = fu.build();
+    print!("{}", nl.stats());
+    let model = DelayModel::tsmc45_like();
+    outln!("\ncritical-path delay across the Fig. 3 condition grid:");
+    for cond in ConditionGrid::fig3().iter() {
+        let ann = model.annotate(&nl, cond);
+        let crit = tevot_timing::sta::run(&nl, &ann).critical_delay_ps();
+        outln!("  {cond}: {crit} ps");
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &Args) -> Result<(), Box<dyn Error>> {
+    let fu = parse_fu(args.require("fu")?)?;
+    let cond = condition(args)?;
+    let vectors: usize = args.get_or("vectors", 500)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let sdf_path = args.get("sdf").map(str::to_owned);
+    let vcd_path = args.get("vcd").map(str::to_owned);
+    args.finish()?;
+
+    let characterizer = Characterizer::new(fu);
+    let work = random_workload(fu, vectors, seed);
+    eprintln!("characterizing {fu} at {cond} over {vectors} random vectors...");
+    let truth = characterizer.characterize(cond, &work, &ClockSpeedup::PAPER);
+
+    outln!("{fu} at {cond}:");
+    outln!("  critical path (STA):        {} ps", truth.critical_delay_ps());
+    outln!("  max dynamic delay:          {} ps", truth.max_dynamic_delay_ps());
+    outln!("  mean dynamic delay:         {:.0} ps", truth.average_delay_ps());
+    for (i, speedup) in ClockSpeedup::PAPER.iter().enumerate() {
+        outln!(
+            "  TER at {speedup} overclock:       {:.2}% (clock {} ps)",
+            truth.timing_error_rate(i) * 100.0,
+            truth.clock_periods_ps()[i],
+        );
+    }
+
+    if let Some(path) = sdf_path {
+        let ann = characterizer.delay_model().annotate(characterizer.netlist(), cond);
+        let mut file = BufWriter::new(File::create(&path)?);
+        file.write_all(sdf::write_sdf(&ann).as_bytes())?;
+        outln!("wrote SDF annotation to {path}");
+    }
+    if let Some(path) = vcd_path {
+        let ann = characterizer.delay_model().annotate(characterizer.netlist(), cond);
+        let period =
+            tevot_timing::sta::run(characterizer.netlist(), &ann).characterization_period_ps();
+        let inputs: Vec<Vec<bool>> =
+            work.operands().iter().map(|&(a, b)| fu.encode_operands(a, b)).collect();
+        let text = dump_vcd(characterizer.netlist(), &ann, &inputs, period);
+        std::fs::write(&path, text)?;
+        outln!("wrote VCD dump to {path} (characterization clock {period} ps)");
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
+    let fu = parse_fu(args.require("fu")?)?;
+    let out = args.require("out")?.to_owned();
+    let grid = parse_grid(args.get("grid").unwrap_or("fig3"))?;
+    let vectors: usize = args.get_or("vectors", 800)?;
+    let trees: usize = args.get_or("trees", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let history = !args.flag("no-history");
+    args.finish()?;
+
+    let encoding =
+        if history { FeatureEncoding::with_history() } else { FeatureEncoding::without_history() };
+    let characterizer = Characterizer::new(fu);
+    let work = random_workload(fu, vectors, seed);
+    let mut chars = Vec::new();
+    for cond in grid.iter() {
+        eprintln!("characterizing {fu} at {cond}...");
+        chars.push(characterizer.characterize(cond, &work, &ClockSpeedup::PAPER));
+    }
+    let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
+    let data = build_delay_dataset(encoding, &runs);
+    eprintln!("training on {} rows x {} features...", data.len(), data.num_features());
+    let params = TevotParams {
+        forest: ForestParams { num_trees: trees, ..ForestParams::default() },
+        encoding,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let model = TevotModel::train(&data, &params, &mut rng);
+    let mut file = BufWriter::new(File::create(&out)?);
+    model.save(&mut file)?;
+    file.flush()?;
+    outln!(
+        "trained {} ({} trees, {} conditions, {} rows) -> {out}",
+        if history { "TEVoT" } else { "TEVoT-NH" },
+        trees,
+        grid.len(),
+        data.len(),
+    );
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<TevotModel, Box<dyn Error>> {
+    let file = BufReader::new(File::open(path)?);
+    Ok(TevotModel::load(file)?)
+}
+
+fn cmd_predict(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model = load_model(args.require("model")?)?;
+    let cond = condition(args)?;
+    let clock: u64 = args.require_parsed("clock-ps")?;
+    let a = parse_u32(args.require("a")?)?;
+    let b = parse_u32(args.require("b")?)?;
+    let prev_a = args.get("prev-a").map(parse_u32).transpose()?.unwrap_or(0);
+    let prev_b = args.get("prev-b").map(parse_u32).transpose()?.unwrap_or(0);
+    args.finish()?;
+
+    let delay = model.predict_delay_ps(cond, (a, b), (prev_a, prev_b));
+    let erroneous = delay > clock as f64;
+    outln!(
+        "({prev_a:#x}, {prev_b:#x}) -> ({a:#x}, {b:#x}) at {cond}, clock {clock} ps:"
+    );
+    outln!("  predicted dynamic delay: {delay:.0} ps");
+    outln!("  verdict: timing {}", if erroneous { "ERRONEOUS" } else { "correct" });
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model = load_model(args.require("model")?)?;
+    let grid = parse_grid(args.get("grid").unwrap_or("fig3"))?;
+    let vectors: usize = args.get_or("vectors", 300)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let clock: Option<u64> = args.get("clock-ps").map(str::parse).transpose()?;
+    args.finish()?;
+
+    // The model carries no FU identity; predicted delays are meaningful
+    // for the unit it was trained on. Random 64-bit operand pairs probe
+    // the distribution.
+    let work = random_workload(FunctionalUnit::IntAdd, vectors, seed);
+    let ops = work.operands();
+    outln!(
+        "predicted dynamic-delay distribution over {} random transitions{}:",
+        vectors - 1,
+        clock.map(|c| format!(" (TER at clock {c} ps)")).unwrap_or_default(),
+    );
+    outln!("{:>14} {:>8} {:>8} {:>8} {:>10}", "condition", "p50", "p99", "max", "TER");
+    for cond in grid.iter() {
+        let mut delays: Vec<f64> = (1..ops.len())
+            .map(|t| model.predict_delay_ps(cond, ops[t], ops[t - 1]))
+            .collect();
+        delays.sort_by(f64::total_cmp);
+        let q = |p: f64| delays[((delays.len() - 1) as f64 * p) as usize];
+        let ter = clock
+            .map(|c| {
+                let errors = delays.iter().filter(|&&d| d > c as f64).count();
+                format!("{:.2}%", errors as f64 / delays.len() as f64 * 100.0)
+            })
+            .unwrap_or_else(|| "-".into());
+        outln!(
+            "{:>14} {:>8.0} {:>8.0} {:>8.0} {:>10}",
+            cond.to_string(),
+            q(0.5),
+            q(0.99),
+            delays.last().copied().unwrap_or(0.0),
+            ter,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Thin binary wrapper; see the crate library for the implementation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match tevot_cli::run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `tevot help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

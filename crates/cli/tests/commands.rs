@@ -1,0 +1,139 @@
+//! End-to-end tests of the `tevot` CLI commands, driven in-process.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> Result<(), String> {
+    tevot_cli::run(args.iter().map(|s| s.to_string()).collect()).map_err(|e| e.to_string())
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tevot_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_and_error_paths() {
+    run(&["help"]).unwrap();
+    assert!(run(&["frobnicate"]).unwrap_err().contains("unknown subcommand"));
+    assert!(run(&["stats"]).unwrap_err().contains("--fu"));
+    assert!(run(&["stats", "--fu", "int-nope"]).unwrap_err().contains("unknown unit"));
+    assert!(run(&["stats", "--fu", "int-add", "--bogus", "1"])
+        .unwrap_err()
+        .contains("unknown argument"));
+}
+
+#[test]
+fn stats_runs_for_every_unit() {
+    for fu in ["int-add", "int-mul", "fp-add", "fp-mul"] {
+        run(&["stats", "--fu", fu]).unwrap();
+    }
+}
+
+#[test]
+fn characterize_writes_sdf() {
+    let sdf = temp_path("char.sdf");
+    run(&[
+        "characterize",
+        "--fu",
+        "int-add",
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--vectors",
+        "60",
+        "--sdf",
+        sdf.to_str().unwrap(),
+    ])
+    .unwrap();
+    let text = std::fs::read_to_string(&sdf).unwrap();
+    assert!(text.starts_with("(DELAYFILE"));
+    assert!(text.contains("int_add32"));
+    std::fs::remove_file(sdf).ok();
+}
+
+#[test]
+fn train_predict_ter_roundtrip() {
+    let model = temp_path("model.tevot");
+    let trace = temp_path("trace.txt");
+    run(&[
+        "train",
+        "--fu",
+        "int-add",
+        "--out",
+        model.to_str().unwrap(),
+        "--vectors",
+        "150",
+        "--trees",
+        "3",
+    ])
+    .unwrap();
+    assert!(model.exists());
+
+    run(&[
+        "predict",
+        "--model",
+        model.to_str().unwrap(),
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--clock-ps",
+        "250",
+        "--a",
+        "0xFFFFFFFF",
+        "--b",
+        "1",
+    ])
+    .unwrap();
+
+    std::fs::write(&trace, "# t\ndeadbeef 00000001\n00000002 00000003\n").unwrap();
+    run(&[
+        "ter",
+        "--model",
+        model.to_str().unwrap(),
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--clock-ps",
+        "250",
+        "--workload",
+        trace.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    run(&[
+        "sweep",
+        "--model",
+        model.to_str().unwrap(),
+        "--vectors",
+        "50",
+        "--clock-ps",
+        "250",
+    ])
+    .unwrap();
+
+    // Corrupted model data is rejected cleanly.
+    std::fs::write(&model, b"garbage").unwrap();
+    assert!(run(&[
+        "predict",
+        "--model",
+        model.to_str().unwrap(),
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--clock-ps",
+        "250",
+        "--a",
+        "1",
+        "--b",
+        "2",
+    ])
+    .is_err());
+
+    std::fs::remove_file(model).ok();
+    std::fs::remove_file(trace).ok();
+}

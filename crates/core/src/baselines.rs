@@ -1,0 +1,268 @@
+//! The baseline error models of Sec. IV-C / Table III.
+//!
+//! * [`DelayBased`] — predicts an error whenever the clock period is below
+//!   the maximum delay measured offline at that condition ([16], [4],
+//!   [17]): workload-oblivious and therefore maximally pessimistic under
+//!   overclocking.
+//! * [`TerBased`] — predicts errors stochastically at the timing error
+//!   rate measured offline ([19], [8]): the model used throughout
+//!   approximate computing.
+//! * TEVoT-NH — TEVoT trained without the history input: obtained by
+//!   training a [`TevotModel`](crate::TevotModel) with
+//!   [`FeatureEncoding::without_history`](crate::FeatureEncoding).
+//!
+//! All predictors (including TEVoT itself) answer through the common
+//! [`ErrorPredictor`] trait so the evaluation and error-injection machinery
+//! treats them interchangeably.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tevot_timing::OperatingCondition;
+
+use crate::dta::Characterization;
+use crate::model::TevotModel;
+
+/// A model that classifies one FU cycle as timing-correct or
+/// timing-erroneous.
+///
+/// `previous`/`current` are the operand pairs of cycles `t-1` and `t`
+/// (workload context); baselines that ignore the workload simply don't
+/// read them. The receiver is `&mut` because the TER-based baseline draws
+/// from an internal RNG.
+pub trait ErrorPredictor {
+    /// Predicts whether the cycle `previous -> current` at `cond`, clocked
+    /// with `clock_ps`, is timing-erroneous.
+    fn predict_error(
+        &mut self,
+        cond: OperatingCondition,
+        clock_ps: u64,
+        current: (u32, u32),
+        previous: (u32, u32),
+    ) -> bool;
+
+    /// Display name for result tables.
+    fn name(&self) -> &'static str;
+}
+
+impl ErrorPredictor for TevotModel {
+    fn predict_error(
+        &mut self,
+        cond: OperatingCondition,
+        clock_ps: u64,
+        current: (u32, u32),
+        previous: (u32, u32),
+    ) -> bool {
+        TevotModel::predict_error(self, cond, clock_ps, current, previous)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.encoding().has_history() {
+            "TEVoT"
+        } else {
+            "TEVoT-NH"
+        }
+    }
+}
+
+fn same_condition(a: OperatingCondition, b: OperatingCondition) -> bool {
+    (a.voltage() - b.voltage()).abs() < 5e-4 && (a.temperature() - b.temperature()).abs() < 0.5
+}
+
+/// The Delay-based baseline: per-condition maximum delay, measured offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayBased {
+    entries: Vec<(OperatingCondition, u64)>,
+}
+
+impl DelayBased {
+    /// Calibrates from offline characterization runs (one or more per
+    /// condition; the maximum across runs at the same condition wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn calibrate<'a>(runs: impl IntoIterator<Item = &'a Characterization>) -> Self {
+        let mut entries: Vec<(OperatingCondition, u64)> = Vec::new();
+        for ch in runs {
+            let max = ch.max_dynamic_delay_ps();
+            match entries.iter_mut().find(|(c, _)| same_condition(*c, ch.condition())) {
+                Some((_, m)) => *m = (*m).max(max),
+                None => entries.push((ch.condition(), max)),
+            }
+        }
+        assert!(!entries.is_empty(), "no characterization runs supplied");
+        DelayBased { entries }
+    }
+
+    /// The calibrated maximum delay at `cond`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition was never characterized — a baseline can
+    /// only answer at its calibration points, exactly as in the paper.
+    pub fn max_delay_ps(&self, cond: OperatingCondition) -> u64 {
+        self.entries
+            .iter()
+            .find(|(c, _)| same_condition(*c, cond))
+            .unwrap_or_else(|| panic!("condition {cond} was not calibrated"))
+            .1
+    }
+}
+
+impl ErrorPredictor for DelayBased {
+    fn predict_error(
+        &mut self,
+        cond: OperatingCondition,
+        clock_ps: u64,
+        _current: (u32, u32),
+        _previous: (u32, u32),
+    ) -> bool {
+        clock_ps < self.max_delay_ps(cond)
+    }
+
+    fn name(&self) -> &'static str {
+        "Delay-based"
+    }
+}
+
+/// The TER-based baseline: per-(condition, clock) timing error rates
+/// measured offline, replayed as Bernoulli draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TerBased {
+    entries: Vec<(OperatingCondition, Vec<(u64, f64)>)>,
+    rng: SmallRng,
+}
+
+impl TerBased {
+    /// Calibrates from offline characterization runs; `seed` fixes the
+    /// Bernoulli stream for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn calibrate<'a>(
+        runs: impl IntoIterator<Item = &'a Characterization>,
+        seed: u64,
+    ) -> Self {
+        let mut entries: Vec<(OperatingCondition, Vec<(u64, f64)>)> = Vec::new();
+        for ch in runs {
+            let rates: Vec<(u64, f64)> = ch
+                .clock_periods_ps()
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, ch.timing_error_rate(i)))
+                .collect();
+            match entries.iter_mut().find(|(c, _)| same_condition(*c, ch.condition())) {
+                Some((_, existing)) => existing.extend(rates),
+                None => entries.push((ch.condition(), rates)),
+            }
+        }
+        assert!(!entries.is_empty(), "no characterization runs supplied");
+        TerBased { entries, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The calibrated TER at `(cond, clock_ps)` (nearest calibrated clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition was never calibrated.
+    pub fn ter(&self, cond: OperatingCondition, clock_ps: u64) -> f64 {
+        let (_, rates) = self
+            .entries
+            .iter()
+            .find(|(c, _)| same_condition(*c, cond))
+            .unwrap_or_else(|| panic!("condition {cond} was not calibrated"));
+        rates
+            .iter()
+            .min_by_key(|(p, _)| p.abs_diff(clock_ps))
+            .expect("calibration has at least one clock")
+            .1
+    }
+}
+
+impl ErrorPredictor for TerBased {
+    fn predict_error(
+        &mut self,
+        cond: OperatingCondition,
+        clock_ps: u64,
+        _current: (u32, u32),
+        _previous: (u32, u32),
+    ) -> bool {
+        let ter = self.ter(cond, clock_ps);
+        self.rng.gen::<f64>() < ter
+    }
+
+    fn name(&self) -> &'static str {
+        "TER-based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dta::Characterizer;
+    use crate::workload::random_workload;
+    use tevot_netlist::fu::FunctionalUnit;
+    use tevot_timing::ClockSpeedup;
+
+    fn chars() -> Vec<Characterization> {
+        let fu = FunctionalUnit::IntAdd;
+        let ch = Characterizer::new(fu);
+        let w = random_workload(fu, 200, 11);
+        [(0.85, 0.0), (0.95, 50.0)]
+            .iter()
+            .map(|&(v, t)| ch.characterize(OperatingCondition::new(v, t), &w, &ClockSpeedup::PAPER))
+            .collect()
+    }
+
+    #[test]
+    fn delay_based_is_pessimistic_under_overclocking() {
+        let cs = chars();
+        let mut db = DelayBased::calibrate(&cs);
+        let cond = cs[0].condition();
+        // Any clock below the measured max delay -> always "error".
+        for &p in cs[0].clock_periods_ps() {
+            if p < db.max_delay_ps(cond) {
+                assert!(db.predict_error(cond, p, (1, 1), (0, 0)));
+            }
+        }
+        // A clock above the max delay -> never "error".
+        let relaxed = db.max_delay_ps(cond) + 100;
+        assert!(!db.predict_error(cond, relaxed, (1, 1), (0, 0)));
+        assert_eq!(ErrorPredictor::name(&db), "Delay-based");
+    }
+
+    #[test]
+    fn ter_based_matches_calibrated_rate() {
+        let cs = chars();
+        let cond = cs[0].condition();
+        let period = cs[0].clock_periods_ps()[2];
+        let expect = cs[0].timing_error_rate(2);
+        let mut tb = TerBased::calibrate(&cs, 99);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|_| tb.predict_error(cond, period, (0, 0), (0, 0)))
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!(
+            (freq - expect).abs() < 0.05,
+            "Bernoulli frequency {freq} vs calibrated TER {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "was not calibrated")]
+    fn unknown_condition_panics() {
+        let cs = chars();
+        let db = DelayBased::calibrate(&cs);
+        let _ = db.max_delay_ps(OperatingCondition::new(0.99, 100.0));
+    }
+
+    #[test]
+    fn duplicate_conditions_merge() {
+        let cs = chars();
+        let doubled: Vec<&Characterization> = cs.iter().chain(cs.iter()).collect();
+        let db = DelayBased::calibrate(doubled.into_iter());
+        assert_eq!(db.max_delay_ps(cs[0].condition()), cs[0].max_dynamic_delay_ps());
+    }
+}

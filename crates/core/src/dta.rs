@@ -1,0 +1,363 @@
+//! Dynamic timing analysis: the training/ground-truth data factory.
+//!
+//! This is the first phase of Fig. 2: for one functional unit, one
+//! operating condition and one workload, run the delay-annotated gate-level
+//! simulation and record every cycle's dynamic delay plus the timing-error
+//! ground truth at each clock period of interest. One characterization
+//! serves simultaneously as a row source for the training matrices (Eq. 3)
+//! and as the simulation ground truth that Eq. 4 scores models against.
+
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_netlist::Netlist;
+use tevot_sim::{CycleResult, TimingSimulator};
+use tevot_timing::{sta, ClockSpeedup, DelayModel, OperatingCondition};
+
+use crate::workload::Workload;
+
+/// The raw per-cycle simulation record of one (FU, condition, workload)
+/// run: every output toggle of every cycle.
+///
+/// A trace is clock-agnostic — the ground truth for *any* clock period can
+/// be derived from it via [`SimTrace::characterization`] without
+/// re-simulating, which is how one characterization run serves all three
+/// of the paper's clock speedups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTrace {
+    fu: FunctionalUnit,
+    condition: OperatingCondition,
+    critical_delay_ps: u64,
+    cycles: Vec<CycleResult>,
+}
+
+impl SimTrace {
+    /// The functional unit simulated.
+    pub fn fu(&self) -> FunctionalUnit {
+        self.fu
+    }
+
+    /// The operating condition of the run.
+    pub fn condition(&self) -> OperatingCondition {
+        self.condition
+    }
+
+    /// The STA critical-path delay (ps) at this condition.
+    pub fn critical_delay_ps(&self) -> u64 {
+        self.critical_delay_ps
+    }
+
+    /// Per-cycle records.
+    pub fn cycles(&self) -> &[CycleResult] {
+        &self.cycles
+    }
+
+    /// The maximum dynamic delay observed, excluding the cold-start cycle.
+    ///
+    /// This is the workload's **fastest error-free clock period**: clocking
+    /// any faster makes at least one cycle erroneous. The paper's 5/10/15 %
+    /// speedups are applied to this frequency "so that the output has
+    /// timing errors" (Sec. V-A).
+    pub fn fastest_error_free_period_ps(&self) -> u64 {
+        self.cycles.iter().skip(1).map(CycleResult::dynamic_delay_ps).max().unwrap_or(0)
+    }
+
+    /// Extracts a [`Characterization`] (per-cycle delays + ground-truth
+    /// error flags) at the given clock periods.
+    pub fn characterization(&self, clock_periods_ps: &[u64]) -> Characterization {
+        let delays: Vec<u64> = self.cycles.iter().map(CycleResult::dynamic_delay_ps).collect();
+        let erroneous = clock_periods_ps
+            .iter()
+            .map(|&p| self.cycles.iter().map(|c| c.is_erroneous_at(p)).collect())
+            .collect();
+        Characterization {
+            fu: self.fu,
+            condition: self.condition,
+            clock_periods_ps: clock_periods_ps.to_vec(),
+            critical_delay_ps: self.critical_delay_ps,
+            delays_ps: delays,
+            erroneous,
+        }
+    }
+}
+
+/// The per-cycle record of one (FU, condition, workload) characterization
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    fu: FunctionalUnit,
+    condition: OperatingCondition,
+    clock_periods_ps: Vec<u64>,
+    critical_delay_ps: u64,
+    delays_ps: Vec<u64>,
+    erroneous: Vec<Vec<bool>>,
+}
+
+impl Characterization {
+    /// The functional unit characterized.
+    pub fn fu(&self) -> FunctionalUnit {
+        self.fu
+    }
+
+    /// The operating condition of the run.
+    pub fn condition(&self) -> OperatingCondition {
+        self.condition
+    }
+
+    /// The clock periods (ps) at which ground truth was extracted.
+    pub fn clock_periods_ps(&self) -> &[u64] {
+        &self.clock_periods_ps
+    }
+
+    /// The STA critical-path delay (ps) at this condition — the "fastest
+    /// error-free" period the paper's speedups are relative to.
+    pub fn critical_delay_ps(&self) -> u64 {
+        self.critical_delay_ps
+    }
+
+    /// Per-cycle dynamic delays (ps); index 0 is the cold-start cycle.
+    pub fn delays_ps(&self) -> &[u64] {
+        &self.delays_ps
+    }
+
+    /// Ground-truth error flags for clock period `period_idx`, one per
+    /// cycle.
+    pub fn erroneous(&self, period_idx: usize) -> &[bool] {
+        &self.erroneous[period_idx]
+    }
+
+    /// Number of simulated cycles.
+    pub fn num_cycles(&self) -> usize {
+        self.delays_ps.len()
+    }
+
+    /// Mean dynamic delay (ps), excluding the cold-start cycle — the
+    /// quantity plotted in the paper's Fig. 3.
+    pub fn average_delay_ps(&self) -> f64 {
+        if self.delays_ps.len() <= 1 {
+            return 0.0;
+        }
+        let tail = &self.delays_ps[1..];
+        tail.iter().map(|&d| d as f64).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Maximum dynamic delay observed (excluding the cold start) — the
+    /// Delay-based baseline's per-condition calibration value.
+    pub fn max_dynamic_delay_ps(&self) -> u64 {
+        self.delays_ps.iter().skip(1).copied().max().unwrap_or(0)
+    }
+
+    /// The timing error rate at clock period `period_idx`, excluding the
+    /// cold-start cycle — the TER-based baseline's calibration value and
+    /// the quantity injected into applications.
+    pub fn timing_error_rate(&self, period_idx: usize) -> f64 {
+        let flags = &self.erroneous[period_idx];
+        if flags.len() <= 1 {
+            return 0.0;
+        }
+        flags[1..].iter().filter(|&&e| e).count() as f64 / (flags.len() - 1) as f64
+    }
+}
+
+/// Characterizes one functional unit across conditions and workloads.
+///
+/// Owns the unit's netlist; one instance amortizes netlist construction
+/// over a whole condition sweep.
+///
+/// # Examples
+///
+/// ```
+/// use tevot::dta::Characterizer;
+/// use tevot::workload::random_workload;
+/// use tevot_netlist::fu::FunctionalUnit;
+/// use tevot_timing::{ClockSpeedup, OperatingCondition};
+///
+/// let fu = FunctionalUnit::IntAdd;
+/// let ch = Characterizer::new(fu);
+/// let work = random_workload(fu, 50, 0);
+/// let result = ch.characterize(
+///     OperatingCondition::new(0.85, 25.0),
+///     &work,
+///     &ClockSpeedup::PAPER,
+/// );
+/// assert_eq!(result.num_cycles(), 50);
+/// assert!(result.average_delay_ps() > 0.0);
+/// // Overclocking must produce some errors on random data.
+/// assert!(result.timing_error_rate(2) > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Characterizer {
+    fu: FunctionalUnit,
+    netlist: Netlist,
+    delay_model: DelayModel,
+}
+
+impl Characterizer {
+    /// Builds the characterizer with the default netlist and delay model.
+    pub fn new(fu: FunctionalUnit) -> Self {
+        Self::with_delay_model(fu, DelayModel::tsmc45_like())
+    }
+
+    /// Builds the characterizer with a custom delay model.
+    pub fn with_delay_model(fu: FunctionalUnit, delay_model: DelayModel) -> Self {
+        Characterizer { fu, netlist: fu.build(), delay_model }
+    }
+
+    /// Uses a caller-supplied netlist (e.g. the carry-lookahead adder
+    /// variant for the micro-architecture ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist's port widths do not match the unit's.
+    pub fn with_netlist(fu: FunctionalUnit, netlist: Netlist, delay_model: DelayModel) -> Self {
+        assert_eq!(netlist.inputs().len(), fu.input_bits(), "input width mismatch");
+        assert_eq!(netlist.outputs().len(), fu.output_bits(), "output width mismatch");
+        Characterizer { fu, netlist, delay_model }
+    }
+
+    /// The functional unit under characterization.
+    pub fn fu(&self) -> FunctionalUnit {
+        self.fu
+    }
+
+    /// The unit's netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The delay model in use.
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delay_model
+    }
+
+    /// The STA critical-path delay (ps) at `cond`.
+    pub fn critical_delay_ps(&self, cond: OperatingCondition) -> u64 {
+        let ann = self.delay_model.annotate(&self.netlist, cond);
+        sta::run(&self.netlist, &ann).critical_delay_ps()
+    }
+
+    /// Simulates `workload` at `cond` and returns the clock-agnostic
+    /// per-cycle trace.
+    pub fn trace(&self, cond: OperatingCondition, workload: &Workload) -> SimTrace {
+        let ann = self.delay_model.annotate(&self.netlist, cond);
+        let crit = sta::run(&self.netlist, &ann).critical_delay_ps();
+        let mut sim = TimingSimulator::new(&self.netlist, &ann);
+        let mut input = Vec::with_capacity(self.fu.input_bits());
+        let cycles = workload
+            .operands()
+            .iter()
+            .map(|&(a, b)| {
+                input.clear();
+                input.extend((0..32).map(|i| a >> i & 1 == 1));
+                input.extend((0..32).map(|i| b >> i & 1 == 1));
+                sim.step(&input)
+            })
+            .collect();
+        SimTrace { fu: self.fu, condition: cond, critical_delay_ps: crit, cycles }
+    }
+
+    /// Convenience: traces `workload` at `cond` and extracts ground truth
+    /// at the clock periods obtained by applying `speedups` to the
+    /// workload's own fastest error-free period.
+    ///
+    /// Multi-dataset experiments should instead call [`Self::trace`] per
+    /// dataset and derive a common period basis from the training
+    /// workload's trace.
+    pub fn characterize(
+        &self,
+        cond: OperatingCondition,
+        workload: &Workload,
+        speedups: &[ClockSpeedup],
+    ) -> Characterization {
+        let trace = self.trace(cond, workload);
+        let base = trace.fastest_error_free_period_ps();
+        let periods: Vec<u64> = speedups.iter().map(|s| s.apply_to_period(base)).collect();
+        trace.characterization(&periods)
+    }
+
+    /// Traces `workload` at `cond` and extracts ground truth at explicit
+    /// clock periods (ps).
+    pub fn characterize_with_periods(
+        &self,
+        cond: OperatingCondition,
+        workload: &Workload,
+        clock_periods_ps: &[u64],
+    ) -> Characterization {
+        self.trace(cond, workload).characterization(clock_periods_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_workload;
+
+    fn quick_char(fu: FunctionalUnit, v: f64, t: f64, n: usize) -> Characterization {
+        let ch = Characterizer::new(fu);
+        let w = random_workload(fu, n, 7);
+        ch.characterize(OperatingCondition::new(v, t), &w, &ClockSpeedup::PAPER)
+    }
+
+    #[test]
+    fn ground_truth_matches_delay_comparison_mostly() {
+        let c = quick_char(FunctionalUnit::IntAdd, 0.9, 25.0, 150);
+        // With three guard periods below the critical path, errors happen
+        // exactly when the dynamic delay exceeds the period (glitch-restores
+        // are possible but rare).
+        let mut agree = 0;
+        let mut total = 0;
+        for (p_idx, &period) in c.clock_periods_ps().iter().enumerate() {
+            for (cycle, &d) in c.delays_ps().iter().enumerate() {
+                total += 1;
+                if (d > period) == c.erroneous(p_idx)[cycle] {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.95, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn deeper_speedup_means_more_errors() {
+        let c = quick_char(FunctionalUnit::IntAdd, 0.85, 50.0, 300);
+        let t5 = c.timing_error_rate(0);
+        let t15 = c.timing_error_rate(2);
+        assert!(t15 >= t5, "15% speedup TER {t15} < 5% TER {t5}");
+        assert!(t15 > 0.0, "15% overclock should produce errors on random data");
+    }
+
+    #[test]
+    fn speedup_periods_are_below_critical_path() {
+        let c = quick_char(FunctionalUnit::IntAdd, 0.81, 0.0, 20);
+        for &p in c.clock_periods_ps() {
+            assert!(p < c.critical_delay_ps());
+        }
+        assert!(c.max_dynamic_delay_ps() <= c.critical_delay_ps());
+    }
+
+    #[test]
+    fn average_excludes_cold_start() {
+        let ch = Characterizer::new(FunctionalUnit::IntAdd);
+        // Two identical vectors: cycle 1 has zero toggles, so the average
+        // over non-cold cycles is 0 even though cycle 0 settled from zero.
+        let w = Workload::new("w", vec![(5, 5), (5, 5)]);
+        let c = ch.characterize(OperatingCondition::nominal(), &w, &ClockSpeedup::PAPER);
+        assert!(c.delays_ps()[0] > 0);
+        assert_eq!(c.average_delay_ps(), 0.0);
+    }
+
+    #[test]
+    fn custom_netlist_adder_style() {
+        use tevot_netlist::fu::AdderStyle;
+        let fu = FunctionalUnit::IntAdd;
+        let rca = fu.build_with_adder_style(AdderStyle::RippleCarry);
+        let ch = Characterizer::with_netlist(fu, rca, DelayModel::tsmc45_like());
+        let w = random_workload(fu, 50, 3);
+        let c = ch.characterize(OperatingCondition::nominal(), &w, &ClockSpeedup::PAPER);
+        assert!(c.average_delay_ps() > 0.0);
+        // The default (carry-lookahead) critical path is shorter than the
+        // ripple-carry variant's.
+        let cla = Characterizer::new(fu);
+        assert!(
+            cla.critical_delay_ps(OperatingCondition::nominal()) < c.critical_delay_ps()
+        );
+    }
+}

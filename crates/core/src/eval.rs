@@ -1,0 +1,184 @@
+//! Model evaluation against gate-level ground truth (Fig. 2, right; Eq. 4).
+
+use tevot_timing::OperatingCondition;
+
+use crate::baselines::ErrorPredictor;
+use crate::dta::Characterization;
+use crate::workload::Workload;
+
+/// Accuracy of one predictor at one (condition, clock period) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPoint {
+    /// The operating condition evaluated.
+    pub condition: OperatingCondition,
+    /// The clock period in picoseconds.
+    pub clock_ps: u64,
+    /// Eq. 4 prediction accuracy: matched cycles / total cycles.
+    pub accuracy: f64,
+    /// The ground-truth timing error rate at this point, for context.
+    pub ground_truth_ter: f64,
+}
+
+/// Evaluates `predictor` on one characterization run, producing one
+/// [`AccuracyPoint`] per clock period.
+///
+/// Cycle 0 (cold start, no history input) is excluded, mirroring training.
+///
+/// # Panics
+///
+/// Panics if the workload length differs from the characterization's cycle
+/// count or the run has fewer than two cycles.
+pub fn evaluate_predictor(
+    predictor: &mut dyn ErrorPredictor,
+    workload: &Workload,
+    ground_truth: &Characterization,
+) -> Vec<AccuracyPoint> {
+    assert_eq!(
+        workload.len(),
+        ground_truth.num_cycles(),
+        "workload/characterization cycle mismatch"
+    );
+    assert!(workload.len() >= 2, "need at least two cycles to evaluate");
+    let ops = workload.operands();
+    let cond = ground_truth.condition();
+    ground_truth
+        .clock_periods_ps()
+        .iter()
+        .enumerate()
+        .map(|(p_idx, &clock_ps)| {
+            let truth = ground_truth.erroneous(p_idx);
+            let mut matched = 0usize;
+            for t in 1..ops.len() {
+                let predicted = predictor.predict_error(cond, clock_ps, ops[t], ops[t - 1]);
+                if predicted == truth[t] {
+                    matched += 1;
+                }
+            }
+            AccuracyPoint {
+                condition: cond,
+                clock_ps,
+                accuracy: matched as f64 / (ops.len() - 1) as f64,
+                ground_truth_ter: ground_truth.timing_error_rate(p_idx),
+            }
+        })
+        .collect()
+}
+
+/// The model-estimated timing error rate on a workload at one clock period
+/// — the quantity handed to the application-level error injector for each
+/// model in Sec. V-D.
+pub fn predicted_ter(
+    predictor: &mut dyn ErrorPredictor,
+    workload: &Workload,
+    cond: OperatingCondition,
+    clock_ps: u64,
+) -> f64 {
+    let ops = workload.operands();
+    assert!(ops.len() >= 2, "need at least two cycles");
+    let errors = (1..ops.len())
+        .filter(|&t| predictor.predict_error(cond, clock_ps, ops[t], ops[t - 1]))
+        .count();
+    errors as f64 / (ops.len() - 1) as f64
+}
+
+/// Averages the accuracy over a set of points (the "average prediction
+/// accuracy across conditions and clock speeds" of Table III).
+///
+/// # Panics
+///
+/// Panics on an empty set.
+pub fn mean_accuracy(points: &[AccuracyPoint]) -> f64 {
+    assert!(!points.is_empty(), "no accuracy points");
+    points.iter().map(|p| p.accuracy).sum::<f64>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dta::Characterizer;
+    use crate::features::FeatureEncoding;
+    use crate::model::{build_delay_dataset, TevotModel, TevotParams};
+    use crate::workload::random_workload;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tevot_netlist::fu::FunctionalUnit;
+    use tevot_timing::ClockSpeedup;
+
+    /// An oracle that replays the ground truth — must score 100%.
+    struct Oracle<'a> {
+        truth: &'a Characterization,
+        cursor: std::cell::Cell<usize>,
+    }
+
+    impl ErrorPredictor for Oracle<'_> {
+        fn predict_error(
+            &mut self,
+            _cond: OperatingCondition,
+            clock_ps: u64,
+            _current: (u32, u32),
+            _previous: (u32, u32),
+        ) -> bool {
+            let p_idx = self
+                .truth
+                .clock_periods_ps()
+                .iter()
+                .position(|&p| p == clock_ps)
+                .expect("known period");
+            let t = self.cursor.get();
+            self.cursor.set((t + 1) % (self.truth.num_cycles() - 1));
+            self.truth.erroneous(p_idx)[t + 1]
+        }
+
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+    }
+
+    fn setup() -> (Workload, Characterization) {
+        let fu = FunctionalUnit::IntAdd;
+        let ch = Characterizer::new(fu);
+        let w = random_workload(fu, 250, 21);
+        let c = ch.characterize(OperatingCondition::new(0.88, 25.0), &w, &ClockSpeedup::PAPER);
+        (w, c)
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let (w, c) = setup();
+        let mut oracle = Oracle { truth: &c, cursor: std::cell::Cell::new(0) };
+        let points = evaluate_predictor(&mut oracle, &w, &c);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.accuracy, 1.0, "oracle must match ground truth at {}", p.clock_ps);
+        }
+        assert_eq!(mean_accuracy(&points), 1.0);
+    }
+
+    #[test]
+    fn trained_tevot_beats_coin_flip_out_of_sample() {
+        let fu = FunctionalUnit::IntAdd;
+        let chz = Characterizer::new(fu);
+        let cond = OperatingCondition::new(0.88, 25.0);
+        let train_w = random_workload(fu, 600, 1);
+        let test_w = random_workload(fu, 200, 2);
+        let train_c = chz.characterize(cond, &train_w, &ClockSpeedup::PAPER);
+        let test_c = chz.characterize(cond, &test_w, &ClockSpeedup::PAPER);
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train_w, &train_c)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+        let points = evaluate_predictor(&mut model, &test_w, &test_c);
+        let acc = mean_accuracy(&points);
+        assert!(acc > 0.8, "out-of-sample accuracy {acc}");
+    }
+
+    #[test]
+    fn predicted_ter_is_a_rate() {
+        let (w, c) = setup();
+        let mut oracle = Oracle { truth: &c, cursor: std::cell::Cell::new(0) };
+        let p = c.clock_periods_ps()[1];
+        let ter = predicted_ter(&mut oracle, &w, c.condition(), p);
+        assert!((0.0..=1.0).contains(&ter));
+        // Oracle predictions replay ground truth, so the rates agree.
+        assert!((ter - c.timing_error_rate(1)).abs() < 1e-9);
+    }
+}

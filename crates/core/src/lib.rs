@@ -1,0 +1,68 @@
+//! TEVoT: a supervised-learning timing-error model for functional units
+//! under dynamic voltage and temperature variations.
+//!
+//! Reproduction of Jiao, Ma, Chang, Jiang — DAC 2020. TEVoT predicts, for
+//! a functional unit, whether each output is *timing correct* or *timing
+//! erroneous* as a function of supply voltage, temperature, clock period
+//! and — crucially — the input workload `x[t]` together with its history
+//! `x[t-1]`. Rather than learning the error function directly it learns
+//! the cycle's **dynamic delay** (Eq. 2) with a random-forest regressor
+//! and compares against the clock period, so one model serves every clock
+//! speed.
+//!
+//! The crate mirrors the paper's Fig. 2 pipeline:
+//!
+//! 1. **Dynamic timing analysis** — [`dta::Characterizer`] drives the
+//!    gate-level timing simulator across operating conditions and records
+//!    per-cycle dynamic delays plus timing-error ground truth.
+//! 2. **Model training** — [`FeatureEncoding`] builds the
+//!    `{x[t], x[t-1], V, T}` matrices (Eq. 3), and
+//!    [`TevotModel::train`] fits the forest.
+//! 3. **Model evaluation** — [`eval::evaluate_predictor`] scores any
+//!    [`ErrorPredictor`] against simulation ground truth (Eq. 4),
+//!    including the paper's baselines [`DelayBased`], [`TerBased`] and the
+//!    TEVoT-NH ablation.
+//!
+//! # Examples
+//!
+//! Train TEVoT at one condition and score it on unseen data:
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use tevot::dta::Characterizer;
+//! use tevot::eval::{evaluate_predictor, mean_accuracy};
+//! use tevot::workload::random_workload;
+//! use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+//! use tevot_netlist::fu::FunctionalUnit;
+//! use tevot_timing::{ClockSpeedup, OperatingCondition};
+//!
+//! let fu = FunctionalUnit::IntAdd;
+//! let characterizer = Characterizer::new(fu);
+//! let cond = OperatingCondition::new(0.9, 50.0);
+//!
+//! let train = random_workload(fu, 400, 1);
+//! let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
+//! let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+//!
+//! let test = random_workload(fu, 100, 2);
+//! let test_truth = characterizer.characterize(cond, &test, &ClockSpeedup::PAPER);
+//! let points = evaluate_predictor(&mut model, &test, &test_truth);
+//! assert!(mean_accuracy(&points) > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+
+mod baselines;
+pub mod dta;
+mod features;
+mod model;
+pub mod eval;
+pub mod workload;
+
+pub use baselines::{DelayBased, ErrorPredictor, TerBased};
+pub use features::FeatureEncoding;
+pub use model::{build_delay_dataset, TevotModel, TevotParams};
+pub use workload::Workload;

@@ -1,0 +1,282 @@
+//! The TEVoT model: a random-forest dynamic-delay regressor.
+//!
+//! Per Sec. III of the paper, TEVoT does not learn the error function
+//! `f_e(V, T, t_clk, I)` directly; it learns the dynamic-delay function
+//! `D = f_d(V, T, I)` (Eq. 2) and classifies a cycle as erroneous when the
+//! predicted delay exceeds the clock period. One trained model therefore
+//! serves every clock speed.
+
+use std::io::{Read, Write};
+
+use rand::Rng;
+use tevot_ml::persist::{self, LoadModelError};
+use tevot_ml::{Dataset, ForestParams, RandomForestRegressor};
+use tevot_timing::OperatingCondition;
+
+use crate::dta::Characterization;
+use crate::features::FeatureEncoding;
+use crate::workload::Workload;
+
+/// Builds the Eq. 3 feature/label matrices from characterization runs.
+///
+/// Each `(workload, characterization)` pair contributes one row per cycle
+/// `t >= 1` (the cold-start cycle has no history input): features
+/// `{x[t], x[t-1], V, T}` under `encoding`, label `D[t]` in picoseconds.
+///
+/// # Panics
+///
+/// Panics if a workload's length differs from its characterization's cycle
+/// count, or if `runs` produces no rows.
+pub fn build_delay_dataset(
+    encoding: FeatureEncoding,
+    runs: &[(&Workload, &Characterization)],
+) -> Dataset {
+    let capacity: usize = runs.iter().map(|(w, _)| w.len().saturating_sub(1)).sum();
+    let mut data = Dataset::with_capacity(encoding.num_features(), capacity);
+    let mut row = Vec::with_capacity(encoding.num_features());
+    for (workload, ch) in runs {
+        assert_eq!(
+            workload.len(),
+            ch.num_cycles(),
+            "workload/characterization cycle mismatch"
+        );
+        let ops = workload.operands();
+        for t in 1..ops.len() {
+            encoding.encode_into(ch.condition(), ops[t], ops[t - 1], &mut row);
+            data.push(&row, ch.delays_ps()[t] as f64);
+        }
+    }
+    assert!(!data.is_empty(), "no training rows produced");
+    data
+}
+
+/// TEVoT hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TevotParams {
+    /// The random-forest configuration (paper default: 10 trees, all
+    /// features considered at each split).
+    pub forest: ForestParams,
+    /// The feature layout; [`FeatureEncoding::without_history`] yields the
+    /// TEVoT-NH ablation.
+    pub encoding: FeatureEncoding,
+}
+
+impl Default for TevotParams {
+    fn default() -> Self {
+        TevotParams {
+            forest: ForestParams::default(),
+            encoding: FeatureEncoding::with_history(),
+        }
+    }
+}
+
+/// A trained TEVoT model.
+///
+/// # Examples
+///
+/// See the crate-level documentation for the full train-and-evaluate
+/// pipeline; the unit tests below exercise a miniature version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TevotModel {
+    forest: RandomForestRegressor,
+    encoding: FeatureEncoding,
+}
+
+impl TevotModel {
+    /// Trains on a delay dataset produced by [`build_delay_dataset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset width does not match `params.encoding`.
+    pub fn train(data: &Dataset, params: &TevotParams, rng: &mut impl Rng) -> Self {
+        assert_eq!(
+            data.num_features(),
+            params.encoding.num_features(),
+            "dataset width does not match the feature encoding"
+        );
+        TevotModel {
+            forest: RandomForestRegressor::fit(data, &params.forest, rng),
+            encoding: params.encoding,
+        }
+    }
+
+    /// The feature encoding this model was trained with.
+    pub fn encoding(&self) -> FeatureEncoding {
+        self.encoding
+    }
+
+    /// The underlying forest.
+    pub fn forest(&self) -> &RandomForestRegressor {
+        &self.forest
+    }
+
+    /// Normalized feature importances paired with human-readable feature
+    /// names (`a[t] bit 31`, `b[t-1] bit 0`, `V`, `T`, ...) — the
+    /// interpretability that made the paper pick the random forest: "it
+    /// can interpret the significance disparity between different
+    /// features" (Sec. IV-B2).
+    pub fn feature_importances(&self) -> Vec<(String, f64)> {
+        let imp = self.forest.feature_importances();
+        imp.into_iter()
+            .enumerate()
+            .map(|(i, v)| (self.feature_name(i), v))
+            .collect()
+    }
+
+    fn feature_name(&self, index: usize) -> String {
+        let history = self.encoding.has_history();
+        let words: &[&str] =
+            if history { &["a[t]", "b[t]", "a[t-1]", "b[t-1]"] } else { &["a[t]", "b[t]"] };
+        let bits = words.len() * 32;
+        match index {
+            i if i < bits => format!("{} bit {}", words[i / 32], i % 32),
+            i if i == bits => "V".into(),
+            i if i == bits + 1 => "T".into(),
+            i => format!("feature {i}"),
+        }
+    }
+
+    /// Predicts the dynamic delay (ps) of the transition
+    /// `previous -> current` at `cond`.
+    pub fn predict_delay_ps(
+        &self,
+        cond: OperatingCondition,
+        current: (u32, u32),
+        previous: (u32, u32),
+    ) -> f64 {
+        let row = self.encoding.encode(cond, current, previous);
+        self.forest.predict(&row)
+    }
+
+    /// Classifies the cycle: timing-erroneous iff the predicted delay
+    /// exceeds `clock_ps`.
+    pub fn predict_error(
+        &self,
+        cond: OperatingCondition,
+        clock_ps: u64,
+        current: (u32, u32),
+        previous: (u32, u32),
+    ) -> bool {
+        self.predict_delay_ps(cond, current, previous) > clock_ps as f64
+    }
+
+    /// Serializes the model (see `tevot_ml::persist` for the format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, mut writer: impl Write) -> std::io::Result<()> {
+        let tag: u8 = if self.encoding.has_history() { 1 } else { 0 };
+        writer.write_all(&[b'T', b'V', tag])?;
+        persist::save_regressor(&self.forest, writer)
+    }
+
+    /// Deserializes a model written by [`Self::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadModelError`] on I/O failure or malformed data.
+    pub fn load(mut reader: impl Read) -> Result<TevotModel, LoadModelError> {
+        let mut header = [0u8; 3];
+        reader.read_exact(&mut header)?;
+        if &header[..2] != b"TV" || header[2] > 1 {
+            return Err(LoadModelError::Format("not a TEVoT model".into()));
+        }
+        let encoding = if header[2] == 1 {
+            FeatureEncoding::with_history()
+        } else {
+            FeatureEncoding::without_history()
+        };
+        let forest = persist::load_regressor(reader)?;
+        Ok(TevotModel { forest, encoding })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dta::Characterizer;
+    use crate::workload::random_workload;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tevot_netlist::fu::FunctionalUnit;
+    use tevot_timing::ClockSpeedup;
+
+    fn tiny_setup() -> (Workload, Characterization) {
+        let fu = FunctionalUnit::IntAdd;
+        let ch = Characterizer::new(fu);
+        let w = random_workload(fu, 800, 5);
+        let c = ch.characterize(OperatingCondition::new(0.9, 25.0), &w, &ClockSpeedup::PAPER);
+        (w, c)
+    }
+
+    #[test]
+    fn dataset_shape_matches_eq3() {
+        let (w, c) = tiny_setup();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        assert_eq!(data.num_features(), 130);
+        assert_eq!(data.len(), 799, "one row per cycle t >= 1");
+        // Labels are the measured dynamic delays.
+        assert_eq!(data.label(0), c.delays_ps()[1] as f64);
+    }
+
+    #[test]
+    fn trained_model_tracks_delay_scale() {
+        let (w, c) = tiny_setup();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+        // In-sample delay predictions should correlate strongly.
+        let ops = w.operands();
+        let mut pred = Vec::new();
+        let mut actual = Vec::new();
+        for t in 1..ops.len() {
+            pred.push(model.predict_delay_ps(c.condition(), ops[t], ops[t - 1]));
+            actual.push(c.delays_ps()[t] as f64);
+        }
+        // Bootstrapped trees see ~63% of rows each, so even in-sample
+        // predictions carry out-of-bag error; 0.7 is a robust floor.
+        let r2 = tevot_ml::metrics::r_squared(&pred, &actual);
+        assert!(r2 > 0.7, "in-sample R^2 {r2}");
+    }
+
+    #[test]
+    fn error_classification_uses_clock_period() {
+        let (w, c) = tiny_setup();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+        let ops = w.operands();
+        // A clock far above the critical path can never be erroneous; a
+        // 1 ps clock always is.
+        let huge = c.critical_delay_ps() * 10;
+        assert!(!model.predict_error(c.condition(), huge, ops[5], ops[4]));
+        assert!(model.predict_error(c.condition(), 1, ops[5], ops[4]));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (w, c) = tiny_setup();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = TevotModel::load(buf.as_slice()).unwrap();
+        let ops = w.operands();
+        assert_eq!(
+            model.predict_delay_ps(c.condition(), ops[2], ops[1]),
+            loaded.predict_delay_ps(c.condition(), ops[2], ops[1])
+        );
+        assert!(loaded.encoding().has_history());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the feature encoding")]
+    fn encoding_mismatch_is_rejected() {
+        let (w, c) = tiny_setup();
+        let data = build_delay_dataset(FeatureEncoding::without_history(), &[(&w, &c)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+    }
+}

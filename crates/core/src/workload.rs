@@ -1,0 +1,350 @@
+//! Workload (operand stream) generation.
+//!
+//! The paper trains on "200K randomly generated data" using "the
+//! homogeneous distribution of two operands over 2D input space" (ref. 22) and
+//! tests on operand traces profiled from two image-processing applications.
+//! This module provides the random streams; the profiled application
+//! streams come from `tevot-imgproc`, which records every FU operand pair
+//! the Sobel/Gaussian filters issue.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tevot_netlist::fu::FunctionalUnit;
+
+/// A named stream of operand pairs for one functional unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    name: String,
+    operands: Vec<(u32, u32)>,
+}
+
+impl Workload {
+    /// Wraps an operand stream under a display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stream.
+    pub fn new(name: impl Into<String>, operands: Vec<(u32, u32)>) -> Self {
+        assert!(!operands.is_empty(), "empty workload");
+        Workload { name: name.into(), operands }
+    }
+
+    /// Display name (e.g. `"random_data"`, `"sobel_data"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operand pairs, in issue order.
+    pub fn operands(&self) -> &[(u32, u32)] {
+        &self.operands
+    }
+
+    /// Number of operand pairs.
+    pub fn len(&self) -> usize {
+        self.operands.len()
+    }
+
+    /// Always false: construction rejects empty streams.
+    pub fn is_empty(&self) -> bool {
+        self.operands.is_empty()
+    }
+
+    /// A shortened copy with at most `n` leading pairs.
+    pub fn truncated(&self, n: usize) -> Workload {
+        Workload {
+            name: self.name.clone(),
+            operands: self.operands[..self.operands.len().min(n)].to_vec(),
+        }
+    }
+
+    /// Concatenates two workloads (used for the paper's mixed training set:
+    /// random data plus a slice of application data).
+    pub fn concat(&self, other: &Workload, name: impl Into<String>) -> Workload {
+        let mut operands = self.operands.clone();
+        operands.extend_from_slice(&other.operands);
+        Workload { name: name.into(), operands }
+    }
+
+    /// Serializes as a text trace: one `aaaaaaaa bbbbbbbb` hex pair per
+    /// line, with a `# name` header — the interchange format for bringing
+    /// externally profiled operand streams into the pipeline.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        for &(a, b) in &self.operands {
+            out.push_str(&format!("{a:08x} {b:08x}\n"));
+        }
+        out
+    }
+
+    /// Parses a text trace written by [`Self::to_text`] (blank lines and
+    /// `#` comments are skipped; bare hex words, with or without `0x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line, or an empty
+    /// trace.
+    pub fn from_text(text: &str) -> Result<Workload, String> {
+        let mut name = String::from("trace");
+        let mut operands = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                if operands.is_empty() && !comment.trim().is_empty() {
+                    name = comment.trim().to_string();
+                }
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let parse = |w: Option<&str>| -> Result<u32, String> {
+                let w = w.ok_or_else(|| format!("line {}: expected two words", lineno + 1))?;
+                let w = w.strip_prefix("0x").unwrap_or(w);
+                u32::from_str_radix(w, 16)
+                    .map_err(|_| format!("line {}: bad hex word {w:?}", lineno + 1))
+            };
+            let a = parse(words.next())?;
+            let b = parse(words.next())?;
+            if words.next().is_some() {
+                return Err(format!("line {}: trailing tokens", lineno + 1));
+            }
+            operands.push((a, b));
+        }
+        if operands.is_empty() {
+            return Err("trace contains no operand pairs".into());
+        }
+        Ok(Workload { name, operands })
+    }
+}
+
+/// Generates the paper's homogeneous random workload for `fu`.
+///
+/// Integer units draw both operands uniformly from the full 32-bit space.
+/// Floating-point units draw uniformly from sign x exponent x fraction with
+/// the exponent restricted to finite, normal encodings spanning a wide
+/// magnitude range (the FP circuits flush subnormals and have no NaN
+/// semantics; see `tevot-netlist`'s golden models).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn random_workload(fu: FunctionalUnit, n: usize, seed: u64) -> Workload {
+    assert!(n > 0, "empty workload requested");
+    let mut rng = SmallRng::seed_from_u64(seed ^ fu as u64);
+    let mut operands = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pair = if fu.is_float() {
+            (random_float_bits(&mut rng), random_float_bits(&mut rng))
+        } else {
+            (rng.gen::<u32>(), rng.gen::<u32>())
+        };
+        operands.push(pair);
+    }
+    Workload::new("random_data", operands)
+}
+
+/// A uniformly random normal (or zero) `f32` bit pattern with exponent in
+/// a +/- 2^20 magnitude band around 1.0.
+fn random_float_bits(rng: &mut SmallRng) -> u32 {
+    let sign = (rng.gen::<bool>() as u32) << 31;
+    // Biased exponent 107..=147: magnitudes from ~1e-6 to ~1e6.
+    let exp: u32 = rng.gen_range(107..=147);
+    let frac: u32 = rng.gen::<u32>() & 0x7F_FFFF;
+    sign | exp << 23 | frac
+}
+
+/// Directed corner operand pairs for the integer units: sign boundaries,
+/// all-ones/zeros, alternating patterns and small mixed-sign values whose
+/// transitions exercise full carry-propagate runs.
+const INT_CORNERS: &[(u32, u32)] = &[
+    (0, 0),
+    (u32::MAX, 1),
+    (0x7FFF_FFFF, 1),
+    (0x8000_0000, u32::MAX),
+    (0xAAAA_AAAA, 0x5555_5555),
+    (0x5555_5555, 0x5555_5555),
+    // Small mixed-sign sums whose results flip sign from one cycle to the
+    // next: each pair of rows exercises a full sign-extension
+    // carry-propagate run starting at a different bit position, sampling
+    // the whole family of long paths (per-gate variation makes them differ
+    // by ~10 %).
+    (5, 0xFFFF_FFF6),              // 5 + (-10) = -5
+    (7, 2),                        // +9 right after: sign flip from bit ~3
+    (100, 0xFFFF_FF38),            // 100 + (-200) = -100
+    (300, 21),                     // +321: flip from bit ~8
+    (1500, 0xFFFF_F448),           // 1500 + (-3000) = -1500
+    (2000, 1000),                  // +3000: flip from bit ~11
+    (70_000, 0xFFFE_EE90),         // 70000 + (-140000) = -70000
+    (100_000, 30_000),             // +130000: flip from bit ~17
+    (9_000_000, 0xFF76_A700),      // 9e6 + (-18e6) = -9e6
+    (12_000_000, 4_000_000),       // +16e6: flip from bit ~24
+    (0xFFFF_FF9C, 0xFFFF_FFD8),    // (-100) + (-40)
+    (120, 0xFFFF_FF88),            // 120 + (-120): exact cancellation
+    (u32::MAX, u32::MAX),
+    (1, 0),
+];
+
+/// Directed corner operand pairs for the floating-point adder: equal-and-
+/// opposite values (massive cancellation), wide exponent differences
+/// (long alignment shifts), precision-boundary rounding and sign flips.
+///
+/// Magnitudes stay inside the random workload's `1e-6 .. 1e6` band: an
+/// Fmax characterization targets the paths the deployed workloads can
+/// reach, not the overflow-clamp corner no image kernel ever exercises.
+fn fp_add_corners() -> Vec<(u32, u32)> {
+    let f = |x: f32| x.to_bits();
+    vec![
+        (f(1.0), f(-1.000_000_1)),
+        (f(1.5e5), f(-1.499_99e5)),
+        (f(9.9e5), f(9.9e5)),
+        (f(1e-6), f(1e6)),
+        (f(-1e6), f(1e-6)),
+        (f(16_777_215.0), f(1.0)),
+        (f(0.0), f(-0.0)),
+        (f(1.2e-6), f(1.2e-6)),
+        (f(0.1), f(0.2)),
+        (f(123456.78), f(-123456.7)),
+    ]
+}
+
+/// Directed corner operand pairs for the floating-point multiplier: wide
+/// exponent products (underflow flushes), sign flips and magnitude sweeps.
+/// All-ones-significand rounding corners are excluded for the same reason
+/// the adder list stays inside the workload band: they sensitize the
+/// round-increment chain after the longest array path, a pattern no pixel
+/// workload produces.
+fn fp_mul_corners() -> Vec<(u32, u32)> {
+    let f = |x: f32| x.to_bits();
+    vec![
+        (f(9.9e5), f(9.9e5)),
+        (f(1e-6), f(1e6)),
+        (f(-1e6), f(1e-6)),
+        (f(0.0), f(-0.0)),
+        (f(1.2e-6), f(1.2e-6)),
+        (f(0.1), f(0.2)),
+        (f(123456.78), f(-0.007)),
+        (f(-3.5), f(3.5)),
+    ]
+}
+
+/// Generates the **characterization workload** used to measure an FU's
+/// fastest error-free clock period: random vectors interleaved with
+/// directed corner transitions, the way an industrial Fmax/STA
+/// characterization suite combines random and pattern vectors so that the
+/// long sensitizable paths (full carry-propagate runs, massive
+/// cancellations, maximum alignment shifts) are actually exercised.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn characterization_workload(fu: FunctionalUnit, n: usize, seed: u64) -> Workload {
+    assert!(n > 0, "empty workload requested");
+    let corners: Vec<(u32, u32)> = match fu {
+        FunctionalUnit::FpAdd => fp_add_corners(),
+        FunctionalUnit::FpMul => fp_mul_corners(),
+        FunctionalUnit::IntAdd | FunctionalUnit::IntMul => INT_CORNERS.to_vec(),
+    };
+    let random = random_workload(fu, n, seed ^ 0xC0FFEE);
+    let mut operands = Vec::with_capacity(n + 1);
+    let mut corner_cursor = 0;
+    for (i, &pair) in random.operands().iter().enumerate() {
+        // Every third cycle is a directed pattern, so corner->random,
+        // random->corner and corner->corner transitions all occur.
+        if i % 3 == 2 {
+            operands.push(corners[corner_cursor % corners.len()]);
+            corner_cursor += 1;
+        } else {
+            operands.push(pair);
+        }
+    }
+    Workload::new("characterization", operands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_workload_is_deterministic() {
+        let a = random_workload(FunctionalUnit::IntAdd, 100, 1);
+        let b = random_workload(FunctionalUnit::IntAdd, 100, 1);
+        let c = random_workload(FunctionalUnit::IntAdd, 100, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.name(), "random_data");
+    }
+
+    #[test]
+    fn float_workload_stays_finite_and_normal() {
+        let w = random_workload(FunctionalUnit::FpMul, 500, 3);
+        for &(a, b) in w.operands() {
+            for bits in [a, b] {
+                let exp = bits >> 23 & 0xFF;
+                assert!(exp > 0 && exp < 255, "exp {exp} out of the normal band");
+                let v = f32::from_bits(bits);
+                assert!(v.is_finite());
+                assert!(v.abs() > 1e-7 && v.abs() < 1e7, "magnitude {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_units_get_different_streams() {
+        let add = random_workload(FunctionalUnit::IntAdd, 10, 1);
+        let mul = random_workload(FunctionalUnit::IntMul, 10, 1);
+        assert_ne!(add.operands(), mul.operands());
+    }
+
+    #[test]
+    fn text_trace_roundtrip() {
+        let w = Workload::new("my trace", vec![(0xDEAD_BEEF, 1), (2, 0xFFFF_FFFF)]);
+        let text = w.to_text();
+        let parsed = Workload::from_text(&text).unwrap();
+        assert_eq!(parsed, w);
+        // 0x prefixes and comments are tolerated.
+        let alt = "# alt\n0xdeadbeef 0x00000001\n\n# comment\n00000002 ffffffff\n";
+        let parsed = Workload::from_text(alt).unwrap();
+        assert_eq!(parsed.operands(), w.operands());
+        assert_eq!(parsed.name(), "alt");
+    }
+
+    #[test]
+    fn text_trace_rejects_malformed_lines() {
+        assert!(Workload::from_text("").is_err());
+        assert!(Workload::from_text("zz yy\n").unwrap_err().contains("line 1"));
+        assert!(Workload::from_text("00000001\n").unwrap_err().contains("two words"));
+        assert!(Workload::from_text("1 2 3\n").unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn characterization_mixes_corners_and_random() {
+        let w = characterization_workload(FunctionalUnit::IntAdd, 300, 1);
+        assert_eq!(w.len(), 300);
+        // Corner pairs appear...
+        assert!(w.operands().contains(&(u32::MAX, 1)));
+        // ...and so do random ones (values outside the corner list).
+        let corners: std::collections::HashSet<(u32, u32)> = INT_CORNERS.iter().copied().collect();
+        assert!(w.operands().iter().any(|p| !corners.contains(p)));
+    }
+
+    #[test]
+    fn fp_characterization_exercises_cancellation() {
+        let w = characterization_workload(FunctionalUnit::FpAdd, 60, 1);
+        let cancel = (1.0f32.to_bits(), (-1.000_000_1f32).to_bits());
+        assert!(w.operands().contains(&cancel));
+    }
+
+    #[test]
+    fn truncate_and_concat() {
+        let a = random_workload(FunctionalUnit::IntAdd, 50, 1);
+        let b = random_workload(FunctionalUnit::IntAdd, 30, 9);
+        let t = a.truncated(20);
+        assert_eq!(t.len(), 20);
+        let c = t.concat(&b, "mixed");
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.name(), "mixed");
+        assert_eq!(&c.operands()[..20], t.operands());
+    }
+}

@@ -1,0 +1,436 @@
+//! Pluggable functional-unit arithmetic for the application kernels.
+//!
+//! Every arithmetic operation of the Sobel/Gaussian filters is routed
+//! through a [`FuArithmetic`] so that one kernel source serves three
+//! roles, exactly as Multi2Sim does for the paper:
+//!
+//! * [`ExactArithmetic`] — fault-free execution (the quality reference);
+//! * [`ProfilingArithmetic`] — records every operand pair per FU,
+//!   producing the `sobel_data` / `gauss_data` workloads;
+//! * [`FaultyArithmetic`] — injects timing errors at per-FU timing error
+//!   rates, an erroneous op returning a random value (the paper follows
+//!   ref. 12 with the same semantics).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tevot::Workload;
+use tevot_netlist::fu::{golden, FunctionalUnit};
+
+/// The arithmetic interface the application kernels compute through.
+///
+/// Integer results follow the FU port semantics of `tevot-netlist`: the
+/// adder returns the exact 33-bit sum, the multiplier the full 64-bit
+/// product. Signed kernel arithmetic uses two's-complement operands and
+/// truncates to the low 32 bits, like the hardware it models.
+pub trait FuArithmetic {
+    /// 32-bit integer addition (33-bit result).
+    fn int_add(&mut self, a: u32, b: u32) -> u64;
+    /// 32-bit integer multiplication (64-bit result).
+    fn int_mul(&mut self, a: u32, b: u32) -> u64;
+    /// Single-precision addition.
+    fn fp_add(&mut self, a: f32, b: f32) -> f32;
+    /// Single-precision multiplication.
+    fn fp_mul(&mut self, a: f32, b: f32) -> f32;
+
+    /// Signed 32-bit add through the integer adder (low 32 bits).
+    fn add_i32(&mut self, a: i32, b: i32) -> i32 {
+        self.int_add(a as u32, b as u32) as u32 as i32
+    }
+
+    /// Signed 32-bit multiply through the integer multiplier (low 32
+    /// bits).
+    fn mul_i32(&mut self, a: i32, b: i32) -> i32 {
+        self.int_mul(a as u32, b as u32) as u32 as i32
+    }
+}
+
+/// Fault-free arithmetic backed by the FU reference models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactArithmetic;
+
+impl FuArithmetic for ExactArithmetic {
+    fn int_add(&mut self, a: u32, b: u32) -> u64 {
+        a as u64 + b as u64
+    }
+
+    fn int_mul(&mut self, a: u32, b: u32) -> u64 {
+        a as u64 * b as u64
+    }
+
+    fn fp_add(&mut self, a: f32, b: f32) -> f32 {
+        f32::from_bits(golden::fp_add(a.to_bits(), b.to_bits()))
+    }
+
+    fn fp_mul(&mut self, a: f32, b: f32) -> f32 {
+        f32::from_bits(golden::fp_mul(a.to_bits(), b.to_bits()))
+    }
+}
+
+/// Records every operand pair issued to each FU while delegating to exact
+/// arithmetic — the paper's application profiling step.
+#[derive(Debug, Clone, Default)]
+pub struct ProfilingArithmetic {
+    int_add: Vec<(u32, u32)>,
+    int_mul: Vec<(u32, u32)>,
+    fp_add: Vec<(u32, u32)>,
+    fp_mul: Vec<(u32, u32)>,
+}
+
+impl ProfilingArithmetic {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of operations recorded for `fu`.
+    pub fn count(&self, fu: FunctionalUnit) -> usize {
+        self.stream(fu).len()
+    }
+
+    fn stream(&self, fu: FunctionalUnit) -> &[(u32, u32)] {
+        match fu {
+            FunctionalUnit::IntAdd => &self.int_add,
+            FunctionalUnit::IntMul => &self.int_mul,
+            FunctionalUnit::FpAdd => &self.fp_add,
+            FunctionalUnit::FpMul => &self.fp_mul,
+        }
+    }
+
+    /// Re-orders every stream from program order to the order a lock-step
+    /// SIMD machine's FU sees: work-items are grouped into *wavefronts* of
+    /// `wavefront` items, and within each wavefront the ops are emitted
+    /// instruction-major (`[slot 0 of items 0..w][slot 1 of items 0..w]
+    /// ...`). `groups` is the total number of work-items; each must have
+    /// issued the same branch-free op sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream's length is not a multiple of `groups`, or if
+    /// `wavefront` is zero.
+    pub fn wavefront_transposed(&self, groups: usize, wavefront: usize) -> ProfilingArithmetic {
+        let order: Vec<usize> = (0..groups).collect();
+        self.wavefront_transposed_by(&order, wavefront)
+    }
+
+    /// Like [`Self::wavefront_transposed`], with an explicit work-item
+    /// traversal order (e.g. 8x8 workgroup tiles): `order[i]` is the
+    /// original work-item executed as the `i`-th item of the dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream's length is not a multiple of `order.len()`, or
+    /// if `wavefront` is zero.
+    pub fn wavefront_transposed_by(
+        &self,
+        order: &[usize],
+        wavefront: usize,
+    ) -> ProfilingArithmetic {
+        let groups = order.len();
+        assert!(groups > 0, "need at least one work-item");
+        assert!(wavefront > 0, "need a non-empty wavefront");
+        let transpose = |src: &[(u32, u32)]| -> Vec<(u32, u32)> {
+            assert_eq!(
+                src.len() % groups,
+                0,
+                "stream length {} is not a multiple of {groups} work-items",
+                src.len()
+            );
+            let k = src.len() / groups;
+            let mut out = Vec::with_capacity(src.len());
+            let mut base = 0;
+            while base < groups {
+                let end = (base + wavefront).min(groups);
+                for slot in 0..k {
+                    for &item in &order[base..end] {
+                        out.push(src[item * k + slot]);
+                    }
+                }
+                base = end;
+            }
+            out
+        };
+        ProfilingArithmetic {
+            int_add: transpose(&self.int_add),
+            int_mul: transpose(&self.int_mul),
+            fp_add: transpose(&self.fp_add),
+            fp_mul: transpose(&self.fp_mul),
+        }
+    }
+
+    /// Appends up to `max` leading pairs of `other`'s stream for `fu` to
+    /// this profiler's stream (used to merge per-image profiles).
+    pub fn extend_from(&mut self, other: &ProfilingArithmetic, fu: FunctionalUnit, max: usize) {
+        let src = other.stream(fu);
+        let take = max.min(src.len());
+        let dst = match fu {
+            FunctionalUnit::IntAdd => &mut self.int_add,
+            FunctionalUnit::IntMul => &mut self.int_mul,
+            FunctionalUnit::FpAdd => &mut self.fp_add,
+            FunctionalUnit::FpMul => &mut self.fp_mul,
+        };
+        dst.extend_from_slice(&src[..take]);
+    }
+
+    /// Extracts the recorded operand stream for `fu` as a [`Workload`]
+    /// named `name`, optionally capped at `max_len` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded for `fu`.
+    pub fn workload(&self, fu: FunctionalUnit, name: &str, max_len: Option<usize>) -> Workload {
+        let ops = self.stream(fu);
+        assert!(!ops.is_empty(), "no operations recorded for {fu}");
+        let take = max_len.unwrap_or(ops.len()).min(ops.len());
+        Workload::new(name, ops[..take].to_vec())
+    }
+}
+
+impl FuArithmetic for ProfilingArithmetic {
+    fn int_add(&mut self, a: u32, b: u32) -> u64 {
+        self.int_add.push((a, b));
+        a as u64 + b as u64
+    }
+
+    fn int_mul(&mut self, a: u32, b: u32) -> u64 {
+        self.int_mul.push((a, b));
+        a as u64 * b as u64
+    }
+
+    fn fp_add(&mut self, a: f32, b: f32) -> f32 {
+        self.fp_add.push((a.to_bits(), b.to_bits()));
+        ExactArithmetic.fp_add(a, b)
+    }
+
+    fn fp_mul(&mut self, a: f32, b: f32) -> f32 {
+        self.fp_mul.push((a.to_bits(), b.to_bits()));
+        ExactArithmetic.fp_mul(a, b)
+    }
+}
+
+/// Per-FU timing error rates driving an injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FuErrorRates {
+    /// TER of the integer adder.
+    pub int_add: f64,
+    /// TER of the integer multiplier.
+    pub int_mul: f64,
+    /// TER of the FP adder.
+    pub fp_add: f64,
+    /// TER of the FP multiplier.
+    pub fp_mul: f64,
+}
+
+impl FuErrorRates {
+    /// Builds rates from a per-FU lookup.
+    pub fn from_fn(mut f: impl FnMut(FunctionalUnit) -> f64) -> Self {
+        FuErrorRates {
+            int_add: f(FunctionalUnit::IntAdd),
+            int_mul: f(FunctionalUnit::IntMul),
+            fp_add: f(FunctionalUnit::FpAdd),
+            fp_mul: f(FunctionalUnit::FpMul),
+        }
+    }
+
+    /// The rate for one FU.
+    pub fn rate(&self, fu: FunctionalUnit) -> f64 {
+        match fu {
+            FunctionalUnit::IntAdd => self.int_add,
+            FunctionalUnit::IntMul => self.int_mul,
+            FunctionalUnit::FpAdd => self.fp_add,
+            FunctionalUnit::FpMul => self.fp_mul,
+        }
+    }
+}
+
+/// Error-injecting arithmetic: each operation fails independently with its
+/// FU's TER; a failed operation returns a random value ("we let the FUs
+/// return a random value each time they have timing errors", Sec. V-D).
+#[derive(Debug, Clone)]
+pub struct FaultyArithmetic {
+    rates: FuErrorRates,
+    rng: SmallRng,
+    injected: u64,
+}
+
+impl FaultyArithmetic {
+    /// Creates an injector with the given rates and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    pub fn new(rates: FuErrorRates, seed: u64) -> Self {
+        for fu in FunctionalUnit::ALL {
+            let r = rates.rate(fu);
+            assert!((0.0..=1.0).contains(&r), "TER {r} for {fu} out of range");
+        }
+        FaultyArithmetic { rates, rng: SmallRng::seed_from_u64(seed), injected: 0 }
+    }
+
+    /// Number of errors injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn fails(&mut self, fu: FunctionalUnit) -> bool {
+        let f = self.rng.gen::<f64>() < self.rates.rate(fu);
+        if f {
+            self.injected += 1;
+        }
+        f
+    }
+
+    /// A random finite f32 bit pattern (exponent 255 is remapped so that a
+    /// NaN/infinity never enters the pixel pipeline).
+    fn random_f32(&mut self) -> f32 {
+        let mut bits = self.rng.gen::<u32>();
+        if bits >> 23 & 0xFF == 0xFF {
+            bits &= !(1 << 30);
+        }
+        f32::from_bits(bits)
+    }
+}
+
+impl FuArithmetic for FaultyArithmetic {
+    fn int_add(&mut self, a: u32, b: u32) -> u64 {
+        if self.fails(FunctionalUnit::IntAdd) {
+            self.rng.gen::<u64>() & 0x1_FFFF_FFFF
+        } else {
+            a as u64 + b as u64
+        }
+    }
+
+    fn int_mul(&mut self, a: u32, b: u32) -> u64 {
+        if self.fails(FunctionalUnit::IntMul) {
+            self.rng.gen::<u64>()
+        } else {
+            a as u64 * b as u64
+        }
+    }
+
+    fn fp_add(&mut self, a: f32, b: f32) -> f32 {
+        if self.fails(FunctionalUnit::FpAdd) {
+            self.random_f32()
+        } else {
+            ExactArithmetic.fp_add(a, b)
+        }
+    }
+
+    fn fp_mul(&mut self, a: f32, b: f32) -> f32 {
+        if self.fails(FunctionalUnit::FpMul) {
+            self.random_f32()
+        } else {
+            ExactArithmetic.fp_mul(a, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_native_semantics() {
+        let mut a = ExactArithmetic;
+        assert_eq!(a.int_add(u32::MAX, 1), 1 << 32);
+        assert_eq!(a.int_mul(1 << 16, 1 << 16), 1 << 32);
+        assert_eq!(a.fp_add(1.5, 2.25), 3.75);
+        assert_eq!(a.fp_mul(3.0, -2.0), -6.0);
+        assert_eq!(a.add_i32(-5, 3), -2);
+        assert_eq!(a.mul_i32(-4, 3), -12);
+    }
+
+    #[test]
+    fn profiler_records_streams() {
+        let mut p = ProfilingArithmetic::new();
+        let _ = p.int_add(1, 2);
+        let _ = p.int_add(3, 4);
+        let _ = p.fp_mul(1.5, 2.0);
+        assert_eq!(p.count(FunctionalUnit::IntAdd), 2);
+        assert_eq!(p.count(FunctionalUnit::FpMul), 1);
+        assert_eq!(p.count(FunctionalUnit::IntMul), 0);
+        let w = p.workload(FunctionalUnit::IntAdd, "sobel_data", Some(1));
+        assert_eq!(w.operands(), &[(1, 2)]);
+        assert_eq!(w.name(), "sobel_data");
+    }
+
+    #[test]
+    fn transpose_is_instruction_major_within_wavefronts() {
+        let mut p = ProfilingArithmetic::new();
+        // Three "work-items", each issuing two int adds; wavefront of 2.
+        for item in 0..3u32 {
+            for slot in 0..2u32 {
+                let _ = p.int_add(item, slot);
+            }
+        }
+        let t = p.wavefront_transposed(3, 2);
+        let w = t.workload(FunctionalUnit::IntAdd, "x", None);
+        assert_eq!(
+            w.operands(),
+            &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 0), (2, 1)],
+            "slot-major inside each wavefront, wavefronts in order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn transpose_requires_uniform_op_count() {
+        let mut p = ProfilingArithmetic::new();
+        let _ = p.int_add(1, 1);
+        let _ = p.wavefront_transposed(2, 2);
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut f = FaultyArithmetic::new(FuErrorRates::default(), 1);
+        for i in 0..100u32 {
+            assert_eq!(f.int_add(i, 1), i as u64 + 1);
+        }
+        assert_eq!(f.injected(), 0);
+    }
+
+    #[test]
+    fn unit_rate_always_injects() {
+        let rates = FuErrorRates { int_add: 1.0, ..Default::default() };
+        let mut f = FaultyArithmetic::new(rates, 1);
+        let mut corrupted = 0;
+        for i in 0..200u32 {
+            if f.int_add(i, 1) != i as u64 + 1 {
+                corrupted += 1;
+            }
+        }
+        assert_eq!(f.injected(), 200);
+        // A random 33-bit value occasionally equals the true sum; nearly
+        // all must differ.
+        assert!(corrupted > 190);
+        // FP path untouched at rate 0.
+        assert_eq!(f.fp_add(1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn injection_rate_is_statistical() {
+        let rates = FuErrorRates { fp_mul: 0.25, ..Default::default() };
+        let mut f = FaultyArithmetic::new(rates, 42);
+        for _ in 0..4000 {
+            let _ = f.fp_mul(1.0, 1.0);
+        }
+        let freq = f.injected() as f64 / 4000.0;
+        assert!((freq - 0.25).abs() < 0.03, "observed rate {freq}");
+    }
+
+    #[test]
+    fn injected_floats_are_finite() {
+        let rates = FuErrorRates { fp_add: 1.0, ..Default::default() };
+        let mut f = FaultyArithmetic::new(rates, 9);
+        for _ in 0..500 {
+            let v = f.fp_add(1.0, 1.0);
+            assert!(!v.is_nan() && !v.is_infinite(), "injected {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_rate() {
+        let rates = FuErrorRates { int_add: 1.5, ..Default::default() };
+        let _ = FaultyArithmetic::new(rates, 0);
+    }
+}

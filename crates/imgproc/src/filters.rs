@@ -1,0 +1,248 @@
+//! The two application kernels of the paper's case study (Sec. V-D):
+//! the Sobel edge detector and the Gaussian smoothing filter from the AMD
+//! APP SDK, re-expressed over pluggable FU arithmetic.
+//!
+//! Every add/multiply goes through a [`FuArithmetic`]; shifts, negations,
+//! square roots and clamps are free (they are not functional-unit
+//! operations in the modeled pipeline).
+
+use crate::arith::FuArithmetic;
+use crate::image::GrayImage;
+
+/// Base virtual address the kernels pretend the image buffer lives at.
+/// Every neighbour access computes `base + y * width + x` through the
+/// integer units, exactly like the compiled OpenCL kernels the paper
+/// profiles — address arithmetic is a large share of a real kernel's
+/// integer-FU traffic and, unlike the pixel data, uses wide operands.
+const IMAGE_BASE_ADDR: i32 = 0x20C0_0040u32 as i32;
+
+/// Loads the clamped pixel at `(x + dx, y + dy)`, issuing the load-address
+/// computation through the integer FUs.
+fn load_pixel(
+    img: &GrayImage,
+    arith: &mut impl FuArithmetic,
+    x: usize,
+    y: usize,
+    dx: isize,
+    dy: isize,
+) -> i32 {
+    let xx = (x as isize + dx).clamp(0, img.width() as isize - 1) as i32;
+    let yy = (y as isize + dy).clamp(0, img.height() as isize - 1) as i32;
+    let row = arith.mul_i32(img.width() as i32, yy);
+    let offset = arith.add_i32(row, xx);
+    let addr = arith.add_i32(IMAGE_BASE_ADDR, offset);
+    let exact = IMAGE_BASE_ADDR.wrapping_add(yy.wrapping_mul(img.width() as i32)).wrapping_add(xx);
+    if addr != exact {
+        // A timing error corrupted the address computation: the load reads
+        // whatever lives at the bogus (buffer-wrapped) location.
+        let idx = addr.wrapping_sub(IMAGE_BASE_ADDR) as u32 as usize % img.pixels().len();
+        return img.pixels()[idx] as i32;
+    }
+    img.get(xx as usize, yy as usize) as i32
+}
+
+/// The applications of the paper's quality study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// 3x3 Sobel edge detection with a floating-point gradient magnitude.
+    Sobel,
+    /// 5x5 Gaussian smoothing with integer accumulation and floating-point
+    /// normalization.
+    Gaussian,
+}
+
+impl Application {
+    /// Both applications, in the paper's Table IV order.
+    pub const ALL: [Application; 2] = [Application::Sobel, Application::Gaussian];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Application::Sobel => "Sobel",
+            Application::Gaussian => "Gauss",
+        }
+    }
+
+    /// Runs the kernel over `input` with the supplied arithmetic.
+    pub fn run(self, input: &GrayImage, arith: &mut impl FuArithmetic) -> GrayImage {
+        match self {
+            Application::Sobel => sobel(input, arith),
+            Application::Gaussian => gaussian(input, arith),
+        }
+    }
+}
+
+impl std::fmt::Display for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 3x3 Sobel edge detector.
+///
+/// The horizontal/vertical gradients are accumulated through the integer
+/// adder and multiplier; the magnitude `sqrt(gx^2 + gy^2) / 2` (as in the
+/// AMD APP SDK kernel) goes through the FP multiplier and adder.
+pub fn sobel(input: &GrayImage, arith: &mut impl FuArithmetic) -> GrayImage {
+    let (w, h) = (input.width(), input.height());
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            // The 3x3 neighbourhood, each access paying its address
+            // arithmetic through the integer FUs.
+            let mut n = [[0i32; 3]; 3];
+            for (j, row) in n.iter_mut().enumerate() {
+                for (i, cell) in row.iter_mut().enumerate() {
+                    *cell =
+                        load_pixel(input, arith, x, y, i as isize - 1, j as isize - 1);
+                }
+            }
+            let p = |dx: isize, dy: isize| n[(dy + 1) as usize][(dx + 1) as usize];
+            // gx = (p(+1,-1) - p(-1,-1)) + 2*(p(+1,0) - p(-1,0))
+            //      + (p(+1,+1) - p(-1,+1))
+            let top = arith.add_i32(p(1, -1), -p(-1, -1));
+            let mid = arith.add_i32(p(1, 0), -p(-1, 0));
+            let mid = arith.mul_i32(2, mid);
+            let bot = arith.add_i32(p(1, 1), -p(-1, 1));
+            let gx = arith.add_i32(top, mid);
+            let gx = arith.add_i32(gx, bot);
+
+            let top = arith.add_i32(p(-1, 1), -p(-1, -1));
+            let mid = arith.add_i32(p(0, 1), -p(0, -1));
+            let mid = arith.mul_i32(2, mid);
+            let bot = arith.add_i32(p(1, 1), -p(1, -1));
+            let gy = arith.add_i32(top, mid);
+            let gy = arith.add_i32(gy, bot);
+
+            let gx2 = arith.fp_mul(gx as f32, gx as f32);
+            let gy2 = arith.fp_mul(gy as f32, gy as f32);
+            let sum = arith.fp_add(gx2, gy2);
+            let mag = sum.max(0.0).sqrt() / 2.0;
+            out.set(x, y, if mag.is_nan() { 0 } else { mag.clamp(0.0, 255.0) as u8 });
+        }
+    }
+    out
+}
+
+/// The 5x5 binomial Gaussian kernel rows (outer product, sum 256).
+const GAUSS_ROW: [i32; 5] = [1, 4, 6, 4, 1];
+
+/// 5x5 Gaussian smoothing filter.
+///
+/// Weighted pixels are accumulated through the integer multiplier and
+/// adder; the 1/256 normalization and the rounding offset go through the
+/// FP multiplier and adder.
+pub fn gaussian(input: &GrayImage, arith: &mut impl FuArithmetic) -> GrayImage {
+    let (w, h) = (input.width(), input.height());
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc: i32 = 0;
+            for (j, &wy) in GAUSS_ROW.iter().enumerate() {
+                for (i, &wx) in GAUSS_ROW.iter().enumerate() {
+                    let pix = load_pixel(
+                        input,
+                        arith,
+                        x,
+                        y,
+                        i as isize - 2,
+                        j as isize - 2,
+                    );
+                    let weighted = arith.mul_i32(wx * wy, pix);
+                    acc = arith.add_i32(acc, weighted);
+                }
+            }
+            let scaled = arith.fp_mul(acc as f32, 1.0 / 256.0);
+            let rounded = arith.fp_add(scaled, 0.5);
+            out.set(
+                x,
+                y,
+                if rounded.is_nan() { 0 } else { rounded.clamp(0.0, 255.0) as u8 },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ExactArithmetic, FaultyArithmetic, FuErrorRates, ProfilingArithmetic};
+    use crate::image::psnr_db;
+    use crate::synth::synthetic_image;
+    use tevot_netlist::fu::FunctionalUnit;
+
+    #[test]
+    fn sobel_flat_image_is_black() {
+        let flat = GrayImage::from_pixels(8, 8, vec![77; 64]);
+        let out = sobel(&flat, &mut ExactArithmetic);
+        assert!(out.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let mut img = GrayImage::new(8, 8);
+        for y in 0..8 {
+            for x in 4..8 {
+                img.set(x, y, 200);
+            }
+        }
+        let out = sobel(&img, &mut ExactArithmetic);
+        // Edge columns (3 and 4) light up; flat regions stay black.
+        assert!(out.get(3, 4) > 100, "edge response {}", out.get(3, 4));
+        assert!(out.get(4, 4) > 100);
+        assert_eq!(out.get(1, 4), 0);
+        assert_eq!(out.get(6, 4), 0);
+    }
+
+    #[test]
+    fn gaussian_preserves_flat_regions_and_smooths_noise() {
+        let flat = GrayImage::from_pixels(8, 8, vec![100; 64]);
+        let out = gaussian(&flat, &mut ExactArithmetic);
+        assert!(out.pixels().iter().all(|&p| p == 100), "flat stays flat");
+
+        // An impulse spreads out: center keeps the largest share.
+        let mut impulse = GrayImage::new(9, 9);
+        impulse.set(4, 4, 255);
+        let sm = gaussian(&impulse, &mut ExactArithmetic);
+        assert!(sm.get(4, 4) > 0 && sm.get(4, 4) < 255);
+        assert!(sm.get(4, 4) > sm.get(3, 3));
+        assert!(sm.get(3, 3) > 0);
+    }
+
+    #[test]
+    fn both_apps_exercise_all_four_fus() {
+        let img = synthetic_image(16, 16, 1);
+        for app in Application::ALL {
+            let mut prof = ProfilingArithmetic::new();
+            let _ = app.run(&img, &mut prof);
+            for fu in FunctionalUnit::ALL {
+                assert!(prof.count(fu) > 0, "{app} never used {fu}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ter_injection_is_exact() {
+        let img = synthetic_image(16, 16, 2);
+        for app in Application::ALL {
+            let reference = app.run(&img, &mut ExactArithmetic);
+            let mut faulty = FaultyArithmetic::new(FuErrorRates::default(), 5);
+            let out = app.run(&img, &mut faulty);
+            assert_eq!(out, reference, "{app} with zero TER must be exact");
+        }
+    }
+
+    #[test]
+    fn high_ter_degrades_quality() {
+        let img = synthetic_image(24, 24, 3);
+        for app in Application::ALL {
+            let reference = app.run(&img, &mut ExactArithmetic);
+            let rates = FuErrorRates { int_add: 0.2, int_mul: 0.2, fp_add: 0.2, fp_mul: 0.2 };
+            let mut faulty = FaultyArithmetic::new(rates, 6);
+            let out = app.run(&img, &mut faulty);
+            let q = psnr_db(&reference, &out);
+            assert!(q < 30.0, "{app} PSNR {q} suspiciously high at 20% TER");
+        }
+    }
+}

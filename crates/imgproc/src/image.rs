@@ -1,0 +1,177 @@
+//! Grayscale images and quality metrics.
+
+/// An 8-bit grayscale image.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_imgproc::GrayImage;
+///
+/// let mut img = GrayImage::new(4, 3);
+/// img.set(2, 1, 200);
+/// assert_eq!(img.get(2, 1), 200);
+/// assert_eq!(img.pixels().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates an all-black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image must have non-zero dimensions");
+        GrayImage { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Wraps raw row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        assert!(width > 0 && height > 0, "image must have non-zero dimensions");
+        GrayImage { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel data.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel at `(x, y)` with edge clamping (for kernel borders).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Serializes as a binary PGM (P5) document — the artifact format for
+    /// the Fig. 4 output images.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+}
+
+/// Peak signal-to-noise ratio of `image` against `reference`, in decibels.
+/// Identical images yield `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn psnr_db(reference: &GrayImage, image: &GrayImage) -> f64 {
+    assert_eq!(reference.width(), image.width(), "width mismatch");
+    assert_eq!(reference.height(), image.height(), "height mismatch");
+    let n = reference.pixels().len() as f64;
+    let mse: f64 = reference
+        .pixels()
+        .iter()
+        .zip(image.pixels())
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0f64 * 255.0 / mse).log10()
+}
+
+/// The paper's acceptability threshold: an output image is acceptable iff
+/// its PSNR is at least 30 dB (Sec. V-D).
+pub const ACCEPTABLE_PSNR_DB: f64 = 30.0;
+
+/// Classifies an output image against the fault-free reference.
+pub fn is_acceptable(reference: &GrayImage, image: &GrayImage) -> bool {
+    psnr_db(reference, image) >= ACCEPTABLE_PSNR_DB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = GrayImage::from_pixels(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(psnr_db(&img, &img), f64::INFINITY);
+        assert!(is_acceptable(&img, &img));
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let reference = GrayImage::from_pixels(2, 2, vec![100, 100, 100, 100]);
+        let slightly = GrayImage::from_pixels(2, 2, vec![101, 100, 100, 100]);
+        let badly = GrayImage::from_pixels(2, 2, vec![0, 255, 0, 255]);
+        assert!(psnr_db(&reference, &slightly) > psnr_db(&reference, &badly));
+        assert!(is_acceptable(&reference, &slightly));
+        assert!(!is_acceptable(&reference, &badly));
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // Uniform error of 1 on every pixel: MSE = 1, PSNR = 20 log10(255).
+        let a = GrayImage::from_pixels(1, 4, vec![10, 20, 30, 40]);
+        let b = GrayImage::from_pixels(1, 4, vec![11, 21, 31, 41]);
+        let expect = 20.0 * 255.0f64.log10();
+        assert!((psnr_db(&a, &b) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let img = GrayImage::from_pixels(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(img.get_clamped(-5, 0), 1);
+        assert_eq!(img.get_clamped(5, 5), 4);
+    }
+
+    #[test]
+    fn pgm_header() {
+        let img = GrayImage::from_pixels(3, 2, vec![0, 1, 2, 3, 4, 5]);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(pgm.len(), 11 + 6);
+    }
+}

@@ -1,0 +1,47 @@
+//! Image-processing application workloads and timing-error injection for
+//! the TEVoT (DAC 2020) reproduction.
+//!
+//! The paper's case study (Sec. V-D) exposes circuit-level timing errors
+//! to the application level: Sobel and Gaussian filters from the AMD APP
+//! SDK run over Caltech-101 butterfly images inside the Multi2Sim
+//! simulator, which both profiles the FU operand streams and replays
+//! timing error rates into the kernels. This crate rebuilds that loop:
+//!
+//! * [`GrayImage`] + [`synth`] — a deterministic synthetic image corpus
+//!   standing in for the butterflies (see DESIGN.md for why the
+//!   substitution preserves the experiment);
+//! * [`Application`] ([`filters::sobel`], [`filters::gaussian`]) — the
+//!   kernels, computing through pluggable [`FuArithmetic`];
+//! * [`ProfilingArithmetic`] / [`profile`] — records the `sobel_data` /
+//!   `gauss_data` operand workloads used throughout the paper;
+//! * [`FaultyArithmetic`] / [`quality`] — TER-driven error injection
+//!   (erroneous ops return random values, per ref. 12) and the PSNR >= 30 dB
+//!   acceptability pipeline of Table IV.
+//!
+//! # Examples
+//!
+//! ```
+//! use tevot_imgproc::arith::{FuErrorRates, ExactArithmetic};
+//! use tevot_imgproc::quality::inject_and_score;
+//! use tevot_imgproc::synth::synthetic_corpus;
+//! use tevot_imgproc::Application;
+//!
+//! let corpus = synthetic_corpus(2, 24, 24, 42);
+//! // 2% errors in the integer adder only.
+//! let rates = FuErrorRates { int_add: 0.02, ..Default::default() };
+//! let outcome = inject_and_score(Application::Sobel, &corpus, rates, 0);
+//! assert_eq!(outcome.psnr_db.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arith;
+mod filters;
+mod image;
+pub mod profile;
+pub mod quality;
+pub mod synth;
+
+pub use arith::{ExactArithmetic, FaultyArithmetic, FuArithmetic, FuErrorRates, ProfilingArithmetic};
+pub use filters::{gaussian, sobel, Application};
+pub use image::{is_acceptable, psnr_db, GrayImage, ACCEPTABLE_PSNR_DB};

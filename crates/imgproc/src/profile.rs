@@ -1,0 +1,180 @@
+//! Application workload profiling.
+//!
+//! The paper profiles its application datasets "by simulating the OpenCL
+//! codes of these applications with customized Multi2Sim"; here the
+//! kernels run over the synthetic corpus with [`ProfilingArithmetic`],
+//! which records the operand stream each functional unit sees.
+
+use tevot::Workload;
+use tevot_netlist::fu::FunctionalUnit;
+
+use crate::arith::ProfilingArithmetic;
+use crate::filters::Application;
+use crate::image::GrayImage;
+
+/// Work-items per SIMD wavefront in the profiled execution order (a
+/// quarter of an AMD wavefront — small enough that a profile slice spans
+/// several instruction slots).
+pub const WAVEFRONT: usize = 16;
+
+/// Workgroup tile edge: work-items traverse the image in 8x8 tiles, the
+/// standard OpenCL image-kernel dispatch shape. A 16-item wavefront
+/// therefore spans two tile rows, so consecutive same-slot operands differ
+/// in both x and y.
+pub const TILE: usize = 8;
+
+/// Pixel indices in 8x8-tile dispatch order.
+fn tile_order(width: usize, height: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(width * height);
+    for ty in (0..height).step_by(TILE) {
+        for tx in (0..width).step_by(TILE) {
+            for y in ty..(ty + TILE).min(height) {
+                for x in tx..(tx + TILE).min(width) {
+                    order.push(y * width + x);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The operand streams recorded from one application over a corpus: one
+/// [`Workload`] per functional unit.
+#[derive(Debug, Clone)]
+pub struct ApplicationProfile {
+    app: Application,
+    workloads: Vec<(FunctionalUnit, Workload)>,
+}
+
+impl ApplicationProfile {
+    /// The profiled application.
+    pub fn application(&self) -> Application {
+        self.app
+    }
+
+    /// The recorded workload for one FU.
+    ///
+    /// # Panics
+    ///
+    /// Never: both applications exercise all four FUs.
+    pub fn workload(&self, fu: FunctionalUnit) -> &Workload {
+        &self
+            .workloads
+            .iter()
+            .find(|(f, _)| *f == fu)
+            .expect("all FUs are profiled")
+            .1
+    }
+}
+
+/// Runs `app` over `corpus` and records each FU's operand stream, capped
+/// at `max_ops_per_fu` pairs (application kernels issue millions of ops;
+/// the cap keeps characterization tractable, like the paper's 5 % image
+/// sampling).
+///
+/// The target is spread evenly across the corpus: each image contributes
+/// whole wavefront blocks (every instruction slot of a group of
+/// work-items) from its own operand stream, so any contiguous slice of the
+/// profile sees the kernel's full op mix. A prefix of the profile covers
+/// the leading images and a suffix the trailing ones, so a train/test
+/// split of the stream is a split *by images* — matching the paper's "5 %
+/// randomly-picked images as training data; the rest images as testing
+/// data". The returned workloads may exceed `target_ops_per_fu` (blocks
+/// are never cut).
+///
+/// The workload names follow the paper's dataset labels: `sobel_data` /
+/// `gauss_data`.
+///
+/// # Panics
+///
+/// Panics on an empty corpus or a zero target.
+pub fn profile_application(
+    app: Application,
+    corpus: &[GrayImage],
+    target_ops_per_fu: usize,
+) -> ApplicationProfile {
+    assert!(!corpus.is_empty(), "empty corpus");
+    assert!(target_ops_per_fu > 0, "zero operand target");
+    let per_image = target_ops_per_fu.div_ceil(corpus.len());
+    let mut merged = ProfilingArithmetic::new();
+    for image in corpus {
+        let mut prof = ProfilingArithmetic::new();
+        let _ = app.run(image, &mut prof);
+        // Re-order each image's stream from program order (all ops of
+        // pixel 0, then pixel 1, ...) to the order a SIMT machine's FU
+        // actually sees: work-items dispatched in 8x8 tiles, and within
+        // each 16-item wavefront one instruction slot across all items,
+        // then the next slot. Multi2Sim, the paper's profiler, executes
+        // kernels across work-items in lock-step the same way — and this
+        // ordering is what makes the history input x[t-1] (the
+        // neighbouring work-item's operands) genuinely informative rather
+        // than implied by x[t].
+        let pixels = image.width() * image.height();
+        let order = tile_order(image.width(), image.height());
+        let simt = prof.wavefront_transposed_by(&order, WAVEFRONT);
+        for fu in FunctionalUnit::ALL {
+            // Contribute whole wavefront blocks (K slots x WAVEFRONT
+            // items) so every op slot is represented.
+            let k = simt.count(fu) / pixels;
+            let block = k * WAVEFRONT;
+            let take = per_image.div_ceil(block.max(1)).max(1) * block.max(1);
+            merged.extend_from(&simt, fu, take);
+        }
+    }
+    let name = match app {
+        Application::Sobel => "sobel_data",
+        Application::Gaussian => "gauss_data",
+    };
+    let workloads = FunctionalUnit::ALL
+        .iter()
+        .map(|&fu| (fu, merged.workload(fu, name, None)))
+        .collect();
+    ApplicationProfile { app, workloads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthetic_corpus;
+
+    #[test]
+    fn profiles_every_fu_in_whole_blocks() {
+        let corpus = synthetic_corpus(2, 16, 16, 9);
+        let profile = profile_application(Application::Sobel, &corpus, 100);
+        let pixels = 16 * 16;
+        for fu in FunctionalUnit::ALL {
+            let w = profile.workload(fu);
+            assert!(w.len() >= 100, "{fu}: {} ops below target", w.len());
+            assert_eq!(w.name(), "sobel_data");
+            // Whole-block contribution: a multiple of K x WAVEFRONT per
+            // image, summed over two images.
+            let mut check = ProfilingArithmetic::new();
+            let _ = Application::Sobel.run(&corpus[0], &mut check);
+            let k = check.count(fu) / pixels;
+            assert_eq!(w.len() % (k * super::WAVEFRONT), 0, "{fu} partial block");
+        }
+        assert_eq!(profile.application(), Application::Sobel);
+    }
+
+    #[test]
+    fn application_operands_mix_pixels_and_addresses() {
+        // The profiled integer streams contain both narrow pixel-valued
+        // operands and wide address-arithmetic operands — but their
+        // distribution is still far from uniform random (the property
+        // behind Fig. 3's dataset gap).
+        let corpus = synthetic_corpus(1, 24, 24, 4);
+        let profile = profile_application(Application::Gaussian, &corpus, 800);
+        let w = profile.workload(FunctionalUnit::IntAdd);
+        let narrow = w.operands().iter().filter(|&&(a, b)| a.max(b) < 1 << 12).count();
+        let wide = w.operands().iter().filter(|&&(a, b)| a.max(b) > 1 << 24).count();
+        assert!(narrow > 0, "no pixel-valued operands recorded");
+        assert!(wide > 0, "no address-valued operands recorded");
+    }
+
+    #[test]
+    fn gauss_name_matches_paper() {
+        let corpus = synthetic_corpus(1, 8, 8, 1);
+        let profile = profile_application(Application::Gaussian, &corpus, 10);
+        assert_eq!(profile.workload(FunctionalUnit::FpAdd).name(), "gauss_data");
+    }
+}

@@ -1,0 +1,132 @@
+//! Application output-quality estimation (Sec. V-D, Table IV, Eq. 5).
+//!
+//! At each (condition, clock-speed) point the paper derives per-FU timing
+//! error rates from (a) gate-level simulation and (b) each error model,
+//! injects errors at those rates into the application, and classifies each
+//! output image as acceptable (PSNR >= 30 dB) or not. A model's
+//! *estimation accuracy* is the fraction of points where its verdict
+//! matches simulation's.
+
+use crate::arith::{ExactArithmetic, FaultyArithmetic, FuErrorRates};
+use crate::filters::Application;
+use crate::image::{is_acceptable, psnr_db, GrayImage};
+
+/// The outcome of injecting one TER set into one application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionOutcome {
+    /// PSNR (dB) of each output image against the fault-free reference.
+    pub psnr_db: Vec<f64>,
+    /// Acceptability verdict per image.
+    pub acceptable: Vec<bool>,
+}
+
+impl InjectionOutcome {
+    /// Fraction of acceptable images.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.acceptable.is_empty() {
+            return 0.0;
+        }
+        self.acceptable.iter().filter(|&&a| a).count() as f64 / self.acceptable.len() as f64
+    }
+
+    /// Mean PSNR over the corpus, with infinite (bit-exact) images capped
+    /// at 99 dB for averaging.
+    pub fn mean_psnr_db(&self) -> f64 {
+        if self.psnr_db.is_empty() {
+            return 0.0;
+        }
+        self.psnr_db.iter().map(|&p| p.min(99.0)).sum::<f64>() / self.psnr_db.len() as f64
+    }
+}
+
+/// Runs `app` over `corpus` with timing errors injected at `rates`,
+/// scoring every output against the fault-free reference.
+///
+/// # Panics
+///
+/// Panics on an empty corpus or out-of-range rates.
+pub fn inject_and_score(
+    app: Application,
+    corpus: &[GrayImage],
+    rates: FuErrorRates,
+    seed: u64,
+) -> InjectionOutcome {
+    assert!(!corpus.is_empty(), "empty corpus");
+    let mut psnrs = Vec::with_capacity(corpus.len());
+    let mut flags = Vec::with_capacity(corpus.len());
+    for (i, image) in corpus.iter().enumerate() {
+        let reference = app.run(image, &mut ExactArithmetic);
+        let mut faulty = FaultyArithmetic::new(rates, seed ^ (i as u64) << 17 | i as u64);
+        let out = app.run(image, &mut faulty);
+        psnrs.push(psnr_db(&reference, &out));
+        flags.push(is_acceptable(&reference, &out));
+    }
+    InjectionOutcome { psnr_db: psnrs, acceptable: flags }
+}
+
+/// Eq. 5: the fraction of estimation points where the model's verdict
+/// matches the simulation-derived verdict.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched verdict sequences.
+pub fn estimation_accuracy(model_verdicts: &[bool], simulation_verdicts: &[bool]) -> f64 {
+    assert_eq!(
+        model_verdicts.len(),
+        simulation_verdicts.len(),
+        "verdict sequences differ in length"
+    );
+    assert!(!model_verdicts.is_empty(), "no estimation points");
+    let matched = model_verdicts
+        .iter()
+        .zip(simulation_verdicts)
+        .filter(|(m, s)| m == s)
+        .count();
+    matched as f64 / model_verdicts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthetic_corpus;
+
+    #[test]
+    fn zero_rates_are_always_acceptable() {
+        let corpus = synthetic_corpus(2, 16, 16, 5);
+        for app in Application::ALL {
+            let outcome = inject_and_score(app, &corpus, FuErrorRates::default(), 1);
+            assert_eq!(outcome.acceptance_rate(), 1.0, "{app}");
+            assert!(outcome.psnr_db.iter().all(|&p| p == f64::INFINITY));
+            assert_eq!(outcome.mean_psnr_db(), 99.0);
+        }
+    }
+
+    #[test]
+    fn heavy_rates_are_unacceptable() {
+        let corpus = synthetic_corpus(2, 16, 16, 6);
+        let rates = FuErrorRates { int_add: 0.3, int_mul: 0.3, fp_add: 0.3, fp_mul: 0.3 };
+        for app in Application::ALL {
+            let outcome = inject_and_score(app, &corpus, rates, 2);
+            assert_eq!(outcome.acceptance_rate(), 0.0, "{app}");
+        }
+    }
+
+    #[test]
+    fn estimation_accuracy_counts_matches() {
+        let model = [true, false, true, true];
+        let sim = [true, true, true, false];
+        assert!((estimation_accuracy(&model, &sim) - 0.5).abs() < 1e-12);
+        assert_eq!(estimation_accuracy(&sim, &sim), 1.0);
+    }
+
+    #[test]
+    fn injection_is_seed_deterministic() {
+        let corpus = synthetic_corpus(1, 16, 16, 7);
+        let rates = FuErrorRates { int_add: 0.05, ..Default::default() };
+        let a = inject_and_score(Application::Sobel, &corpus, rates, 3);
+        let b = inject_and_score(Application::Sobel, &corpus, rates, 3);
+        let c = inject_and_score(Application::Sobel, &corpus, rates, 4);
+        assert_eq!(a, b);
+        assert_ne!(a.psnr_db, c.psnr_db);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the application substrate: PSNR metric axioms,
+//! filter output sanity on arbitrary images, injection statistics and
+//! profile-reordering invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tevot_imgproc::{
+    psnr_db, Application, ExactArithmetic, FaultyArithmetic, FuArithmetic as _, FuErrorRates,
+    GrayImage,
+    ProfilingArithmetic,
+};
+use tevot_netlist::fu::FunctionalUnit;
+
+fn image(width: usize, height: usize) -> impl Strategy<Value = GrayImage> {
+    vec(any::<u8>(), width * height)
+        .prop_map(move |pixels| GrayImage::from_pixels(width, height, pixels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PSNR is symmetric, and only identical images reach infinity.
+    #[test]
+    fn psnr_axioms(a in image(8, 6), b in image(8, 6)) {
+        let ab = psnr_db(&a, &b);
+        let ba = psnr_db(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(psnr_db(&a, &a), f64::INFINITY);
+        if a != b {
+            prop_assert!(ab.is_finite());
+            prop_assert!(ab > 0.0);
+        }
+    }
+
+    /// Both filters are total over arbitrary images and preserve
+    /// dimensions; exact arithmetic makes them deterministic.
+    #[test]
+    fn filters_are_total_and_deterministic(img in image(9, 7)) {
+        for app in Application::ALL {
+            let once = app.run(&img, &mut ExactArithmetic);
+            let twice = app.run(&img, &mut ExactArithmetic);
+            prop_assert_eq!(&once, &twice, "{} must be deterministic", app);
+            prop_assert_eq!(once.width(), img.width());
+            prop_assert_eq!(once.height(), img.height());
+        }
+    }
+
+    /// Gaussian smoothing never exceeds the input's dynamic range.
+    #[test]
+    fn gaussian_respects_range(img in image(10, 10)) {
+        let out = Application::Gaussian.run(&img, &mut ExactArithmetic);
+        let lo = *img.pixels().iter().min().unwrap();
+        let hi = *img.pixels().iter().max().unwrap();
+        for &p in out.pixels() {
+            // +1 tolerates the +0.5 FP rounding offset.
+            prop_assert!(p >= lo.saturating_sub(1) && p <= hi.saturating_add(1));
+        }
+    }
+
+    /// Zero injection rates are a strict no-op for any image.
+    #[test]
+    fn zero_rates_are_identity(img in image(8, 8), seed: u64) {
+        for app in Application::ALL {
+            let exact = app.run(&img, &mut ExactArithmetic);
+            let mut faulty = FaultyArithmetic::new(FuErrorRates::default(), seed);
+            prop_assert_eq!(app.run(&img, &mut faulty), exact);
+            prop_assert_eq!(faulty.injected(), 0);
+        }
+    }
+
+    /// Wavefront transposition is a permutation: it preserves each FU
+    /// stream as a multiset.
+    #[test]
+    fn transpose_is_a_permutation(
+        pairs in vec((any::<u32>(), any::<u32>()), 1..8),
+        groups in 1usize..5,
+        wavefront in 1usize..4,
+    ) {
+        let mut prof = ProfilingArithmetic::new();
+        for g in 0..groups {
+            for &(a, b) in &pairs {
+                let _ = prof.int_add(a ^ g as u32, b);
+            }
+        }
+        let t = prof.wavefront_transposed(groups, wavefront);
+        let mut before: Vec<(u32, u32)> =
+            prof.workload(FunctionalUnit::IntAdd, "x", None).operands().to_vec();
+        let mut after: Vec<(u32, u32)> =
+            t.workload(FunctionalUnit::IntAdd, "x", None).operands().to_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+}

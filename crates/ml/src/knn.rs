@@ -1,0 +1,187 @@
+//! k-nearest-neighbour estimators (brute force, Euclidean distance).
+//!
+//! "k-NN provides useful theoretical properties and has limited parameters
+//! to train. k-NN predicts the target by local interpolation of the targets
+//! associated of the K nearest neighbors in the training set" (paper
+//! Sec. IV-B2). As in the paper's Table II, training is trivially fast and
+//! testing dominates the cost.
+
+use crate::dataset::{Dataset, Scaler};
+
+/// Shared k-NN machinery: standardized training matrix + neighbour search.
+#[derive(Debug, Clone, PartialEq)]
+struct KnnIndex {
+    k: usize,
+    train: Dataset,
+    scaler: Scaler,
+}
+
+impl KnnIndex {
+    fn fit(data: &Dataset, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            data.len() >= k,
+            "k ({k}) larger than the training set ({})",
+            data.len()
+        );
+        let scaler = Scaler::fit(data);
+        KnnIndex { k, train: scaler.transform(data), scaler }
+    }
+
+    /// Labels of the `k` nearest training rows.
+    fn neighbor_labels(&self, row: &[f64], out: &mut Vec<f64>) {
+        let mut scaled = Vec::with_capacity(row.len());
+        self.scaler.transform_into(row, &mut scaled);
+        // Max-heap of (distance, label) capped at k — O(n log k).
+        let mut heap: Vec<(f64, f64)> = Vec::with_capacity(self.k + 1);
+        for (train_row, label) in self.train.iter() {
+            let mut dist = 0.0;
+            for (&a, &b) in scaled.iter().zip(train_row) {
+                let d = a - b;
+                dist += d * d;
+                if !heap.is_empty() && heap.len() == self.k && dist > heap[0].0 {
+                    break;
+                }
+            }
+            if heap.len() < self.k {
+                heap.push((dist, label));
+                heap.sort_by(|a, b| b.0.total_cmp(&a.0));
+            } else if dist < heap[0].0 {
+                heap[0] = (dist, label);
+                heap.sort_by(|a, b| b.0.total_cmp(&a.0));
+            }
+        }
+        out.clear();
+        out.extend(heap.iter().map(|&(_, l)| l));
+    }
+}
+
+/// k-NN regressor: predicts the mean label of the `k` nearest neighbours.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_ml::{Dataset, KnnRegressor};
+///
+/// let mut data = Dataset::new(1);
+/// for i in 0..10 {
+///     data.push(&[i as f64], i as f64 * 10.0);
+/// }
+/// let knn = KnnRegressor::fit(&data, 3);
+/// let p = knn.predict(&[5.0]);
+/// assert!((p - 50.0).abs() < 10.0 + 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnRegressor {
+    index: KnnIndex,
+}
+
+impl KnnRegressor {
+    /// Stores (standardized) training data for neighbour lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1` or the dataset has fewer than `k` rows.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        KnnRegressor { index: KnnIndex::fit(data, k) }
+    }
+
+    /// Mean label of the `k` nearest neighbours.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut labels = Vec::new();
+        self.index.neighbor_labels(row, &mut labels);
+        labels.iter().sum::<f64>() / labels.len() as f64
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+/// k-NN classifier: majority vote among the `k` nearest neighbours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnClassifier {
+    index: KnnIndex,
+}
+
+impl KnnClassifier {
+    /// Stores (standardized) training data for neighbour lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1` or the dataset has fewer than `k` rows.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        KnnClassifier { index: KnnIndex::fit(data, k) }
+    }
+
+    /// Majority vote (ties break towards class 1, matching `>= 0.5`).
+    pub fn predict(&self, row: &[f64]) -> bool {
+        let mut labels = Vec::new();
+        self.index.neighbor_labels(row, &mut labels);
+        labels.iter().sum::<f64>() / labels.len() as f64 >= 0.5
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes_training_data() {
+        let mut d = Dataset::new(2);
+        d.push(&[0.0, 0.0], 1.0);
+        d.push(&[10.0, 0.0], 2.0);
+        d.push(&[0.0, 10.0], 3.0);
+        let knn = KnnRegressor::fit(&d, 1);
+        assert_eq!(knn.predict(&[0.1, 0.1]), 1.0);
+        assert_eq!(knn.predict(&[9.0, 0.0]), 2.0);
+        assert_eq!(knn.predict(&[0.0, 11.0]), 3.0);
+    }
+
+    #[test]
+    fn classifier_majority_vote() {
+        let mut d = Dataset::new(1);
+        for i in 0..6 {
+            d.push(&[i as f64], if i < 3 { 0.0 } else { 1.0 });
+        }
+        let knn = KnnClassifier::fit(&d, 3);
+        assert!(!knn.predict(&[0.5]));
+        assert!(knn.predict(&[4.8]));
+    }
+
+    #[test]
+    fn standardization_prevents_scale_domination() {
+        // Feature 1 is the real signal but tiny in magnitude; feature 0 is
+        // large-scale noise. Without standardization the noise dominates.
+        let mut d = Dataset::new(2);
+        for i in 0..40 {
+            let noise = ((i * 2654435761u64 as usize) % 1000) as f64;
+            let signal = (i % 2) as f64 * 0.001;
+            d.push(&[noise, signal], (i % 2) as f64);
+        }
+        let knn = KnnClassifier::fit(&d, 5);
+        let mut correct = 0;
+        for i in 0..d.len() {
+            // Query with the raw (unstandardized) row.
+            let row = [d.row(i)[0], d.row(i)[1]];
+            if knn.predict(&row) == (d.label(i) == 1.0) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 38, "only {correct}/40 correct");
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the training set")]
+    fn k_larger_than_data_panics() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0.0);
+        let _ = KnnRegressor::fit(&d, 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Linear (ridge) regression via the normal equations, and its thresholded
+//! classifier form.
+//!
+//! "LR and SVM can learn weights w on each feature including each bit
+//! position. By using these two methods, we consider the disparity of
+//! significance of different bit positions in sensitizing paths" (paper
+//! Sec. IV-B2).
+
+use crate::dataset::Dataset;
+
+/// Dense symmetric positive-definite solver (Cholesky decomposition),
+/// sized for TEVoT's 130-feature problems.
+fn cholesky_solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    // Decompose A = L L^T in place (lower triangle).
+    for j in 0..n {
+        let mut diag = a[j * n + j];
+        for k in 0..j {
+            diag -= a[j * n + k] * a[j * n + k];
+        }
+        if diag <= 0.0 {
+            return None;
+        }
+        let diag = diag.sqrt();
+        a[j * n + j] = diag;
+        for i in j + 1..n {
+            let mut v = a[i * n + j];
+            for k in 0..j {
+                v -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = v / diag;
+        }
+    }
+    // Forward substitution: L y = b.
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= a[i * n + k] * b[k];
+        }
+        b[i] = v / a[i * n + i];
+    }
+    // Back substitution: L^T x = y.
+    for i in (0..n).rev() {
+        let mut v = b[i];
+        for k in i + 1..n {
+            v -= a[k * n + i] * b[k];
+        }
+        b[i] = v / a[i * n + i];
+    }
+    Some(b)
+}
+
+/// Ridge-regularized linear regression fitted by the normal equations.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_ml::{Dataset, LinearRegression};
+///
+/// let mut data = Dataset::new(2);
+/// for i in 0..50 {
+///     let (x, y) = (i as f64, (i * i % 7) as f64);
+///     data.push(&[x, y], 3.0 * x - 2.0 * y + 5.0);
+/// }
+/// let lr = LinearRegression::fit(&data, 1e-9);
+/// assert!((lr.predict(&[10.0, 3.0]) - (30.0 - 6.0 + 5.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits `w, b` minimizing `||Xw + b - y||^2 + lambda ||w||^2`.
+    ///
+    /// A small `lambda` (e.g. `1e-6`) keeps the normal equations
+    /// well-conditioned when features are collinear; the ridge penalty is
+    /// raised automatically (up to 1e3 times) in the rare case the system
+    /// is still singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or a negative `lambda`.
+    pub fn fit(data: &Dataset, lambda: f64) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(lambda >= 0.0, "negative ridge penalty");
+        let d = data.num_features();
+        let n = data.len() as f64;
+        // Augment with a bias column handled implicitly by centering.
+        let mut x_mean = vec![0.0; d];
+        let mut y_mean = 0.0;
+        for (row, label) in data.iter() {
+            for (m, &x) in x_mean.iter_mut().zip(row) {
+                *m += x;
+            }
+            y_mean += label;
+        }
+        for m in &mut x_mean {
+            *m /= n;
+        }
+        y_mean /= n;
+
+        // Gram matrix of centered features.
+        let mut gram = vec![0.0; d * d];
+        let mut xty = vec![0.0; d];
+        let mut centered = vec![0.0; d];
+        for (row, label) in data.iter() {
+            for (c, (&x, &m)) in centered.iter_mut().zip(row.iter().zip(&x_mean)) {
+                *c = x - m;
+            }
+            let yc = label - y_mean;
+            for i in 0..d {
+                let ci = centered[i];
+                if ci == 0.0 {
+                    continue;
+                }
+                xty[i] += ci * yc;
+                let grow = &mut gram[i * d..(i + 1) * d];
+                for (g, &cj) in grow[i..].iter_mut().zip(&centered[i..]) {
+                    *g += ci * cj;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..d {
+            for j in 0..i {
+                gram[i * d + j] = gram[j * d + i];
+            }
+        }
+
+        let mut ridge = lambda.max(1e-9);
+        let weights = loop {
+            let mut a = gram.clone();
+            for i in 0..d {
+                a[i * d + i] += ridge;
+            }
+            if let Some(w) = cholesky_solve(a, xty.clone(), d) {
+                break w;
+            }
+            ridge *= 10.0;
+            assert!(
+                ridge <= lambda.max(1e-9) * 1e3,
+                "normal equations remained singular"
+            );
+        };
+
+        let intercept =
+            y_mean - weights.iter().zip(&x_mean).map(|(&w, &m)| w * m).sum::<f64>();
+        LinearRegression { weights, intercept }
+    }
+
+    /// The fitted weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature width mismatch");
+        self.intercept + self.weights.iter().zip(row).map(|(&w, &x)| w * x).sum::<f64>()
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+/// Linear regression on 0/1 labels, thresholded at 0.5 — the "LR"
+/// classifier row of the paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearClassifier {
+    inner: LinearRegression,
+}
+
+impl LinearClassifier {
+    /// Fits on binary labels.
+    ///
+    /// # Panics
+    ///
+    /// See [`LinearRegression::fit`].
+    pub fn fit(data: &Dataset, lambda: f64) -> Self {
+        LinearClassifier { inner: LinearRegression::fit(data, lambda) }
+    }
+
+    /// Class decision for one row.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.inner.predict(row) >= 0.5
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// The underlying regression (weights per bit position, etc.).
+    pub fn regression(&self) -> &LinearRegression {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let mut d = Dataset::new(3);
+        for i in 0..60 {
+            let x = [(i % 5) as f64, (i % 7) as f64, (i % 3) as f64];
+            d.push(&x, 2.0 * x[0] - 1.5 * x[1] + 0.25 * x[2] + 7.0);
+        }
+        let lr = LinearRegression::fit(&d, 1e-9);
+        assert!((lr.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((lr.weights()[1] + 1.5).abs() < 1e-6);
+        assert!((lr.intercept() - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_collinear_features() {
+        // Feature 1 duplicates feature 0: the Gram matrix is singular
+        // without the ridge term.
+        let mut d = Dataset::new(2);
+        for i in 0..30 {
+            let x = i as f64;
+            d.push(&[x, x], 4.0 * x);
+        }
+        let lr = LinearRegression::fit(&d, 1e-6);
+        assert!((lr.predict(&[10.0, 10.0]) - 40.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn classifier_separates_linear_boundary() {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            let a = (i % 10) as f64;
+            let b = (i / 10) as f64;
+            d.push(&[a, b], (a + b > 9.0) as u8 as f64);
+        }
+        let clf = LinearClassifier::fit(&d, 1e-6);
+        assert!(clf.predict(&[9.0, 9.0]));
+        assert!(!clf.predict(&[0.0, 0.0]));
+        let acc = (0..d.len())
+            .filter(|&i| clf.predict(d.row(i)) == (d.label(i) == 1.0))
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn constant_labels_give_zero_weights() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            d.push(&[i as f64, (i * i) as f64], 5.0);
+        }
+        let lr = LinearRegression::fit(&d, 1e-6);
+        assert!(lr.weights().iter().all(|w| w.abs() < 1e-9));
+        assert!((lr.intercept() - 5.0).abs() < 1e-9);
+    }
+}

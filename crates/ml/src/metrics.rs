@@ -1,0 +1,179 @@
+//! Evaluation metrics and timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// Fraction of positions where the two label sequences agree — the paper's
+/// "prediction accuracy" (Eq. 4: matched cycles over total cycles).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty label sequences");
+    let matched = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    matched as f64 / predicted.len() as f64
+}
+
+/// Binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub true_positives: usize,
+    /// Predicted positive, actually negative.
+    pub false_positives: usize,
+    /// Predicted negative, actually negative.
+    pub true_negatives: usize,
+    /// Predicted negative, actually positive.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn from_labels(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.true_positives += 1,
+                (true, false) => m.false_positives += 1,
+                (false, false) => m.true_negatives += 1,
+                (false, true) => m.false_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Precision for the positive (timing-erroneous) class.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Recall for the positive class.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics on a length mismatch or empty input.
+pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty sequences");
+    predicted.iter().zip(actual).map(|(&p, &a)| (p - a).abs()).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Root-mean-square error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics on a length mismatch or empty input.
+pub fn root_mean_square_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty sequences");
+    (predicted.iter().zip(actual).map(|(&p, &a)| (p - a) * (p - a)).sum::<f64>()
+        / predicted.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination (R²).
+///
+/// # Panics
+///
+/// Panics on a length mismatch or empty input.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty sequences");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = predicted.iter().zip(actual).map(|(&p, &a)| (a - p) * (a - p)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Runs `f` and returns its result together with the elapsed wall time —
+/// used for the training/testing-time columns of Table II.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let p = [true, false, true, true];
+        let a = [true, true, true, false];
+        assert!((accuracy(&p, &a) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let p = [true, true, false, false, true];
+        let a = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_labels(&p, &a);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let p = [1.0, 2.0, 3.0];
+        let a = [1.0, 2.0, 5.0];
+        assert!((mean_absolute_error(&p, &a) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((root_mean_square_error(&p, &a) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r_squared(&a, &a), 1.0);
+        assert!(r_squared(&p, &a) < 1.0);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, dt) = timed(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(value, 4999950000);
+        assert!(dt.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        let _ = accuracy(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Binary persistence for trained forests.
+//!
+//! The paper promises to "open-source the pre-trained models for the
+//! research community" (sic); this module makes TEVoT's forests serializable to
+//! a small self-describing binary format (magic + version + tree node
+//! arrays, all little-endian), independent of any serialization crate.
+
+use std::io::{self, Read, Write};
+
+use crate::forest::{RandomForestClassifier, RandomForestRegressor};
+use crate::tree::{DecisionTree, Task};
+
+const MAGIC: &[u8; 8] = b"TEVOTRF\0";
+const VERSION: u32 = 2;
+
+/// An error produced while loading a persisted model.
+#[derive(Debug)]
+pub enum LoadModelError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The data is not a persisted model, or uses an unknown version.
+    Format(String),
+}
+
+impl std::fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadModelError::Io(e) => write!(f, "i/o error while loading model: {e}"),
+            LoadModelError::Format(m) => write!(f, "invalid model data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadModelError::Io(e) => Some(e),
+            LoadModelError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadModelError {
+    fn from(e: io::Error) -> Self {
+        LoadModelError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn write_trees(
+    w: &mut impl Write,
+    trees: &[DecisionTree],
+    task_tag: u32,
+    num_features: usize,
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, task_tag)?;
+    write_u64(w, num_features as u64)?;
+    write_u64(w, trees.len() as u64)?;
+    for tree in trees {
+        let nodes: Vec<_> = tree.nodes_raw().collect();
+        write_u64(w, nodes.len() as u64)?;
+        for (feature, value, left, right, gain) in nodes {
+            write_u32(w, feature)?;
+            write_f64(w, value)?;
+            write_u32(w, left)?;
+            write_u32(w, right)?;
+            write_f64(w, gain)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_trees(r: &mut impl Read, expect_tag: u32) -> Result<(Vec<DecisionTree>, usize), LoadModelError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadModelError::Format("bad magic".into()));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(LoadModelError::Format(format!("unsupported version {version}")));
+    }
+    let tag = read_u32(r)?;
+    if tag != expect_tag {
+        return Err(LoadModelError::Format(format!(
+            "model task tag {tag} does not match expected {expect_tag}"
+        )));
+    }
+    let num_features = read_u64(r)? as usize;
+    let num_trees = read_u64(r)? as usize;
+    if num_trees == 0 || num_trees > 1_000_000 {
+        return Err(LoadModelError::Format(format!("implausible tree count {num_trees}")));
+    }
+    let task = if expect_tag == 0 { Task::Regression } else { Task::Classification };
+    let mut trees = Vec::with_capacity(num_trees);
+    for _ in 0..num_trees {
+        let num_nodes = read_u64(r)? as usize;
+        if num_nodes == 0 || num_nodes > 100_000_000 {
+            return Err(LoadModelError::Format(format!("implausible node count {num_nodes}")));
+        }
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let feature = read_u32(r)?;
+            let value = read_f64(r)?;
+            let left = read_u32(r)?;
+            let right = read_u32(r)?;
+            let gain = read_f64(r)?;
+            if feature != u32::MAX
+                && (feature as usize >= num_features
+                    || left as usize >= num_nodes
+                    || right as usize >= num_nodes)
+            {
+                return Err(LoadModelError::Format("node reference out of range".into()));
+            }
+            nodes.push((feature, value, left, right, gain));
+        }
+        trees.push(DecisionTree::from_raw(nodes, num_features, task));
+    }
+    Ok((trees, num_features))
+}
+
+/// Serializes a regressor forest to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_regressor(model: &RandomForestRegressor, mut writer: impl Write) -> io::Result<()> {
+    let width = forest_width(model.trees());
+    write_trees(&mut writer, model.trees(), 0, width)
+}
+
+/// Serializes a classifier forest to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_classifier(model: &RandomForestClassifier, mut writer: impl Write) -> io::Result<()> {
+    let width = forest_width(model.trees());
+    write_trees(&mut writer, model.trees(), 1, width)
+}
+
+fn forest_width(trees: &[DecisionTree]) -> usize {
+    trees.first().map_or(0, DecisionTree::num_features_raw)
+}
+
+/// Deserializes a regressor forest from `reader`.
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] on I/O failure or malformed data.
+pub fn load_regressor(mut reader: impl Read) -> Result<RandomForestRegressor, LoadModelError> {
+    let (trees, _) = read_trees(&mut reader, 0)?;
+    Ok(RandomForestRegressor::from_trees(trees))
+}
+
+/// Deserializes a classifier forest from `reader`.
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] on I/O failure or malformed data.
+pub fn load_classifier(mut reader: impl Read) -> Result<RandomForestClassifier, LoadModelError> {
+    let (trees, _) = read_trees(&mut reader, 1)?;
+    Ok(RandomForestClassifier::from_trees(trees))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::ForestParams;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_data() -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..200 {
+            let x = [(i % 7) as f64, (i % 2) as f64, (i % 5) as f64];
+            d.push(&x, x[0] * 10.0 + x[1] * 100.0);
+        }
+        d
+    }
+
+    #[test]
+    fn regressor_roundtrip_is_bit_identical() {
+        let data = sample_data();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let model = RandomForestRegressor::fit(&data, &ForestParams::default(), &mut rng);
+        let mut buf = Vec::new();
+        save_regressor(&model, &mut buf).unwrap();
+        let loaded = load_regressor(buf.as_slice()).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(model.predict(data.row(i)), loaded.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn classifier_roundtrip_is_bit_identical() {
+        let data = sample_data().map_labels(|l| (l > 300.0) as u8 as f64);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let model = RandomForestClassifier::fit(&data, &ForestParams::default(), &mut rng);
+        let mut buf = Vec::new();
+        save_classifier(&model, &mut buf).unwrap();
+        let loaded = load_classifier(buf.as_slice()).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(model.predict(data.row(i)), loaded.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = load_regressor(&b"NOTAMODELxxxxxxxxxxxxxxx"[..]).unwrap_err();
+        assert!(matches!(err, LoadModelError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_task_mismatch() {
+        let data = sample_data();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let model = RandomForestRegressor::fit(&data, &ForestParams::default(), &mut rng);
+        let mut buf = Vec::new();
+        save_regressor(&model, &mut buf).unwrap();
+        let err = load_classifier(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("task tag"));
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let data = sample_data();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let model = RandomForestRegressor::fit(&data, &ForestParams::default(), &mut rng);
+        let mut buf = Vec::new();
+        save_regressor(&model, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_regressor(buf.as_slice()).is_err());
+    }
+}

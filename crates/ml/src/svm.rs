@@ -1,0 +1,187 @@
+//! Linear support vector machine trained with Pegasos (primal
+//! sub-gradient descent on the hinge loss).
+//!
+//! The paper evaluates an SVM among its Table II candidates; consistent
+//! with its observation that SVM training dominates wall-clock time, this
+//! is the most iteration-hungry estimator in the crate.
+
+use rand::Rng;
+
+use crate::dataset::{Dataset, Scaler};
+
+/// Hyper-parameters of the [`LinearSvm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmParams {
+    /// Regularization strength (Pegasos lambda).
+    pub lambda: f64,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams { lambda: 1e-4, epochs: 20 }
+    }
+}
+
+/// A binary linear SVM classifier.
+///
+/// Labels are 0.0 / 1.0 externally and mapped to -1 / +1 internally.
+/// Features are standardized by a fitted [`Scaler`] so that the margin is
+/// not dominated by large-scale features (temperature vs. bit values).
+///
+/// # Examples
+///
+/// ```
+/// use tevot_ml::{Dataset, LinearSvm, SvmParams};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut data = Dataset::new(2);
+/// for i in 0..200 {
+///     let (a, b) = ((i % 14) as f64, (i % 11) as f64);
+///     data.push(&[a, b], (2.0 * a + b > 17.0) as u8 as f64);
+/// }
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let svm = LinearSvm::fit(&data, &SvmParams::default(), &mut rng);
+/// assert!(svm.predict(&[13.0, 10.0]));
+/// assert!(!svm.predict(&[0.0, 0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Scaler,
+}
+
+impl LinearSvm {
+    /// Trains with Pegasos on binary labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset, non-positive `lambda` or zero epochs.
+    pub fn fit(data: &Dataset, params: &SvmParams, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(params.lambda > 0.0, "lambda must be positive");
+        assert!(params.epochs > 0, "need at least one epoch");
+        let scaler = Scaler::fit(data);
+        let train = scaler.transform(data);
+        let n = train.len();
+        let d = train.num_features();
+        let mut w = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut t: u64 = 0;
+        for _ in 0..params.epochs {
+            for _ in 0..n {
+                t += 1;
+                let i = rng.gen_range(0..n);
+                let row = train.row(i);
+                let y = if train.label(i) >= 0.5 { 1.0 } else { -1.0 };
+                let eta = 1.0 / (params.lambda * t as f64);
+                let margin = y * (dot(&w, row) + bias);
+                // w <- (1 - eta*lambda) w [+ eta*y*x if margin violated]
+                let shrink = 1.0 - eta * params.lambda;
+                for wi in &mut w {
+                    *wi *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wi, &x) in w.iter_mut().zip(row) {
+                        *wi += eta * y * x;
+                    }
+                    bias += eta * y;
+                }
+            }
+        }
+        LinearSvm { weights: w, bias, scaler }
+    }
+
+    /// Signed decision value (positive means class 1).
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        let mut scaled = Vec::with_capacity(row.len());
+        self.scaler.transform_into(row, &mut scaled);
+        dot(&self.weights, &scaled) + self.bias
+    }
+
+    /// Class decision for one row.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.decision(row) >= 0.0
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// The learned weight vector (in standardized feature space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn separates_clearly_separable_data() {
+        let mut d = Dataset::new(2);
+        let mut r = rng();
+        for _ in 0..300 {
+            let a: f64 = r.gen_range(-1.0..1.0);
+            let b: f64 = r.gen_range(-1.0..1.0);
+            d.push(&[a, b], (a - b > 0.0) as u8 as f64);
+        }
+        let svm = LinearSvm::fit(&d, &SvmParams::default(), &mut r);
+        let acc = (0..d.len())
+            .filter(|&i| svm.predict(d.row(i)) == (d.label(i) == 1.0))
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn decision_scales_with_margin() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            let x = i as f64 / 50.0 - 1.0;
+            d.push(&[x], (x > 0.0) as u8 as f64);
+        }
+        let svm = LinearSvm::fit(&d, &SvmParams::default(), &mut rng());
+        assert!(svm.decision(&[0.9]) > svm.decision(&[0.1]));
+        assert!(svm.decision(&[-0.9]) < 0.0);
+    }
+
+    #[test]
+    fn weights_highlight_informative_features() {
+        // Feature 2 is the label; features 0 and 1 are noise.
+        let mut d = Dataset::new(3);
+        let mut r = rng();
+        for _ in 0..500 {
+            let label = r.gen_range(0..2) as f64;
+            d.push(&[r.gen_range(0.0..1.0), r.gen_range(0.0..1.0), label], label);
+        }
+        let svm = LinearSvm::fit(&d, &SvmParams::default(), &mut r);
+        let w = svm.weights();
+        assert!(w[2].abs() > 3.0 * w[0].abs(), "w = {w:?}");
+        assert!(w[2].abs() > 3.0 * w[1].abs(), "w = {w:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_bad_lambda() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0.0);
+        let _ = LinearSvm::fit(&d, &SvmParams { lambda: 0.0, epochs: 1 }, &mut rng());
+    }
+}

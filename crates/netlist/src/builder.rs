@@ -1,0 +1,256 @@
+//! Incremental construction of [`Netlist`]s.
+
+use crate::gate::{Gate, GateKind, NetId};
+use crate::netlist::{Netlist, PortGroup};
+
+/// Builds a [`Netlist`] gate by gate.
+///
+/// The builder hands out [`NetId`]s as gates are added; because a gate can
+/// only reference nets that already exist, the resulting gate list is
+/// topologically sorted by construction.
+///
+/// Constant nets are interned: repeated calls to [`Self::constant`] return
+/// the same net.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_netlist::{words, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("adder4");
+/// let a = b.input_bus("a", 4);
+/// let c = b.input_bus("b", 4);
+/// let zero = b.constant(false);
+/// let (sum, carry) = words::rca_add(&mut b, &a, &c, zero);
+/// b.output_bus("sum", &sum);
+/// b.output("carry", carry);
+/// let nl = b.finish();
+/// assert_eq!(nl.output_ports().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    input_ports: Vec<PortGroup>,
+    output_ports: Vec<PortGroup>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            input_ports: Vec::new(),
+            output_ports: Vec::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    fn push(&mut self, kind: GateKind, ins: &[NetId]) -> NetId {
+        for &n in ins {
+            assert!(
+                n.index() < self.gates.len(),
+                "net {n} does not exist yet in circuit {}",
+                self.name
+            );
+        }
+        let id = NetId::from_index(self.gates.len());
+        self.gates.push(Gate::new(kind, ins));
+        id
+    }
+
+    /// Declares a single-bit primary input named `name`.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let nets = self.input_bus(name, 1);
+        nets[0]
+    }
+
+    /// Declares a `width`-bit primary-input bus (LSB first).
+    pub fn input_bus(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let nets: Vec<NetId> = (0..width).map(|_| self.push(GateKind::Input, &[])).collect();
+        self.inputs.extend_from_slice(&nets);
+        self.input_ports.push(PortGroup::new(name, nets.clone()));
+        nets
+    }
+
+    /// Declares `net` as a single-bit primary output named `name`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.output_bus(name, std::slice::from_ref(&net));
+    }
+
+    /// Declares `nets` (LSB first) as a primary-output bus named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net does not exist.
+    pub fn output_bus(&mut self, name: impl Into<String>, nets: &[NetId]) {
+        for &n in nets {
+            assert!(n.index() < self.gates.len(), "output net {n} does not exist");
+        }
+        self.outputs.extend_from_slice(nets);
+        self.output_ports.push(PortGroup::new(name, nets.to_vec()));
+    }
+
+    /// The interned constant net for `value`.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if value {
+            if let Some(n) = self.const1 {
+                return n;
+            }
+            let n = self.push(GateKind::Const1, &[]);
+            self.const1 = Some(n);
+            n
+        } else {
+            if let Some(n) = self.const0 {
+                return n;
+            }
+            let n = self.push(GateKind::Const0, &[]);
+            self.const0 = Some(n);
+            n
+        }
+    }
+
+    /// Adds a buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Buf, &[a])
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Not, &[a])
+    }
+
+    /// Adds a two-input AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::And2, &[a, b])
+    }
+
+    /// Adds a two-input OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Or2, &[a, b])
+    }
+
+    /// Adds a two-input NAND.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nand2, &[a, b])
+    }
+
+    /// Adds a two-input NOR.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nor2, &[a, b])
+    }
+
+    /// Adds a two-input XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xor2, &[a, b])
+    }
+
+    /// Adds a two-input XNOR.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xnor2, &[a, b])
+    }
+
+    /// Adds a 2:1 multiplexer selecting `d1` when `sel` is high, `d0`
+    /// otherwise.
+    pub fn mux(&mut self, sel: NetId, d0: NetId, d1: NetId) -> NetId {
+        self.push(GateKind::Mux2, &[d0, d1, sel])
+    }
+
+    /// Adds a three-input majority gate (full-adder carry).
+    pub fn maj(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(GateKind::Maj3, &[a, b, c])
+    }
+
+    /// Adds a three-input XOR (full-adder sum).
+    pub fn xor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(GateKind::Xor3, &[a, b, c])
+    }
+
+    /// Number of nets created so far.
+    pub fn num_nets(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Consumes the builder and produces the finished [`Netlist`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no primary output was declared; a circuit without outputs
+    /// is always a construction bug.
+    pub fn finish(self) -> Netlist {
+        assert!(
+            !self.outputs.is_empty(),
+            "circuit {} has no primary outputs",
+            self.name
+        );
+        let nl = Netlist {
+            name: self.name,
+            gates: self.gates,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            input_ports: self.input_ports,
+            output_ports: self.output_ports,
+        };
+        debug_assert_eq!(nl.validate(), Ok(()));
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_interned() {
+        let mut b = NetlistBuilder::new("c");
+        let z1 = b.constant(false);
+        let z2 = b.constant(false);
+        let o1 = b.constant(true);
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o1);
+        b.output("z", z1);
+        let nl = b.finish();
+        assert_eq!(nl.num_nets(), 2);
+        assert_eq!(nl.evaluate(&[]), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_reference_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let ghost = NetId::from_index(100);
+        let _ = b.and(a, ghost);
+    }
+
+    #[test]
+    #[should_panic(expected = "no primary outputs")]
+    fn missing_outputs_panics() {
+        let mut b = NetlistBuilder::new("noout");
+        let _ = b.input("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn mux_pin_order() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s");
+        let d0 = b.input("d0");
+        let d1 = b.input("d1");
+        let y = b.mux(s, d0, d1);
+        b.output("y", y);
+        let nl = b.finish();
+        // sel=0 -> d0
+        assert_eq!(nl.evaluate(&[false, true, false]), vec![true]);
+        // sel=1 -> d1
+        assert_eq!(nl.evaluate(&[true, true, false]), vec![false]);
+    }
+}

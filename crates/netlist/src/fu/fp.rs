@@ -1,0 +1,312 @@
+//! Gate-level IEEE-754 single-precision adder and multiplier.
+//!
+//! Both datapaths are structural translations of the reference algorithms
+//! in [`super::golden`] and are tested to match them bit for bit. See the
+//! module docs there for the (documented) semantic simplifications.
+
+use crate::builder::NetlistBuilder;
+use crate::fu::int_mul::csa_multiplier;
+use crate::gate::NetId;
+use crate::netlist::Netlist;
+use crate::words;
+
+/// Unpacked operand: LSB-first field buses.
+struct Unpacked {
+    sign: NetId,
+    exp: Vec<NetId>,       // 8 bits
+    sig: Vec<NetId>,       // 24 bits, hidden bit at [23], flushed if exp == 0
+    nonzero: NetId,        // exp != 0
+}
+
+fn unpack(b: &mut NetlistBuilder, bits: &[NetId], flush_frac: bool) -> Unpacked {
+    assert_eq!(bits.len(), 32);
+    let frac = &bits[0..23];
+    let exp = bits[23..31].to_vec();
+    let sign = bits[31];
+    let nonzero = words::or_reduce(b, &exp);
+    let mut sig = if flush_frac { words::mask_bus(b, frac, nonzero) } else { frac.to_vec() };
+    sig.push(nonzero); // hidden bit
+    Unpacked { sign, exp, sig, nonzero }
+}
+
+/// Shared rounding + packing stage.
+///
+/// `n` is the 27-bit normalized value (hidden bit at index 26, GRS at
+/// indices 2..0); `e2` is the 10-bit two's-complement exponent. Returns the
+/// 32-bit packed result before any zero/special-case override.
+fn round_and_pack(
+    b: &mut NetlistBuilder,
+    sign: NetId,
+    e2: &[NetId],
+    n: &[NetId],
+) -> (Vec<NetId>, NetId, NetId) {
+    assert_eq!(n.len(), 27);
+    assert_eq!(e2.len(), 10);
+    let sig24 = &n[3..27];
+    let g = n[2];
+    let rs = b.or(n[1], n[0]);
+    let near = b.or(rs, sig24[0]); // round or sticky or odd lsb
+    let round_up = b.and(g, near);
+
+    let (inc24, inc_cout) = words::prefix_incrementer(b, sig24);
+    let sig_rounded = words::mux_bus(b, round_up, sig24, &inc24);
+    let ovf = b.and(round_up, inc_cout);
+
+    // On increment overflow the fraction is all zeros either way, so the
+    // plain mux result is already correct; only the exponent bumps.
+    let frac = &sig_rounded[0..23];
+    let (e_inc, _) = words::prefix_incrementer(b, e2);
+    let e3 = words::mux_bus(b, ovf, e2, &e_inc);
+
+    // Underflow: e3 <= 0 (two's-complement sign set, or all bits zero).
+    let e3_zero = words::is_zero(b, &e3);
+    let underflow = b.or(e3[9], e3_zero);
+    // Overflow: e3 >= 255 (bit 8 set, or bits 0..8 all ones).
+    let low_ones = words::and_reduce(b, &e3[0..8]);
+    let ge255 = b.or(e3[8], low_ones);
+    let not_under = b.not(underflow);
+    let overflow = b.and(not_under, ge255);
+
+    let mut packed: Vec<NetId> = frac.to_vec();
+    packed.extend_from_slice(&e3[0..8]);
+    packed.push(sign);
+
+    // Overflow -> infinity encoding (exp 255, frac 0, same sign).
+    let zero = b.constant(false);
+    let one = b.constant(true);
+    let mut inf: Vec<NetId> = vec![zero; 23];
+    inf.extend(vec![one; 8]);
+    inf.push(sign);
+    let packed = words::mux_bus(b, overflow, &packed, &inf);
+
+    // Underflow -> signed zero.
+    let mut szero: Vec<NetId> = vec![zero; 31];
+    szero.push(sign);
+    let packed = words::mux_bus(b, underflow, &packed, &szero);
+
+    (packed, underflow, overflow)
+}
+
+/// Replaces `packed` with a zero of sign `sign` when `cond` is high.
+fn override_with_zero(
+    b: &mut NetlistBuilder,
+    cond: NetId,
+    packed: &[NetId],
+    sign: NetId,
+) -> Vec<NetId> {
+    let zero = b.constant(false);
+    let mut z: Vec<NetId> = vec![zero; 31];
+    z.push(sign);
+    words::mux_bus(b, cond, packed, &z)
+}
+
+/// Builds the single-precision floating-point adder.
+///
+/// Ports: inputs `a[31:0]`, `b[31:0]` (IEEE-754 bit patterns); output
+/// `result[31:0]`. Alignment, significand add/subtract, normalization and
+/// round-to-nearest-even all happen in one combinational cone, which gives
+/// this unit the richest input-dependent delay profile of the four FUs.
+pub fn build_fp_add() -> Netlist {
+    let mut b = NetlistBuilder::new("fp_add32");
+    let a_bits = b.input_bus("a", 32);
+    let b_bits = b.input_bus("b", 32);
+    let ua = unpack(&mut b, &a_bits, true);
+    let ub = unpack(&mut b, &b_bits, true);
+
+    // Magnitude comparison via the 32-bit key {exp, significand}.
+    let mut key_a = ua.sig.clone();
+    key_a.extend_from_slice(&ua.exp);
+    let mut key_b = ub.sig.clone();
+    key_b.extend_from_slice(&ub.exp);
+    let (_, a_ge_b) = words::kogge_stone_sub(&mut b, &key_a, &key_b);
+    let swap = b.not(a_ge_b);
+
+    let el = words::mux_bus(&mut b, swap, &ua.exp, &ub.exp);
+    let es = words::mux_bus(&mut b, swap, &ub.exp, &ua.exp);
+    let ml = words::mux_bus(&mut b, swap, &ua.sig, &ub.sig);
+    let ms = words::mux_bus(&mut b, swap, &ub.sig, &ua.sig);
+    let sl = b.mux(swap, ua.sign, ub.sign);
+
+    // Exponent difference (always >= 0 after the swap).
+    let (d, _) = words::rca_sub(&mut b, &el, &es);
+
+    // Align the smaller significand into the 27-bit (3 guard bits) frame.
+    let zero = b.constant(false);
+    let mut ms27 = vec![zero; 3];
+    ms27.extend_from_slice(&ms);
+    let (aligned, sticky_near) = words::shift_right_sticky(&mut b, &ms27, &d[0..5]);
+    let far = {
+        let hi = b.or(d[5], d[6]);
+        b.or(hi, d[7])
+    };
+    let ms_any = words::or_reduce(&mut b, &ms27);
+    let sticky_far = b.and(far, ms_any);
+    let zeros27 = vec![zero; 27];
+    let aligned = words::mux_bus(&mut b, far, &aligned, &zeros27);
+    let sticky = b.mux(far, sticky_near, sticky_far);
+    let mut aligned = aligned;
+    aligned[0] = b.or(aligned[0], sticky);
+
+    // 28-bit add / subtract of the significand frames.
+    let eff_sub = b.xor(ua.sign, ub.sign);
+    let mut big_l = vec![zero; 3];
+    big_l.extend_from_slice(&ml);
+    big_l.push(zero); // 28 bits
+    let mut small = aligned;
+    small.push(zero);
+    let small_x: Vec<NetId> = small.iter().map(|&s| b.xor(s, eff_sub)).collect();
+    let (sum, _) = words::kogge_stone_add(&mut b, &big_l, &small_x, eff_sub);
+
+    let sum_zero = words::is_zero(&mut b, &sum);
+    let carry_out = sum[27];
+
+    // Right-normalization path (addition overflowed the 27-bit frame).
+    let mut n_right: Vec<NetId> = sum[1..28].to_vec();
+    n_right[0] = b.or(n_right[0], sum[0]);
+    // Left-normalization path (cancellation).
+    let (n_left, lshift) = words::normalize_left(&mut b, &sum[0..27]);
+
+    let n = words::mux_bus(&mut b, carry_out, &n_left, &n_right);
+
+    // 10-bit exponent arithmetic.
+    let el10 = words::zero_extend(&mut b, &el, 10);
+    let (el10_inc, _) = words::prefix_incrementer(&mut b, &el10);
+    let lshift10 = words::zero_extend(&mut b, &lshift, 10);
+    let (e_left, _) = words::rca_sub(&mut b, &el10, &lshift10);
+    let e2 = words::mux_bus(&mut b, carry_out, &e_left, &el10_inc);
+
+    let (packed, _, _) = round_and_pack(&mut b, sl, &e2, &n);
+
+    // Exact cancellation: +0 unless both operands were the same-signed zero.
+    let not_sub = b.not(eff_sub);
+    let zsign = b.and(sl, not_sub);
+    let result = override_with_zero(&mut b, sum_zero, &packed, zsign);
+
+    b.output_bus("result", &result);
+    b.finish()
+}
+
+/// Builds the single-precision floating-point multiplier.
+///
+/// Ports: inputs `a[31:0]`, `b[31:0]` (IEEE-754 bit patterns); output
+/// `result[31:0]`. The 24x24 significand array multiplier dominates both
+/// area and delay.
+pub fn build_fp_mul() -> Netlist {
+    let mut b = NetlistBuilder::new("fp_mul32");
+    let a_bits = b.input_bus("a", 32);
+    let b_bits = b.input_bus("b", 32);
+    // The zero override below makes flushing the fraction unnecessary.
+    let ua = unpack(&mut b, &a_bits, false);
+    let ub = unpack(&mut b, &b_bits, false);
+
+    let sign = b.xor(ua.sign, ub.sign);
+    let both = b.and(ua.nonzero, ub.nonzero);
+    let any_zero = b.not(both);
+
+    let p = csa_multiplier(&mut b, &ua.sig, &ub.sig); // 48 bits
+
+    // Normalize: the product of two [1,2) significands lies in [1,4).
+    let hi = p[47];
+    let sticky_hi = words::or_reduce(&mut b, &p[0..21]);
+    let mut n_hi: Vec<NetId> = p[21..48].to_vec();
+    n_hi[0] = b.or(n_hi[0], sticky_hi);
+    let sticky_lo = words::or_reduce(&mut b, &p[0..20]);
+    let mut n_lo: Vec<NetId> = p[20..47].to_vec();
+    n_lo[0] = b.or(n_lo[0], sticky_lo);
+    let n = words::mux_bus(&mut b, hi, &n_lo, &n_hi);
+
+    // e2 = ea + eb - 127 + hi, in 10-bit two's complement.
+    let ea10 = words::zero_extend(&mut b, &ua.exp, 10);
+    let eb10 = words::zero_extend(&mut b, &ub.exp, 10);
+    let (esum, _) = words::rca_add(&mut b, &ea10, &eb10, hi);
+    let bias = words::const_bus(&mut b, 127, 10);
+    let (e2, _) = words::rca_sub(&mut b, &esum, &bias);
+
+    let (packed, _, _) = round_and_pack(&mut b, sign, &e2, &n);
+    let result = override_with_zero(&mut b, any_zero, &packed, sign);
+
+    b.output_bus("result", &result);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::golden;
+    use crate::fu::{decode_bus, encode_pair};
+
+    fn eval(nl: &crate::Netlist, a: u32, b: u32) -> u32 {
+        decode_bus(&nl.evaluate(&encode_pair(a, b))) as u32
+    }
+
+    const CASES: &[(f32, f32)] = &[
+        (1.0, 2.0),
+        (0.1, 0.2),
+        (1.5e30, -1.5e30),
+        (-1.0, -2.0),
+        (1.0, 0.0),
+        (0.0, -7.25),
+        (16777216.0, 1.0),
+        (16777216.0, 2.0),
+        (1.000_000_2, -1.0),
+        (5.5, -5.5),
+        (-0.0, -0.0),
+        (3.0, 4.0),
+        (f32::MAX, f32::MAX),
+        (f32::MIN_POSITIVE, 0.5),
+        (1e-30, -1e-38),
+        (1234.5678, 0.00042),
+    ];
+
+    #[test]
+    fn fp_add_matches_golden() {
+        let nl = build_fp_add();
+        nl.validate().unwrap();
+        for &(x, y) in CASES {
+            let (a, b) = (x.to_bits(), y.to_bits());
+            assert_eq!(
+                eval(&nl, a, b),
+                golden::fp_add(a, b),
+                "fp_add({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_mul_matches_golden() {
+        let nl = build_fp_mul();
+        nl.validate().unwrap();
+        for &(x, y) in CASES {
+            let (a, b) = (x.to_bits(), y.to_bits());
+            assert_eq!(
+                eval(&nl, a, b),
+                golden::fp_mul(a, b),
+                "fp_mul({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_add_raw_patterns_match_golden() {
+        // Raw bit patterns, including exponent-255 and subnormal encodings,
+        // must still agree with the reference algorithm (total function).
+        let nl = build_fp_add();
+        let patterns = [0u32, 1, 0x7F80_0000, 0xFF80_0001, 0x0012_3456, 0xDEAD_BEEF, u32::MAX];
+        for &a in &patterns {
+            for &b in &patterns {
+                assert_eq!(eval(&nl, a, b), golden::fp_add(a, b), "fp_add({a:#x}, {b:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_mul_raw_patterns_match_golden() {
+        let nl = build_fp_mul();
+        let patterns = [0u32, 1, 0x7F80_0000, 0xFF80_0001, 0x0012_3456, 0xDEAD_BEEF, u32::MAX];
+        for &a in &patterns {
+            for &b in &patterns {
+                assert_eq!(eval(&nl, a, b), golden::fp_mul(a, b), "fp_mul({a:#x}, {b:#x})");
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Integer array multiplier functional units.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::NetId;
+use crate::netlist::Netlist;
+use crate::words;
+
+/// Appends a carry-save array multiplier with a Kogge-Stone final adder
+/// and returns the full-width product bus (`xs.len() + ys.len()` bits,
+/// LSB first).
+///
+/// Each partial-product row is absorbed by a 3:2 compressor row (no
+/// horizontal carry propagation), and the surviving sum/carry vectors meet
+/// in a parallel-prefix adder — the structure timing-driven synthesis
+/// produces. The delay still depends strongly on operand magnitude (small
+/// operands light up only the first rows), but without the extreme
+/// horizontal-ripple outliers of the textbook array.
+pub fn csa_multiplier(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> Vec<NetId> {
+    assert!(!xs.is_empty() && !ys.is_empty(), "csa_multiplier: empty bus");
+    let n = xs.len();
+    let m = ys.len();
+    let zero = b.constant(false);
+    let mut product = Vec::with_capacity(n + m);
+
+    // Row 0: plain partial products; no carries yet.
+    let mut s: Vec<NetId> = xs.iter().map(|&x| b.and(x, ys[0])).collect();
+    let mut c: Vec<NetId> = vec![zero; n];
+    product.push(s[0]);
+
+    // Row i absorbs partial product `x * ys[i]` (weight offset i): cell j
+    // compresses {pp[j], s_prev[j+1], c_prev[j]}, all of weight i + j.
+    for &ybit in &ys[1..] {
+        let mut next_s = Vec::with_capacity(n);
+        let mut next_c = Vec::with_capacity(n);
+        for j in 0..n {
+            let pp = b.and(xs[j], ybit);
+            let hi = if j + 1 < n { s[j + 1] } else { zero };
+            let (sum, carry) = words::full_adder(b, pp, hi, c[j]);
+            next_s.push(sum);
+            next_c.push(carry);
+        }
+        s = next_s;
+        c = next_c;
+        product.push(s[0]);
+    }
+
+    // Final carry-propagate add of the surviving vectors: s[1..] (weights
+    // m .. m+n-2) plus c[0..] (weights m .. m+n-1).
+    let mut a_vec: Vec<NetId> = s[1..].to_vec();
+    a_vec.push(zero);
+    let (high, _cout) = words::kogge_stone_add(b, &a_vec, &c, zero);
+    product.extend(high);
+    debug_assert_eq!(product.len(), n + m);
+    product
+}
+
+/// Appends an unsigned array multiplier to `b` and returns the full-width
+/// product bus (`xs.len() + ys.len()` bits, LSB first).
+///
+/// The structure is the classic row-ripple array: one row of partial
+/// products per multiplier bit, accumulated with ripple-carry rows. Its
+/// sensitized path length varies strongly with operand magnitude — small
+/// operands light up only the lower-left corner of the array — which is
+/// exactly the workload dependence the paper exploits.
+pub fn array_multiplier(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> Vec<NetId> {
+    assert!(!xs.is_empty() && !ys.is_empty(), "array_multiplier: empty bus");
+    let n = xs.len();
+    let zero = b.constant(false);
+    let mut product = Vec::with_capacity(n + ys.len());
+
+    // Row 0: plain partial products.
+    let mut acc: Vec<NetId> = xs.iter().map(|&x| b.and(x, ys[0])).collect();
+    product.push(acc[0]);
+    acc.remove(0);
+    acc.push(zero);
+
+    // Each further row adds x * ys[row] into the running accumulator.
+    for &ybit in &ys[1..] {
+        let pp: Vec<NetId> = xs.iter().map(|&x| b.and(x, ybit)).collect();
+        let mut carry = zero;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let (s, c) = words::full_adder(b, acc[i], pp[i], carry);
+            next.push(s);
+            carry = c;
+        }
+        product.push(next[0]);
+        next.remove(0);
+        next.push(carry);
+        acc = next;
+    }
+    product.extend(acc);
+    product
+}
+
+/// Appends a radix-4 Booth-recoded multiplier and returns the full-width
+/// product bus (`xs.len() + ys.len()` bits, LSB first).
+///
+/// The multiplier `ys` is recoded into base-4 digits in `{-2..2}`
+/// (halving the partial-product count); negative partial products use the
+/// shift-then-complement identity `-(v << s) = (!v << s) + (1 << s)` with
+/// a separate correction row, and everything meets in a carry-save
+/// reduction followed by a Kogge-Stone adder — the structure commercial
+/// multiplier generators produce.
+pub fn booth_multiplier(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> Vec<NetId> {
+    assert!(!xs.is_empty() && !ys.is_empty(), "booth_multiplier: empty bus");
+    let n = xs.len();
+    let m = ys.len();
+    let w = n + m + 2;
+    let zero = b.constant(false);
+    // Enough digits to cover the zero-extended multiplier: the top digit
+    // reads the (always-zero) bits above y's MSB, keeping the recoding of
+    // an unsigned operand non-negative overall.
+    let digits = (m + 1).div_ceil(2);
+
+    let ybit = |i: isize| -> NetId {
+        if i < 0 || i as usize >= m {
+            zero
+        } else {
+            ys[i as usize]
+        }
+    };
+
+    let mut rows: Vec<Vec<NetId>> = Vec::with_capacity(digits + 1);
+    let mut corrections = vec![zero; w];
+    for i in 0..digits {
+        let y0 = ybit(2 * i as isize - 1);
+        let y1 = ybit(2 * i as isize);
+        let y2 = ybit(2 * i as isize + 1);
+        // Digit d = y0 + y1 - 2*y2 in {-2..2}: |d| = 1 iff y0 != y1;
+        // |d| = 2 iff y0 == y1 and y0 != y2; d < 0 iff y2 (d == 0 with
+        // y2 = 1 complements zero, which is still zero mod 2^w).
+        let one = b.xor(y0, y1);
+        let same = b.xnor(y0, y1);
+        let diff2 = b.xor(y0, y2);
+        let two = b.and(same, diff2);
+        let neg = y2;
+
+        // Magnitude |d| * x over n + 1 bits: (one ? x : 0) | (two ? 2x : 0).
+        let mut mag = Vec::with_capacity(n + 1);
+        for j in 0..=n {
+            let from_one = if j < n { b.and(one, xs[j]) } else { zero };
+            let from_two = if j >= 1 { b.and(two, xs[j - 1]) } else { zero };
+            mag.push(b.or(from_one, from_two));
+        }
+
+        // Row: zeros below weight 2i, (mag ^ neg) in the digit field,
+        // sign extension (= neg) above; +neg at weight 2i via the
+        // correction row.
+        let mut row = Vec::with_capacity(w);
+        row.extend(std::iter::repeat(zero).take(2 * i));
+        for &bit in &mag {
+            row.push(b.xor(bit, neg));
+        }
+        row.resize(w, neg);
+        row.truncate(w);
+        rows.push(row);
+        corrections[2 * i] = neg;
+    }
+    rows.push(corrections);
+
+    let (s, c) = words::csa_reduce(b, &rows);
+    let mut shifted_c = vec![zero];
+    shifted_c.extend_from_slice(&c[..w - 1]);
+    let (total, _) = words::kogge_stone_add(b, &s, &shifted_c, zero);
+    total[..n + m].to_vec()
+}
+
+/// Multiplier micro-architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MultiplierStyle {
+    /// Textbook row-ripple array: maximal depth and data-dependent delay
+    /// spread (kept for the micro-architecture ablation).
+    RippleArray,
+    /// Carry-save array with a Kogge-Stone final adder — the default used
+    /// by all paper experiments.
+    #[default]
+    CarrySave,
+    /// Radix-4 Booth recoding over a carry-save reduction: half the
+    /// partial products, the commercial-generator structure.
+    Booth,
+}
+
+/// Builds the 32x32 -> 64-bit integer multiplier in the given style.
+pub fn build_with_style(style: MultiplierStyle) -> Netlist {
+    let name = match style {
+        MultiplierStyle::RippleArray => "int_mul32_ripple",
+        MultiplierStyle::CarrySave => "int_mul32",
+        MultiplierStyle::Booth => "int_mul32_booth",
+    };
+    let mut b = NetlistBuilder::new(name);
+    let a = b.input_bus("a", 32);
+    let y = b.input_bus("b", 32);
+    let p = match style {
+        MultiplierStyle::RippleArray => array_multiplier(&mut b, &a, &y),
+        MultiplierStyle::CarrySave => csa_multiplier(&mut b, &a, &y),
+        MultiplierStyle::Booth => booth_multiplier(&mut b, &a, &y),
+    };
+    b.output_bus("product", &p);
+    b.finish()
+}
+
+/// Builds the 32x32 -> 64-bit integer multiplier (carry-save array with a
+/// Kogge-Stone final adder).
+///
+/// Ports: inputs `a[31:0]`, `b[31:0]`; output `product[63:0]`.
+pub fn build() -> Netlist {
+    build_with_style(MultiplierStyle::default())
+}
+
+/// Bit-exact reference model: the 64-bit product of two 32-bit operands.
+pub fn golden(a: u32, b: u32) -> u64 {
+    a as u64 * b as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::{decode_bus, encode_pair};
+
+    fn exhaustive_4x4(build: impl Fn(&mut NetlistBuilder, &[NetId], &[NetId]) -> Vec<NetId>) {
+        let mut b = NetlistBuilder::new("mul4");
+        let xs = b.input_bus("a", 4);
+        let ys = b.input_bus("b", 4);
+        let p = build(&mut b, &xs, &ys);
+        b.output_bus("p", &p);
+        let nl = b.finish();
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                let mut input: Vec<bool> = (0..4).map(|i| a >> i & 1 == 1).collect();
+                input.extend((0..4).map(|i| c >> i & 1 == 1));
+                let out = nl.evaluate(&input);
+                let got = out.iter().enumerate().fold(0u64, |acc, (i, &v)| acc | (v as u64) << i);
+                assert_eq!(got, a * c, "{a} * {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_ripple_multiplier_exhaustive() {
+        exhaustive_4x4(array_multiplier);
+    }
+
+    #[test]
+    fn small_csa_multiplier_exhaustive() {
+        exhaustive_4x4(csa_multiplier);
+    }
+
+    #[test]
+    fn small_booth_multiplier_exhaustive() {
+        exhaustive_4x4(booth_multiplier);
+    }
+
+    #[test]
+    fn booth_rectangular_and_odd_widths() {
+        for (nw, mw) in [(5usize, 3usize), (3, 5), (7, 1), (1, 7), (6, 6)] {
+            let mut b = NetlistBuilder::new("booth");
+            let xs = b.input_bus("a", nw);
+            let ys = b.input_bus("b", mw);
+            let p = booth_multiplier(&mut b, &xs, &ys);
+            assert_eq!(p.len(), nw + mw);
+            b.output_bus("p", &p);
+            let nl = b.finish();
+            for a in 0..1u64 << nw {
+                for c in 0..1u64 << mw {
+                    let mut input: Vec<bool> = (0..nw).map(|i| a >> i & 1 == 1).collect();
+                    input.extend((0..mw).map(|i| c >> i & 1 == 1));
+                    let out = nl.evaluate(&input);
+                    let got =
+                        out.iter().enumerate().fold(0u64, |acc, (i, &v)| acc | (v as u64) << i);
+                    assert_eq!(got, a * c, "{nw}x{mw}: {a} * {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn booth_full_width_spot_checks() {
+        let nl = build_with_style(MultiplierStyle::Booth);
+        nl.validate().unwrap();
+        for (a, b) in [
+            (0u32, 0u32),
+            (1, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0xFFFF, 0x10001),
+            (0xDEAD_BEEF, 0x1234_5678),
+            (0x8000_0000, 0x8000_0000),
+        ] {
+            let out = nl.evaluate(&encode_pair(a, b));
+            assert_eq!(decode_bus(&out), golden(a, b), "booth {a:#x} * {b:#x}");
+        }
+    }
+
+    #[test]
+    fn booth_halves_the_reduction_rows() {
+        // Booth's recoding should show up as a visibly shallower circuit
+        // than the plain carry-save array (half the CSA rows).
+        let csa = build_with_style(MultiplierStyle::CarrySave);
+        let booth = build_with_style(MultiplierStyle::Booth);
+        assert!(
+            booth.depth() < csa.depth(),
+            "booth depth {} vs csa depth {}",
+            booth.depth(),
+            csa.depth()
+        );
+    }
+
+    #[test]
+    fn rectangular_csa_multiplier() {
+        let mut b = NetlistBuilder::new("mul5x3");
+        let xs = b.input_bus("a", 5);
+        let ys = b.input_bus("b", 3);
+        let p = csa_multiplier(&mut b, &xs, &ys);
+        assert_eq!(p.len(), 8);
+        b.output_bus("p", &p);
+        let nl = b.finish();
+        for a in 0..32u64 {
+            for c in 0..8u64 {
+                let mut input: Vec<bool> = (0..5).map(|i| a >> i & 1 == 1).collect();
+                input.extend((0..3).map(|i| c >> i & 1 == 1));
+                let out = nl.evaluate(&input);
+                let got = out.iter().enumerate().fold(0u64, |acc, (i, &v)| acc | (v as u64) << i);
+                assert_eq!(got, a * c, "{a} * {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn csa_is_shallower_than_ripple_array() {
+        let depth = |csa: bool| {
+            let mut b = NetlistBuilder::new("d");
+            let xs = b.input_bus("a", 16);
+            let ys = b.input_bus("b", 16);
+            let p = if csa { csa_multiplier(&mut b, &xs, &ys) } else { array_multiplier(&mut b, &xs, &ys) };
+            b.output_bus("p", &p);
+            b.finish().depth()
+        };
+        assert!(depth(true) < depth(false), "CSA should cut the critical depth");
+    }
+
+    #[test]
+    fn full_multiplier_spot_checks() {
+        let nl = build();
+        nl.validate().unwrap();
+        for (a, b) in [
+            (0u32, 0u32),
+            (1, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0xFFFF, 0x10001),
+            (0xDEAD_BEEF, 0x1234_5678),
+            (3, 5),
+        ] {
+            let out = nl.evaluate(&encode_pair(a, b));
+            assert_eq!(decode_bus(&out), golden(a, b), "{a:#x} * {b:#x}");
+        }
+    }
+}

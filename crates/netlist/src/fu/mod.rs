@@ -1,0 +1,183 @@
+//! The four functional units studied by the paper.
+//!
+//! TEVoT models the 32-bit integer adder and multiplier and the IEEE-754
+//! single-precision adder and multiplier — "basic computation blocks for
+//! applications such as image-processing and deep learning" (paper
+//! Sec. IV-A). [`FunctionalUnit`] enumerates them and bundles netlist
+//! construction, operand encoding and the bit-exact reference (`golden`)
+//! models used as simulation oracles.
+
+pub mod golden;
+mod int_add;
+mod int_mul;
+mod fp;
+
+pub use int_add::AdderStyle;
+pub use int_mul::{
+    array_multiplier, booth_multiplier, build_with_style as int_mul_with_style, csa_multiplier,
+    MultiplierStyle,
+};
+
+use crate::netlist::Netlist;
+
+/// Encodes a 32-bit operand pair as the 64-bit primary-input vector of a
+/// functional unit (operand `a` first, each LSB first).
+pub fn encode_pair(a: u32, b: u32) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(64);
+    bits.extend((0..32).map(|i| a >> i & 1 == 1));
+    bits.extend((0..32).map(|i| b >> i & 1 == 1));
+    bits
+}
+
+/// Decodes an LSB-first output bus into an integer.
+///
+/// # Panics
+///
+/// Panics if the bus is wider than 64 bits.
+pub fn decode_bus(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "bus wider than 64 bits");
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (b as u64) << i)
+}
+
+/// One of the four functional units evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FunctionalUnit {
+    /// 32-bit integer adder (`sum[32:0] = a + b`).
+    IntAdd,
+    /// 32-bit integer multiplier (`product[63:0] = a * b`).
+    IntMul,
+    /// IEEE-754 single-precision adder.
+    FpAdd,
+    /// IEEE-754 single-precision multiplier.
+    FpMul,
+}
+
+impl FunctionalUnit {
+    /// All four units in the paper's order (Table III rows are grouped
+    /// ADD/MUL per type; we use declaration order everywhere).
+    pub const ALL: [FunctionalUnit; 4] = [
+        FunctionalUnit::IntAdd,
+        FunctionalUnit::FpAdd,
+        FunctionalUnit::IntMul,
+        FunctionalUnit::FpMul,
+    ];
+
+    /// Builds the unit's gate-level netlist with default styles.
+    pub fn build(self) -> Netlist {
+        match self {
+            FunctionalUnit::IntAdd => int_add::build(AdderStyle::default()),
+            FunctionalUnit::IntMul => int_mul::build(),
+            FunctionalUnit::FpAdd => fp::build_fp_add(),
+            FunctionalUnit::FpMul => fp::build_fp_mul(),
+        }
+    }
+
+    /// Builds the integer adder with an explicit micro-architecture; other
+    /// units ignore `style`.
+    pub fn build_with_adder_style(self, style: AdderStyle) -> Netlist {
+        match self {
+            FunctionalUnit::IntAdd => int_add::build(style),
+            other => other.build(),
+        }
+    }
+
+    /// The unit's display name, matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FunctionalUnit::IntAdd => "INT ADD",
+            FunctionalUnit::IntMul => "INT MUL",
+            FunctionalUnit::FpAdd => "FP ADD",
+            FunctionalUnit::FpMul => "FP MUL",
+        }
+    }
+
+    /// Whether this is one of the floating-point units.
+    pub fn is_float(self) -> bool {
+        matches!(self, FunctionalUnit::FpAdd | FunctionalUnit::FpMul)
+    }
+
+    /// Number of primary-input bits (two 32-bit operands).
+    pub fn input_bits(self) -> usize {
+        64
+    }
+
+    /// Number of primary-output bits.
+    pub fn output_bits(self) -> usize {
+        match self {
+            FunctionalUnit::IntAdd => 33,
+            FunctionalUnit::IntMul => 64,
+            FunctionalUnit::FpAdd | FunctionalUnit::FpMul => 32,
+        }
+    }
+
+    /// Encodes an operand pair as the unit's primary-input vector.
+    pub fn encode_operands(self, a: u32, b: u32) -> Vec<bool> {
+        encode_pair(a, b)
+    }
+
+    /// Encodes a floating-point operand pair.
+    ///
+    /// Provided for the FP units; the integer units would interpret the bit
+    /// patterns as integers.
+    pub fn encode_f32(self, a: f32, b: f32) -> Vec<bool> {
+        encode_pair(a.to_bits(), b.to_bits())
+    }
+
+    /// Decodes the unit's output vector into an integer result.
+    pub fn decode_output(self, bits: &[bool]) -> u64 {
+        assert_eq!(bits.len(), self.output_bits(), "{} output width", self.name());
+        decode_bus(bits)
+    }
+
+    /// Bit-exact reference result for an operand pair, as produced by the
+    /// netlist's zero-delay evaluation.
+    pub fn golden(self, a: u32, b: u32) -> u64 {
+        match self {
+            FunctionalUnit::IntAdd => int_add::golden(a, b),
+            FunctionalUnit::IntMul => int_mul::golden(a, b),
+            FunctionalUnit::FpAdd => golden::fp_add(a, b) as u64,
+            FunctionalUnit::FpMul => golden::fp_mul(a, b) as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for FunctionalUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let bits = encode_pair(0xDEAD_BEEF, 0x0BAD_F00D);
+        assert_eq!(bits.len(), 64);
+        assert_eq!(decode_bus(&bits[..32]), 0xDEAD_BEEF);
+        assert_eq!(decode_bus(&bits[32..]), 0x0BAD_F00D);
+    }
+
+    #[test]
+    fn all_units_build_and_evaluate_golden() {
+        for fu in FunctionalUnit::ALL {
+            let nl = fu.build();
+            nl.validate().unwrap();
+            assert_eq!(nl.inputs().len(), fu.input_bits(), "{fu} inputs");
+            assert_eq!(nl.outputs().len(), fu.output_bits(), "{fu} outputs");
+            for (a, b) in [(0u32, 0u32), (1, 2), (0x3F80_0000, 0x4000_0000), (0xDEAD_BEEF, 77)] {
+                let out = nl.evaluate(&fu.encode_operands(a, b));
+                assert_eq!(fu.decode_output(&out), fu.golden(a, b), "{fu}({a:#x}, {b:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_metadata() {
+        assert_eq!(FunctionalUnit::IntAdd.name(), "INT ADD");
+        assert!(FunctionalUnit::FpMul.is_float());
+        assert!(!FunctionalUnit::IntMul.is_float());
+        assert_eq!(FunctionalUnit::ALL.len(), 4);
+    }
+}

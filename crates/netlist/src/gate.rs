@@ -1,0 +1,265 @@
+//! Gate and net primitives of the netlist IR.
+
+use std::fmt;
+
+/// Identifier of a net (a single-bit signal).
+///
+/// Every net has exactly one driver, so a `NetId` doubles as the identifier
+/// of the gate (or primary input, or constant) that drives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of this net inside [`Netlist::gates`](crate::Netlist).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a raw index.
+    ///
+    /// Mostly useful when iterating over all nets of a
+    /// [`Netlist`](crate::Netlist) by index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The cell kinds of the library.
+///
+/// The set mirrors a small standard-cell library: simple one- and two-input
+/// cells plus the three compound cells (`Mux2`, `Maj3`, `Xor3`) that a
+/// commercial library would map full adders and selectors onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input; its value is applied externally at each cycle.
+    Input,
+    /// Constant logic `0`.
+    Const0,
+    /// Constant logic `1`.
+    Const1,
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Not,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input XNOR.
+    Xnor2,
+    /// Two-to-one multiplexer: inputs `[d0, d1, sel]`, `y = sel ? d1 : d0`.
+    Mux2,
+    /// Three-input majority (a full adder's carry): `y = ab | ac | bc`.
+    Maj3,
+    /// Three-input XOR (a full adder's sum): `y = a ^ b ^ c`.
+    Xor3,
+}
+
+impl GateKind {
+    /// Number of input pins of this cell kind.
+    #[inline]
+    pub fn arity(self) -> usize {
+        use GateKind::*;
+        match self {
+            Input | Const0 | Const1 => 0,
+            Buf | Not => 1,
+            And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 => 2,
+            Mux2 | Maj3 | Xor3 => 3,
+        }
+    }
+
+    /// Whether this kind is a real logic cell (as opposed to a primary input
+    /// or a constant tie cell).
+    #[inline]
+    pub fn is_cell(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Short lowercase cell name, as used in SDF files and statistics.
+    pub fn name(self) -> &'static str {
+        use GateKind::*;
+        match self {
+            Input => "input",
+            Const0 => "tie0",
+            Const1 => "tie1",
+            Buf => "buf",
+            Not => "inv",
+            And2 => "and2",
+            Or2 => "or2",
+            Nand2 => "nand2",
+            Nor2 => "nor2",
+            Xor2 => "xor2",
+            Xnor2 => "xnor2",
+            Mux2 => "mux2",
+            Maj3 => "maj3",
+            Xor3 => "xor3",
+        }
+    }
+
+    /// All gate kinds, in declaration order.
+    pub const ALL: [GateKind; 14] = [
+        GateKind::Input,
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+        GateKind::Maj3,
+        GateKind::Xor3,
+    ];
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One gate instance: a cell kind plus its input nets.
+///
+/// A gate drives exactly one net whose [`NetId`] equals the gate's position
+/// in the netlist, so no output field is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gate {
+    kind: GateKind,
+    ins: [NetId; 3],
+}
+
+impl Gate {
+    pub(crate) const NO_NET: NetId = NetId(u32::MAX);
+
+    pub(crate) fn new(kind: GateKind, ins: &[NetId]) -> Self {
+        debug_assert_eq!(kind.arity(), ins.len(), "gate arity mismatch for {kind}");
+        let mut fixed = [Self::NO_NET; 3];
+        fixed[..ins.len()].copy_from_slice(ins);
+        Gate { kind, ins: fixed }
+    }
+
+    /// The cell kind of this gate.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets of this gate, in pin order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.ins[..self.kind.arity()]
+    }
+
+    /// Computes this gate's output from its input pin values.
+    ///
+    /// `pins` must hold exactly [`GateKind::arity`] values in pin order.
+    /// Primary inputs have no defined logic function and evaluate to `false`
+    /// here; the simulator supplies their values externally.
+    #[inline]
+    pub fn eval(&self, pins: &[bool]) -> bool {
+        use GateKind::*;
+        match self.kind {
+            Input => false,
+            Const0 => false,
+            Const1 => true,
+            Buf => pins[0],
+            Not => !pins[0],
+            And2 => pins[0] & pins[1],
+            Or2 => pins[0] | pins[1],
+            Nand2 => !(pins[0] & pins[1]),
+            Nor2 => !(pins[0] | pins[1]),
+            Xor2 => pins[0] ^ pins[1],
+            Xnor2 => !(pins[0] ^ pins[1]),
+            Mux2 => {
+                if pins[2] {
+                    pins[1]
+                } else {
+                    pins[0]
+                }
+            }
+            Maj3 => (pins[0] & pins[1]) | (pins[0] & pins[2]) | (pins[1] & pins[2]),
+            Xor3 => pins[0] ^ pins[1] ^ pins[2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_inputs() {
+        for kind in GateKind::ALL {
+            assert!(kind.arity() <= 3, "{kind} arity too large");
+        }
+        assert_eq!(GateKind::Mux2.arity(), 3);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Input.arity(), 0);
+    }
+
+    fn eval(kind: GateKind, pins: &[bool]) -> bool {
+        let ids: Vec<NetId> = (0..pins.len()).map(|i| NetId(i as u32)).collect();
+        Gate::new(kind, &ids).eval(pins)
+    }
+
+    #[test]
+    fn truth_tables() {
+        use GateKind::*;
+        for a in [false, true] {
+            assert_eq!(eval(Buf, &[a]), a);
+            assert_eq!(eval(Not, &[a]), !a);
+            for b in [false, true] {
+                assert_eq!(eval(And2, &[a, b]), a & b);
+                assert_eq!(eval(Or2, &[a, b]), a | b);
+                assert_eq!(eval(Nand2, &[a, b]), !(a & b));
+                assert_eq!(eval(Nor2, &[a, b]), !(a | b));
+                assert_eq!(eval(Xor2, &[a, b]), a ^ b);
+                assert_eq!(eval(Xnor2, &[a, b]), !(a ^ b));
+                for c in [false, true] {
+                    assert_eq!(eval(Mux2, &[a, b, c]), if c { b } else { a });
+                    assert_eq!(eval(Maj3, &[a, b, c]), (a & b) | (a & c) | (b & c));
+                    assert_eq!(eval(Xor3, &[a, b, c]), a ^ b ^ c);
+                }
+            }
+        }
+        assert!(!eval(Const0, &[]));
+        assert!(eval(Const1, &[]));
+    }
+
+    #[test]
+    fn maj3_equals_full_adder_carry() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let carry = (a as u8 + b as u8 + c as u8) >= 2;
+                    assert_eq!(eval(GateKind::Maj3, &[a, b, c]), carry);
+                    let sum = (a as u8 + b as u8 + c as u8) % 2 == 1;
+                    assert_eq!(eval(GateKind::Xor3, &[a, b, c]), sum);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GateKind::Nand2.to_string(), "nand2");
+        assert_eq!(NetId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,40 @@
+//! Gate-level netlist IR and functional-unit generators for the TEVoT
+//! (DAC 2020) reproduction.
+//!
+//! The paper characterizes *dynamic delay* — the arrival time of the last
+//! output toggle in a cycle — of four functional units under voltage and
+//! temperature variation. That requires real gate-level circuits whose
+//! sensitized path length depends on the operands. This crate provides:
+//!
+//! * a compact combinational netlist IR ([`Netlist`], [`Gate`],
+//!   [`GateKind`], [`NetId`]) with gates stored in topological order;
+//! * an incremental [`NetlistBuilder`] plus word-level combinators in
+//!   [`words`] (adders, shifters, reduction trees, normalizers);
+//! * generators for the paper's four functional units in [`fu`]: 32-bit
+//!   integer add/multiply and IEEE-754 single-precision add/multiply,
+//!   together with bit-exact software reference models.
+//!
+//! # Examples
+//!
+//! Build the integer adder and evaluate it functionally:
+//!
+//! ```
+//! use tevot_netlist::fu::FunctionalUnit;
+//!
+//! let fu = FunctionalUnit::IntAdd;
+//! let netlist = fu.build();
+//! let out = netlist.evaluate(&fu.encode_operands(40, 2));
+//! assert_eq!(fu.decode_output(&out), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod fu;
+mod gate;
+mod netlist;
+pub mod words;
+
+pub use builder::NetlistBuilder;
+pub use gate::{Gate, GateKind, NetId};
+pub use netlist::{FanoutCsr, Netlist, NetlistStats, PortGroup};

@@ -1,0 +1,388 @@
+//! The [`Netlist`] container: a combinational gate-level circuit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::{Gate, GateKind, NetId};
+
+/// A named group of nets forming a port (bus) of the circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortGroup {
+    name: String,
+    nets: Vec<NetId>,
+}
+
+impl PortGroup {
+    pub(crate) fn new(name: impl Into<String>, nets: Vec<NetId>) -> Self {
+        PortGroup { name: name.into(), nets }
+    }
+
+    /// Port name, e.g. `"a"` or `"sum"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nets of the bus, least-significant bit first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Bus width in bits.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+/// A combinational gate-level circuit.
+///
+/// Gates are stored in topological order by construction (a
+/// [`NetlistBuilder`](crate::NetlistBuilder) can only reference nets that
+/// already exist), so evaluation, static timing analysis and simulation all
+/// run as a single forward pass over `gates`.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let sum = b.xor(a, c);
+/// let carry = b.and(a, c);
+/// b.output("sum", sum);
+/// b.output("carry", carry);
+/// let nl = b.finish();
+///
+/// assert_eq!(nl.evaluate(&[true, true]), vec![false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<NetId>,
+    pub(crate) input_ports: Vec<PortGroup>,
+    pub(crate) output_ports: Vec<PortGroup>,
+}
+
+impl Netlist {
+    /// Name given to the circuit at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates (including primary inputs and tie cells) in topological
+    /// order. Gate `i` drives net `i`.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving `net`.
+    pub fn gate(&self, net: NetId) -> &Gate {
+        &self.gates[net.index()]
+    }
+
+    /// Total number of nets (== number of gates).
+    pub fn num_nets(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of real logic cells (excluding primary inputs and ties).
+    pub fn num_cells(&self) -> usize {
+        self.gates.iter().filter(|g| g.kind().is_cell()).count()
+    }
+
+    /// Primary-input nets in declaration order (bus LSB first).
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary-output nets in declaration order (bus LSB first).
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Named input buses.
+    pub fn input_ports(&self) -> &[PortGroup] {
+        &self.input_ports
+    }
+
+    /// Named output buses.
+    pub fn output_ports(&self) -> &[PortGroup] {
+        &self.output_ports
+    }
+
+    /// Zero-delay functional evaluation: applies `inputs` (one `bool` per
+    /// primary input, in [`Self::inputs`] order) and returns the settled
+    /// primary-output values in [`Self::outputs`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.evaluate_nets(inputs);
+        self.outputs.iter().map(|&n| values[n.index()]).collect()
+    }
+
+    /// Zero-delay functional evaluation returning the value of *every* net.
+    ///
+    /// Useful for initializing a timing simulation or inspecting internal
+    /// signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate_nets(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "netlist {} expects {} input bits, got {}",
+            self.name,
+            self.inputs.len(),
+            inputs.len()
+        );
+        let mut values = vec![false; self.gates.len()];
+        for (&net, &v) in self.inputs.iter().zip(inputs) {
+            values[net.index()] = v;
+        }
+        let mut pins = [false; 3];
+        for (i, gate) in self.gates.iter().enumerate() {
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let ins = gate.inputs();
+            for (p, &n) in ins.iter().enumerate() {
+                pins[p] = values[n.index()];
+            }
+            values[i] = gate.eval(&pins[..ins.len()]);
+        }
+        values
+    }
+
+    /// Number of loads (fanout) of each net. Nets that feed a primary
+    /// output register count that sink as one load.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.gates.len()];
+        for gate in &self.gates {
+            for &n in gate.inputs() {
+                counts[n.index()] += 1;
+            }
+        }
+        for &n in &self.outputs {
+            counts[n.index()] += 1;
+        }
+        counts
+    }
+
+    /// Fanout adjacency in compressed sparse row form: for net `n`, the
+    /// gates it feeds are `sinks[offsets[n]..offsets[n + 1]]`.
+    pub fn fanout_csr(&self) -> FanoutCsr {
+        let mut counts = vec![0u32; self.gates.len()];
+        for gate in &self.gates {
+            for &n in gate.inputs() {
+                counts[n.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(self.gates.len() + 1);
+        let mut acc = 0u32;
+        for &c in &counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        offsets.push(acc);
+        let mut cursor = offsets.clone();
+        let mut sinks = vec![0u32; acc as usize];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for &n in gate.inputs() {
+                let slot = cursor[n.index()];
+                sinks[slot as usize] = gi as u32;
+                cursor[n.index()] += 1;
+            }
+        }
+        FanoutCsr { offsets, sinks }
+    }
+
+    /// Logic depth: the maximum number of cells on any input-to-output path.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        let mut max = 0;
+        for (i, gate) in self.gates.iter().enumerate() {
+            if !gate.kind().is_cell() {
+                continue;
+            }
+            let l = 1 + gate.inputs().iter().map(|n| level[n.index()]).max().unwrap_or(0);
+            level[i] = l;
+            max = max.max(l);
+        }
+        max
+    }
+
+    /// Per-kind cell counts plus totals.
+    pub fn stats(&self) -> NetlistStats {
+        let mut per_kind = BTreeMap::new();
+        for gate in &self.gates {
+            *per_kind.entry(gate.kind().name()).or_insert(0usize) += 1;
+        }
+        NetlistStats {
+            name: self.name.clone(),
+            num_nets: self.num_nets(),
+            num_cells: self.num_cells(),
+            depth: self.depth(),
+            per_kind,
+        }
+    }
+
+    /// Checks structural invariants: topological ordering, pin arity, and
+    /// port references. Returns a description of the first violation.
+    ///
+    /// Netlists produced by [`NetlistBuilder`](crate::NetlistBuilder) always
+    /// pass; this is a safety net for hand-assembled or deserialized data.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, gate) in self.gates.iter().enumerate() {
+            for &n in gate.inputs() {
+                if n.index() >= i {
+                    return Err(format!(
+                        "gate {i} ({}) reads net {n} that is not before it",
+                        gate.kind()
+                    ));
+                }
+            }
+        }
+        for &n in &self.inputs {
+            if n.index() >= self.gates.len() {
+                return Err(format!("primary input {n} out of range"));
+            }
+            if self.gates[n.index()].kind() != GateKind::Input {
+                return Err(format!("primary input {n} is not driven by an input gate"));
+            }
+        }
+        for &n in &self.outputs {
+            if n.index() >= self.gates.len() {
+                return Err(format!("primary output {n} out of range"));
+            }
+        }
+        let declared: usize = self.input_ports.iter().map(PortGroup::width).sum();
+        if declared != self.inputs.len() {
+            return Err("input port groups do not cover all primary inputs".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fanout adjacency of a [`Netlist`] in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct FanoutCsr {
+    offsets: Vec<u32>,
+    sinks: Vec<u32>,
+}
+
+impl FanoutCsr {
+    /// Gates fed by `net`.
+    #[inline]
+    pub fn sinks(&self, net: NetId) -> &[u32] {
+        let lo = self.offsets[net.index()] as usize;
+        let hi = self.offsets[net.index() + 1] as usize;
+        &self.sinks[lo..hi]
+    }
+}
+
+/// Summary statistics of a netlist, as produced by [`Netlist::stats`].
+#[derive(Debug, Clone)]
+pub struct NetlistStats {
+    /// Circuit name.
+    pub name: String,
+    /// Total nets (gates + inputs + ties).
+    pub num_nets: usize,
+    /// Logic cells only.
+    pub num_cells: usize,
+    /// Maximum logic depth in cells.
+    pub depth: usize,
+    /// Instance count per cell kind name.
+    pub per_kind: BTreeMap<&'static str, usize>,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} cells, {} nets, depth {}",
+            self.name, self.num_cells, self.num_nets, self.depth
+        )?;
+        for (kind, count) in &self.per_kind {
+            writeln!(f, "  {kind:>6}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn evaluate_full_adder() {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("cin");
+        let s = b.xor3(a, x, c);
+        let co = b.maj(a, x, c);
+        b.output("s", s);
+        b.output("co", co);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        for bits in 0..8u8 {
+            let (a, x, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            let total = a as u8 + x as u8 + c as u8;
+            let out = nl.evaluate(&[a, x, c]);
+            assert_eq!(out[0], total % 2 == 1, "sum for {bits:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn fanout_counts_and_csr_agree() {
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let x = b.input("b");
+        let y = b.and(a, x);
+        let z = b.or(a, y);
+        b.output("z", z);
+        let nl = b.finish();
+        let counts = nl.fanout_counts();
+        // `a` feeds the AND and the OR.
+        assert_eq!(counts[a.index()], 2);
+        // `z` feeds only the output register.
+        assert_eq!(counts[z.index()], 1);
+        let csr = nl.fanout_csr();
+        assert_eq!(csr.sinks(a).len(), 2);
+        // CSR tracks gate sinks only, not the output register.
+        assert_eq!(csr.sinks(z).len(), 0);
+    }
+
+    #[test]
+    fn depth_counts_cells() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let mut x = a;
+        for _ in 0..5 {
+            x = b.not(x);
+        }
+        b.output("y", x);
+        let nl = b.finish();
+        assert_eq!(nl.depth(), 5);
+    }
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish();
+        let s = nl.stats();
+        assert_eq!(s.num_cells, 1);
+        assert!(s.to_string().contains("inv"));
+    }
+}

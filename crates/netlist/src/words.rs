@@ -1,0 +1,653 @@
+//! Word-level circuit combinators.
+//!
+//! All functions operate on *buses*: slices of [`NetId`] ordered
+//! least-significant bit first. They append gates to a
+//! [`NetlistBuilder`] and return the nets of the result.
+//!
+//! # Panics
+//!
+//! Unless stated otherwise, functions taking two buses panic when the bus
+//! widths differ, and all functions panic when handed an empty bus; both are
+//! construction bugs.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::NetId;
+
+fn check_same_width(xs: &[NetId], ys: &[NetId], op: &str) {
+    assert_eq!(xs.len(), ys.len(), "{op}: bus widths differ ({} vs {})", xs.len(), ys.len());
+    assert!(!xs.is_empty(), "{op}: empty bus");
+}
+
+/// Emits a constant bus holding `value` (least-significant bit first).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 128, or if `value` does not fit.
+pub fn const_bus(b: &mut NetlistBuilder, value: u128, width: usize) -> Vec<NetId> {
+    assert!(width > 0 && width <= 128, "const_bus width {width} out of range");
+    if width < 128 {
+        assert!(value < (1u128 << width), "const_bus value does not fit in {width} bits");
+    }
+    (0..width).map(|i| b.constant(value >> i & 1 == 1)).collect()
+}
+
+/// Bitwise NOT of a bus.
+pub fn not_bus(b: &mut NetlistBuilder, xs: &[NetId]) -> Vec<NetId> {
+    xs.iter().map(|&x| b.not(x)).collect()
+}
+
+/// Element-wise AND of two equal-width buses.
+pub fn and_bus(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> Vec<NetId> {
+    check_same_width(xs, ys, "and_bus");
+    xs.iter().zip(ys).map(|(&x, &y)| b.and(x, y)).collect()
+}
+
+/// Element-wise OR of two equal-width buses.
+pub fn or_bus(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> Vec<NetId> {
+    check_same_width(xs, ys, "or_bus");
+    xs.iter().zip(ys).map(|(&x, &y)| b.or(x, y)).collect()
+}
+
+/// Element-wise XOR of two equal-width buses.
+pub fn xor_bus(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> Vec<NetId> {
+    check_same_width(xs, ys, "xor_bus");
+    xs.iter().zip(ys).map(|(&x, &y)| b.xor(x, y)).collect()
+}
+
+/// ANDs every bit of `xs` with the single net `bit` (bus masking).
+pub fn mask_bus(b: &mut NetlistBuilder, xs: &[NetId], bit: NetId) -> Vec<NetId> {
+    xs.iter().map(|&x| b.and(x, bit)).collect()
+}
+
+/// Bus-wide 2:1 multiplexer: `sel ? when1 : when0`.
+pub fn mux_bus(b: &mut NetlistBuilder, sel: NetId, when0: &[NetId], when1: &[NetId]) -> Vec<NetId> {
+    check_same_width(when0, when1, "mux_bus");
+    when0.iter().zip(when1).map(|(&d0, &d1)| b.mux(sel, d0, d1)).collect()
+}
+
+/// Half adder: returns `(sum, carry)`.
+pub fn half_adder(b: &mut NetlistBuilder, x: NetId, y: NetId) -> (NetId, NetId) {
+    (b.xor(x, y), b.and(x, y))
+}
+
+/// Full adder mapped onto the library's compound cells: `(sum, carry)`.
+pub fn full_adder(b: &mut NetlistBuilder, x: NetId, y: NetId, c: NetId) -> (NetId, NetId) {
+    (b.xor3(x, y, c), b.maj(x, y, c))
+}
+
+/// Ripple-carry adder: `xs + ys + cin`, returning `(sum, carry_out)`.
+///
+/// The classic workload-sensitive adder: its sensitized path length equals
+/// the longest carry chain of the actual operands, which is what makes
+/// dynamic delay depend so strongly on input data (paper Sec. III).
+pub fn rca_add(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+    check_same_width(xs, ys, "rca_add");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(xs.len());
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (s, c) = full_adder(b, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Ripple-borrow subtractor: `xs - ys`, returning `(difference, not_borrow)`.
+///
+/// `not_borrow` is high iff `xs >= ys`, making this the canonical unsigned
+/// comparator as well.
+pub fn rca_sub(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> (Vec<NetId>, NetId) {
+    check_same_width(xs, ys, "rca_sub");
+    let ny = not_bus(b, ys);
+    let one = b.constant(true);
+    rca_add(b, xs, &ny, one)
+}
+
+/// Carry-lookahead adder with 4-bit blocks: `xs + ys + cin`.
+///
+/// Internally each block still derives its bit carries with the
+/// `c[i+1] = g[i] | p[i]c[i]` recurrence, but the inter-block carry skips
+/// ahead through block generate/propagate terms, flattening the worst-case
+/// carry chain from `W` to roughly `W/4` cells.
+pub fn cla_add(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+    check_same_width(xs, ys, "cla_add");
+    let w = xs.len();
+    let p: Vec<NetId> = xs.iter().zip(ys).map(|(&x, &y)| b.xor(x, y)).collect();
+    let g: Vec<NetId> = xs.iter().zip(ys).map(|(&x, &y)| b.and(x, y)).collect();
+    let mut sum = Vec::with_capacity(w);
+    let mut block_cin = cin;
+    let mut lo = 0;
+    while lo < w {
+        let hi = (lo + 4).min(w);
+        // Block generate/propagate (computed in parallel with the ripple).
+        let mut bp = p[lo];
+        let mut bg = g[lo];
+        for i in lo + 1..hi {
+            bp = b.and(bp, p[i]);
+            let t = b.and(p[i], bg);
+            bg = b.or(g[i], t);
+        }
+        // Bit carries within the block ripple from the block carry-in.
+        let mut c = block_cin;
+        for i in lo..hi {
+            sum.push(b.xor(p[i], c));
+            if i + 1 < hi {
+                let t = b.and(p[i], c);
+                c = b.or(g[i], t);
+            }
+        }
+        // Next block's carry-in skips through (bg, bp).
+        let t = b.and(bp, block_cin);
+        block_cin = b.or(bg, t);
+        lo = hi;
+    }
+    (sum, block_cin)
+}
+
+/// Kogge-Stone parallel-prefix adder: `xs + ys + cin`.
+///
+/// Carry depth is `log2(W)` prefix levels regardless of the operands'
+/// carry-propagate run lengths — the topology timing-driven synthesis
+/// converges to, and the reason synthesized adders show no extreme
+/// data-dependent delay outliers.
+pub fn kogge_stone_add(
+    b: &mut NetlistBuilder,
+    xs: &[NetId],
+    ys: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    check_same_width(xs, ys, "kogge_stone_add");
+    let w = xs.len();
+    let p0: Vec<NetId> = xs.iter().zip(ys).map(|(&x, &y)| b.xor(x, y)).collect();
+    // Fold the carry-in into bit 0's generate/propagate pair.
+    let mut g: Vec<NetId> = xs.iter().zip(ys).map(|(&x, &y)| b.and(x, y)).collect();
+    let mut p = p0.clone();
+    {
+        let t = b.and(p[0], cin);
+        g[0] = b.or(g[0], t);
+        let zero = b.constant(false);
+        p[0] = zero;
+    }
+    let mut k = 1;
+    while k < w {
+        let mut next_g = g.clone();
+        let mut next_p = p.clone();
+        for i in k..w {
+            let t = b.and(p[i], g[i - k]);
+            next_g[i] = b.or(g[i], t);
+            next_p[i] = b.and(p[i], p[i - k]);
+        }
+        g = next_g;
+        p = next_p;
+        k <<= 1;
+    }
+    // Carry into bit i is the group generate of bits 0..i.
+    let mut sum = Vec::with_capacity(w);
+    sum.push(b.xor(p0[0], cin));
+    for i in 1..w {
+        sum.push(b.xor(p0[i], g[i - 1]));
+    }
+    (sum, g[w - 1])
+}
+
+/// Carry-save reduction of equal-width addend rows into a redundant
+/// `(sum, carry)` pair, where `carry` carries weight `j + 1` at index `j`
+/// (add it left-shifted by one to materialize the result).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or the rows have differing widths.
+pub fn csa_reduce(b: &mut NetlistBuilder, rows: &[Vec<NetId>]) -> (Vec<NetId>, Vec<NetId>) {
+    assert!(!rows.is_empty(), "csa_reduce: no rows");
+    let w = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == w), "csa_reduce: row widths differ");
+    let zero = b.constant(false);
+    let mut acc_s = rows[0].clone();
+    let mut acc_c = vec![zero; w];
+    for row in &rows[1..] {
+        let mut next_s = Vec::with_capacity(w);
+        let mut next_c = Vec::with_capacity(w);
+        for j in 0..w {
+            let carry_in = if j > 0 { acc_c[j - 1] } else { zero };
+            let (s, c) = full_adder(b, acc_s[j], carry_in, row[j]);
+            next_s.push(s);
+            next_c.push(c);
+        }
+        acc_s = next_s;
+        acc_c = next_c;
+    }
+    (acc_s, acc_c)
+}
+
+/// Kogge-Stone subtractor: `xs - ys`, returning `(difference, not_borrow)`
+/// with the same semantics as [`rca_sub`] but logarithmic carry depth.
+pub fn kogge_stone_sub(
+    b: &mut NetlistBuilder,
+    xs: &[NetId],
+    ys: &[NetId],
+) -> (Vec<NetId>, NetId) {
+    check_same_width(xs, ys, "kogge_stone_sub");
+    let ny = not_bus(b, ys);
+    let one = b.constant(true);
+    kogge_stone_add(b, xs, &ny, one)
+}
+
+/// Ripple incrementer: `xs + 1`, returning `(sum, carry_out)`. Carry depth
+/// grows with the length of the low-order run of ones; prefer
+/// [`prefix_incrementer`] inside balanced datapaths.
+pub fn incrementer(b: &mut NetlistBuilder, xs: &[NetId]) -> (Vec<NetId>, NetId) {
+    assert!(!xs.is_empty(), "incrementer: empty bus");
+    let mut carry = b.constant(true);
+    let mut sum = Vec::with_capacity(xs.len());
+    for &x in xs {
+        let (s, c) = half_adder(b, x, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Parallel-prefix incrementer: `xs + 1` with `log2(W)` carry depth
+/// (the carry into bit `i` is the AND of bits `0..i`, computed as a
+/// Kogge-Stone-style prefix-AND tree).
+pub fn prefix_incrementer(b: &mut NetlistBuilder, xs: &[NetId]) -> (Vec<NetId>, NetId) {
+    assert!(!xs.is_empty(), "prefix_incrementer: empty bus");
+    let w = xs.len();
+    // prefix[i] = AND of xs[0..=i].
+    let mut prefix = xs.to_vec();
+    let mut k = 1;
+    while k < w {
+        for i in (k..w).rev() {
+            prefix[i] = b.and(prefix[i], prefix[i - k]);
+        }
+        k <<= 1;
+    }
+    let mut sum = Vec::with_capacity(w);
+    sum.push(b.not(xs[0]));
+    for i in 1..w {
+        sum.push(b.xor(xs[i], prefix[i - 1]));
+    }
+    (sum, prefix[w - 1])
+}
+
+/// Balanced OR-reduction tree over a bus.
+pub fn or_reduce(b: &mut NetlistBuilder, xs: &[NetId]) -> NetId {
+    reduce(b, xs, NetlistBuilder::or)
+}
+
+/// Balanced AND-reduction tree over a bus.
+pub fn and_reduce(b: &mut NetlistBuilder, xs: &[NetId]) -> NetId {
+    reduce(b, xs, NetlistBuilder::and)
+}
+
+fn reduce(
+    b: &mut NetlistBuilder,
+    xs: &[NetId],
+    mut op: impl FnMut(&mut NetlistBuilder, NetId, NetId) -> NetId,
+) -> NetId {
+    assert!(!xs.is_empty(), "reduce: empty bus");
+    let mut level = xs.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(if pair.len() == 2 { op(b, pair[0], pair[1]) } else { pair[0] });
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// High iff the bus value is zero.
+pub fn is_zero(b: &mut NetlistBuilder, xs: &[NetId]) -> NetId {
+    let any = or_reduce(b, xs);
+    b.not(any)
+}
+
+/// Zero-extends a bus to `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width` is smaller than the bus.
+pub fn zero_extend(b: &mut NetlistBuilder, xs: &[NetId], width: usize) -> Vec<NetId> {
+    assert!(width >= xs.len(), "zero_extend: target narrower than bus");
+    let zero = b.constant(false);
+    let mut out = xs.to_vec();
+    out.resize(width, zero);
+    out
+}
+
+/// Logical barrel shifter right by a variable amount, collecting the OR of
+/// all shifted-out bits into a *sticky* flag (IEEE-754 alignment-shift
+/// idiom).
+///
+/// `amount` is an LSB-first bus; shifts up to `2^amount.len() - 1` are
+/// representable, and shifting by at least the bus width yields an all-zero
+/// bus with the sticky flag set iff the input was non-zero.
+pub fn shift_right_sticky(
+    b: &mut NetlistBuilder,
+    xs: &[NetId],
+    amount: &[NetId],
+) -> (Vec<NetId>, NetId) {
+    assert!(!xs.is_empty() && !amount.is_empty(), "shift_right_sticky: empty bus");
+    let zero = b.constant(false);
+    let mut cur = xs.to_vec();
+    let mut sticky = zero;
+    for (j, &abit) in amount.iter().enumerate() {
+        let k = 1usize << j;
+        if k >= cur.len() {
+            // Shifting by k wipes the whole word.
+            let lost = or_reduce(b, &cur);
+            let lost_now = b.and(lost, abit);
+            sticky = b.or(sticky, lost_now);
+            let zeros = vec![zero; cur.len()];
+            cur = mux_bus(b, abit, &cur, &zeros);
+            continue;
+        }
+        let shifted: Vec<NetId> = (0..cur.len())
+            .map(|i| if i + k < cur.len() { cur[i + k] } else { zero })
+            .collect();
+        let lost = or_reduce(b, &cur[..k]);
+        let lost_now = b.and(lost, abit);
+        sticky = b.or(sticky, lost_now);
+        cur = mux_bus(b, abit, &cur, &shifted);
+    }
+    (cur, sticky)
+}
+
+/// Logical barrel shifter left by a variable amount (LSB-first `amount`).
+pub fn shift_left(b: &mut NetlistBuilder, xs: &[NetId], amount: &[NetId]) -> Vec<NetId> {
+    assert!(!xs.is_empty() && !amount.is_empty(), "shift_left: empty bus");
+    let zero = b.constant(false);
+    let mut cur = xs.to_vec();
+    for (j, &abit) in amount.iter().enumerate() {
+        let k = 1usize << j;
+        let shifted: Vec<NetId> = (0..cur.len())
+            .map(|i| if i >= k { cur[i - k] } else { zero })
+            .collect();
+        cur = mux_bus(b, abit, &cur, &shifted);
+    }
+    cur
+}
+
+/// Left-normalizes a bus: shifts left until the most-significant bit is set,
+/// returning `(normalized, shift_amount)` with the shift amount LSB first.
+///
+/// This is the combined leading-zero-count + barrel-shift idiom used by
+/// floating-point normalization. For an all-zero input the shift amount
+/// saturates; callers must handle the zero case via a separate flag.
+pub fn normalize_left(b: &mut NetlistBuilder, xs: &[NetId]) -> (Vec<NetId>, Vec<NetId>) {
+    assert!(!xs.is_empty(), "normalize_left: empty bus");
+    let w = xs.len();
+    let mut stages = Vec::new();
+    let mut k = 1usize;
+    while k < w {
+        stages.push(k);
+        k <<= 1;
+    }
+    let zero = b.constant(false);
+    let mut cur = xs.to_vec();
+    let mut amount = vec![zero; stages.len()];
+    for (&k, slot) in stages.iter().rev().zip((0..stages.len()).rev()) {
+        // Top k bits all zero?
+        let top_any = or_reduce(b, &cur[w - k..]);
+        let do_shift = b.not(top_any);
+        let shifted: Vec<NetId> = (0..w).map(|i| if i >= k { cur[i - k] } else { zero }).collect();
+        cur = mux_bus(b, do_shift, &cur, &shifted);
+        amount[slot] = do_shift;
+    }
+    (cur, amount)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn to_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| value >> i & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn const_bus_roundtrip() {
+        let mut b = NetlistBuilder::new("c");
+        let bus = const_bus(&mut b, 0b1011, 4);
+        b.output_bus("v", &bus);
+        let nl = b.finish();
+        assert_eq!(from_bits(&nl.evaluate(&[])), 0b1011);
+    }
+
+    #[test]
+    fn rca_add_matches_arithmetic() {
+        let mut b = NetlistBuilder::new("add8");
+        let xs = b.input_bus("a", 8);
+        let ys = b.input_bus("b", 8);
+        let zero = b.constant(false);
+        let (sum, cout) = rca_add(&mut b, &xs, &ys, zero);
+        b.output_bus("s", &sum);
+        b.output("c", cout);
+        let nl = b.finish();
+        for (a, c) in [(0u64, 0u64), (255, 1), (170, 85), (200, 100), (255, 255)] {
+            let mut input = to_bits(a, 8);
+            input.extend(to_bits(c, 8));
+            let out = nl.evaluate(&input);
+            let got = from_bits(&out);
+            assert_eq!(got, a + c, "{a} + {c}");
+        }
+    }
+
+    #[test]
+    fn kogge_stone_matches_arithmetic() {
+        let mut b = NetlistBuilder::new("ks11");
+        let xs = b.input_bus("a", 11);
+        let ys = b.input_bus("b", 11);
+        let cin = b.input("cin");
+        let (sum, cout) = kogge_stone_add(&mut b, &xs, &ys, cin);
+        b.output_bus("s", &sum);
+        b.output("c", cout);
+        let nl = b.finish();
+        for (a, c) in [(0u64, 0u64), (2047, 1), (1024, 1024), (1365, 682), (2047, 2047), (99, 1900)]
+        {
+            for carry in [0u64, 1] {
+                let mut input = to_bits(a, 11);
+                input.extend(to_bits(c, 11));
+                input.push(carry == 1);
+                let got = from_bits(&nl.evaluate(&input));
+                assert_eq!(got, a + c + carry, "{a} + {c} + {carry}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallow() {
+        let build = |ks: bool| {
+            let mut b = NetlistBuilder::new("d");
+            let xs = b.input_bus("a", 32);
+            let ys = b.input_bus("b", 32);
+            let zero = b.constant(false);
+            let (sum, cout) = if ks {
+                kogge_stone_add(&mut b, &xs, &ys, zero)
+            } else {
+                rca_add(&mut b, &xs, &ys, zero)
+            };
+            b.output_bus("s", &sum);
+            b.output("c", cout);
+            b.finish().depth()
+        };
+        let ks_depth = build(true);
+        let rca_depth = build(false);
+        assert!(ks_depth * 2 < rca_depth, "KS depth {ks_depth} vs RCA {rca_depth}");
+        assert!(ks_depth <= 14, "KS depth {ks_depth} should be ~2 log2(32) + setup");
+    }
+
+    #[test]
+    fn cla_add_matches_rca() {
+        let mut b = NetlistBuilder::new("cla13");
+        let xs = b.input_bus("a", 13);
+        let ys = b.input_bus("b", 13);
+        let zero = b.constant(false);
+        let (sum, cout) = cla_add(&mut b, &xs, &ys, zero);
+        b.output_bus("s", &sum);
+        b.output("c", cout);
+        let nl = b.finish();
+        for (a, c) in [(0u64, 0), (8191, 1), (4096, 4096), (5461, 2730), (8191, 8191), (123, 7000)] {
+            let mut input = to_bits(a, 13);
+            input.extend(to_bits(c, 13));
+            let got = from_bits(&nl.evaluate(&input));
+            assert_eq!(got, a + c, "{a} + {c}");
+        }
+    }
+
+    #[test]
+    fn rca_sub_compares() {
+        let mut b = NetlistBuilder::new("sub8");
+        let xs = b.input_bus("a", 8);
+        let ys = b.input_bus("b", 8);
+        let (diff, ge) = rca_sub(&mut b, &xs, &ys);
+        b.output_bus("d", &diff);
+        b.output("ge", ge);
+        let nl = b.finish();
+        for (a, c) in [(10u64, 3u64), (3, 10), (200, 200), (0, 255), (255, 0)] {
+            let mut input = to_bits(a, 8);
+            input.extend(to_bits(c, 8));
+            let out = nl.evaluate(&input);
+            assert_eq!(from_bits(&out[..8]), a.wrapping_sub(c) & 0xFF, "{a} - {c}");
+            assert_eq!(out[8], a >= c, "ge({a},{c})");
+        }
+    }
+
+    #[test]
+    fn prefix_incrementer_matches_ripple() {
+        let mut b = NetlistBuilder::new("pinc9");
+        let xs = b.input_bus("a", 9);
+        let (sum, cout) = prefix_incrementer(&mut b, &xs);
+        b.output_bus("s", &sum);
+        b.output("c", cout);
+        let nl = b.finish();
+        for a in 0..512u64 {
+            let out = nl.evaluate(&to_bits(a, 9));
+            assert_eq!(from_bits(&out[..9]), (a + 1) & 0x1FF, "{a} + 1");
+            assert_eq!(out[9], a == 511);
+        }
+    }
+
+    #[test]
+    fn incrementer_wraps() {
+        let mut b = NetlistBuilder::new("inc4");
+        let xs = b.input_bus("a", 4);
+        let (sum, cout) = incrementer(&mut b, &xs);
+        b.output_bus("s", &sum);
+        b.output("c", cout);
+        let nl = b.finish();
+        for a in 0..16u64 {
+            let out = nl.evaluate(&to_bits(a, 4));
+            assert_eq!(from_bits(&out[..4]), (a + 1) & 0xF);
+            assert_eq!(out[4], a == 15);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let mut b = NetlistBuilder::new("red");
+        let xs = b.input_bus("a", 5);
+        let any = or_reduce(&mut b, &xs);
+        let all = and_reduce(&mut b, &xs);
+        let zero = is_zero(&mut b, &xs);
+        b.output("any", any);
+        b.output("all", all);
+        b.output("zero", zero);
+        let nl = b.finish();
+        for v in [0u64, 1, 16, 31, 21] {
+            let out = nl.evaluate(&to_bits(v, 5));
+            assert_eq!(out[0], v != 0);
+            assert_eq!(out[1], v == 31);
+            assert_eq!(out[2], v == 0);
+        }
+    }
+
+    #[test]
+    fn shift_right_sticky_matches_reference() {
+        let mut b = NetlistBuilder::new("shr");
+        let xs = b.input_bus("a", 12);
+        let amt = b.input_bus("k", 4);
+        let (out, sticky) = shift_right_sticky(&mut b, &xs, &amt);
+        b.output_bus("o", &out);
+        b.output("sticky", sticky);
+        let nl = b.finish();
+        for v in [0u64, 1, 0xABC, 0xFFF, 0x801] {
+            for k in 0..16u64 {
+                let mut input = to_bits(v, 12);
+                input.extend(to_bits(k, 4));
+                let res = nl.evaluate(&input);
+                let expect = if k >= 12 { 0 } else { v >> k };
+                let lost = v & ((1u64 << k.min(12)) - 1).wrapping_add(0);
+                assert_eq!(from_bits(&res[..12]), expect, "{v:#x} >> {k}");
+                assert_eq!(res[12], lost != 0, "sticky for {v:#x} >> {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_left_matches_reference() {
+        let mut b = NetlistBuilder::new("shl");
+        let xs = b.input_bus("a", 12);
+        let amt = b.input_bus("k", 4);
+        let out = shift_left(&mut b, &xs, &amt);
+        b.output_bus("o", &out);
+        let nl = b.finish();
+        for v in [0u64, 1, 0xABC, 0xFFF] {
+            for k in 0..16u64 {
+                let mut input = to_bits(v, 12);
+                input.extend(to_bits(k, 4));
+                let res = nl.evaluate(&input);
+                let expect = if k >= 12 { 0 } else { (v << k) & 0xFFF };
+                assert_eq!(from_bits(&res), expect, "{v:#x} << {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_left_sets_msb() {
+        let mut b = NetlistBuilder::new("norm");
+        let xs = b.input_bus("a", 11);
+        let (out, amount) = normalize_left(&mut b, &xs);
+        b.output_bus("o", &out);
+        b.output_bus("k", &amount);
+        let nl = b.finish();
+        for v in [1u64, 2, 3, 0x400, 0x3FF, 0x155, 0x7] {
+            let res = nl.evaluate(&to_bits(v, 11));
+            let lz = 10 - (63 - v.leading_zeros() as u64);
+            let shifted = from_bits(&res[..11]);
+            let amount = from_bits(&res[11..]);
+            assert_eq!(amount, lz, "lzc of {v:#x}");
+            assert_eq!(shifted, (v << lz) & 0x7FF, "normalized {v:#x}");
+            assert!(shifted & 0x400 != 0, "msb set for {v:#x}");
+        }
+    }
+
+    #[test]
+    fn mask_and_mux() {
+        let mut b = NetlistBuilder::new("mm");
+        let xs = b.input_bus("a", 3);
+        let ys = b.input_bus("b", 3);
+        let sel = b.input("s");
+        let masked = mask_bus(&mut b, &xs, sel);
+        let muxed = mux_bus(&mut b, sel, &xs, &ys);
+        b.output_bus("m", &masked);
+        b.output_bus("x", &muxed);
+        let nl = b.finish();
+        let mut input = to_bits(0b101, 3);
+        input.extend(to_bits(0b010, 3));
+        input.push(false);
+        let out = nl.evaluate(&input);
+        assert_eq!(from_bits(&out[..3]), 0);
+        assert_eq!(from_bits(&out[3..]), 0b101);
+        *input.last_mut().unwrap() = true;
+        let out = nl.evaluate(&input);
+        assert_eq!(from_bits(&out[..3]), 0b101);
+        assert_eq!(from_bits(&out[3..]), 0b010);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: the gate-level functional units match their bit-exact
+//! reference models on arbitrary inputs, and the FP reference models match
+//! native IEEE-754 `f32` arithmetic wherever they claim to.
+
+use proptest::prelude::*;
+use tevot_netlist::fu::{golden, FunctionalUnit};
+
+fn eval(nl: &tevot_netlist::Netlist, fu: FunctionalUnit, a: u32, b: u32) -> u64 {
+    fu.decode_output(&nl.evaluate(&fu.encode_operands(a, b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn int_add_matches_golden(a: u32, b: u32) {
+        let nl = INT_ADD.with(|n| n.clone());
+        prop_assert_eq!(eval(&nl, FunctionalUnit::IntAdd, a, b), a as u64 + b as u64);
+    }
+
+    #[test]
+    fn int_mul_matches_golden(a: u32, b: u32) {
+        let nl = INT_MUL.with(|n| n.clone());
+        prop_assert_eq!(eval(&nl, FunctionalUnit::IntMul, a, b), a as u64 * b as u64);
+    }
+
+    #[test]
+    fn booth_multiplier_matches_golden(a: u32, b: u32) {
+        let nl = BOOTH_MUL.with(|n| n.clone());
+        prop_assert_eq!(eval(&nl, FunctionalUnit::IntMul, a, b), a as u64 * b as u64);
+    }
+
+    #[test]
+    fn fp_add_circuit_matches_reference(a: u32, b: u32) {
+        let nl = FP_ADD.with(|n| n.clone());
+        prop_assert_eq!(
+            eval(&nl, FunctionalUnit::FpAdd, a, b) as u32,
+            golden::fp_add(a, b)
+        );
+    }
+
+    #[test]
+    fn fp_mul_circuit_matches_reference(a: u32, b: u32) {
+        let nl = FP_MUL.with(|n| n.clone());
+        prop_assert_eq!(
+            eval(&nl, FunctionalUnit::FpMul, a, b) as u32,
+            golden::fp_mul(a, b)
+        );
+    }
+
+    /// On normal operands with non-subnormal results the reference adder is
+    /// exactly IEEE-754 round-to-nearest-even.
+    #[test]
+    fn fp_add_reference_matches_f32(a in normal_f32(), b in normal_f32()) {
+        let expected = a + b;
+        prop_assume!(expected == 0.0 || golden::is_exactly_modeled(expected.to_bits()));
+        let got = f32::from_bits(golden::fp_add(a.to_bits(), b.to_bits()));
+        if expected == 0.0 && a != 0.0 {
+            // Exact cancellation: IEEE RNE gives +0.
+            prop_assert_eq!(got.to_bits(), 0u32);
+        } else {
+            prop_assert_eq!(got.to_bits(), expected.to_bits(), "{} + {}", a, b);
+        }
+    }
+
+    #[test]
+    fn fp_mul_reference_matches_f32(a in normal_f32(), b in normal_f32()) {
+        let expected = a * b;
+        prop_assume!(golden::is_exactly_modeled(expected.to_bits()) || expected.is_infinite());
+        let got = f32::from_bits(golden::fp_mul(a.to_bits(), b.to_bits()));
+        prop_assert_eq!(got.to_bits(), expected.to_bits(), "{} * {}", a, b);
+    }
+
+    /// The adder is commutative at the bit level.
+    #[test]
+    fn fp_add_commutes(a: u32, b: u32) {
+        prop_assert_eq!(golden::fp_add(a, b), golden::fp_add(b, a));
+    }
+
+    #[test]
+    fn fp_mul_commutes(a: u32, b: u32) {
+        prop_assert_eq!(golden::fp_mul(a, b), golden::fp_mul(b, a));
+    }
+}
+
+/// Strategy for normal (or zero) finite `f32` values.
+fn normal_f32() -> impl Strategy<Value = f32> {
+    (any::<bool>(), 1u32..255, any::<u32>()).prop_map(|(s, e, f)| {
+        f32::from_bits((s as u32) << 31 | e << 23 | (f & 0x7F_FFFF))
+    })
+}
+
+thread_local! {
+    static INT_ADD: tevot_netlist::Netlist = FunctionalUnit::IntAdd.build();
+    static INT_MUL: tevot_netlist::Netlist = FunctionalUnit::IntMul.build();
+    static BOOTH_MUL: tevot_netlist::Netlist =
+        tevot_netlist::fu::int_mul_with_style(tevot_netlist::fu::MultiplierStyle::Booth);
+    static FP_ADD: tevot_netlist::Netlist = FunctionalUnit::FpAdd.build();
+    static FP_MUL: tevot_netlist::Netlist = FunctionalUnit::FpMul.build();
+}

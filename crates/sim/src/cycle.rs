@@ -1,0 +1,134 @@
+//! Per-cycle timing records.
+
+/// The timing record of one simulated cycle.
+///
+/// Holds the output values at the start of the cycle, every output toggle
+/// `(time, output_index)` in time order, and the cycle's dynamic delay.
+/// From this one record the outputs latched at *any* clock period can be
+/// reconstructed — the key to evaluating several clock speedups from a
+/// single characterization run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleResult {
+    initial_outputs: Vec<bool>,
+    toggles: Vec<(u64, u32)>,
+    dynamic_delay: u64,
+    settled: Vec<bool>,
+}
+
+impl CycleResult {
+    pub(crate) fn new(
+        initial_outputs: Vec<bool>,
+        toggles: Vec<(u64, u32)>,
+        dynamic_delay: u64,
+        num_outputs: usize,
+    ) -> Self {
+        debug_assert_eq!(initial_outputs.len(), num_outputs);
+        debug_assert!(toggles.windows(2).all(|w| w[0].0 <= w[1].0), "toggles out of order");
+        let mut settled = initial_outputs.clone();
+        for &(_, slot) in &toggles {
+            settled[slot as usize] = !settled[slot as usize];
+        }
+        CycleResult { initial_outputs, toggles, dynamic_delay, settled }
+    }
+
+    /// The cycle's dynamic delay in picoseconds: the time of the last
+    /// output toggle, or 0 if no output toggled.
+    pub fn dynamic_delay_ps(&self) -> u64 {
+        self.dynamic_delay
+    }
+
+    /// Output values at the start of the cycle (the previous cycle's
+    /// settled values).
+    pub fn initial_outputs(&self) -> &[bool] {
+        &self.initial_outputs
+    }
+
+    /// Output values once the circuit has fully settled — the functionally
+    /// correct result of this cycle.
+    pub fn settled_outputs(&self) -> &[bool] {
+        &self.settled
+    }
+
+    /// All output toggles as `(time_ps, output_index)`, in time order.
+    pub fn toggles(&self) -> &[(u64, u32)] {
+        &self.toggles
+    }
+
+    /// The output word a register clocked with period `clock_ps` would
+    /// capture: every toggle with `time <= clock_ps` has landed, later ones
+    /// are missed.
+    pub fn sample_at(&self, clock_ps: u64) -> Vec<bool> {
+        let mut out = self.initial_outputs.clone();
+        for &(t, slot) in &self.toggles {
+            if t > clock_ps {
+                break;
+            }
+            out[slot as usize] = !out[slot as usize];
+        }
+        out
+    }
+
+    /// Whether clocking this cycle with period `clock_ps` produces a timing
+    /// error, i.e. the captured word differs from the settled word.
+    ///
+    /// Note that this is the *observed* ground truth, which can differ from
+    /// the delay comparison `dynamic_delay > clock_ps` in the rare case
+    /// where a late glitch happens to restore the correct value.
+    pub fn is_erroneous_at(&self, clock_ps: u64) -> bool {
+        // Fast path: if the last toggle landed in time, all did.
+        if self.dynamic_delay <= clock_ps {
+            return false;
+        }
+        self.sample_at(clock_ps) != self.settled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cycle() -> CycleResult {
+        // Outputs start at [0, 1]; bit 0 toggles at 100 and 300, bit 1 at
+        // 250. Settled = [0, 0].
+        CycleResult::new(vec![false, true], vec![(100, 0), (250, 1), (300, 0)], 300, 2)
+    }
+
+    #[test]
+    fn settled_applies_all_toggles() {
+        let c = sample_cycle();
+        assert_eq!(c.settled_outputs(), &[false, false]);
+        assert_eq!(c.dynamic_delay_ps(), 300);
+    }
+
+    #[test]
+    fn sampling_cuts_off_late_toggles() {
+        let c = sample_cycle();
+        assert_eq!(c.sample_at(0), &[false, true]);
+        assert_eq!(c.sample_at(99), &[false, true]);
+        assert_eq!(c.sample_at(100), &[true, true], "toggle at the edge is captured");
+        assert_eq!(c.sample_at(260), &[true, false]);
+        assert_eq!(c.sample_at(300), &[false, false]);
+    }
+
+    #[test]
+    fn error_classification() {
+        let c = sample_cycle();
+        assert!(c.is_erroneous_at(120));
+        assert!(c.is_erroneous_at(299));
+        assert!(!c.is_erroneous_at(300));
+        assert!(!c.is_erroneous_at(10_000));
+        // Sampling before any toggle: initial != settled -> erroneous.
+        assert!(c.is_erroneous_at(0));
+    }
+
+    #[test]
+    fn glitch_that_restores_value_is_not_an_error() {
+        // Bit 0 pulses high at 100 and back low at 200: settled == initial.
+        let c = CycleResult::new(vec![false], vec![(100, 0), (200, 0)], 200, 1);
+        assert!(!c.is_erroneous_at(250));
+        // Sampling inside the pulse *is* an error.
+        assert!(c.is_erroneous_at(150));
+        // Sampling before the pulse captures the (correct) initial value.
+        assert!(!c.is_erroneous_at(50));
+    }
+}

@@ -1,0 +1,46 @@
+//! Event-driven gate-level timing simulation for the TEVoT (DAC 2020)
+//! reproduction.
+//!
+//! This crate replaces the paper's back-annotated ModelSim runs. Given a
+//! netlist from [`tevot_netlist`] and a per-condition
+//! [`DelayAnnotation`](tevot_timing::DelayAnnotation) from [`tevot_timing`],
+//! the [`TimingSimulator`] propagates each input vector with
+//! transport-delay semantics and records, per cycle:
+//!
+//! * the **dynamic delay** — the arrival time of the last output toggle,
+//!   the quantity TEVoT learns to predict;
+//! * every output toggle, so the word captured at *any* clock period (and
+//!   hence the timing-error ground truth for every clock speedup) can be
+//!   reconstructed from one slow-clock characterization run;
+//! * the settled (functionally correct) output word.
+//!
+//! [`trace`] adds multi-cycle workload runs and VCD dumping; the companion
+//! [`tevot_vcd`] crate recomputes dynamic delays from those dumps, closing
+//! the same loop the paper's Python DTA script closes over ModelSim VCDs.
+//!
+//! # Examples
+//!
+//! ```
+//! use tevot_netlist::fu::FunctionalUnit;
+//! use tevot_timing::{DelayModel, OperatingCondition};
+//! use tevot_sim::TimingSimulator;
+//!
+//! let fu = FunctionalUnit::IntAdd;
+//! let nl = fu.build();
+//! let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.81, 0.0));
+//! let mut sim = TimingSimulator::new(&nl, &ann);
+//! let cycle = sim.step(&fu.encode_operands(u32::MAX, 1));
+//! // A full carry ripple: the dynamic delay is large, and clocking faster
+//! // than it produces a timing error.
+//! assert!(cycle.is_erroneous_at(cycle.dynamic_delay_ps() / 2));
+//! assert!(!cycle.is_erroneous_at(cycle.dynamic_delay_ps()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cycle;
+mod simulator;
+pub mod trace;
+
+pub use cycle::CycleResult;
+pub use simulator::TimingSimulator;

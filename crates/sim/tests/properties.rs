@@ -1,0 +1,85 @@
+//! Property tests for the timing simulator: agreement with functional
+//! evaluation, STA bounding, and sampling semantics on arbitrary operand
+//! transitions.
+
+use proptest::prelude::*;
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_sim::TimingSimulator;
+use tevot_timing::{sta, DelayModel, OperatingCondition};
+
+fn fu_strategy() -> impl Strategy<Value = FunctionalUnit> {
+    prop_oneof![
+        Just(FunctionalUnit::IntAdd),
+        Just(FunctionalUnit::FpAdd),
+        Just(FunctionalUnit::FpMul),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any sequence of input vectors, the settled outputs equal the
+    /// zero-delay functional evaluation of the last vector, and every
+    /// dynamic delay is bounded by the STA critical path.
+    #[test]
+    fn settled_equals_functional_and_sta_bounds(
+        fu in fu_strategy(),
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..6),
+        v in 0.81f64..=1.0,
+        t in 0.0f64..=100.0,
+    ) {
+        let nl = fu.build();
+        let cond = OperatingCondition::new(v, t);
+        let ann = DelayModel::tsmc45_like().annotate(&nl, cond);
+        let crit = sta::run(&nl, &ann).critical_delay_ps();
+        let mut sim = TimingSimulator::new(&nl, &ann);
+        for &(a, b) in &pairs {
+            let cycle = sim.step(&fu.encode_operands(a, b));
+            prop_assert!(cycle.dynamic_delay_ps() <= crit);
+            prop_assert_eq!(
+                fu.decode_output(cycle.settled_outputs()),
+                fu.golden(a, b),
+                "{}({:#x}, {:#x})", fu, a, b
+            );
+            // Sampling at (or past) the critical path always captures the
+            // correct word.
+            prop_assert!(!cycle.is_erroneous_at(crit));
+            prop_assert_eq!(cycle.sample_at(crit), cycle.settled_outputs());
+        }
+    }
+
+    /// Sampling is monotone in a weak sense: at time >= dynamic delay the
+    /// word is correct; strictly before the *first* toggle it equals the
+    /// previous word.
+    #[test]
+    fn sampling_semantics(a in any::<u32>(), b in any::<u32>(), c in any::<u32>(), d in any::<u32>()) {
+        let fu = FunctionalUnit::IntAdd;
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::nominal());
+        let mut sim = TimingSimulator::new(&nl, &ann);
+        let first = sim.step(&fu.encode_operands(a, b));
+        let second = sim.step(&fu.encode_operands(c, d));
+        prop_assert_eq!(second.initial_outputs(), first.settled_outputs());
+        if let Some(&(t0, _)) = second.toggles().first() {
+            prop_assert_eq!(second.sample_at(t0 - 1), second.initial_outputs());
+        }
+        prop_assert_eq!(
+            second.sample_at(second.dynamic_delay_ps()),
+            second.settled_outputs()
+        );
+    }
+
+    /// Replaying the same transition from the same state gives an
+    /// identical cycle record (simulation is deterministic).
+    #[test]
+    fn simulation_is_deterministic(a in any::<u32>(), b in any::<u32>()) {
+        let fu = FunctionalUnit::FpAdd;
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.85, 50.0));
+        let run = || {
+            let mut sim = TimingSimulator::new(&nl, &ann);
+            sim.step(&fu.encode_operands(a, b))
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

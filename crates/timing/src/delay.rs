@@ -1,0 +1,384 @@
+//! The voltage/temperature cell delay model.
+//!
+//! This module stands in for the paper's TSMC 45 nm libraries plus
+//! PrimeTime's voltage-temperature scaling (composite current source). Each
+//! cell's propagation delay is
+//!
+//! ```text
+//! d(g, V, T) = d0(kind) * (1 + k_load * (fanout - 1)) * jitter(g) * s(V, T)
+//!
+//! s(V, T) = [ V / (V - Vth(T))^alpha ] / [ V0 / (V0 - Vth(T0))^alpha ]
+//!           * (T_K / T0_K)^mu
+//! Vth(T)  = Vth0 - k_t * (T - T0)
+//! ```
+//!
+//! The alpha-power-law term models gate overdrive: as `V` approaches the
+//! threshold voltage the delay explodes. Because `Vth` *falls* with
+//! temperature while carrier mobility (the `mu` term) also falls, the two
+//! effects compete: at low voltage the threshold term wins and circuits
+//! get *faster* when hot — the **inverse temperature dependence** the paper
+//! observes at 0.81 V — while at nominal voltage the mobility term wins and
+//! circuits get slower, matching Fig. 3.
+
+use tevot_netlist::{GateKind, Netlist};
+
+use crate::operating::OperatingCondition;
+
+/// Per-condition delay annotation for one netlist: a delay in picoseconds
+/// for every net (zero for primary inputs and tie cells).
+///
+/// This is the in-memory equivalent of one of the paper's per-(V,T) SDF
+/// files; [`crate::sdf`] provides the file format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayAnnotation {
+    design: String,
+    condition: OperatingCondition,
+    delays: Vec<u32>,
+}
+
+impl DelayAnnotation {
+    /// Creates an annotation from raw per-net delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` is empty.
+    pub fn new(design: impl Into<String>, condition: OperatingCondition, delays: Vec<u32>) -> Self {
+        assert!(!delays.is_empty(), "empty delay annotation");
+        DelayAnnotation { design: design.into(), condition, delays }
+    }
+
+    /// Name of the design this annotation belongs to.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// The operating condition the delays were computed for.
+    pub fn condition(&self) -> OperatingCondition {
+        self.condition
+    }
+
+    /// Delay of the gate driving net `i`, in picoseconds.
+    #[inline]
+    pub fn delay_ps(&self, net: usize) -> u32 {
+        self.delays[net]
+    }
+
+    /// All per-net delays in picoseconds.
+    pub fn delays(&self) -> &[u32] {
+        &self.delays
+    }
+}
+
+/// The parametric cell delay model.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_netlist::fu::FunctionalUnit;
+/// use tevot_timing::{DelayModel, OperatingCondition};
+///
+/// let nl = FunctionalUnit::IntAdd.build();
+/// let model = DelayModel::tsmc45_like();
+/// let slow = model.annotate(&nl, OperatingCondition::new(0.81, 0.0));
+/// let fast = model.annotate(&nl, OperatingCondition::new(1.00, 25.0));
+/// let sum = |a: &tevot_timing::DelayAnnotation| -> u64 {
+///     a.delays().iter().map(|&d| d as u64).sum()
+/// };
+/// assert!(sum(&slow) > sum(&fast), "low voltage must slow the circuit");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// Threshold voltage at the reference temperature, in volts.
+    pub vth0: f64,
+    /// Threshold-voltage temperature coefficient, in volts per °C.
+    pub k_t: f64,
+    /// Alpha-power-law velocity-saturation exponent.
+    pub alpha: f64,
+    /// Mobility-degradation exponent on absolute temperature.
+    pub mu: f64,
+    /// Reference (nominal) condition at which `base_delay_ps` is quoted.
+    pub reference: OperatingCondition,
+    /// Extra delay per additional fanout load, as a fraction of the base
+    /// delay.
+    pub load_factor: f64,
+    /// Half-width of the deterministic per-gate variation band (e.g. 0.05
+    /// for ±5 %).
+    pub variation: f64,
+    /// Half-width of the per-gate *threshold-voltage* variation band.
+    ///
+    /// This is what makes the voltage/temperature response differ from
+    /// gate to gate (as it does across dies): path rankings genuinely
+    /// change across corners instead of all delays scaling by one global
+    /// factor, so a delay model trained at one corner cannot trivially
+    /// extrapolate to another.
+    pub vth_variation: f64,
+}
+
+impl DelayModel {
+    /// A 45 nm-flavoured parameterization (see DESIGN.md §3): `Vth0 =
+    /// 0.45 V`, `k_t = 0.8 mV/°C`, `alpha = 1.6`, `mu = 1.0`, reference
+    /// 1.00 V / 25 °C, 6 % load factor, ±5 % per-gate variation.
+    pub fn tsmc45_like() -> Self {
+        DelayModel {
+            vth0: 0.45,
+            k_t: 0.0008,
+            alpha: 1.6,
+            mu: 1.0,
+            reference: OperatingCondition::nominal(),
+            load_factor: 0.06,
+            variation: 0.12,
+            vth_variation: 0.04,
+        }
+    }
+
+    /// Threshold voltage at temperature `t` (°C).
+    pub fn vth(&self, t: f64) -> f64 {
+        self.vth0 - self.k_t * (t - self.reference.temperature())
+    }
+
+    /// The dimensionless delay scale factor `s(V, T)` for a gate whose
+    /// threshold voltage deviates by the factor `vth_ratio` (1.0 for the
+    /// nominal device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supply voltage does not exceed the gate's threshold
+    /// voltage at this temperature: the model (like the silicon) has no
+    /// super-threshold delay there.
+    pub fn scale_factor_with_vth(&self, cond: OperatingCondition, vth_ratio: f64) -> f64 {
+        let vth = self.vth(cond.temperature()) * vth_ratio;
+        let v = cond.voltage();
+        assert!(
+            v > vth,
+            "supply {v} V is below threshold {vth:.3} V at {} C",
+            cond.temperature()
+        );
+        let v0 = self.reference.voltage();
+        let vth_ref = self.vth(self.reference.temperature()) * vth_ratio;
+        let overdrive = (v / (v - vth).powf(self.alpha))
+            / (v0 / (v0 - vth_ref).powf(self.alpha));
+        let mobility = (cond.kelvin() / self.reference.kelvin()).powf(self.mu);
+        overdrive * mobility
+    }
+
+    /// The nominal-device delay scale factor `s(V, T)` relative to the
+    /// reference condition.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::scale_factor_with_vth`].
+    pub fn scale_factor(&self, cond: OperatingCondition) -> f64 {
+        self.scale_factor_with_vth(cond, 1.0)
+    }
+
+    /// Intrinsic (unloaded) delay of a cell kind at the reference
+    /// condition, in picoseconds. Primary inputs and tie cells have zero
+    /// delay.
+    pub fn base_delay_ps(&self, kind: GateKind) -> f64 {
+        use GateKind::*;
+        match kind {
+            Input | Const0 | Const1 => 0.0,
+            Not => 8.0,
+            Buf => 10.0,
+            Nand2 => 12.0,
+            Nor2 => 14.0,
+            And2 => 16.0,
+            Or2 => 16.0,
+            Mux2 => 22.0,
+            Xor2 => 24.0,
+            Xnor2 => 24.0,
+            Maj3 => 26.0,
+            Xor3 => 32.0,
+        }
+    }
+
+    /// Deterministic unit hash of a net index in `[0, 1)` (SplitMix64
+    /// finalizer); `stream` decorrelates the independent variation sources.
+    fn unit_hash(net: usize, stream: u64) -> f64 {
+        let mut z = (net as u64)
+            .wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Deterministic per-gate base-delay variation factor in
+    /// `[1 - variation, 1 + variation]`, derived from a hash of the net
+    /// index so that runs are reproducible and SDF files look realistic.
+    pub fn gate_variation(&self, net: usize) -> f64 {
+        1.0 + self.variation * (2.0 * Self::unit_hash(net, 1) - 1.0)
+    }
+
+    /// Deterministic per-gate threshold-voltage ratio in
+    /// `[1 - vth_variation, 1 + vth_variation]`.
+    pub fn gate_vth_ratio(&self, net: usize) -> f64 {
+        1.0 + self.vth_variation * (2.0 * Self::unit_hash(net, 2) - 1.0)
+    }
+
+    /// Delay, in picoseconds, of one gate at `cond` given its fanout.
+    pub fn gate_delay_ps(
+        &self,
+        kind: GateKind,
+        fanout: u32,
+        net: usize,
+        cond: OperatingCondition,
+    ) -> f64 {
+        let base = self.base_delay_ps(kind);
+        if base == 0.0 {
+            return 0.0;
+        }
+        let load = 1.0 + self.load_factor * fanout.saturating_sub(1) as f64;
+        base * load
+            * self.gate_variation(net)
+            * self.scale_factor_with_vth(cond, self.gate_vth_ratio(net))
+    }
+
+    /// Annotates every net of `netlist` with its delay at `cond` — the
+    /// in-memory analogue of running STA and emitting an SDF file for one
+    /// (V, T) corner.
+    pub fn annotate(&self, netlist: &Netlist, cond: OperatingCondition) -> DelayAnnotation {
+        let fanout = netlist.fanout_counts();
+        let delays = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                self.gate_delay_ps(g.kind(), fanout[i], i, cond).round().max(0.0) as u32
+            })
+            .collect();
+        DelayAnnotation::new(netlist.name(), cond, delays)
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::tsmc45_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DelayModel {
+        DelayModel::tsmc45_like()
+    }
+
+    #[test]
+    fn reference_scale_is_unity() {
+        let m = model();
+        let s = m.scale_factor(OperatingCondition::nominal());
+        assert!((s - 1.0).abs() < 1e-12, "scale at reference must be 1, got {s}");
+    }
+
+    #[test]
+    fn lower_voltage_is_slower() {
+        let m = model();
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let v = 1.00 - 0.01 * i as f64;
+            let s = m.scale_factor(OperatingCondition::new(v, 25.0));
+            assert!(s > prev, "delay must increase monotonically as V drops");
+            prev = s;
+        }
+        // The total swing should be substantial (tens of percent).
+        let low = m.scale_factor(OperatingCondition::new(0.81, 25.0));
+        assert!(low > 1.3 && low < 2.5, "0.81 V scale {low} outside plausible band");
+    }
+
+    #[test]
+    fn inverse_temperature_dependence_at_low_voltage() {
+        let m = model();
+        let cold = m.scale_factor(OperatingCondition::new(0.81, 0.0));
+        let hot = m.scale_factor(OperatingCondition::new(0.81, 100.0));
+        assert!(hot < cold, "at 0.81 V heat must speed the circuit up (ITD)");
+    }
+
+    #[test]
+    fn normal_temperature_dependence_at_high_voltage() {
+        let m = model();
+        for v in [0.90, 0.95, 1.00] {
+            let cold = m.scale_factor(OperatingCondition::new(v, 0.0));
+            let hot = m.scale_factor(OperatingCondition::new(v, 100.0));
+            assert!(hot > cold, "at {v} V heat must slow the circuit down");
+        }
+    }
+
+    #[test]
+    fn gate_variation_is_bounded_and_deterministic() {
+        let m = model();
+        for net in 0..1000 {
+            let j = m.gate_variation(net);
+            assert!((0.88..=1.12).contains(&j), "jitter {j} out of band");
+            assert_eq!(j, m.gate_variation(net), "jitter must be deterministic");
+        }
+        // And it must actually vary.
+        assert_ne!(m.gate_variation(1), m.gate_variation(2));
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let m = model();
+        let cond = OperatingCondition::nominal();
+        let d1 = m.gate_delay_ps(GateKind::Nand2, 1, 0, cond);
+        let d4 = m.gate_delay_ps(GateKind::Nand2, 4, 0, cond);
+        assert!(d4 > d1);
+        assert_eq!(m.gate_delay_ps(GateKind::Input, 5, 0, cond), 0.0);
+    }
+
+    #[test]
+    fn annotate_covers_every_net() {
+        use tevot_netlist::fu::FunctionalUnit;
+        let nl = FunctionalUnit::IntAdd.build();
+        let ann = model().annotate(&nl, OperatingCondition::new(0.9, 50.0));
+        assert_eq!(ann.delays().len(), nl.num_nets());
+        assert_eq!(ann.design(), nl.name());
+        // Logic nets get non-zero delays; input nets get zero.
+        let first_input = nl.inputs()[0];
+        assert_eq!(ann.delay_ps(first_input.index()), 0);
+        assert!(ann.delays().iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below threshold")]
+    fn sub_threshold_voltage_panics() {
+        let m = model();
+        let _ = m.scale_factor(OperatingCondition::new(0.3, 25.0));
+    }
+
+    #[test]
+    fn condition_scaling_is_not_separable_across_gates() {
+        // If every gate scaled by the same factor between two conditions,
+        // the (V, T) dimension of the learning problem would be trivial.
+        // Per-gate Vth variation must break that.
+        use tevot_netlist::fu::FunctionalUnit;
+        let nl = FunctionalUnit::IntAdd.build();
+        let m = model();
+        let a = m.annotate(&nl, OperatingCondition::new(0.81, 0.0));
+        let b = m.annotate(&nl, OperatingCondition::new(1.00, 100.0));
+        let ratios: Vec<f64> = a
+            .delays()
+            .iter()
+            .zip(b.delays())
+            .filter(|&(&x, &y)| x > 0 && y > 0)
+            .map(|(&x, &y)| x as f64 / y as f64)
+            .collect();
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            max / min > 1.05,
+            "per-gate V/T response should differ by >5% across gates ({min:.3}..{max:.3})"
+        );
+    }
+
+    #[test]
+    fn vth_ratio_is_bounded() {
+        let m = model();
+        for net in 0..1000 {
+            let r = m.gate_vth_ratio(net);
+            assert!((0.96..=1.04).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Operating conditions, cell delay modeling, SDF annotation and static
+//! timing analysis for the TEVoT (DAC 2020) reproduction.
+//!
+//! This crate replaces the proprietary pieces of the paper's timing flow:
+//! the TSMC 45 nm libraries, PrimeTime's voltage/temperature scaling and
+//! the per-corner SDF hand-off:
+//!
+//! * [`OperatingCondition`] / [`ConditionGrid`] — the paper's Table I
+//!   voltage/temperature grid (20 x 5 = 100 conditions) plus the Fig. 3
+//!   subset; [`ClockSpeedup`] models the 5/10/15 % overclocking.
+//! * [`DelayModel`] — an alpha-power-law cell delay model that reproduces
+//!   the inverse temperature dependence the paper observes at 0.81 V.
+//! * [`sdf`] — writes and parses per-corner SDF files.
+//! * [`sta`] — static timing analysis: critical path and the
+//!   "fastest error-free clock period" the speedups are relative to.
+//!
+//! # Examples
+//!
+//! ```
+//! use tevot_netlist::fu::FunctionalUnit;
+//! use tevot_timing::{sta, ClockSpeedup, ConditionGrid, DelayModel};
+//!
+//! let nl = FunctionalUnit::IntAdd.build();
+//! let model = DelayModel::tsmc45_like();
+//! for cond in ConditionGrid::fig3().iter() {
+//!     let annotation = model.annotate(&nl, cond);
+//!     let report = sta::run(&nl, &annotation);
+//!     let overclocked = ClockSpeedup::PAPER[0]
+//!         .apply_to_period(report.fastest_error_free_period_ps());
+//!     assert!(overclocked < report.critical_delay_ps());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod delay;
+mod operating;
+pub mod sdf;
+mod silicon;
+pub mod sta;
+
+pub use delay::{DelayAnnotation, DelayModel};
+pub use operating::{ClockSpeedup, ConditionGrid, OperatingCondition};
+pub use silicon::{ProcessCorner, SiliconProfile};

@@ -1,0 +1,236 @@
+//! Operating conditions and the paper's Table I parameter grid.
+
+use std::fmt;
+
+/// A supply-voltage / temperature operating point.
+///
+/// Voltage is in volts, temperature in degrees Celsius — the units used
+/// throughout the paper ("(0.81, 0)" etc. in Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingCondition {
+    voltage: f64,
+    temperature: f64,
+}
+
+impl OperatingCondition {
+    /// Creates an operating condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the voltage is not positive or either value is not finite;
+    /// a malformed condition would silently corrupt every downstream delay.
+    pub fn new(voltage: f64, temperature: f64) -> Self {
+        assert!(
+            voltage.is_finite() && voltage > 0.0 && temperature.is_finite(),
+            "invalid operating condition ({voltage} V, {temperature} C)"
+        );
+        OperatingCondition { voltage, temperature }
+    }
+
+    /// Supply voltage in volts.
+    pub fn voltage(self) -> f64 {
+        self.voltage
+    }
+
+    /// Temperature in degrees Celsius.
+    pub fn temperature(self) -> f64 {
+        self.temperature
+    }
+
+    /// Temperature in kelvins.
+    pub fn kelvin(self) -> f64 {
+        self.temperature + 273.15
+    }
+
+    /// The nominal corner used as the reference point of the delay model:
+    /// 1.00 V, 25 °C.
+    pub fn nominal() -> Self {
+        OperatingCondition::new(1.0, 25.0)
+    }
+}
+
+impl fmt::Display for OperatingCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}V, {:.0}C)", self.voltage, self.temperature)
+    }
+}
+
+/// A rectangular grid of operating conditions.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_timing::ConditionGrid;
+///
+/// // The paper's Table I grid: 20 voltages x 5 temperatures.
+/// assert_eq!(ConditionGrid::paper().len(), 100);
+/// // The reduced grid plotted in Fig. 3.
+/// assert_eq!(ConditionGrid::fig3().len(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionGrid {
+    voltages: Vec<f64>,
+    temperatures: Vec<f64>,
+}
+
+impl ConditionGrid {
+    /// Builds a grid from explicit voltage and temperature points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    pub fn new(voltages: Vec<f64>, temperatures: Vec<f64>) -> Self {
+        assert!(
+            !voltages.is_empty() && !temperatures.is_empty(),
+            "condition grid axes must be non-empty"
+        );
+        ConditionGrid { voltages, temperatures }
+    }
+
+    /// The paper's Table I grid: voltage 0.81 V to 1.00 V in 0.01 V steps
+    /// (20 points), temperature 0 °C to 100 °C in 25 °C steps (5 points) —
+    /// 100 conditions in total.
+    pub fn paper() -> Self {
+        let voltages = (0..20).map(|i| 0.81 + 0.01 * i as f64).collect();
+        let temperatures = (0..5).map(|i| 25.0 * i as f64).collect();
+        ConditionGrid::new(voltages, temperatures)
+    }
+
+    /// The 9-point subset plotted in the paper's Fig. 3:
+    /// `{0.81, 0.90, 1.00} x {0, 50, 100}`.
+    pub fn fig3() -> Self {
+        ConditionGrid::new(vec![0.81, 0.90, 1.00], vec![0.0, 50.0, 100.0])
+    }
+
+    /// Voltage axis points.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Temperature axis points.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Total number of (V, T) pairs.
+    pub fn len(&self) -> usize {
+        self.voltages.len() * self.temperatures.len()
+    }
+
+    /// True when the grid has no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all conditions, voltage-major (matching Fig. 3's x
+    /// axis ordering).
+    pub fn iter(&self) -> impl Iterator<Item = OperatingCondition> + '_ {
+        self.voltages.iter().flat_map(move |&v| {
+            self.temperatures.iter().map(move |&t| OperatingCondition::new(v, t))
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a ConditionGrid {
+    type Item = OperatingCondition;
+    type IntoIter = std::vec::IntoIter<OperatingCondition>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+/// A clock speedup relative to an FU's fastest error-free frequency.
+///
+/// The paper overclocks each FU by 5 %, 10 % and 15 % beyond the frequency
+/// set by its critical-path delay at the given condition, "so that the
+/// output has timing errors" (Sec. V-A).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ClockSpeedup(f64);
+
+impl ClockSpeedup {
+    /// The paper's three speedups (Table I).
+    pub const PAPER: [ClockSpeedup; 3] =
+        [ClockSpeedup(0.05), ClockSpeedup(0.10), ClockSpeedup(0.15)];
+
+    /// Creates a speedup from a fraction (e.g. `0.10` for 10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= fraction < 1`.
+    pub fn new(fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "speedup fraction {fraction} out of range");
+        ClockSpeedup(fraction)
+    }
+
+    /// The speedup fraction.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The clock period, in picoseconds, obtained by speeding up a baseline
+    /// period: `t = base / (1 + s)`.
+    pub fn apply_to_period(self, base_ps: u64) -> u64 {
+        (base_ps as f64 / (1.0 + self.0)).round() as u64
+    }
+}
+
+impl fmt::Display for ClockSpeedup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_table1() {
+        let grid = ConditionGrid::paper();
+        assert_eq!(grid.voltages().len(), 20);
+        assert_eq!(grid.temperatures().len(), 5);
+        assert_eq!(grid.len(), 100);
+        assert!((grid.voltages()[0] - 0.81).abs() < 1e-9);
+        assert!((grid.voltages()[19] - 1.00).abs() < 1e-9);
+        assert_eq!(grid.temperatures(), &[0.0, 25.0, 50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn fig3_grid_is_nine_points() {
+        let grid = ConditionGrid::fig3();
+        assert_eq!(grid.len(), 9);
+        let first = grid.iter().next().unwrap();
+        assert_eq!(first, OperatingCondition::new(0.81, 0.0));
+    }
+
+    #[test]
+    fn iteration_is_voltage_major() {
+        let grid = ConditionGrid::new(vec![0.8, 0.9], vec![0.0, 50.0]);
+        let pts: Vec<_> = grid.iter().collect();
+        assert_eq!(pts[0], OperatingCondition::new(0.8, 0.0));
+        assert_eq!(pts[1], OperatingCondition::new(0.8, 50.0));
+        assert_eq!(pts[2], OperatingCondition::new(0.9, 0.0));
+    }
+
+    #[test]
+    fn speedup_shrinks_period() {
+        let s = ClockSpeedup::new(0.10);
+        assert_eq!(s.apply_to_period(1100), 1000);
+        assert_eq!(ClockSpeedup::PAPER.len(), 3);
+        assert_eq!(ClockSpeedup::PAPER[2].fraction(), 0.15);
+    }
+
+    #[test]
+    fn condition_display() {
+        let c = OperatingCondition::new(0.81, 50.0);
+        assert_eq!(c.to_string(), "(0.81V, 50C)");
+        assert!((c.kelvin() - 323.15).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid operating condition")]
+    fn rejects_nonpositive_voltage() {
+        let _ = OperatingCondition::new(0.0, 25.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal Standard Delay Format (SDF) subset.
+//!
+//! The paper's flow emits one SDF file per (V, T) corner from PrimeTime and
+//! back-annotates gate-level simulation with it. This module writes and
+//! parses the small subset needed for that hand-off: a header carrying the
+//! design name and operating condition, plus one `IOPATH` delay per cell.
+//!
+//! The format is real SDF 3.0 syntax (a tool that reads SDF would accept
+//! these files); only the subset relevant to the flow is produced.
+
+use std::fmt::Write as _;
+
+use crate::delay::DelayAnnotation;
+use crate::operating::OperatingCondition;
+
+/// Serializes a [`DelayAnnotation`] as an SDF 3.0 document.
+///
+/// Nets with zero delay (primary inputs, ties) are omitted, mirroring how
+/// real SDF files only annotate cells.
+pub fn write_sdf(annotation: &DelayAnnotation) -> String {
+    let cond = annotation.condition();
+    let mut out = String::new();
+    let _ = writeln!(out, "(DELAYFILE");
+    let _ = writeln!(out, "  (SDFVERSION \"3.0\")");
+    let _ = writeln!(out, "  (DESIGN \"{}\")", annotation.design());
+    // Shortest round-trip formatting: the parsed condition must compare
+    // equal to the one the annotation was computed for.
+    let _ = writeln!(out, "  (VOLTAGE {})", cond.voltage());
+    let _ = writeln!(out, "  (TEMPERATURE {})", cond.temperature());
+    let _ = writeln!(out, "  (TIMESCALE 1ps)");
+    for (net, &d) in annotation.delays().iter().enumerate() {
+        if d == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  (CELL (INSTANCE g{net}) (DELAY (ABSOLUTE (IOPATH * y ({d}) ({d})))))"
+        );
+    }
+    out.push_str(")\n");
+    out
+}
+
+/// An error produced while parsing an SDF document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSdfError {
+    message: String,
+}
+
+impl ParseSdfError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseSdfError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ParseSdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SDF: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseSdfError {}
+
+/// Parses an SDF document produced by [`write_sdf`] back into a
+/// [`DelayAnnotation`].
+///
+/// `num_nets` is the net count of the target netlist; instance indices
+/// beyond it are rejected.
+///
+/// # Errors
+///
+/// Returns [`ParseSdfError`] when a required header field is missing or a
+/// cell entry is malformed.
+pub fn parse_sdf(text: &str, num_nets: usize) -> Result<DelayAnnotation, ParseSdfError> {
+    let mut design = None;
+    let mut voltage = None;
+    let mut temperature = None;
+    let mut delays = vec![0u32; num_nets];
+
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(key)? + key.len();
+        let rest = line[start..].trim_start();
+        let end = rest.find(')')?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(v) = field(line, "(DESIGN") {
+            design = Some(v.to_string());
+        } else if let Some(v) = field(line, "(VOLTAGE") {
+            voltage =
+                Some(v.parse::<f64>().map_err(|_| ParseSdfError::new("bad VOLTAGE"))?);
+        } else if let Some(v) = field(line, "(TEMPERATURE") {
+            temperature =
+                Some(v.parse::<f64>().map_err(|_| ParseSdfError::new("bad TEMPERATURE"))?);
+        } else if line.starts_with("(CELL") || line.starts_with("  (CELL") {
+            let inst = field(line, "(INSTANCE")
+                .ok_or_else(|| ParseSdfError::new("CELL without INSTANCE"))?;
+            let net: usize = inst
+                .strip_prefix('g')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseSdfError::new(format!("bad instance name {inst}")))?;
+            if net >= num_nets {
+                return Err(ParseSdfError::new(format!(
+                    "instance g{net} out of range for {num_nets} nets"
+                )));
+            }
+            let iopath = line
+                .find("(IOPATH")
+                .ok_or_else(|| ParseSdfError::new("CELL without IOPATH"))?;
+            let rest = &line[iopath..];
+            let open = rest
+                .find("(")
+                .and_then(|_| rest.find(" ("))
+                .ok_or_else(|| ParseSdfError::new("IOPATH without delay"))?;
+            // First parenthesized number after "IOPATH * y".
+            let num_start = rest[open..]
+                .find('(')
+                .map(|i| open + i + 1)
+                .ok_or_else(|| ParseSdfError::new("IOPATH without delay"))?;
+            let num_end = rest[num_start..]
+                .find(')')
+                .map(|i| num_start + i)
+                .ok_or_else(|| ParseSdfError::new("unterminated delay"))?;
+            let d: u32 = rest[num_start..num_end]
+                .trim()
+                .parse()
+                .map_err(|_| ParseSdfError::new("bad delay value"))?;
+            delays[net] = d;
+        }
+    }
+
+    let design = design.ok_or_else(|| ParseSdfError::new("missing DESIGN"))?;
+    let voltage = voltage.ok_or_else(|| ParseSdfError::new("missing VOLTAGE"))?;
+    let temperature = temperature.ok_or_else(|| ParseSdfError::new("missing TEMPERATURE"))?;
+    Ok(DelayAnnotation::new(
+        design,
+        OperatingCondition::new(voltage, temperature),
+        delays,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayModel;
+    use tevot_netlist::fu::FunctionalUnit;
+
+    #[test]
+    fn roundtrip_preserves_annotation() {
+        let nl = FunctionalUnit::IntAdd.build();
+        let cond = OperatingCondition::new(0.87, 75.0);
+        let ann = DelayModel::tsmc45_like().annotate(&nl, cond);
+        let text = write_sdf(&ann);
+        let parsed = parse_sdf(&text, nl.num_nets()).unwrap();
+        assert_eq!(parsed, ann);
+    }
+
+    #[test]
+    fn header_fields_survive() {
+        let ann = DelayAnnotation::new(
+            "toy",
+            OperatingCondition::new(0.95, 0.0),
+            vec![0, 12, 34],
+        );
+        let text = write_sdf(&ann);
+        assert!(text.contains("(DESIGN \"toy\")"));
+        assert!(text.contains("(VOLTAGE 0.95)"));
+        assert!(text.contains("(TIMESCALE 1ps)"));
+        let parsed = parse_sdf(&text, 3).unwrap();
+        assert_eq!(parsed.design(), "toy");
+        assert_eq!(parsed.delays(), &[0, 12, 34]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = parse_sdf("(DELAYFILE)", 1).unwrap_err();
+        assert!(err.to_string().contains("DESIGN"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_instance() {
+        let text = "(DELAYFILE\n  (DESIGN \"x\")\n  (VOLTAGE 1.0)\n  (TEMPERATURE 25.0)\n  (CELL (INSTANCE g9) (DELAY (ABSOLUTE (IOPATH * y (5) (5)))))\n)";
+        let err = parse_sdf(text, 3).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn zero_delay_cells_are_omitted() {
+        let ann = DelayAnnotation::new(
+            "toy",
+            OperatingCondition::nominal(),
+            vec![0, 0, 7],
+        );
+        let text = write_sdf(&ann);
+        assert!(!text.contains("(INSTANCE g0)"));
+        assert!(text.contains("(INSTANCE g2)"));
+    }
+}

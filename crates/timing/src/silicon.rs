@@ -1,0 +1,275 @@
+//! Process corners and aging: the variation sources beyond (V, T).
+//!
+//! The paper focuses on dynamic variations but notes that "the same
+//! principle can be used to incorporate process and aging variations"
+//! (Sec. III) and names them as future work in its conclusion. This module
+//! adds both to the delay model as threshold-voltage shifts, which is how
+//! they manifest physically:
+//!
+//! * a **process corner** shifts every device's Vth globally (slow silicon
+//!   has a higher threshold), plus a per-die random component;
+//! * **BTI aging** raises Vth over the device's lifetime following the
+//!   classic power law `dVth = A * t^n` with `n ~ 0.2`: fast initial
+//!   degradation that flattens out over the years.
+//!
+//! Because both enter through Vth, they *interact* with voltage exactly
+//! like temperature does: aged or slow silicon loses disproportionally
+//! more speed at 0.81 V than at 1.00 V.
+
+use tevot_netlist::Netlist;
+
+use crate::delay::{DelayAnnotation, DelayModel};
+use crate::operating::OperatingCondition;
+
+/// A global process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessCorner {
+    /// Fast silicon: threshold voltage ~25 mV below typical.
+    FastFast,
+    /// Typical silicon.
+    #[default]
+    Typical,
+    /// Slow silicon: threshold voltage ~25 mV above typical.
+    SlowSlow,
+}
+
+impl ProcessCorner {
+    /// All corners, fast to slow.
+    pub const ALL: [ProcessCorner; 3] =
+        [ProcessCorner::FastFast, ProcessCorner::Typical, ProcessCorner::SlowSlow];
+
+    /// The corner's global threshold-voltage shift in volts.
+    pub fn vth_shift(self) -> f64 {
+        match self {
+            ProcessCorner::FastFast => -0.025,
+            ProcessCorner::Typical => 0.0,
+            ProcessCorner::SlowSlow => 0.025,
+        }
+    }
+
+    /// Display name (`FF` / `TT` / `SS`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessCorner::FastFast => "FF",
+            ProcessCorner::Typical => "TT",
+            ProcessCorner::SlowSlow => "SS",
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The silicon state of one physical die: its process corner, a per-die
+/// random variation seed, and its age.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiliconProfile {
+    /// Global process corner.
+    pub corner: ProcessCorner,
+    /// Identifies the die: decorrelates the per-gate random process
+    /// component between dies.
+    pub die_seed: u64,
+    /// Standard deviation of the per-die random Vth component, in volts.
+    pub die_sigma: f64,
+    /// Operating age in years (BTI stress time).
+    pub aging_years: f64,
+    /// BTI power-law amplitude: `dVth = bti_a * years^bti_n` volts.
+    pub bti_a: f64,
+    /// BTI power-law exponent.
+    pub bti_n: f64,
+}
+
+impl SiliconProfile {
+    /// A fresh, typical die — behaves identically to the plain
+    /// [`DelayModel::annotate`] path.
+    pub fn fresh() -> Self {
+        SiliconProfile {
+            corner: ProcessCorner::Typical,
+            die_seed: 0,
+            die_sigma: 0.0,
+            aging_years: 0.0,
+            bti_a: 0.010,
+            bti_n: 0.2,
+        }
+    }
+
+    /// A fresh die at an explicit corner with a light (4 mV sigma)
+    /// per-die random component.
+    pub fn at_corner(corner: ProcessCorner, die_seed: u64) -> Self {
+        SiliconProfile { corner, die_seed, die_sigma: 0.004, ..Self::fresh() }
+    }
+
+    /// The same die aged by `years`.
+    pub fn aged(self, years: f64) -> Self {
+        SiliconProfile { aging_years: years, ..self }
+    }
+
+    /// The BTI threshold shift at this profile's age, in volts.
+    pub fn aging_vth_shift(&self) -> f64 {
+        if self.aging_years <= 0.0 {
+            return 0.0;
+        }
+        self.bti_a * self.aging_years.powf(self.bti_n)
+    }
+
+    /// The total Vth shift (volts) this profile applies to the gate
+    /// driving `net`.
+    pub fn vth_shift(&self, net: usize) -> f64 {
+        let random = if self.die_sigma > 0.0 {
+            // Two independent uniform hashes -> approximately normal via
+            // the sum of uniforms (Irwin-Hall with k = 2, rescaled).
+            let u1 = unit_hash(net, self.die_seed.wrapping_mul(2).wrapping_add(11));
+            let u2 = unit_hash(net, self.die_seed.wrapping_mul(2).wrapping_add(12));
+            (u1 + u2 - 1.0) * self.die_sigma * 2.449 // var(U1+U2)=1/6
+        } else {
+            0.0
+        };
+        self.corner.vth_shift() + self.aging_vth_shift() + random
+    }
+}
+
+fn unit_hash(net: usize, stream: u64) -> f64 {
+    let mut z = (net as u64)
+        .wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl DelayModel {
+    /// Like [`DelayModel::scale_factor_with_vth`] with an additional
+    /// absolute Vth shift (process/aging), in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shifted threshold reaches the supply voltage.
+    pub fn scale_factor_with_profile(
+        &self,
+        cond: OperatingCondition,
+        vth_ratio: f64,
+        vth_shift: f64,
+    ) -> f64 {
+        let shifted_ratio = vth_ratio + vth_shift / self.vth0;
+        self.scale_factor_with_vth(cond, shifted_ratio)
+    }
+
+    /// Annotates `netlist` for a specific die ([`SiliconProfile`]) at
+    /// `cond` — the process/aging-aware analogue of
+    /// [`DelayModel::annotate`].
+    pub fn annotate_for_die(
+        &self,
+        netlist: &Netlist,
+        cond: OperatingCondition,
+        profile: &SiliconProfile,
+    ) -> DelayAnnotation {
+        let fanout = netlist.fanout_counts();
+        let delays = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let base = self.base_delay_ps(g.kind());
+                if base == 0.0 {
+                    return 0;
+                }
+                let load = 1.0 + self.load_factor * fanout[i].saturating_sub(1) as f64;
+                let s = self.scale_factor_with_profile(
+                    cond,
+                    self.gate_vth_ratio(i),
+                    profile.vth_shift(i),
+                );
+                (base * load * self.gate_variation(i) * s).round().max(0.0) as u32
+            })
+            .collect();
+        DelayAnnotation::new(netlist.name(), cond, delays)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tevot_netlist::fu::FunctionalUnit;
+
+    fn total(ann: &DelayAnnotation) -> u64 {
+        ann.delays().iter().map(|&d| d as u64).sum()
+    }
+
+    #[test]
+    fn fresh_typical_die_matches_plain_annotation() {
+        let nl = FunctionalUnit::IntAdd.build();
+        let m = DelayModel::tsmc45_like();
+        let cond = OperatingCondition::new(0.9, 50.0);
+        let plain = m.annotate(&nl, cond);
+        let die = m.annotate_for_die(&nl, cond, &SiliconProfile::fresh());
+        assert_eq!(plain, die);
+    }
+
+    #[test]
+    fn corners_order_fast_to_slow() {
+        let nl = FunctionalUnit::IntAdd.build();
+        let m = DelayModel::tsmc45_like();
+        let cond = OperatingCondition::new(0.85, 25.0);
+        let mut prev = 0;
+        for corner in ProcessCorner::ALL {
+            let profile = SiliconProfile { die_sigma: 0.0, ..SiliconProfile::at_corner(corner, 1) };
+            let t = total(&m.annotate_for_die(&nl, cond, &profile));
+            assert!(t > prev, "{corner} not slower than the previous corner");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn aging_slows_the_die_sublinearly() {
+        let nl = FunctionalUnit::IntAdd.build();
+        let m = DelayModel::tsmc45_like();
+        let cond = OperatingCondition::new(0.85, 25.0);
+        let die = SiliconProfile::at_corner(ProcessCorner::Typical, 7);
+        let fresh = total(&m.annotate_for_die(&nl, cond, &die));
+        let y1 = total(&m.annotate_for_die(&nl, cond, &die.aged(1.0)));
+        let y4 = total(&m.annotate_for_die(&nl, cond, &die.aged(4.0)));
+        let y9 = total(&m.annotate_for_die(&nl, cond, &die.aged(9.0)));
+        assert!(fresh < y1 && y1 < y4 && y4 < y9, "aging must slow the die");
+        // Power law with n < 1: the first year costs more than each later
+        // year on average.
+        assert!((y1 - fresh) as f64 > (y9 - y4) as f64 / 5.0);
+    }
+
+    #[test]
+    fn aging_hurts_more_at_low_voltage() {
+        let m = DelayModel::tsmc45_like();
+        let shift = SiliconProfile::fresh().aged(5.0).aging_vth_shift();
+        let low_fresh = m.scale_factor_with_profile(OperatingCondition::new(0.81, 25.0), 1.0, 0.0);
+        let low_aged =
+            m.scale_factor_with_profile(OperatingCondition::new(0.81, 25.0), 1.0, shift);
+        let high_fresh = m.scale_factor_with_profile(OperatingCondition::new(1.0, 25.0), 1.0, 0.0);
+        let high_aged =
+            m.scale_factor_with_profile(OperatingCondition::new(1.0, 25.0), 1.0, shift);
+        let low_penalty = low_aged / low_fresh;
+        let high_penalty = high_aged / high_fresh;
+        assert!(
+            low_penalty > high_penalty,
+            "aging penalty at 0.81 V ({low_penalty:.3}) must exceed 1.00 V ({high_penalty:.3})"
+        );
+    }
+
+    #[test]
+    fn dies_differ_but_deterministically() {
+        let nl = FunctionalUnit::IntMul.build();
+        let m = DelayModel::tsmc45_like();
+        // Low voltage maximizes Vth sensitivity, so per-die mismatch is
+        // visible past the 1 ps annotation quantization.
+        let cond = OperatingCondition::new(0.81, 0.0);
+        let die_a = SiliconProfile::at_corner(ProcessCorner::Typical, 1);
+        let die_b = SiliconProfile::at_corner(ProcessCorner::Typical, 2);
+        let a1 = m.annotate_for_die(&nl, cond, &die_a);
+        let a2 = m.annotate_for_die(&nl, cond, &die_a);
+        let b = m.annotate_for_die(&nl, cond, &die_b);
+        assert_eq!(a1, a2, "same die, same delays");
+        assert_ne!(a1, b, "different dies must differ");
+    }
+}

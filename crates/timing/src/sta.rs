@@ -1,0 +1,187 @@
+//! Static timing analysis.
+//!
+//! A single topological pass computes the worst-case arrival time at every
+//! net, the circuit's critical-path delay, and the critical path itself.
+//! The paper uses STA (PrimeTime) to derive per-condition SDF files and the
+//! "fastest error-free clock frequency" that the 5/10/15 % speedups are
+//! applied to; this module serves both purposes.
+
+use tevot_netlist::{NetId, Netlist};
+
+use crate::delay::DelayAnnotation;
+
+/// Result of a static timing analysis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaReport {
+    arrival: Vec<u64>,
+    critical_delay: u64,
+    critical_path: Vec<NetId>,
+}
+
+impl StaReport {
+    /// Worst-case arrival time (ps) of each net.
+    pub fn arrival_times(&self) -> &[u64] {
+        &self.arrival
+    }
+
+    /// Worst-case arrival time (ps) of one net.
+    pub fn arrival(&self, net: NetId) -> u64 {
+        self.arrival[net.index()]
+    }
+
+    /// The critical-path delay in picoseconds: the static delay of the
+    /// circuit, i.e. the maximum arrival time over all primary outputs.
+    pub fn critical_delay_ps(&self) -> u64 {
+        self.critical_delay
+    }
+
+    /// Nets on the critical path, from a primary input to the limiting
+    /// primary output.
+    pub fn critical_path(&self) -> &[NetId] {
+        &self.critical_path
+    }
+
+    /// The fastest clock period guaranteed to be free of timing errors
+    /// (equal to the critical-path delay).
+    pub fn fastest_error_free_period_ps(&self) -> u64 {
+        self.critical_delay
+    }
+
+    /// The relaxed clock period used for characterization dumps: 25 %
+    /// slower than the critical path, so that the gate-level simulation
+    /// itself never produces timing errors (paper Sec. IV-A).
+    pub fn characterization_period_ps(&self) -> u64 {
+        self.critical_delay + self.critical_delay / 4
+    }
+}
+
+/// Runs static timing analysis over a delay-annotated netlist.
+///
+/// # Panics
+///
+/// Panics if the annotation does not cover every net of the netlist.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_netlist::fu::FunctionalUnit;
+/// use tevot_timing::{sta, DelayModel, OperatingCondition};
+///
+/// let nl = FunctionalUnit::IntAdd.build();
+/// let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::nominal());
+/// let report = sta::run(&nl, &ann);
+/// assert!(report.critical_delay_ps() > 0);
+/// ```
+pub fn run(netlist: &Netlist, annotation: &DelayAnnotation) -> StaReport {
+    assert_eq!(
+        annotation.delays().len(),
+        netlist.num_nets(),
+        "annotation does not match netlist {}",
+        netlist.name()
+    );
+    let n = netlist.num_nets();
+    let mut arrival = vec![0u64; n];
+    // Predecessor on the worst path, for backtracing.
+    let mut pred: Vec<u32> = vec![u32::MAX; n];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let ins = gate.inputs();
+        if ins.is_empty() {
+            continue;
+        }
+        let mut worst = 0u64;
+        let mut worst_net = ins[0];
+        for &input in ins {
+            let t = arrival[input.index()];
+            if t > worst {
+                worst = t;
+                worst_net = input;
+            }
+        }
+        arrival[i] = worst + annotation.delay_ps(i) as u64;
+        pred[i] = worst_net.index() as u32;
+    }
+
+    let (&end, critical_delay) = netlist
+        .outputs()
+        .iter()
+        .map(|n| (n, arrival[n.index()]))
+        .max_by_key(|&(_, t)| t)
+        .expect("netlist has outputs");
+
+    let mut critical_path = vec![end];
+    let mut cur = end;
+    while pred[cur.index()] != u32::MAX {
+        cur = NetId::from_index(pred[cur.index()] as usize);
+        critical_path.push(cur);
+    }
+    critical_path.reverse();
+
+    StaReport { arrival, critical_delay, critical_path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayModel;
+    use crate::operating::OperatingCondition;
+    use tevot_netlist::fu::FunctionalUnit;
+    use tevot_netlist::NetlistBuilder;
+
+    #[test]
+    fn chain_arrival_is_sum_of_delays() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        b.output("y", n2);
+        let nl = b.finish();
+        let delays = vec![0, 8, 9];
+        let ann = DelayAnnotation::new("chain", OperatingCondition::nominal(), delays);
+        let report = run(&nl, &ann);
+        assert_eq!(report.critical_delay_ps(), 17);
+        assert_eq!(report.arrival(n1), 8);
+        assert_eq!(report.critical_path(), &[a, n1, n2]);
+        assert_eq!(report.characterization_period_ps(), 17 + 4);
+    }
+
+    #[test]
+    fn critical_path_is_input_to_output() {
+        let nl = FunctionalUnit::IntAdd.build();
+        let ann =
+            DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.85, 25.0));
+        let report = run(&nl, &ann);
+        let path = report.critical_path();
+        assert!(path.len() > 8, "critical path should span the prefix carry network");
+        let source = nl.gate(path[0]);
+        assert!(
+            source.inputs().is_empty(),
+            "path must start at a source net (input or tie), got {:?}",
+            source.kind()
+        );
+        assert!(nl.outputs().contains(path.last().unwrap()), "path must end at an output");
+        // Arrival times must be non-decreasing along the path.
+        for w in path.windows(2) {
+            assert!(report.arrival(w[0]) <= report.arrival(w[1]));
+        }
+    }
+
+    #[test]
+    fn critical_delay_tracks_conditions() {
+        let nl = FunctionalUnit::IntAdd.build();
+        let model = DelayModel::tsmc45_like();
+        let slow = run(&nl, &model.annotate(&nl, OperatingCondition::new(0.81, 0.0)));
+        let fast = run(&nl, &model.annotate(&nl, OperatingCondition::new(1.00, 25.0)));
+        assert!(slow.critical_delay_ps() > fast.critical_delay_ps());
+    }
+
+    #[test]
+    fn static_delay_bounds_every_arrival() {
+        let nl = FunctionalUnit::FpAdd.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::nominal());
+        let report = run(&nl, &ann);
+        let crit = report.critical_delay_ps();
+        for &out in nl.outputs() {
+            assert!(report.arrival(out) <= crit);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the timing substrate: physical monotonicities of the
+//! delay model, STA invariants, and SDF round-trips on arbitrary
+//! annotations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_netlist::NetlistBuilder;
+use tevot_timing::{sdf, sta, DelayAnnotation, DelayModel, OperatingCondition};
+
+fn condition() -> impl Strategy<Value = OperatingCondition> {
+    (0.81f64..=1.0, 0.0f64..=100.0).prop_map(|(v, t)| OperatingCondition::new(v, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delay strictly increases as voltage drops, at any temperature.
+    #[test]
+    fn voltage_monotonicity(t in 0.0f64..=100.0, v in 0.82f64..=1.0) {
+        let m = DelayModel::tsmc45_like();
+        let fast = m.scale_factor(OperatingCondition::new(v, t));
+        let slow = m.scale_factor(OperatingCondition::new(v - 0.01, t));
+        prop_assert!(slow > fast, "{slow} !> {fast} at ({v}, {t})");
+    }
+
+    /// The scale factor stays within a plausible physical band across the
+    /// whole Table I grid, for every per-gate Vth ratio the model uses.
+    #[test]
+    fn scale_factor_is_bounded(cond in condition(), net in 0usize..10_000) {
+        let m = DelayModel::tsmc45_like();
+        let s = m.scale_factor_with_vth(cond, m.gate_vth_ratio(net));
+        prop_assert!(s > 0.5 && s < 4.0, "scale {s} at {cond}");
+    }
+
+    /// STA arrival times are monotone along every gate's input cone.
+    #[test]
+    fn sta_arrivals_are_monotone(cond in condition()) {
+        let nl = FunctionalUnit::IntAdd.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, cond);
+        let report = sta::run(&nl, &ann);
+        for (i, gate) in nl.gates().iter().enumerate() {
+            let t = report.arrival_times()[i];
+            for input in gate.inputs() {
+                prop_assert!(report.arrival_times()[input.index()] <= t);
+            }
+        }
+    }
+
+    /// SDF text round-trips arbitrary annotations losslessly.
+    #[test]
+    fn sdf_roundtrip(delays in vec(0u32..100_000, 1..300), cond in condition()) {
+        let ann = DelayAnnotation::new("prop", cond, delays);
+        let text = sdf::write_sdf(&ann);
+        let parsed = sdf::parse_sdf(&text, ann.delays().len()).unwrap();
+        prop_assert_eq!(parsed, ann);
+    }
+
+    /// Annotating the same netlist twice is deterministic, and critical
+    /// delay scales monotonically with voltage like the cell delays do.
+    #[test]
+    fn critical_delay_tracks_voltage(t in 0.0f64..=100.0) {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let mut x = a;
+        for _ in 0..6 {
+            x = b.xor(x, a);
+        }
+        b.output("y", x);
+        let nl = b.finish();
+        let m = DelayModel::tsmc45_like();
+        let lo = sta::run(&nl, &m.annotate(&nl, OperatingCondition::new(0.81, t)));
+        let hi = sta::run(&nl, &m.annotate(&nl, OperatingCondition::new(1.0, t)));
+        prop_assert!(lo.critical_delay_ps() > hi.critical_delay_ps());
+    }
+}

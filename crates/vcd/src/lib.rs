@@ -1,0 +1,35 @@
+//! Value change dump (VCD) tooling for the TEVoT (DAC 2020) reproduction.
+//!
+//! The paper's dynamic timing analysis rests on VCD files: gate-level
+//! simulation (ModelSim) dumps the switching activity of the circuit's
+//! output nets, and a script computes each cycle's *dynamic delay* as the
+//! time of the last toggle minus the clock edge. This crate provides all
+//! three pieces in library form:
+//!
+//! * [`VcdWriter`] — streaming writer for standard scalar VCD;
+//! * [`parse_vcd`] / [`Vcd`] — parser for the same subset;
+//! * [`dta`] — the per-cycle dynamic-delay extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use tevot_vcd::{dta, parse_vcd, VcdWriter};
+//!
+//! let mut w = VcdWriter::new("tb");
+//! let q = w.declare_wire("out_0");
+//! w.begin_dump(&[false]);
+//! w.change(420, q, true);
+//! let vcd = parse_vcd(&w.finish())?;
+//! let result = dta::dynamic_delays(&vcd, 1_000, 1, |s| s.starts_with("out_"));
+//! assert_eq!(result.delays_ps(), &[420]);
+//! # Ok::<(), tevot_vcd::ParseVcdError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dta;
+mod parser;
+mod writer;
+
+pub use parser::{parse_vcd, Change, ParseVcdError, Vcd};
+pub use writer::{SignalId, VcdWriter};

@@ -1,0 +1,182 @@
+//! Streaming VCD (value change dump) writer.
+
+use std::fmt::Write as _;
+
+/// Handle to a declared VCD signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+/// Writes a VCD document incrementally.
+///
+/// The produced format is standard IEEE-1364 VCD: a header with a
+/// timescale, `$var` declarations, and `#time` / value-change records. The
+/// paper's flow dumps these from ModelSim; here the timing simulator dumps
+/// them so the DTA extractor in [`crate::dta`] can recompute per-cycle
+/// dynamic delays from the file alone.
+///
+/// # Examples
+///
+/// ```
+/// use tevot_vcd::VcdWriter;
+///
+/// let mut w = VcdWriter::new("adder_tb");
+/// let clk = w.declare_wire("clk");
+/// let q = w.declare_wire("q");
+/// w.begin_dump(&[false, false]);
+/// w.change(100, clk, true);
+/// w.change(140, q, true);
+/// let text = w.finish();
+/// assert!(text.contains("$timescale 1ps $end"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdWriter {
+    names: Vec<String>,
+    body: String,
+    header_done: bool,
+    scope: String,
+    last_time: Option<u64>,
+}
+
+impl VcdWriter {
+    /// Creates a writer with a single module scope named `scope`.
+    pub fn new(scope: impl Into<String>) -> Self {
+        VcdWriter {
+            names: Vec::new(),
+            body: String::new(),
+            header_done: false,
+            scope: scope.into(),
+            last_time: None,
+        }
+    }
+
+    /// Declares a single-bit wire. All declarations must precede
+    /// [`Self::begin_dump`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `begin_dump`.
+    pub fn declare_wire(&mut self, name: impl Into<String>) -> SignalId {
+        assert!(!self.header_done, "declare_wire after begin_dump");
+        let id = SignalId(self.names.len());
+        self.names.push(name.into());
+        id
+    }
+
+    /// VCD identifier code for a signal (printable ASCII, multi-character
+    /// for large indices).
+    fn code(index: usize) -> String {
+        // Base-94 using '!'..='~'.
+        let mut n = index;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Emits the header and the `$dumpvars` section with the initial value
+    /// of every declared signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the number of declared wires
+    /// or if called twice.
+    pub fn begin_dump(&mut self, initial: &[bool]) {
+        assert!(!self.header_done, "begin_dump called twice");
+        assert_eq!(initial.len(), self.names.len(), "initial values / declarations mismatch");
+        let _ = writeln!(self.body, "$timescale 1ps $end");
+        let _ = writeln!(self.body, "$scope module {} $end", self.scope);
+        for (i, name) in self.names.iter().enumerate() {
+            let _ = writeln!(self.body, "$var wire 1 {} {} $end", Self::code(i), name);
+        }
+        let _ = writeln!(self.body, "$upscope $end");
+        let _ = writeln!(self.body, "$enddefinitions $end");
+        let _ = writeln!(self.body, "$dumpvars");
+        for (i, &v) in initial.iter().enumerate() {
+            let _ = writeln!(self.body, "{}{}", v as u8, Self::code(i));
+        }
+        let _ = writeln!(self.body, "$end");
+        self.header_done = true;
+    }
+
+    /// Records a value change at an absolute time in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::begin_dump`] or if `time` moves
+    /// backwards.
+    pub fn change(&mut self, time: u64, signal: SignalId, value: bool) {
+        assert!(self.header_done, "change before begin_dump");
+        if self.last_time != Some(time) {
+            assert!(
+                self.last_time.is_none_or(|t| t < time),
+                "VCD time must be monotonic"
+            );
+            let _ = writeln!(self.body, "#{time}");
+            self.last_time = Some(time);
+        }
+        let _ = writeln!(self.body, "{}{}", value as u8, Self::code(signal.0));
+    }
+
+    /// Finishes the dump and returns the VCD text.
+    pub fn finish(mut self) -> String {
+        if !self.header_done {
+            self.begin_dump(&[]);
+        }
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_structure() {
+        let mut w = VcdWriter::new("tb");
+        let a = w.declare_wire("a");
+        w.begin_dump(&[true]);
+        w.change(5, a, false);
+        let text = w.finish();
+        assert!(text.contains("$scope module tb $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$dumpvars"));
+        assert!(text.contains("#5\n0!"));
+    }
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let c = VcdWriter::code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c), "duplicate code for {i}");
+        }
+    }
+
+    #[test]
+    fn same_time_changes_share_timestamp() {
+        let mut w = VcdWriter::new("tb");
+        let a = w.declare_wire("a");
+        let b = w.declare_wire("b");
+        w.begin_dump(&[false, false]);
+        w.change(10, a, true);
+        w.change(10, b, true);
+        let text = w.finish();
+        assert_eq!(text.matches("#10").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn time_cannot_go_backwards() {
+        let mut w = VcdWriter::new("tb");
+        let a = w.declare_wire("a");
+        w.begin_dump(&[false]);
+        w.change(10, a, true);
+        w.change(5, a, false);
+    }
+}

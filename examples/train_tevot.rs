@@ -1,0 +1,71 @@
+//! Train a TEVoT model end to end at one operating condition, evaluate it
+//! on unseen vectors, and round-trip it through the model persistence
+//! format (the paper promises to publish pre-trained models; this is that
+//! artifact).
+//!
+//! Run with: `cargo run --release --example train_tevot`
+
+use std::error::Error;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot_repro::core::dta::Characterizer;
+use tevot_repro::core::eval::{evaluate_predictor, mean_accuracy};
+use tevot_repro::core::workload::random_workload;
+use tevot_repro::core::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_repro::netlist::fu::FunctionalUnit;
+use tevot_repro::timing::{ClockSpeedup, OperatingCondition};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let fu = FunctionalUnit::FpAdd;
+    let condition = OperatingCondition::new(0.85, 50.0);
+    let characterizer = Characterizer::new(fu);
+
+    // Phase 1: dynamic timing analysis (gate-level simulation).
+    eprintln!("characterizing {fu} at {condition}...");
+    let train = random_workload(fu, 1200, 1);
+    let truth = characterizer.characterize(condition, &train, &ClockSpeedup::PAPER);
+    println!(
+        "characterized {} cycles; fastest error-free period {} ps, \
+         TER at 15% overclock {:.1}%",
+        truth.num_cycles(),
+        truth.clock_periods_ps()[0] * 21 / 20,
+        truth.timing_error_rate(2) * 100.0,
+    );
+
+    // Phase 2: train on the Eq. 3 feature matrix.
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+
+    // Phase 3: evaluate on unseen vectors (Eq. 4).
+    let test = random_workload(fu, 400, 2);
+    let test_truth = characterizer.characterize_with_periods(
+        condition,
+        &test,
+        truth.clock_periods_ps(),
+    );
+    let mut predictor = model.clone();
+    let points = evaluate_predictor(&mut predictor, &test, &test_truth);
+    for p in &points {
+        println!(
+            "clock {:>5} ps: accuracy {:.1}% (ground-truth TER {:.1}%)",
+            p.clock_ps,
+            p.accuracy * 100.0,
+            p.ground_truth_ter * 100.0,
+        );
+    }
+    println!("mean accuracy: {:.1}%", mean_accuracy(&points) * 100.0);
+
+    // Persist and reload: predictions must be bit-identical.
+    let mut bytes = Vec::new();
+    model.save(&mut bytes)?;
+    let reloaded = TevotModel::load(bytes.as_slice())?;
+    let ops = test.operands();
+    assert_eq!(
+        model.predict_delay_ps(condition, ops[1], ops[0]),
+        reloaded.predict_delay_ps(condition, ops[1], ops[0]),
+    );
+    println!("model round-tripped through {} bytes", bytes.len());
+    Ok(())
+}

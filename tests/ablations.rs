@@ -1,0 +1,128 @@
+//! Ablations over the design choices DESIGN.md calls out (assertion side;
+//! the timing side lives in `crates/bench/benches/ablation.rs`).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot_repro::core::dta::Characterizer;
+use tevot_repro::core::workload::random_workload;
+use tevot_repro::core::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_repro::ml::ForestParams;
+use tevot_repro::netlist::fu::{
+    int_mul_with_style, AdderStyle, FunctionalUnit, MultiplierStyle,
+};
+use tevot_repro::timing::{ClockSpeedup, DelayModel, OperatingCondition};
+
+/// The three adder micro-architectures order exactly as their carry
+/// structures predict, on both static and dynamic delay.
+#[test]
+fn adder_styles_order_by_balance() {
+    let fu = FunctionalUnit::IntAdd;
+    let cond = OperatingCondition::new(0.9, 25.0);
+    let work = random_workload(fu, 150, 3);
+    let mut crit = Vec::new();
+    let mut spread = Vec::new();
+    for style in [AdderStyle::RippleCarry, AdderStyle::CarryLookahead, AdderStyle::KoggeStone] {
+        let nl = fu.build_with_adder_style(style);
+        let ch = Characterizer::with_netlist(fu, nl, DelayModel::tsmc45_like());
+        let trace = ch.trace(cond, &work);
+        crit.push(trace.critical_delay_ps());
+        let delays: Vec<u64> =
+            trace.cycles().iter().skip(1).map(|c| c.dynamic_delay_ps()).collect();
+        let max = *delays.iter().max().unwrap() as f64;
+        let mean = delays.iter().sum::<u64>() as f64 / delays.len() as f64;
+        spread.push(max / mean);
+    }
+    assert!(crit[0] > crit[1] && crit[1] > crit[2], "critical path must shrink: {crit:?}");
+    assert!(
+        spread[0] > spread[2],
+        "the ripple adder's dynamic delays must be more spread than Kogge-Stone's \
+         (max/mean {spread:?})"
+    );
+}
+
+/// The three multiplier micro-architectures order by depth as their
+/// structures predict, and all agree functionally with the golden model
+/// under timing simulation.
+#[test]
+fn multiplier_styles_order_by_depth() {
+    let fu = FunctionalUnit::IntMul;
+    let cond = OperatingCondition::new(0.9, 25.0);
+    let work = random_workload(fu, 40, 5);
+    let mut crit = Vec::new();
+    for style in [MultiplierStyle::RippleArray, MultiplierStyle::CarrySave, MultiplierStyle::Booth]
+    {
+        let nl = int_mul_with_style(style);
+        let ch = Characterizer::with_netlist(fu, nl, DelayModel::tsmc45_like());
+        let trace = ch.trace(cond, &work);
+        // Functional agreement: settled outputs equal the golden product.
+        for (cycle, &(a, b)) in trace.cycles().iter().zip(work.operands()) {
+            assert_eq!(
+                fu.decode_output(cycle.settled_outputs()),
+                fu.golden(a, b),
+                "{style:?}: {a:#x} * {b:#x}"
+            );
+        }
+        crit.push(trace.critical_delay_ps());
+    }
+    assert!(
+        crit[0] > crit[1] && crit[1] > crit[2],
+        "critical delays should fall RippleArray > CarrySave > Booth: {crit:?}"
+    );
+}
+
+/// A delay model trained at a subset of conditions still predicts at other
+/// conditions because V and T are features — and more trees help.
+#[test]
+fn forest_size_improves_delay_fit() {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let cond = OperatingCondition::new(0.88, 50.0);
+    let train = random_workload(fu, 700, 1);
+    let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+
+    let test = random_workload(fu, 250, 2);
+    let test_truth = characterizer.characterize(cond, &test, &ClockSpeedup::PAPER);
+    let ops = test.operands();
+    let actual: Vec<f64> = (1..ops.len()).map(|t| test_truth.delays_ps()[t] as f64).collect();
+
+    let mut rmse = Vec::new();
+    for trees in [1usize, 10] {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let params = TevotParams {
+            forest: ForestParams { num_trees: trees, ..ForestParams::default() },
+            ..TevotParams::default()
+        };
+        let model = TevotModel::train(&data, &params, &mut rng);
+        let pred: Vec<f64> =
+            (1..ops.len()).map(|t| model.predict_delay_ps(cond, ops[t], ops[t - 1])).collect();
+        rmse.push(tevot_repro::ml::metrics::root_mean_square_error(&pred, &actual));
+    }
+    assert!(
+        rmse[1] < rmse[0],
+        "10 trees (RMSE {:.1}) should beat 1 tree (RMSE {:.1})",
+        rmse[1],
+        rmse[0]
+    );
+}
+
+/// The paper's Sec. III flexibility argument in miniature: predicting the
+/// delay once and thresholding is equivalent to per-clock error models,
+/// without retraining.
+#[test]
+fn one_delay_model_serves_many_clocks() {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let cond = OperatingCondition::new(0.9, 0.0);
+    let train = random_workload(fu, 600, 4);
+    let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+
+    let ops = train.operands();
+    let d = model.predict_delay_ps(cond, ops[10], ops[9]);
+    // The error classification flips exactly at the predicted delay.
+    assert!(model.predict_error(cond, (d - 1.0).max(0.0) as u64, ops[10], ops[9]));
+    assert!(!model.predict_error(cond, d as u64 + 1, ops[10], ops[9]));
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration: the full Fig. 2 pipeline (DTA -> training ->
+//! evaluation) at reduced scale, plus the baselines' characteristic
+//! behaviours from Table III.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot_repro::core::dta::Characterizer;
+use tevot_repro::core::eval::{evaluate_predictor, mean_accuracy};
+use tevot_repro::core::workload::random_workload;
+use tevot_repro::core::{
+    build_delay_dataset, DelayBased, ErrorPredictor, FeatureEncoding, TerBased, TevotModel,
+    TevotParams,
+};
+use tevot_repro::netlist::fu::FunctionalUnit;
+use tevot_repro::timing::{ClockSpeedup, OperatingCondition};
+
+#[test]
+fn pipeline_beats_baselines_on_random_data() {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let conditions = [OperatingCondition::new(0.85, 0.0), OperatingCondition::new(0.95, 100.0)];
+
+    let train = random_workload(fu, 700, 1);
+    let test = random_workload(fu, 250, 2);
+
+    let train_chars: Vec<_> = conditions
+        .iter()
+        .map(|&c| characterizer.characterize(c, &train, &ClockSpeedup::PAPER))
+        .collect();
+    let runs: Vec<_> = train_chars.iter().map(|c| (&train, c)).collect();
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &runs);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut tevot = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+    let mut delay_based = DelayBased::calibrate(&train_chars);
+    let mut ter_based = TerBased::calibrate(&train_chars, 3);
+
+    let mut scores = vec![];
+    for (i, &cond) in conditions.iter().enumerate() {
+        let truth =
+            characterizer.characterize_with_periods(cond, &test, train_chars[i].clock_periods_ps());
+        let t = mean_accuracy(&evaluate_predictor(&mut tevot, &test, &truth));
+        let d = mean_accuracy(&evaluate_predictor(&mut delay_based, &test, &truth));
+        let b = mean_accuracy(&evaluate_predictor(&mut ter_based, &test, &truth));
+        scores.push((t, d, b));
+    }
+    for (t, d, b) in scores {
+        assert!(t > 0.85, "TEVoT accuracy {t} too low");
+        assert!(t > d, "TEVoT ({t}) must beat Delay-based ({d})");
+        assert!(t >= b - 0.02, "TEVoT ({t}) must not lose to TER-based ({b})");
+        // Delay-based predicts an error whenever the clock is overclocked,
+        // so its accuracy equals the (low) error rate.
+        assert!(d < 0.5, "Delay-based should be pessimistic, got {d}");
+    }
+}
+
+#[test]
+fn tevot_transfers_across_clock_speeds() {
+    // The paper's key flexibility claim: one delay model serves every
+    // clock period. Train once, evaluate at a clock the training labels
+    // never mentioned.
+    let fu = FunctionalUnit::FpAdd;
+    let characterizer = Characterizer::new(fu);
+    let cond = OperatingCondition::new(0.9, 50.0);
+    let train = random_workload(fu, 700, 5);
+    let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+
+    let test = random_workload(fu, 250, 6);
+    // A clock period between the training speedups.
+    let novel_clock = truth.clock_periods_ps()[0] * 97 / 100;
+    let test_truth = characterizer.characterize_with_periods(cond, &test, &[novel_clock]);
+    let points = evaluate_predictor(&mut model, &test, &test_truth);
+    assert!(
+        points[0].accuracy > 0.85,
+        "accuracy {} at an unseen clock period",
+        points[0].accuracy
+    );
+}
+
+#[test]
+fn predictors_expose_their_names() {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let w = random_workload(fu, 120, 9);
+    let c = characterizer.characterize(OperatingCondition::nominal(), &w, &ClockSpeedup::PAPER);
+    let data = build_delay_dataset(FeatureEncoding::without_history(), &[(&w, &c)]);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let params = TevotParams { encoding: FeatureEncoding::without_history(), ..Default::default() };
+    let nh = TevotModel::train(&data, &params, &mut rng);
+    assert_eq!(ErrorPredictor::name(&nh), "TEVoT-NH");
+    assert_eq!(ErrorPredictor::name(&DelayBased::calibrate([&c])), "Delay-based");
+    assert_eq!(ErrorPredictor::name(&TerBased::calibrate([&c], 0)), "TER-based");
+}

@@ -1,0 +1,71 @@
+//! Reproduces the paper's Sec. IV-B feature-design verification:
+//! "For every 20 cycles, if we randomly vary the preceding input x[t-1]
+//! while fixing current input x[t], D[t] varies irregularly; if we fix
+//! both x[t-1] and x[t], D[t] is also fixed."
+//!
+//! This is the experiment that justifies including the history input in
+//! the feature vector.
+
+use tevot_repro::netlist::fu::FunctionalUnit;
+use tevot_repro::sim::TimingSimulator;
+use tevot_repro::timing::{DelayModel, OperatingCondition};
+
+fn delay_of_transition(fu: FunctionalUnit, prev: (u32, u32), cur: (u32, u32)) -> u64 {
+    let nl = fu.build();
+    let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.9, 25.0));
+    let mut sim =
+        TimingSimulator::with_initial_inputs(&nl, &ann, &fu.encode_operands(prev.0, prev.1));
+    sim.step(&fu.encode_operands(cur.0, cur.1)).dynamic_delay_ps()
+}
+
+#[test]
+fn fixing_both_inputs_fixes_the_delay() {
+    for fu in FunctionalUnit::ALL {
+        let prev = (0x1234_5678, 0x0BAD_F00D);
+        let cur = (0xDEAD_BEEF, 0x0000_FFFF);
+        let d1 = delay_of_transition(fu, prev, cur);
+        let d2 = delay_of_transition(fu, prev, cur);
+        assert_eq!(d1, d2, "{fu}: same transition must give the same delay");
+    }
+}
+
+#[test]
+fn varying_history_varies_the_delay() {
+    // Same x[t], many different x[t-1]: the observed delays must spread.
+    for fu in [FunctionalUnit::IntAdd, FunctionalUnit::IntMul] {
+        let cur = (0xDEAD_BEEF, 0x1234_5678);
+        let mut delays = std::collections::BTreeSet::new();
+        for i in 0..20u32 {
+            let prev = (i.wrapping_mul(0x9E37_79B9), i.wrapping_mul(0x85EB_CA6B) ^ 0xFFFF);
+            delays.insert(delay_of_transition(fu, prev, cur));
+        }
+        assert!(
+            delays.len() >= 5,
+            "{fu}: only {} distinct delays across 20 histories — the history \
+             input would carry no information",
+            delays.len()
+        );
+        let min = *delays.iter().next().unwrap();
+        let max = *delays.iter().last().unwrap();
+        assert!(max > min, "{fu}: history left the delay completely unchanged");
+        if fu == FunctionalUnit::IntMul {
+            // The multiplier's history sensitivity is large in absolute
+            // terms; the balanced prefix adder's is narrower but, sitting
+            // right at the clock threshold, still decides correctness.
+            assert!(
+                max > min + min / 20,
+                "{fu}: delay range {min}..{max} too narrow to matter"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_history_means_zero_delay() {
+    // x[t-1] == x[t]: nothing toggles, the dynamic delay is zero — the
+    // strongest possible form of history dependence.
+    for fu in FunctionalUnit::ALL {
+        let v = (0xCAFE_BABE, 0x0000_0042);
+        assert_eq!(delay_of_transition(fu, v, v), 0, "{fu}");
+    }
+}
