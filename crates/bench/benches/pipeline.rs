@@ -119,8 +119,7 @@ fn bench_model_vs_sim(c: &mut Criterion) {
         let nl = fu.build();
         let ann = DelayModel::tsmc45_like().annotate(&nl, cond());
         let ops = work.operands();
-        let vectors: Vec<Vec<bool>> =
-            ops.iter().map(|&(a, b)| fu.encode_operands(a, b)).collect();
+        let vectors: Vec<Vec<bool>> = ops.iter().map(|&(a, b)| fu.encode_operands(a, b)).collect();
 
         group.bench_function(format!("{}/simulation", fu.name()), |bench| {
             bench.iter_batched(

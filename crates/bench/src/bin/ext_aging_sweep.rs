@@ -23,6 +23,7 @@ use tevot_timing::{sta, DelayModel, OperatingCondition, ProcessCorner, SiliconPr
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let fu = FunctionalUnit::IntAdd;
     let cond = OperatingCondition::new(0.81, 25.0);
     let model = DelayModel::tsmc45_like();
@@ -50,19 +51,15 @@ fn main() {
         "{fu} at {cond}: clock fixed at {clock} ps (2% margin over fresh-TT Fmax {base} ps)\n"
     );
 
-    let mut table =
-        TextTable::new(&["corner", "age (yrs)", "critical (ps)", "TER @ fixed clock"]);
+    let mut table = TextTable::new(&["corner", "age (yrs)", "critical (ps)", "TER @ fixed clock"]);
     for corner in ProcessCorner::ALL {
         for years in [0.0, 3.0, 10.0] {
             let die = SiliconProfile::at_corner(corner, 42).aged(years);
             let ann = model.annotate_for_die(&netlist, cond, &die);
             let crit = sta::run(&netlist, &ann).critical_delay_ps();
             let mut sim = TimingSimulator::new(&netlist, &ann);
-            let cycles: Vec<CycleResult> = work
-                .operands()
-                .iter()
-                .map(|&(a, b)| sim.step(&fu.encode_operands(a, b)))
-                .collect();
+            let cycles: Vec<CycleResult> =
+                work.operands().iter().map(|&(a, b)| sim.step(&fu.encode_operands(a, b))).collect();
             let ter = cycles[1..].iter().filter(|c| c.is_erroneous_at(clock)).count() as f64
                 / (cycles.len() - 1) as f64;
             table.row_owned(vec![

@@ -23,6 +23,7 @@ use tevot_timing::{ClockSpeedup, ConditionGrid};
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let fu = match std::env::args().skip_while(|a| a != "--fu").nth(1).as_deref() {
         Some("int-mul") => FunctionalUnit::IntMul,
         Some("fp-add") => FunctionalUnit::FpAdd,
@@ -34,7 +35,7 @@ fn main() {
     let chars: Vec<_> = ConditionGrid::fig3()
         .iter()
         .map(|c| {
-            eprintln!("[importance] characterizing {fu} at {c}...");
+            tevot_obs::info!("characterizing {fu} at {c}...");
             characterizer.characterize(c, &work, &ClockSpeedup::PAPER)
         })
         .collect();
@@ -56,8 +57,7 @@ fn main() {
     // At a single condition the (dominant) V/T scale features drop out
     // and the per-bit sensitization structure becomes visible.
     let single = &chars[4]; // (0.90V, 50C) in the fig3 grid
-    let data_one =
-        build_delay_dataset(FeatureEncoding::with_history(), &[(&work, single)]);
+    let data_one = build_delay_dataset(FeatureEncoding::with_history(), &[(&work, single)]);
     let model_one = TevotModel::train(&data_one, &TevotParams::default(), &mut rng);
     let mut imp_one = model_one.feature_importances();
     imp_one.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -57,18 +57,17 @@ fn calibration_margin_ps(
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let fu = FunctionalUnit::FpAdd;
     let target_ter = 0.01;
     let characterizer = Characterizer::new(fu);
     let grid = ConditionGrid::fig3();
 
     // Train one model across a training sweep.
-    eprintln!("[explorer] characterizing {fu} across {} conditions...", grid.len());
+    tevot_obs::info!("characterizing {fu} across {} conditions...", grid.len());
     let train = random_workload(fu, 900, config.seed);
-    let chars: Vec<_> = grid
-        .iter()
-        .map(|c| characterizer.characterize(c, &train, &ClockSpeedup::PAPER))
-        .collect();
+    let chars: Vec<_> =
+        grid.iter().map(|c| characterizer.characterize(c, &train, &ClockSpeedup::PAPER)).collect();
     let runs: Vec<_> = chars.iter().map(|c| (&train, c)).collect();
     let data = build_delay_dataset(FeatureEncoding::with_history(), &runs);
     let mut rng = SmallRng::seed_from_u64(config.seed);
@@ -89,19 +88,16 @@ fn main() {
     ]);
     // Held-out calibration set, characterized once per condition at
     // characterization time.
-    eprintln!("[explorer] characterizing the calibration set...");
+    tevot_obs::info!("characterizing the calibration set...");
     let cal = random_workload(fu, 300, config.seed + 7);
-    let cal_chars: Vec<_> = grid
-        .iter()
-        .map(|c| characterizer.characterize(c, &cal, &ClockSpeedup::PAPER))
-        .collect();
+    let cal_chars: Vec<_> =
+        grid.iter().map(|c| characterizer.characterize(c, &cal, &ClockSpeedup::PAPER)).collect();
 
     let probe = random_workload(fu, 400, config.seed + 3);
     let mut hits = 0;
     let mut savings = Vec::new();
     for (i, cond) in grid.iter().enumerate() {
-        let margin =
-            calibration_margin_ps(&model, cond, cal.operands(), cal_chars[i].delays_ps());
+        let margin = calibration_margin_ps(&model, cond, cal.operands(), cal_chars[i].delays_ps());
         let recommended = explore(&model, cond, probe.operands(), target_ter, margin);
         let static_period = chars[i].critical_delay_ps();
         let truth = characterizer.characterize_with_periods(cond, &probe, &[recommended]);

@@ -26,11 +26,7 @@ use tevot_ml::{
 use tevot_netlist::fu::FunctionalUnit;
 use tevot_timing::{ClockSpeedup, OperatingCondition};
 
-fn encode_test(
-    encoding: FeatureEncoding,
-    cond: OperatingCondition,
-    ops: &[(u32, u32)],
-) -> Dataset {
+fn encode_test(encoding: FeatureEncoding, cond: OperatingCondition, ops: &[(u32, u32)]) -> Dataset {
     let mut data = Dataset::new(encoding.num_features());
     let mut row = Vec::new();
     for t in 1..ops.len() {
@@ -42,25 +38,24 @@ fn encode_test(
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let fu = FunctionalUnit::IntMul;
     let cond = OperatingCondition::new(0.9, 50.0);
     let encoding = FeatureEncoding::with_history();
     let characterizer = Characterizer::new(fu);
 
-    eprintln!("[methods] characterizing {fu} at {cond}...");
+    tevot_obs::info!("characterizing {fu} at {cond}...");
     let train = random_workload(fu, 1600, config.seed);
     let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
     let data = build_delay_dataset(encoding, &[(&train, &truth)]);
 
     let test = random_workload(fu, 600, config.seed + 1);
-    let test_truth =
-        characterizer.characterize_with_periods(cond, &test, truth.clock_periods_ps());
+    let test_truth = characterizer.characterize_with_periods(cond, &test, truth.clock_periods_ps());
     let test_rows = encode_test(encoding, cond, test.operands());
-    let actual_delays: Vec<f64> =
-        test_truth.delays_ps()[1..].iter().map(|&d| d as f64).collect();
+    let actual_delays: Vec<f64> = test_truth.delays_ps()[1..].iter().map(|&d| d as f64).collect();
 
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    eprintln!("[methods] fitting models...");
+    tevot_obs::info!("fitting models...");
     let rf = RandomForestRegressor::fit(&data, &ForestParams::default(), &mut rng);
     let gbt = GradientBoostedRegressor::fit(
         &data,
@@ -69,14 +64,12 @@ fn main() {
     );
     let lr = LinearRegression::fit(&data, 1e-6);
 
-    let mut table = TextTable::new(&["model", "delay RMSE (ps)", "acc @5%", "acc @10%", "acc @15%"]);
+    let mut table =
+        TextTable::new(&["model", "delay RMSE (ps)", "acc @5%", "acc @10%", "acc @15%"]);
     println!(
         "{fu} at {cond}: out-of-sample delay regression and error classification\n\
          (ground-truth TERs: {})\n",
-        (0..3)
-            .map(|i| pct(test_truth.timing_error_rate(i)))
-            .collect::<Vec<_>>()
-            .join(" / ")
+        (0..3).map(|i| pct(test_truth.timing_error_rate(i))).collect::<Vec<_>>().join(" / ")
     );
     let mut score = |name: &str, pred: Vec<f64>| {
         let rmse = root_mean_square_error(&pred, &actual_delays);

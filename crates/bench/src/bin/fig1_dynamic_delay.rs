@@ -11,11 +11,14 @@
 //!
 //! Usage: `cargo run -p tevot-bench --bin fig1_dynamic_delay`
 
+use tevot_bench::config::StudyConfig;
 use tevot_netlist::NetlistBuilder;
 use tevot_sim::TimingSimulator;
 use tevot_timing::{DelayAnnotation, OperatingCondition};
 
 fn main() {
+    let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let mut b = NetlistBuilder::new("fig1");
     let x = b.input("x");
     let y = b.input("y");

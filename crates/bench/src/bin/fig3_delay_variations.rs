@@ -17,6 +17,7 @@ use tevot_bench::table::TextTable;
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     println!(
         "Fig. 3 reproduction: average dynamic delay (ps) across {} conditions",
         config.conditions.len()

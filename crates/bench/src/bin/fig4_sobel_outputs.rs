@@ -21,13 +21,14 @@ use tevot_bench::study::Study;
 use tevot_imgproc::quality::inject_and_score;
 use tevot_imgproc::{Application, ExactArithmetic, FuArithmetic as _};
 
-fn main() {
+fn main() -> Result<(), String> {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let num_trees = config.num_trees;
     let seed = config.seed;
     let study = Study::run(config);
 
-    eprintln!("[fig4] training models...");
+    tevot_obs::info!("training models...");
     let mut models: Vec<FuModels> =
         study.fus.iter().map(|f| FuModels::train(f, num_trees, seed)).collect();
 
@@ -50,43 +51,53 @@ fn main() {
 
     let image = &study.corpus[0];
     let out_dir = Path::new("fig4_out");
-    fs::create_dir_all(out_dir).expect("create fig4_out/");
+    write_or_err(fs::create_dir_all(out_dir), out_dir)?;
 
     let mut exact = ExactArithmetic;
     let reference = Application::Sobel.run(image, &mut exact);
-    fs::write(out_dir.join("reference.pgm"), reference.to_pgm()).expect("write reference");
+    write_or_err(
+        fs::write(out_dir.join("reference.pgm"), reference.to_pgm()),
+        &out_dir.join("reference.pgm"),
+    )?;
     let _ = exact.int_add(0, 0);
 
     let corpus = std::slice::from_ref(image);
     let truth_rates = ground_truth_rates(&study, Application::Sobel, cond_idx, speed_idx);
     let sim = inject_and_score(Application::Sobel, corpus, truth_rates, seed);
-    fs::write(
-        out_dir.join("ground_truth.pgm"),
-        {
-            let mut faulty = tevot_imgproc::FaultyArithmetic::new(truth_rates, seed ^ (0 << 17));
-            Application::Sobel.run(image, &mut faulty).to_pgm()
-        },
-    )
-    .expect("write ground truth");
-    println!(
-        "  ground truth (gate-level sim TERs {truth_rates:?}): {:.1} dB",
-        sim.psnr_db[0]
-    );
+    let res = fs::write(out_dir.join("ground_truth.pgm"), {
+        let mut faulty = tevot_imgproc::FaultyArithmetic::new(truth_rates, seed ^ (0 << 17));
+        Application::Sobel.run(image, &mut faulty).to_pgm()
+    });
+    write_or_err(res, &out_dir.join("ground_truth.pgm"))?;
+    println!("  ground truth (gate-level sim TERs {truth_rates:?}): {:.1} dB", sim.psnr_db[0]);
 
     for model in [ModelKind::Tevot, ModelKind::TevotNh, ModelKind::TerBased] {
-        let rates = model_rates(&study, &mut models, Application::Sobel, cond_idx, speed_idx, model);
+        let rates =
+            model_rates(&study, &mut models, Application::Sobel, cond_idx, speed_idx, model);
         let out = inject_and_score(Application::Sobel, corpus, rates, seed ^ 0xABCD);
         let file = format!("{}.pgm", model.name().to_lowercase().replace('-', "_"));
-        fs::write(out_dir.join(&file), {
-            let mut faulty = tevot_imgproc::FaultyArithmetic::new(rates, seed ^ 0xABCD);
-            Application::Sobel.run(image, &mut faulty).to_pgm()
-        })
-        .expect("write model image");
-        println!("  {} (predicted TERs {rates:?}): {:.1} dB -> fig4_out/{file}", model.name(), out.psnr_db[0]);
+        write_or_err(
+            fs::write(out_dir.join(&file), {
+                let mut faulty = tevot_imgproc::FaultyArithmetic::new(rates, seed ^ 0xABCD);
+                Application::Sobel.run(image, &mut faulty).to_pgm()
+            }),
+            &out_dir.join(&file),
+        )?;
+        println!(
+            "  {} (predicted TERs {rates:?}): {:.1} dB -> fig4_out/{file}",
+            model.name(),
+            out.psnr_db[0]
+        );
     }
     println!(
         "\nPaper (Fig. 4): ground truth 27 dB, TEVoT 25 dB, TEVoT-NH 56 dB, \
          TER-based 48 dB — TEVoT is the model whose output quality tracks \
          the simulation."
     );
+    Ok(())
+}
+
+/// Converts a filesystem error into a message naming the offending path.
+fn write_or_err(result: std::io::Result<()>, path: &Path) -> Result<(), String> {
+    result.map_err(|e| format!("cannot write {}: {e}", path.display()))
 }

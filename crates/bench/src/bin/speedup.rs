@@ -19,21 +19,17 @@ use tevot_timing::{ClockSpeedup, OperatingCondition};
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     let cond = OperatingCondition::new(0.9, 50.0);
     let n_train = config.train_random.min(1000);
     let n_bench = 2000;
 
-    let mut table = TextTable::new(&[
-        "FU",
-        "cells",
-        "sim cycles/s",
-        "TEVoT predictions/s",
-        "speedup",
-    ]);
+    let mut table =
+        TextTable::new(&["FU", "cells", "sim cycles/s", "TEVoT predictions/s", "speedup"]);
     let mut ratios = Vec::new();
 
     for fu in FunctionalUnit::ALL {
-        eprintln!("[speedup] {fu}...");
+        tevot_obs::info!("{fu}...");
         let characterizer = Characterizer::new(fu);
         let train = random_workload(fu, n_train, config.seed);
         let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
@@ -72,8 +68,7 @@ fn main() {
     }
 
     println!("\n{}", table.render());
-    let geo: f64 =
-        ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     println!("geometric-mean speedup: {:.0}x (paper: ~100x on average)", geo.exp());
     println!(
         "Note the scaling asymmetry the paper highlights: simulation slows with \

@@ -43,6 +43,7 @@ fn classification_data(study: &Study, speed_idx: usize) -> Dataset {
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     println!(
         "Table II reproduction: method comparison on INT MUL error \
          classification at the 5% speedup ({} conditions)",

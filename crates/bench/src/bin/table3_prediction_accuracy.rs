@@ -13,6 +13,7 @@ use tevot_bench::table::{pct, TextTable};
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     println!(
         "Table III reproduction: {} conditions x {} clock speedups, \
          {} train / {} test vectors per FU",
@@ -32,9 +33,9 @@ fn main() {
         ModelKind::ALL.iter().map(|&m| (m, Vec::new())).collect();
 
     for fu_study in &study.fus {
-        eprintln!("[table3] training models for {}...", fu_study.fu);
+        tevot_obs::info!("training models for {}...", fu_study.fu);
         let mut models = FuModels::train(fu_study, num_trees, seed);
-        eprintln!("[table3] evaluating {}...", fu_study.fu);
+        tevot_obs::info!("evaluating {}...", fu_study.fu);
         let cells = evaluate_fu(fu_study, &mut models);
         for dataset in DatasetKind::ALL {
             let mut row = vec![fu_study.fu.name().to_string(), dataset.name().to_string()];

@@ -19,6 +19,7 @@ use tevot_imgproc::Application;
 
 fn main() {
     let config = StudyConfig::from_env();
+    let _obs = config.observability();
     println!(
         "Table IV reproduction: quality estimation over {} conditions x {} \
          speedups x {} images",
@@ -30,17 +31,14 @@ fn main() {
     let seed = config.seed;
     let study = Study::run(config);
 
-    eprintln!("[table4] training models...");
-    let mut models: Vec<FuModels> = study
-        .fus
-        .iter()
-        .map(|fu_study| FuModels::train(fu_study, num_trees, seed))
-        .collect();
+    tevot_obs::info!("training models...");
+    let mut models: Vec<FuModels> =
+        study.fus.iter().map(|fu_study| FuModels::train(fu_study, num_trees, seed)).collect();
 
     let mut table =
         TextTable::new(&["Application", "TEVoT", "Delay-based", "TER-based", "TEVoT-NH"]);
     for app in Application::ALL {
-        eprintln!("[table4] injecting errors for {app}...");
+        tevot_obs::info!("injecting errors for {app}...");
         let (accuracies, sim_acceptance) =
             quality_study(&study, &mut models, app, &study.corpus, seed ^ 0xF164);
         let mut row = vec![app.name().to_string()];
@@ -49,10 +47,7 @@ fn main() {
             row.push(pct(*acc));
         }
         table.row_owned(row);
-        println!(
-            "{app}: simulation judged {} of outputs acceptable",
-            pct(sim_acceptance)
-        );
+        println!("{app}: simulation judged {} of outputs acceptable", pct(sim_acceptance));
     }
 
     println!("\n{}", table.render());

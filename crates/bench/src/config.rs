@@ -6,6 +6,8 @@
 //! default and accepts `--full` for the complete Table I grid. See
 //! DESIGN.md ("Scaling note").
 
+use std::path::PathBuf;
+
 use tevot_timing::{ClockSpeedup, ConditionGrid};
 
 /// Sizing knobs shared by all experiment binaries.
@@ -33,6 +35,11 @@ pub struct StudyConfig {
     pub characterization_len: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Log-level shift relative to the `TEVOT_LOG` default: each
+    /// `--verbose`/`-v` adds one, each `--quiet`/`-q` subtracts one.
+    pub verbosity: i32,
+    /// Where to write the `tevot-obs/1` metrics JSON (`--metrics <path>`).
+    pub metrics_path: Option<PathBuf>,
 }
 
 impl StudyConfig {
@@ -52,6 +59,8 @@ impl StudyConfig {
             num_trees: 10,
             characterization_len: 300,
             seed: 0xDAC2020,
+            verbosity: 0,
+            metrics_path: None,
         }
     }
 
@@ -84,7 +93,9 @@ impl StudyConfig {
     }
 
     /// Parses command-line arguments: `--full` selects [`Self::full`],
-    /// `--tiny` the smoke-test scale, `--seed N` overrides the RNG seed.
+    /// `--tiny` the smoke-test scale, `--seed N` overrides the RNG seed,
+    /// `--verbose`/`-v` and `--quiet`/`-q` shift the log level, and
+    /// `--metrics <path>` requests the `tevot-obs/1` JSON report.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let args: Vec<String> = args.collect();
         let mut config = if args.iter().any(|a| a == "--full") {
@@ -99,12 +110,33 @@ impl StudyConfig {
                 config.seed = seed;
             }
         }
+        for a in &args {
+            match a.as_str() {
+                "--verbose" | "-v" => config.verbosity += 1,
+                "--quiet" | "-q" => config.verbosity -= 1,
+                _ => {}
+            }
+        }
+        if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+            config.metrics_path = args.get(pos + 1).map(PathBuf::from);
+        }
         config
     }
 
     /// Parses from the process arguments.
     pub fn from_env() -> Self {
         Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Applies the parsed verbosity to the global log level and returns
+    /// the RAII reporter every experiment binary should hold in `main`:
+    /// on drop it writes the `--metrics` JSON (if requested) and, when
+    /// `TEVOT_OBS_SUMMARY` is set, prints the stderr summary.
+    pub fn observability(&self) -> tevot_obs::report::FinishGuard {
+        if self.verbosity != 0 {
+            tevot_obs::adjust_level(self.verbosity);
+        }
+        tevot_obs::report::FinishGuard::new().metrics_path(self.metrics_path.clone())
     }
 }
 
@@ -128,10 +160,20 @@ mod tests {
 
     #[test]
     fn seed_override() {
-        let c = StudyConfig::from_args(
-            ["--seed".to_string(), "123".to_string()].into_iter(),
-        );
+        let c = StudyConfig::from_args(["--seed".to_string(), "123".to_string()].into_iter());
         assert_eq!(c.seed, 123);
         assert_eq!(c.conditions.len(), 9);
+    }
+
+    #[test]
+    fn verbosity_and_metrics_flags() {
+        let c = StudyConfig::from_args(
+            ["-q".to_string(), "--metrics".to_string(), "out.json".to_string()].into_iter(),
+        );
+        assert_eq!(c.verbosity, -1);
+        assert_eq!(c.metrics_path.as_deref(), Some(std::path::Path::new("out.json")));
+        let c = StudyConfig::from_args(["--verbose".to_string(), "-v".to_string()].into_iter());
+        assert_eq!(c.verbosity, 2);
+        assert_eq!(c.metrics_path, None);
     }
 }

@@ -59,11 +59,9 @@ impl ModelKind {
 impl FuModels {
     /// Trains all four models from one FU's study data.
     pub fn train(fu_study: &FuStudy, num_trees: usize, seed: u64) -> FuModels {
-        let runs: Vec<_> = fu_study
-            .conditions
-            .iter()
-            .map(|c| (&fu_study.train_workload, &c.train))
-            .collect();
+        let _span = tevot_obs::span!("train", "{}", fu_study.fu);
+        let runs: Vec<_> =
+            fu_study.conditions.iter().map(|c| (&fu_study.train_workload, &c.train)).collect();
         let mut params = TevotParams {
             forest: ForestParams { num_trees, ..ForestParams::default() },
             encoding: FeatureEncoding::with_history(),
@@ -81,9 +79,8 @@ impl FuModels {
         // offline at each operating condition" — the offline measurement
         // covers both the Fmax suite and the training workload. TER-based
         // calibrates on the training workload's error rates alone.
-        let delay_based = DelayBased::calibrate(
-            fu_study.conditions.iter().flat_map(|c| [&c.train, &c.fmax]),
-        );
+        let delay_based =
+            DelayBased::calibrate(fu_study.conditions.iter().flat_map(|c| [&c.train, &c.fmax]));
         let ter_based =
             TerBased::calibrate(fu_study.conditions.iter().map(|c| &c.train), seed ^ 0x7E57);
 
@@ -118,6 +115,7 @@ pub struct AccuracyCell {
 /// Evaluates all four models on all three datasets for one FU — one row
 /// group of Table III.
 pub fn evaluate_fu(fu_study: &FuStudy, models: &mut FuModels) -> Vec<AccuracyCell> {
+    let _span = tevot_obs::span!("evaluate", "{}", fu_study.fu);
     let mut cells = Vec::new();
     for dataset in DatasetKind::ALL {
         let workload = fu_study.test_workload(dataset);
@@ -125,6 +123,7 @@ pub fn evaluate_fu(fu_study: &FuStudy, models: &mut FuModels) -> Vec<AccuracyCel
             let mut points = Vec::new();
             for cond_study in &fu_study.conditions {
                 let truth = &cond_study.tests[dataset_index(dataset)];
+                let _predict = tevot_obs::span!("predict");
                 points.extend(evaluate_predictor(models.predictor(model), workload, truth));
             }
             cells.push(AccuracyCell {
@@ -144,10 +143,7 @@ pub fn evaluate_fu(fu_study: &FuStudy, models: &mut FuModels) -> Vec<AccuracyCel
 ///
 /// Panics if the combination was not evaluated.
 pub fn cell(cells: &[AccuracyCell], dataset: DatasetKind, model: ModelKind) -> &AccuracyCell {
-    cells
-        .iter()
-        .find(|c| c.dataset == dataset && c.model == model)
-        .expect("cell was evaluated")
+    cells.iter().find(|c| c.dataset == dataset && c.model == model).expect("cell was evaluated")
 }
 
 /// The quality-estimation verdicts of one source (simulation or a model)
@@ -245,8 +241,7 @@ pub fn quality_study(
 
     for cond_idx in 0..num_conditions {
         for speed_idx in 0..num_speeds {
-            let point_seed =
-                seed ^ ((cond_idx as u64) << 32 | (speed_idx as u64) << 16);
+            let point_seed = seed ^ ((cond_idx as u64) << 32 | (speed_idx as u64) << 16);
             let truth_rates = ground_truth_rates(study, app, cond_idx, speed_idx);
             let sim = inject_and_score(app, corpus, truth_rates, point_seed);
             sim_verdicts.extend_from_slice(&sim.acceptable);

@@ -119,16 +119,23 @@ impl Study {
     }
 
     fn run_for(config: StudyConfig, fus: &[FunctionalUnit]) -> Study {
-        let corpus =
-            synthetic_corpus(config.corpus_images, config.image_size, config.image_size, config.seed);
-        eprintln!("[study] profiling application workloads...");
+        let _study_span = tevot_obs::span!("study");
+        let corpus = synthetic_corpus(
+            config.corpus_images,
+            config.image_size,
+            config.image_size,
+            config.seed,
+        );
+        tevot_obs::info!("profiling application workloads...");
         let ops_needed = config.train_app + config.test_len;
-        let sobel = profile_application(Application::Sobel, &corpus, ops_needed);
-        let gauss = profile_application(Application::Gaussian, &corpus, ops_needed);
-        let fus = fus
-            .iter()
-            .map(|&fu| Self::run_fu(&config, fu, &sobel, &gauss))
-            .collect();
+        let (sobel, gauss) = {
+            let _span = tevot_obs::span!("profile");
+            (
+                profile_application(Application::Sobel, &corpus, ops_needed),
+                profile_application(Application::Gaussian, &corpus, ops_needed),
+            )
+        };
+        let fus = fus.iter().map(|&fu| Self::run_fu(&config, fu, &sobel, &gauss)).collect();
         Study { config, corpus, fus }
     }
 
@@ -169,21 +176,18 @@ impl Study {
         // low voltage is the slow one.
         let mut base_by_voltage: Vec<(f64, u64)> = Vec::new();
         let mut base_at = |v: f64, characterizer: &Characterizer| -> u64 {
-            if let Some(&(_, b)) =
-                base_by_voltage.iter().find(|&&(bv, _)| (bv - v).abs() < 5e-4)
-            {
+            if let Some(&(_, b)) = base_by_voltage.iter().find(|&&(bv, _)| (bv - v).abs() < 5e-4) {
                 return b;
             }
             let char_cond = OperatingCondition::new(v, 25.0);
-            let b = characterizer
-                .trace(char_cond, &fmax_suite)
-                .fastest_error_free_period_ps();
+            let b = characterizer.trace(char_cond, &fmax_suite).fastest_error_free_period_ps();
             base_by_voltage.push((v, b));
             b
         };
+        let _span = tevot_obs::span!("characterize");
         let mut conditions = Vec::with_capacity(config.conditions.len());
         for cond in config.conditions.iter() {
-            eprintln!("[study] {fu} @ {cond}");
+            tevot_obs::info!("{fu} @ {cond}");
             let base = base_at(cond.voltage(), &characterizer);
             // The per-condition Fmax measurement still exists offline — it
             // is what the Delay-based baseline calibrates against.

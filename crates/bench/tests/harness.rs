@@ -36,11 +36,7 @@ fn study_structure_is_consistent() {
     assert_eq!(cond.train.num_cycles(), fu_study.train_workload.len());
     for kind in DatasetKind::ALL {
         let idx = dataset_index(kind);
-        assert_eq!(
-            cond.tests[idx].num_cycles(),
-            fu_study.test_workloads[idx].len(),
-            "{kind:?}"
-        );
+        assert_eq!(cond.tests[idx].num_cycles(), fu_study.test_workloads[idx].len(), "{kind:?}");
         assert_eq!(fu_study.test_workload(kind).name(), kind.name());
     }
     // The corpus was generated at the configured size.
@@ -72,15 +68,13 @@ fn full_model_pipeline_runs_and_orders_models() {
 fn quality_pipeline_produces_verdicts_for_all_models() {
     // Needs all four FUs: the applications draw TERs from each.
     let study = Study::run(tiny_config());
-    let mut models: Vec<FuModels> =
-        study.fus.iter().map(|f| FuModels::train(f, 3, 2)).collect();
+    let mut models: Vec<FuModels> = study.fus.iter().map(|f| FuModels::train(f, 3, 2)).collect();
 
     let truth = ground_truth_rates(&study, Application::Gaussian, 0, 0);
     for fu in FunctionalUnit::ALL {
         assert!((0.0..=1.0).contains(&truth.rate(fu)));
     }
-    let predicted =
-        model_rates(&study, &mut models, Application::Gaussian, 0, 0, ModelKind::Tevot);
+    let predicted = model_rates(&study, &mut models, Application::Gaussian, 0, 0, ModelKind::Tevot);
     for fu in FunctionalUnit::ALL {
         assert!((0.0..=1.0).contains(&predicted.rate(fu)));
     }

@@ -37,9 +37,8 @@ impl Args {
     /// token.
     pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
         let mut iter = argv.into_iter().peekable();
-        let command = iter
-            .next()
-            .ok_or_else(|| ArgError("missing subcommand (try `tevot help`)".into()))?;
+        let command =
+            iter.next().ok_or_else(|| ArgError("missing subcommand (try `tevot help`)".into()))?;
         let mut values = BTreeMap::new();
         let mut flags = Vec::new();
         while let Some(token) = iter.next() {
@@ -84,9 +83,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(s) => s
-                .parse()
-                .map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}"))),
+            Some(s) => s.parse().map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}"))),
         }
     }
 

@@ -68,7 +68,13 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
                      --vectors N] [--validate] [--seed S]
 
 units: int-add | int-mul | fp-add | fp-mul; operands take decimal or 0x hex.
-workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.";
+workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.
+
+global flags (any position):
+  -v | --verbose       raise the log level (repeatable; default info)
+  -q | --quiet         lower the log level (repeatable)
+  --metrics <path>     write stage timings + counters as tevot-obs/1 JSON
+(the TEVOT_LOG env var sets the base level: off|error|warn|info|debug)";
 
 /// Executes one CLI invocation (`argv` without the program name).
 ///
@@ -77,6 +83,7 @@ workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.";
 /// Returns a descriptive error for unknown subcommands, malformed
 /// arguments, unreadable files or invalid model data.
 pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
+    let (argv, _obs) = global_flags(argv)?;
     let args = Args::parse(argv)?;
     match args.command() {
         "help" | "--help" | "-h" => {
@@ -91,6 +98,41 @@ pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         "ter" => cmd_ter(&args),
         other => Err(ArgError(format!("unknown subcommand {other:?}")).into()),
     }
+}
+
+/// Extracts the global observability flags (`-v`/`--verbose`,
+/// `-q`/`--quiet`, `--metrics <path>`) from anywhere on the command line,
+/// applies the verbosity, and returns the remaining tokens plus the RAII
+/// reporter that writes the metrics JSON when [`run`] finishes.
+fn global_flags(
+    argv: Vec<String>,
+) -> Result<(Vec<String>, tevot_obs::report::FinishGuard), ArgError> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut verbosity = 0i32;
+    let mut metrics = None;
+    let mut iter = argv.into_iter();
+    while let Some(token) = iter.next() {
+        match token.as_str() {
+            "-v" | "--verbose" => verbosity += 1,
+            "-q" | "--quiet" => verbosity -= 1,
+            "--metrics" => match iter.next() {
+                Some(path) if !path.starts_with("--") => {
+                    metrics = Some(std::path::PathBuf::from(path));
+                }
+                _ => return Err(ArgError("--metrics needs a file path".into())),
+            },
+            _ => rest.push(token),
+        }
+    }
+    if verbosity != 0 {
+        tevot_obs::adjust_level(verbosity);
+    }
+    Ok((rest, tevot_obs::report::FinishGuard::new().metrics_path(metrics)))
+}
+
+/// Wraps a file-level I/O result with the offending path.
+fn at_path<T>(result: std::io::Result<T>, action: &str, path: &str) -> Result<T, Box<dyn Error>> {
+    result.map_err(|e| format!("cannot {action} {path}: {e}").into())
 }
 
 /// `tevot ter`: predicted timing error rate of a workload trace at one
@@ -108,14 +150,16 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
     args.finish()?;
 
     let work = match workload_path {
-        Some(path) => tevot::Workload::from_text(&std::fs::read_to_string(&path)?)
-            .map_err(ArgError)?,
+        Some(path) => {
+            let text = at_path(std::fs::read_to_string(&path), "read workload", &path)?;
+            tevot::Workload::from_text(&text).map_err(ArgError)?
+        }
         None => random_workload(fu.unwrap_or(FunctionalUnit::IntAdd), vectors, seed),
     };
     let ops = work.operands();
-    let errors = (1..ops.len())
-        .filter(|&t| model.predict_error(cond, clock, ops[t], ops[t - 1]))
-        .count();
+    let _span = tevot_obs::span!("evaluate");
+    let errors =
+        (1..ops.len()).filter(|&t| model.predict_error(cond, clock, ops[t], ops[t - 1])).count();
     let predicted = errors as f64 / (ops.len() - 1) as f64;
     outln!(
         "workload {:?} ({} transitions) at {cond}, clock {clock} ps:",
@@ -128,7 +172,7 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
         let fu = fu.ok_or_else(|| {
             ArgError("--validate needs --fu to pick the gate-level netlist".into())
         })?;
-        eprintln!("validating against gate-level simulation...");
+        tevot_obs::info!("validating against gate-level simulation...");
         let characterizer = Characterizer::new(fu);
         let truth = characterizer.characterize_with_periods(cond, &work, &[clock]);
         outln!("  simulated TER: {:.2}%", truth.timing_error_rate(0) * 100.0);
@@ -197,7 +241,7 @@ fn cmd_characterize(args: &Args) -> Result<(), Box<dyn Error>> {
 
     let characterizer = Characterizer::new(fu);
     let work = random_workload(fu, vectors, seed);
-    eprintln!("characterizing {fu} at {cond} over {vectors} random vectors...");
+    tevot_obs::info!("characterizing {fu} at {cond} over {vectors} random vectors...");
     let truth = characterizer.characterize(cond, &work, &ClockSpeedup::PAPER);
 
     outln!("{fu} at {cond}:");
@@ -214,8 +258,8 @@ fn cmd_characterize(args: &Args) -> Result<(), Box<dyn Error>> {
 
     if let Some(path) = sdf_path {
         let ann = characterizer.delay_model().annotate(characterizer.netlist(), cond);
-        let mut file = BufWriter::new(File::create(&path)?);
-        file.write_all(sdf::write_sdf(&ann).as_bytes())?;
+        let mut file = BufWriter::new(at_path(File::create(&path), "create SDF file", &path)?);
+        at_path(file.write_all(sdf::write_sdf(&ann).as_bytes()), "write SDF file", &path)?;
         outln!("wrote SDF annotation to {path}");
     }
     if let Some(path) = vcd_path {
@@ -225,7 +269,7 @@ fn cmd_characterize(args: &Args) -> Result<(), Box<dyn Error>> {
         let inputs: Vec<Vec<bool>> =
             work.operands().iter().map(|&(a, b)| fu.encode_operands(a, b)).collect();
         let text = dump_vcd(characterizer.netlist(), &ann, &inputs, period);
-        std::fs::write(&path, text)?;
+        at_path(std::fs::write(&path, text), "write VCD dump", &path)?;
         outln!("wrote VCD dump to {path} (characterization clock {period} ps)");
     }
     Ok(())
@@ -247,21 +291,24 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
     let work = random_workload(fu, vectors, seed);
     let mut chars = Vec::new();
     for cond in grid.iter() {
-        eprintln!("characterizing {fu} at {cond}...");
+        tevot_obs::info!("characterizing {fu} at {cond}...");
         chars.push(characterizer.characterize(cond, &work, &ClockSpeedup::PAPER));
     }
     let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
     let data = build_delay_dataset(encoding, &runs);
-    eprintln!("training on {} rows x {} features...", data.len(), data.num_features());
+    tevot_obs::info!("training on {} rows x {} features...", data.len(), data.num_features());
     let params = TevotParams {
         forest: ForestParams { num_trees: trees, ..ForestParams::default() },
         encoding,
     };
     let mut rng = SmallRng::seed_from_u64(seed);
-    let model = TevotModel::train(&data, &params, &mut rng);
-    let mut file = BufWriter::new(File::create(&out)?);
-    model.save(&mut file)?;
-    file.flush()?;
+    let model = {
+        let _span = tevot_obs::span!("train");
+        TevotModel::train(&data, &params, &mut rng)
+    };
+    let mut file = BufWriter::new(at_path(File::create(&out), "create model file", &out)?);
+    at_path(model.save(&mut file), "write model to", &out)?;
+    at_path(file.flush(), "write model to", &out)?;
     outln!(
         "trained {} ({} trees, {} conditions, {} rows) -> {out}",
         if history { "TEVoT" } else { "TEVoT-NH" },
@@ -273,8 +320,8 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn load_model(path: &str) -> Result<TevotModel, Box<dyn Error>> {
-    let file = BufReader::new(File::open(path)?);
-    Ok(TevotModel::load(file)?)
+    let file = BufReader::new(at_path(File::open(path), "open model", path)?);
+    TevotModel::load(file).map_err(|e| format!("cannot load model {path}: {e}").into())
 }
 
 fn cmd_predict(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -287,11 +334,12 @@ fn cmd_predict(args: &Args) -> Result<(), Box<dyn Error>> {
     let prev_b = args.get("prev-b").map(parse_u32).transpose()?.unwrap_or(0);
     args.finish()?;
 
-    let delay = model.predict_delay_ps(cond, (a, b), (prev_a, prev_b));
+    let delay = {
+        let _span = tevot_obs::span!("predict");
+        model.predict_delay_ps(cond, (a, b), (prev_a, prev_b))
+    };
     let erroneous = delay > clock as f64;
-    outln!(
-        "({prev_a:#x}, {prev_b:#x}) -> ({a:#x}, {b:#x}) at {cond}, clock {clock} ps:"
-    );
+    outln!("({prev_a:#x}, {prev_b:#x}) -> ({a:#x}, {b:#x}) at {cond}, clock {clock} ps:");
     outln!("  predicted dynamic delay: {delay:.0} ps");
     outln!("  verdict: timing {}", if erroneous { "ERRONEOUS" } else { "correct" });
     Ok(())
@@ -308,6 +356,7 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
     // The model carries no FU identity; predicted delays are meaningful
     // for the unit it was trained on. Random 64-bit operand pairs probe
     // the distribution.
+    let _span = tevot_obs::span!("evaluate");
     let work = random_workload(FunctionalUnit::IntAdd, vectors, seed);
     let ops = work.operands();
     outln!(
@@ -317,9 +366,8 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
     );
     outln!("{:>14} {:>8} {:>8} {:>8} {:>10}", "condition", "p50", "p99", "max", "TER");
     for cond in grid.iter() {
-        let mut delays: Vec<f64> = (1..ops.len())
-            .map(|t| model.predict_delay_ps(cond, ops[t], ops[t - 1]))
-            .collect();
+        let mut delays: Vec<f64> =
+            (1..ops.len()).map(|t| model.predict_delay_ps(cond, ops[t], ops[t - 1])).collect();
         delays.sort_by(f64::total_cmp);
         let q = |p: f64| delays[((delays.len() - 1) as f64 * p) as usize];
         let ter = clock

@@ -104,16 +104,8 @@ fn train_predict_ter_roundtrip() {
     ])
     .unwrap();
 
-    run(&[
-        "sweep",
-        "--model",
-        model.to_str().unwrap(),
-        "--vectors",
-        "50",
-        "--clock-ps",
-        "250",
-    ])
-    .unwrap();
+    run(&["sweep", "--model", model.to_str().unwrap(), "--vectors", "50", "--clock-ps", "250"])
+        .unwrap();
 
     // Corrupted model data is rejected cleanly.
     std::fs::write(&model, b"garbage").unwrap();

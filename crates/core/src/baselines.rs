@@ -140,10 +140,7 @@ impl TerBased {
     /// # Panics
     ///
     /// Panics if `runs` is empty.
-    pub fn calibrate<'a>(
-        runs: impl IntoIterator<Item = &'a Characterization>,
-        seed: u64,
-    ) -> Self {
+    pub fn calibrate<'a>(runs: impl IntoIterator<Item = &'a Characterization>, seed: u64) -> Self {
         let mut entries: Vec<(OperatingCondition, Vec<(u64, f64)>)> = Vec::new();
         for ch in runs {
             let rates: Vec<(u64, f64)> = ch
@@ -240,9 +237,7 @@ mod tests {
         let expect = cs[0].timing_error_rate(2);
         let mut tb = TerBased::calibrate(&cs, 99);
         let n = 4000;
-        let hits = (0..n)
-            .filter(|_| tb.predict_error(cond, period, (0, 0), (0, 0)))
-            .count();
+        let hits = (0..n).filter(|_| tb.predict_error(cond, period, (0, 0), (0, 0))).count();
         let freq = hits as f64 / n as f64;
         assert!(
             (freq - expect).abs() < 0.05,

@@ -237,6 +237,14 @@ impl Characterizer {
     /// Simulates `workload` at `cond` and returns the clock-agnostic
     /// per-cycle trace.
     pub fn trace(&self, cond: OperatingCondition, workload: &Workload) -> SimTrace {
+        let _span = tevot_obs::span!(
+            "dta",
+            "{:?} V={} T={} ({} cycles)",
+            self.fu,
+            cond.voltage(),
+            cond.temperature(),
+            workload.operands().len()
+        );
         let ann = self.delay_model.annotate(&self.netlist, cond);
         let crit = sta::run(&self.netlist, &ann).critical_delay_ps();
         let mut sim = TimingSimulator::new(&self.netlist, &ann);
@@ -267,6 +275,7 @@ impl Characterizer {
         workload: &Workload,
         speedups: &[ClockSpeedup],
     ) -> Characterization {
+        let _span = tevot_obs::span!("characterize");
         let trace = self.trace(cond, workload);
         let base = trace.fastest_error_free_period_ps();
         let periods: Vec<u64> = speedups.iter().map(|s| s.apply_to_period(base)).collect();
@@ -356,8 +365,6 @@ mod tests {
         // The default (carry-lookahead) critical path is shorter than the
         // ripple-carry variant's.
         let cla = Characterizer::new(fu);
-        assert!(
-            cla.critical_delay_ps(OperatingCondition::nominal()) < c.critical_delay_ps()
-        );
+        assert!(cla.critical_delay_ps(OperatingCondition::nominal()) < c.critical_delay_ps());
     }
 }

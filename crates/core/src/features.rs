@@ -62,6 +62,7 @@ impl FeatureEncoding {
         }
         out.push(cond.voltage());
         out.push(cond.temperature());
+        tevot_obs::metrics::CORE_ROWS_FEATURIZED.incr();
     }
 
     /// Allocating convenience form of [`Self::encode_into`].

@@ -41,13 +41,13 @@
 //! let characterizer = Characterizer::new(fu);
 //! let cond = OperatingCondition::new(0.9, 50.0);
 //!
-//! let train = random_workload(fu, 400, 1);
+//! let train = random_workload(fu, 400, 2);
 //! let truth = characterizer.characterize(cond, &train, &ClockSpeedup::PAPER);
 //! let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&train, &truth)]);
 //! let mut rng = SmallRng::seed_from_u64(0);
 //! let mut model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
 //!
-//! let test = random_workload(fu, 100, 2);
+//! let test = random_workload(fu, 100, 3);
 //! let test_truth = characterizer.characterize(cond, &test, &ClockSpeedup::PAPER);
 //! let points = evaluate_predictor(&mut model, &test, &test_truth);
 //! assert!(mean_accuracy(&points) > 0.7);
@@ -57,9 +57,9 @@
 
 mod baselines;
 pub mod dta;
+pub mod eval;
 mod features;
 mod model;
-pub mod eval;
 pub mod workload;
 
 pub use baselines::{DelayBased, ErrorPredictor, TerBased};

@@ -35,11 +35,7 @@ pub fn build_delay_dataset(
     let mut data = Dataset::with_capacity(encoding.num_features(), capacity);
     let mut row = Vec::with_capacity(encoding.num_features());
     for (workload, ch) in runs {
-        assert_eq!(
-            workload.len(),
-            ch.num_cycles(),
-            "workload/characterization cycle mismatch"
-        );
+        assert_eq!(workload.len(), ch.num_cycles(), "workload/characterization cycle mismatch");
         let ops = workload.operands();
         for t in 1..ops.len() {
             encoding.encode_into(ch.condition(), ops[t], ops[t - 1], &mut row);
@@ -63,10 +59,7 @@ pub struct TevotParams {
 
 impl Default for TevotParams {
     fn default() -> Self {
-        TevotParams {
-            forest: ForestParams::default(),
-            encoding: FeatureEncoding::with_history(),
-        }
+        TevotParams { forest: ForestParams::default(), encoding: FeatureEncoding::with_history() }
     }
 }
 
@@ -94,6 +87,8 @@ impl TevotModel {
             params.encoding.num_features(),
             "dataset width does not match the feature encoding"
         );
+        let _span =
+            tevot_obs::span!("fit", "{} rows x {} features", data.len(), data.num_features());
         TevotModel {
             forest: RandomForestRegressor::fit(data, &params.forest, rng),
             encoding: params.encoding,
@@ -117,10 +112,7 @@ impl TevotModel {
     /// features" (Sec. IV-B2).
     pub fn feature_importances(&self) -> Vec<(String, f64)> {
         let imp = self.forest.feature_importances();
-        imp.into_iter()
-            .enumerate()
-            .map(|(i, v)| (self.feature_name(i), v))
-            .collect()
+        imp.into_iter().enumerate().map(|(i, v)| (self.feature_name(i), v)).collect()
     }
 
     fn feature_name(&self, index: usize) -> String {
@@ -145,6 +137,7 @@ impl TevotModel {
         previous: (u32, u32),
     ) -> f64 {
         let row = self.encoding.encode(cond, current, previous);
+        tevot_obs::metrics::CORE_PREDICTIONS.incr();
         self.forest.predict(&row)
     }
 

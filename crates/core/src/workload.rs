@@ -169,18 +169,18 @@ const INT_CORNERS: &[(u32, u32)] = &[
     // carry-propagate run starting at a different bit position, sampling
     // the whole family of long paths (per-gate variation makes them differ
     // by ~10 %).
-    (5, 0xFFFF_FFF6),              // 5 + (-10) = -5
-    (7, 2),                        // +9 right after: sign flip from bit ~3
-    (100, 0xFFFF_FF38),            // 100 + (-200) = -100
-    (300, 21),                     // +321: flip from bit ~8
-    (1500, 0xFFFF_F448),           // 1500 + (-3000) = -1500
-    (2000, 1000),                  // +3000: flip from bit ~11
-    (70_000, 0xFFFE_EE90),         // 70000 + (-140000) = -70000
-    (100_000, 30_000),             // +130000: flip from bit ~17
-    (9_000_000, 0xFF76_A700),      // 9e6 + (-18e6) = -9e6
-    (12_000_000, 4_000_000),       // +16e6: flip from bit ~24
-    (0xFFFF_FF9C, 0xFFFF_FFD8),    // (-100) + (-40)
-    (120, 0xFFFF_FF88),            // 120 + (-120): exact cancellation
+    (5, 0xFFFF_FFF6),           // 5 + (-10) = -5
+    (7, 2),                     // +9 right after: sign flip from bit ~3
+    (100, 0xFFFF_FF38),         // 100 + (-200) = -100
+    (300, 21),                  // +321: flip from bit ~8
+    (1500, 0xFFFF_F448),        // 1500 + (-3000) = -1500
+    (2000, 1000),               // +3000: flip from bit ~11
+    (70_000, 0xFFFE_EE90),      // 70000 + (-140000) = -70000
+    (100_000, 30_000),          // +130000: flip from bit ~17
+    (9_000_000, 0xFF76_A700),   // 9e6 + (-18e6) = -9e6
+    (12_000_000, 4_000_000),    // +16e6: flip from bit ~24
+    (0xFFFF_FF9C, 0xFFFF_FFD8), // (-100) + (-40)
+    (120, 0xFFFF_FF88),         // 120 + (-120): exact cancellation
     (u32::MAX, u32::MAX),
     (1, 0),
 ];

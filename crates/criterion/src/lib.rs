@@ -1,0 +1,303 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset the workspace's `benches/` use — benchmark
+//! groups, `iter` / `iter_batched`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring simple
+//! wall-clock statistics (min / mean / max over `sample_size` samples)
+//! and printing one line per benchmark. No statistical analysis, HTML
+//! reports, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        run_benchmark(&name, sample_size, None, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&name, self.sample_size, self.throughput, &mut f);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&name, self.sample_size, self.throughput, &mut |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into the printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// How much work one iteration represents, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; sizing hints are ignored by this
+/// stand-in (every batch is one iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times the benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // One untimed warm-up sample, then `sample_size` timed ones.
+    let mut bencher = Bencher { elapsed: Duration::ZERO };
+    f(&mut bencher);
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples.push(bencher.elapsed);
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / sample_size as u32;
+
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>12}/s", per_second(n, mean)),
+            Throughput::Bytes(n) => format!("  {:>10} B/s", per_second(n, mean)),
+        })
+        .unwrap_or_default();
+    println!("{name:<48} [{} .. {} .. {}]{rate}", fmt_dur(min), fmt_dur(mean), fmt_dur(max));
+}
+
+fn per_second(per_iter: u64, mean: Duration) -> String {
+    let secs = mean.as_secs_f64();
+    if secs <= 0.0 {
+        return "inf".into();
+    }
+    let rate = per_iter as f64 / secs;
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions and its configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_bodies() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(4));
+            group.bench_function("f", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 1 warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_threads_setup_values() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut total = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| total += v * 2, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 84); // warm-up + 1 sample
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(1500)), "1.500 ms");
+        assert!(fmt_dur(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

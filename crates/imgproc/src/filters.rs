@@ -93,8 +93,7 @@ pub fn sobel(input: &GrayImage, arith: &mut impl FuArithmetic) -> GrayImage {
             let mut n = [[0i32; 3]; 3];
             for (j, row) in n.iter_mut().enumerate() {
                 for (i, cell) in row.iter_mut().enumerate() {
-                    *cell =
-                        load_pixel(input, arith, x, y, i as isize - 1, j as isize - 1);
+                    *cell = load_pixel(input, arith, x, y, i as isize - 1, j as isize - 1);
                 }
             }
             let p = |dx: isize, dy: isize| n[(dy + 1) as usize][(dx + 1) as usize];
@@ -140,25 +139,14 @@ pub fn gaussian(input: &GrayImage, arith: &mut impl FuArithmetic) -> GrayImage {
             let mut acc: i32 = 0;
             for (j, &wy) in GAUSS_ROW.iter().enumerate() {
                 for (i, &wx) in GAUSS_ROW.iter().enumerate() {
-                    let pix = load_pixel(
-                        input,
-                        arith,
-                        x,
-                        y,
-                        i as isize - 2,
-                        j as isize - 2,
-                    );
+                    let pix = load_pixel(input, arith, x, y, i as isize - 2, j as isize - 2);
                     let weighted = arith.mul_i32(wx * wy, pix);
                     acc = arith.add_i32(acc, weighted);
                 }
             }
             let scaled = arith.fp_mul(acc as f32, 1.0 / 256.0);
             let rounded = arith.fp_add(scaled, 0.5);
-            out.set(
-                x,
-                y,
-                if rounded.is_nan() { 0 } else { rounded.clamp(0.0, 255.0) as u8 },
-            );
+            out.set(x, y, if rounded.is_nan() { 0 } else { rounded.clamp(0.0, 255.0) as u8 });
         }
     }
     out

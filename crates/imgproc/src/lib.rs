@@ -42,6 +42,8 @@ pub mod profile;
 pub mod quality;
 pub mod synth;
 
-pub use arith::{ExactArithmetic, FaultyArithmetic, FuArithmetic, FuErrorRates, ProfilingArithmetic};
+pub use arith::{
+    ExactArithmetic, FaultyArithmetic, FuArithmetic, FuErrorRates, ProfilingArithmetic,
+};
 pub use filters::{gaussian, sobel, Application};
 pub use image::{is_acceptable, psnr_db, GrayImage, ACCEPTABLE_PSNR_DB};

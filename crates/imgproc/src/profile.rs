@@ -58,12 +58,7 @@ impl ApplicationProfile {
     ///
     /// Never: both applications exercise all four FUs.
     pub fn workload(&self, fu: FunctionalUnit) -> &Workload {
-        &self
-            .workloads
-            .iter()
-            .find(|(f, _)| *f == fu)
-            .expect("all FUs are profiled")
-            .1
+        &self.workloads.iter().find(|(f, _)| *f == fu).expect("all FUs are profiled").1
     }
 }
 
@@ -125,10 +120,8 @@ pub fn profile_application(
         Application::Sobel => "sobel_data",
         Application::Gaussian => "gauss_data",
     };
-    let workloads = FunctionalUnit::ALL
-        .iter()
-        .map(|&fu| (fu, merged.workload(fu, name, None)))
-        .collect();
+    let workloads =
+        FunctionalUnit::ALL.iter().map(|&fu| (fu, merged.workload(fu, name, None))).collect();
     ApplicationProfile { app, workloads }
 }
 

@@ -77,11 +77,7 @@ pub fn estimation_accuracy(model_verdicts: &[bool], simulation_verdicts: &[bool]
         "verdict sequences differ in length"
     );
     assert!(!model_verdicts.is_empty(), "no estimation points");
-    let matched = model_verdicts
-        .iter()
-        .zip(simulation_verdicts)
-        .filter(|(m, s)| m == s)
-        .count();
+    let matched = model_verdicts.iter().zip(simulation_verdicts).filter(|(m, s)| m == s).count();
     matched as f64 / model_verdicts.len() as f64
 }
 

@@ -51,9 +51,7 @@ pub fn synthetic_image(width: usize, height: usize, seed: u64) -> GrayImage {
         for x in 0..width {
             let (fx, fy) = (x as f64 / width as f64, y as f64 / height as f64);
             let mut v = base + grad_x * fx + grad_y * fy;
-            v += tex_amp
-                * (tex_fx * x as f64).sin()
-                * (tex_fy * y as f64).cos();
+            v += tex_amp * (tex_fx * x as f64).sin() * (tex_fy * y as f64).cos();
             for b in &blobs {
                 let (dx, dy) = (x as f64 - b.cx, y as f64 - b.cy);
                 let (c, s) = (b.angle.cos(), b.angle.sin());

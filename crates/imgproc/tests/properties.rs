@@ -6,8 +6,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use tevot_imgproc::{
     psnr_db, Application, ExactArithmetic, FaultyArithmetic, FuArithmetic as _, FuErrorRates,
-    GrayImage,
-    ProfilingArithmetic,
+    GrayImage, ProfilingArithmetic,
 };
 use tevot_netlist::fu::FunctionalUnit;
 

@@ -87,6 +87,7 @@ impl GradientBoostedRegressor {
         let mut indices: Vec<u32> = (0..n as u32).collect();
         let mut trees = Vec::with_capacity(params.num_rounds);
         for _ in 0..params.num_rounds {
+            tevot_obs::metrics::ML_TRAIN_ITERATIONS.incr();
             // Residuals are the squared-loss negative gradients.
             let residual = data.clone_with_labels(|i| data.label(i) - prediction[i]);
             if params.subsample < 1.0 {
@@ -104,8 +105,8 @@ impl GradientBoostedRegressor {
                 &table,
                 rng,
             );
-            for i in 0..n {
-                prediction[i] += params.learning_rate * tree.predict(data.row(i));
+            for (i, p) in prediction.iter_mut().enumerate() {
+                *p += params.learning_rate * tree.predict(data.row(i));
             }
             trees.push(tree);
         }
@@ -114,9 +115,7 @@ impl GradientBoostedRegressor {
 
     /// Predicts one row.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Predicts every row of a dataset.
@@ -188,12 +187,8 @@ mod tests {
     fn single_round_predicts_near_mean_plus_tree() {
         let d = wiggly();
         let mut rng = SmallRng::seed_from_u64(2);
-        let params = BoostParams {
-            num_rounds: 1,
-            learning_rate: 1.0,
-            subsample: 1.0,
-            ..Default::default()
-        };
+        let params =
+            BoostParams { num_rounds: 1, learning_rate: 1.0, subsample: 1.0, ..Default::default() };
         let gbt = GradientBoostedRegressor::fit(&d, &params, &mut rng);
         // One full-rate round on the residuals of the mean: prediction is
         // within the label range.

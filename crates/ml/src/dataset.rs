@@ -191,10 +191,7 @@ impl Scaler {
         assert_eq!(row.len(), self.means.len(), "row width mismatch");
         out.clear();
         out.extend(
-            row.iter()
-                .zip(&self.means)
-                .zip(&self.inv_stds)
-                .map(|((&x, &m), &inv)| (x - m) * inv),
+            row.iter().zip(&self.means).zip(&self.inv_stds).map(|((&x, &m), &inv)| (x - m) * inv),
         );
     }
 

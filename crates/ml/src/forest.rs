@@ -46,6 +46,7 @@ fn fit_trees(
                     *slot = rng.gen_range(0..n) as u32;
                 }
             }
+            tevot_obs::metrics::ML_TRAIN_ITERATIONS.incr();
             DecisionTree::fit_with_table(data, &indices, task, &params.tree, &table, rng)
         })
         .collect()
@@ -116,8 +117,7 @@ impl RandomForestRegressor {
 }
 
 fn feature_importances(trees: &[DecisionTree]) -> Vec<f64> {
-    let num_features =
-        trees.first().map(DecisionTree::num_features_raw).unwrap_or(0);
+    let num_features = trees.first().map(DecisionTree::num_features_raw).unwrap_or(0);
     let mut acc = vec![0.0; num_features];
     for tree in trees {
         tree.accumulate_importances(&mut acc);

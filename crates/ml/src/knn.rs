@@ -19,11 +19,7 @@ struct KnnIndex {
 impl KnnIndex {
     fn fit(data: &Dataset, k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        assert!(
-            data.len() >= k,
-            "k ({k}) larger than the training set ({})",
-            data.len()
-        );
+        assert!(data.len() >= k, "k ({k}) larger than the training set ({})", data.len());
         let scaler = Scaler::fit(data);
         KnnIndex { k, train: scaler.transform(data), scaler }
     }

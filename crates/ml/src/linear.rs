@@ -138,14 +138,10 @@ impl LinearRegression {
                 break w;
             }
             ridge *= 10.0;
-            assert!(
-                ridge <= lambda.max(1e-9) * 1e3,
-                "normal equations remained singular"
-            );
+            assert!(ridge <= lambda.max(1e-9) * 1e3, "normal equations remained singular");
         };
 
-        let intercept =
-            y_mean - weights.iter().zip(&x_mean).map(|(&w, &m)| w * m).sum::<f64>();
+        let intercept = y_mean - weights.iter().zip(&x_mean).map(|(&w, &m)| w * m).sum::<f64>();
         LinearRegression { weights, intercept }
     }
 
@@ -249,9 +245,8 @@ mod tests {
         let clf = LinearClassifier::fit(&d, 1e-6);
         assert!(clf.predict(&[9.0, 9.0]));
         assert!(!clf.predict(&[0.0, 0.0]));
-        let acc = (0..d.len())
-            .filter(|&i| clf.predict(d.row(i)) == (d.label(i) == 1.0))
-            .count() as f64
+        let acc = (0..d.len()).filter(|&i| clf.predict(d.row(i)) == (d.label(i) == 1.0)).count()
+            as f64
             / d.len() as f64;
         assert!(acc > 0.85, "accuracy {acc}");
     }

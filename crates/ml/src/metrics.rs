@@ -85,8 +85,7 @@ impl ConfusionMatrix {
 pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "length mismatch");
     assert!(!predicted.is_empty(), "empty sequences");
-    predicted.iter().zip(actual).map(|(&p, &a)| (p - a).abs()).sum::<f64>()
-        / predicted.len() as f64
+    predicted.iter().zip(actual).map(|(&p, &a)| (p - a).abs()).sum::<f64>() / predicted.len() as f64
 }
 
 /// Root-mean-square error between predictions and targets.

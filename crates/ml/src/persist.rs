@@ -101,7 +101,10 @@ fn write_trees(
     Ok(())
 }
 
-fn read_trees(r: &mut impl Read, expect_tag: u32) -> Result<(Vec<DecisionTree>, usize), LoadModelError> {
+fn read_trees(
+    r: &mut impl Read,
+    expect_tag: u32,
+) -> Result<(Vec<DecisionTree>, usize), LoadModelError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {

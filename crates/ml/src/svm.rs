@@ -72,6 +72,7 @@ impl LinearSvm {
         let mut bias = 0.0;
         let mut t: u64 = 0;
         for _ in 0..params.epochs {
+            tevot_obs::metrics::ML_TRAIN_ITERATIONS.incr();
             for _ in 0..n {
                 t += 1;
                 let i = rng.gen_range(0..n);
@@ -143,9 +144,8 @@ mod tests {
             d.push(&[a, b], (a - b > 0.0) as u8 as f64);
         }
         let svm = LinearSvm::fit(&d, &SvmParams::default(), &mut r);
-        let acc = (0..d.len())
-            .filter(|&i| svm.predict(d.row(i)) == (d.label(i) == 1.0))
-            .count() as f64
+        let acc = (0..d.len()).filter(|&i| svm.predict(d.row(i)) == (d.label(i) == 1.0)).count()
+            as f64
             / d.len() as f64;
         assert!(acc > 0.97, "accuracy {acc}");
     }

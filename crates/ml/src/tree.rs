@@ -31,12 +31,7 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams {
-            max_depth: 24,
-            min_samples_split: 2,
-            min_samples_leaf: 1,
-            max_features: None,
-        }
+        TreeParams { max_depth: 24, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
     }
 }
 
@@ -373,6 +368,7 @@ impl TreeBuilder<'_, '_> {
 
         let id = self.nodes.len() as u32;
         self.nodes.push(Node { feature, value: threshold, left: 0, right: 0, gain });
+        tevot_obs::metrics::ML_NODE_SPLITS.incr();
         let (left_idx, right_idx) = indices.split_at_mut(lo);
         let left = self.grow(left_idx, left_stats, depth + 1, rng);
         let right = self.grow(right_idx, right_stats, depth + 1, rng);
@@ -489,7 +485,13 @@ mod tests {
         let mut d = Dataset::new(1);
         for i in 0..300 {
             let x = i as f64 / 300.0;
-            let y = if x < 0.3 { 10.0 } else if x < 0.7 { 20.0 } else { 5.0 };
+            let y = if x < 0.3 {
+                10.0
+            } else if x < 0.7 {
+                20.0
+            } else {
+                5.0
+            };
             d.push(&[x], y);
         }
         let tree = DecisionTree::fit(&d, Task::Regression, &TreeParams::default(), &mut rng());

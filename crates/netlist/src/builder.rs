@@ -186,11 +186,7 @@ impl NetlistBuilder {
     /// Panics if no primary output was declared; a circuit without outputs
     /// is always a construction bug.
     pub fn finish(self) -> Netlist {
-        assert!(
-            !self.outputs.is_empty(),
-            "circuit {} has no primary outputs",
-            self.name
-        );
+        assert!(!self.outputs.is_empty(), "circuit {} has no primary outputs", self.name);
         let nl = Netlist {
             name: self.name,
             gates: self.gates,

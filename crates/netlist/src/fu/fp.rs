@@ -13,9 +13,9 @@ use crate::words;
 /// Unpacked operand: LSB-first field buses.
 struct Unpacked {
     sign: NetId,
-    exp: Vec<NetId>,       // 8 bits
-    sig: Vec<NetId>,       // 24 bits, hidden bit at [23], flushed if exp == 0
-    nonzero: NetId,        // exp != 0
+    exp: Vec<NetId>, // 8 bits
+    sig: Vec<NetId>, // 24 bits, hidden bit at [23], flushed if exp == 0
+    nonzero: NetId,  // exp != 0
 }
 
 fn unpack(b: &mut NetlistBuilder, bits: &[NetId], flush_frac: bool) -> Unpacked {
@@ -264,11 +264,7 @@ mod tests {
         nl.validate().unwrap();
         for &(x, y) in CASES {
             let (a, b) = (x.to_bits(), y.to_bits());
-            assert_eq!(
-                eval(&nl, a, b),
-                golden::fp_add(a, b),
-                "fp_add({x}, {y})"
-            );
+            assert_eq!(eval(&nl, a, b), golden::fp_add(a, b), "fp_add({x}, {y})");
         }
     }
 
@@ -278,11 +274,7 @@ mod tests {
         nl.validate().unwrap();
         for &(x, y) in CASES {
             let (a, b) = (x.to_bits(), y.to_bits());
-            assert_eq!(
-                eval(&nl, a, b),
-                golden::fp_mul(a, b),
-                "fp_mul({x}, {y})"
-            );
+            assert_eq!(eval(&nl, a, b), golden::fp_mul(a, b), "fp_mul({x}, {y})");
         }
     }
 

@@ -91,11 +91,8 @@ pub fn fp_add(a: u32, b: u32) -> u32 {
 
     let big_l = (ml as u64) << 3; // 27 bits
     let ms27 = (ms as u64) << 3;
-    let (shifted, sticky) = if d >= 32 {
-        (0, ms27 != 0)
-    } else {
-        ((ms27 >> d), ms27 & ((1u64 << d) - 1) != 0)
-    };
+    let (shifted, sticky) =
+        if d >= 32 { (0, ms27 != 0) } else { ((ms27 >> d), ms27 & ((1u64 << d) - 1) != 0) };
     let aligned = shifted | sticky as u64;
 
     let eff_sub = sa != sb;
@@ -126,10 +123,10 @@ pub fn fp_mul(a: u32, b: u32) -> u32 {
     }
     let ma = (1u64 << 23 | fa as u64) * (1u64 << 23 | fb as u64); // 48-bit product
     let (n, exp) = if ma >> 47 != 0 {
-        let sticky = ma & (1 << 21) - 1 != 0;
+        let sticky = ma & ((1 << 21) - 1) != 0;
         ((ma >> 21) | sticky as u64, ea as i32 + eb as i32 - 127 + 1)
     } else {
-        let sticky = ma & (1 << 20) - 1 != 0;
+        let sticky = ma & ((1 << 20) - 1) != 0;
         ((ma >> 20) | sticky as u64, ea as i32 + eb as i32 - 127)
     };
     round_and_pack(sign, exp, n)

@@ -148,7 +148,7 @@ pub fn booth_multiplier(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> V
         // sign extension (= neg) above; +neg at weight 2i via the
         // correction row.
         let mut row = Vec::with_capacity(w);
-        row.extend(std::iter::repeat(zero).take(2 * i));
+        row.extend(std::iter::repeat_n(zero, 2 * i));
         for &bit in &mag {
             row.push(b.xor(bit, neg));
         }
@@ -331,7 +331,11 @@ mod tests {
             let mut b = NetlistBuilder::new("d");
             let xs = b.input_bus("a", 16);
             let ys = b.input_bus("b", 16);
-            let p = if csa { csa_multiplier(&mut b, &xs, &ys) } else { array_multiplier(&mut b, &xs, &ys) };
+            let p = if csa {
+                csa_multiplier(&mut b, &xs, &ys)
+            } else {
+                array_multiplier(&mut b, &xs, &ys)
+            };
             b.output_bus("p", &p);
             b.finish().depth()
         };

@@ -7,10 +7,10 @@
 //! construction, operand encoding and the bit-exact reference (`golden`)
 //! models used as simulation oracles.
 
+mod fp;
 pub mod golden;
 mod int_add;
 mod int_mul;
-mod fp;
 
 pub use int_add::AdderStyle;
 pub use int_mul::{

@@ -80,7 +80,12 @@ pub fn full_adder(b: &mut NetlistBuilder, x: NetId, y: NetId, c: NetId) -> (NetI
 /// The classic workload-sensitive adder: its sensitized path length equals
 /// the longest carry chain of the actual operands, which is what makes
 /// dynamic delay depend so strongly on input data (paper Sec. III).
-pub fn rca_add(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+pub fn rca_add(
+    b: &mut NetlistBuilder,
+    xs: &[NetId],
+    ys: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
     check_same_width(xs, ys, "rca_add");
     let mut carry = cin;
     let mut sum = Vec::with_capacity(xs.len());
@@ -109,7 +114,12 @@ pub fn rca_sub(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> (Vec<NetId
 /// `c[i+1] = g[i] | p[i]c[i]` recurrence, but the inter-block carry skips
 /// ahead through block generate/propagate terms, flattening the worst-case
 /// carry chain from `W` to roughly `W/4` cells.
-pub fn cla_add(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+pub fn cla_add(
+    b: &mut NetlistBuilder,
+    xs: &[NetId],
+    ys: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
     check_same_width(xs, ys, "cla_add");
     let w = xs.len();
     let p: Vec<NetId> = xs.iter().zip(ys).map(|(&x, &y)| b.xor(x, y)).collect();
@@ -221,11 +231,7 @@ pub fn csa_reduce(b: &mut NetlistBuilder, rows: &[Vec<NetId>]) -> (Vec<NetId>, V
 
 /// Kogge-Stone subtractor: `xs - ys`, returning `(difference, not_borrow)`
 /// with the same semantics as [`rca_sub`] but logarithmic carry depth.
-pub fn kogge_stone_sub(
-    b: &mut NetlistBuilder,
-    xs: &[NetId],
-    ys: &[NetId],
-) -> (Vec<NetId>, NetId) {
+pub fn kogge_stone_sub(b: &mut NetlistBuilder, xs: &[NetId], ys: &[NetId]) -> (Vec<NetId>, NetId) {
     check_same_width(xs, ys, "kogge_stone_sub");
     let ny = not_bus(b, ys);
     let one = b.constant(true);
@@ -343,9 +349,8 @@ pub fn shift_right_sticky(
             cur = mux_bus(b, abit, &cur, &zeros);
             continue;
         }
-        let shifted: Vec<NetId> = (0..cur.len())
-            .map(|i| if i + k < cur.len() { cur[i + k] } else { zero })
-            .collect();
+        let shifted: Vec<NetId> =
+            (0..cur.len()).map(|i| if i + k < cur.len() { cur[i + k] } else { zero }).collect();
         let lost = or_reduce(b, &cur[..k]);
         let lost_now = b.and(lost, abit);
         sticky = b.or(sticky, lost_now);
@@ -361,9 +366,8 @@ pub fn shift_left(b: &mut NetlistBuilder, xs: &[NetId], amount: &[NetId]) -> Vec
     let mut cur = xs.to_vec();
     for (j, &abit) in amount.iter().enumerate() {
         let k = 1usize << j;
-        let shifted: Vec<NetId> = (0..cur.len())
-            .map(|i| if i >= k { cur[i - k] } else { zero })
-            .collect();
+        let shifted: Vec<NetId> =
+            (0..cur.len()).map(|i| if i >= k { cur[i - k] } else { zero }).collect();
         cur = mux_bus(b, abit, &cur, &shifted);
     }
     cur
@@ -493,7 +497,8 @@ mod tests {
         b.output_bus("s", &sum);
         b.output("c", cout);
         let nl = b.finish();
-        for (a, c) in [(0u64, 0), (8191, 1), (4096, 4096), (5461, 2730), (8191, 8191), (123, 7000)] {
+        for (a, c) in [(0u64, 0), (8191, 1), (4096, 4096), (5461, 2730), (8191, 8191), (123, 7000)]
+        {
             let mut input = to_bits(a, 13);
             input.extend(to_bits(c, 13));
             let got = from_bits(&nl.evaluate(&input));

@@ -85,9 +85,8 @@ proptest! {
 
 /// Strategy for normal (or zero) finite `f32` values.
 fn normal_f32() -> impl Strategy<Value = f32> {
-    (any::<bool>(), 1u32..255, any::<u32>()).prop_map(|(s, e, f)| {
-        f32::from_bits((s as u32) << 31 | e << 23 | (f & 0x7F_FFFF))
-    })
+    (any::<bool>(), 1u32..255, any::<u32>())
+        .prop_map(|(s, e, f)| f32::from_bits((s as u32) << 31 | e << 23 | (f & 0x7F_FFFF)))
 }
 
 thread_local! {

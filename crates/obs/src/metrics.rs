@@ -1,0 +1,221 @@
+//! The global metrics registry: relaxed-atomic counters and fixed-bucket
+//! histograms.
+//!
+//! The pipeline's counters and histograms are `static`s defined here, so
+//! hot paths pay exactly one relaxed `fetch_add` per update and the
+//! reporter can enumerate everything without locks. [`Counter`] and
+//! [`Histogram`] are also usable stand-alone (tests, future subsystems);
+//! only the statics in this module appear in reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter. Updates are relaxed atomics: cheap on every
+/// architecture and exact under concurrency (ordering of increments is
+/// irrelevant for a sum).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter named `name` (dotted `subsystem.event` convention).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (test isolation).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Maximum number of histogram slots (15 finite buckets + overflow).
+pub const HISTOGRAM_SLOTS: usize = 16;
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one extra overflow bucket catches everything larger.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    counts: [AtomicU64; HISTOGRAM_SLOTS],
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bucket edges, which
+    /// must be strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time for statics) if more than
+    /// `HISTOGRAM_SLOTS - 1` bounds are given.
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> Histogram {
+        assert!(bounds.len() < HISTOGRAM_SLOTS, "too many histogram bounds");
+        Histogram { name, bounds, counts: [const { AtomicU64::new(0) }; HISTOGRAM_SLOTS] }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The inclusive upper bucket edges.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let slot = self.bounds.partition_point(|&b| b < value);
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts: one per bound, plus the trailing overflow
+    /// bucket.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts[..=self.bounds.len()].iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Zeroes every bucket (test isolation).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pipeline's registry.
+// ---------------------------------------------------------------------
+
+/// Input vectors played through the gate-level simulator.
+pub static SIM_CYCLES: Counter = Counter::new("sim.cycles_simulated");
+/// Scheduled events popped from the simulator's queue.
+pub static SIM_EVENTS: Counter = Counter::new("sim.events_processed");
+/// Gate re-evaluations triggered by fan-in changes.
+pub static SIM_GATE_EVALS: Counter = Counter::new("sim.gate_evaluations");
+/// Primary-output toggles recorded into cycle results.
+pub static SIM_OUTPUT_TOGGLES: Counter = Counter::new("sim.output_toggles");
+/// Cycles whose dynamic timing was reconstructed from a VCD dump.
+pub static VCD_CYCLES_RECONSTRUCTED: Counter = Counter::new("vcd.cycles_reconstructed");
+/// Value-change records parsed from VCD text.
+pub static VCD_CHANGES_PARSED: Counter = Counter::new("vcd.changes_parsed");
+/// Dataset rows featurized (Eq. 3 feature vectors built).
+pub static CORE_ROWS_FEATURIZED: Counter = Counter::new("core.rows_featurized");
+/// Model-based per-transition delay/error predictions served.
+pub static CORE_PREDICTIONS: Counter = Counter::new("core.predictions");
+/// Training iterations: trees fitted, boosting rounds, SVM epochs.
+pub static ML_TRAIN_ITERATIONS: Counter = Counter::new("ml.train_iterations");
+/// Internal nodes split while growing trees.
+pub static ML_NODE_SPLITS: Counter = Counter::new("ml.node_splits");
+
+/// Dynamic delay of each simulated cycle, in picoseconds.
+pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
+    "sim.cycle_delay_ps",
+    &[250, 500, 750, 1000, 1500, 2000, 3000, 4000, 6000, 8000, 12000, 16000, 24000, 32000],
+);
+/// Output toggles per simulated cycle.
+pub static SIM_TOGGLES_PER_CYCLE: Histogram =
+    Histogram::new("sim.toggles_per_cycle", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]);
+
+static COUNTERS: [&Counter; 10] = [
+    &SIM_CYCLES,
+    &SIM_EVENTS,
+    &SIM_GATE_EVALS,
+    &SIM_OUTPUT_TOGGLES,
+    &VCD_CYCLES_RECONSTRUCTED,
+    &VCD_CHANGES_PARSED,
+    &CORE_ROWS_FEATURIZED,
+    &CORE_PREDICTIONS,
+    &ML_TRAIN_ITERATIONS,
+    &ML_NODE_SPLITS,
+];
+
+static HISTOGRAMS: [&Histogram; 2] = [&SIM_CYCLE_DELAY_PS, &SIM_TOGGLES_PER_CYCLE];
+
+/// Every registered counter, in report order.
+pub fn counters() -> &'static [&'static Counter] {
+    &COUNTERS
+}
+
+/// Every registered histogram, in report order.
+pub fn histograms() -> &'static [&'static Histogram] {
+    &HISTOGRAMS
+}
+
+/// Zeroes every registered counter and histogram (test isolation).
+pub fn reset_all() {
+    for c in counters() {
+        c.reset();
+    }
+    for h in histograms() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        static C: Counter = Counter::new("test.local");
+        C.add(3);
+        C.incr();
+        assert_eq!(C.get(), 4);
+        C.reset();
+        assert_eq!(C.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_on_upper_edges() {
+        static H: Histogram = Histogram::new("test.hist", &[10, 20, 30]);
+        H.record(0); // bucket 0 (<= 10)
+        H.record(10); // bucket 0: edges are inclusive
+        H.record(11); // bucket 1
+        H.record(30); // bucket 2
+        H.record(31); // overflow
+        H.record(u64::MAX); // overflow
+        assert_eq!(H.counts(), vec![2, 1, 1, 2]);
+        assert_eq!(H.total(), 6);
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = counters().iter().map(|c| c.name()).collect();
+        names.extend(histograms().iter().map(|h| h.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric names");
+    }
+}

@@ -1,0 +1,272 @@
+//! The reporter: renders span timings + metrics as a human-readable
+//! stderr summary and serializes them to a versioned JSON document.
+//!
+//! Schema `tevot-obs/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "tevot-obs/1",
+//!   "spans": [
+//!     {"path": "study/characterize", "total_ns": 123456, "count": 3}
+//!   ],
+//!   "counters": [
+//!     {"name": "sim.events_processed", "value": 42}
+//!   ],
+//!   "histograms": [
+//!     {"name": "sim.cycle_delay_ps",
+//!      "bounds": [250, 500],
+//!      "counts": [10, 5, 1],
+//!      "total": 16}
+//!   ]
+//! }
+//! ```
+//!
+//! `spans` is sorted by slash-joined path (parents precede children);
+//! `counters`/`histograms` follow registry order. `counts` has one entry
+//! per bound plus a trailing overflow bucket. The stderr summary and the
+//! JSON document are rendered from the same [`Snapshot`], so they always
+//! agree.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::metrics;
+use crate::span::{self, SpanStat, PATH_SEPARATOR};
+
+/// The schema identifier written into every JSON report.
+pub const SCHEMA: &str = "tevot-obs/1";
+
+/// A point-in-time copy of every span, counter, and histogram.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Span paths with accumulated stats, sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+    /// `(name, value)` for every registered counter, in registry order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, bounds, counts)` for every registered histogram.
+    pub histograms: Vec<(&'static str, &'static [u64], Vec<u64>)>,
+}
+
+impl Snapshot {
+    /// Captures the current state of the global registries.
+    pub fn capture() -> Snapshot {
+        Snapshot {
+            spans: span::snapshot(),
+            counters: metrics::counters().iter().map(|c| (c.name(), c.get())).collect(),
+            histograms: metrics::histograms()
+                .iter()
+                .map(|h| (h.name(), h.bounds(), h.counts()))
+                .collect(),
+        }
+    }
+
+    /// Serializes to the versioned `tevot-obs/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(path, stat)| {
+                Json::obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("total_ns", Json::Num(stat.total_ns as f64)),
+                    ("count", Json::from(stat.count)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                Json::obj(vec![("name", Json::from(*name)), ("value", Json::from(*value))])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, bounds, counts)| {
+                Json::obj(vec![
+                    ("name", Json::from(*name)),
+                    ("bounds", Json::Arr(bounds.iter().map(|&b| Json::from(b)).collect())),
+                    ("counts", Json::Arr(counts.iter().map(|&c| Json::from(c)).collect())),
+                    ("total", Json::from(counts.iter().sum::<u64>())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::from(SCHEMA)),
+            ("spans", Json::Arr(spans)),
+            ("counters", Json::Arr(counters)),
+            ("histograms", Json::Arr(histograms)),
+        ])
+    }
+
+    /// Renders the human-readable summary: a stage-time tree followed by
+    /// non-zero counters and histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── tevot-obs summary ──\n");
+        if self.spans.is_empty() {
+            out.push_str("stages: (none recorded)\n");
+        } else {
+            out.push_str("stages:\n");
+            for (path, stat) in &self.spans {
+                let depth = path.matches(PATH_SEPARATOR).count();
+                let name = path.rsplit(PATH_SEPARATOR).next().unwrap_or(path);
+                let ms = stat.total_ns as f64 / 1e6;
+                out.push_str(&format!(
+                    "  {:indent$}{name:<24} {ms:>10.3} ms  x{}\n",
+                    "",
+                    stat.count,
+                    indent = depth * 2,
+                ));
+            }
+        }
+        let live: Vec<_> = self.counters.iter().filter(|(_, v)| *v > 0).collect();
+        if !live.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in live {
+                out.push_str(&format!("  {name:<28} {value:>14}\n"));
+            }
+        }
+        for (name, bounds, counts) in &self.histograms {
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            out.push_str(&format!("histogram {name} (total {total}):\n"));
+            let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+            for (i, &count) in counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let edge = match bounds.get(i) {
+                    Some(b) => format!("<= {b}"),
+                    None => format!("> {}", bounds.last().unwrap_or(&0)),
+                };
+                let bar = "#".repeat(((count * 24).div_ceil(peak)) as usize);
+                out.push_str(&format!("  {edge:>10} {count:>12} {bar}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Writes `snapshot` as JSON to `path`.
+///
+/// # Errors
+///
+/// Returns the I/O error with the offending path in the message.
+pub fn write_json(snapshot: &Snapshot, path: &Path) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path).map_err(|e| {
+        std::io::Error::new(e.kind(), format!("cannot write metrics to {}: {e}", path.display()))
+    })?;
+    writeln!(file, "{}", snapshot.to_json())
+}
+
+/// RAII reporter: on drop, captures a [`Snapshot`], writes it as JSON if
+/// a path was configured, and prints the stderr summary when requested.
+///
+/// The stderr summary prints when either [`FinishGuard::summary`] was
+/// enabled or the `TEVOT_OBS_SUMMARY` environment variable is set (to
+/// anything but `0`); a JSON path alone stays quiet so scripted runs can
+/// collect metrics without extra output.
+#[derive(Debug, Default)]
+pub struct FinishGuard {
+    metrics_path: Option<PathBuf>,
+    summary: bool,
+}
+
+impl FinishGuard {
+    /// A guard that does nothing unless configured.
+    pub fn new() -> FinishGuard {
+        FinishGuard::default()
+    }
+
+    /// Writes the JSON report to `path` on drop (the `--metrics <path>`
+    /// flag). `None` leaves the current setting unchanged.
+    pub fn metrics_path(mut self, path: Option<PathBuf>) -> FinishGuard {
+        if path.is_some() {
+            self.metrics_path = path;
+        }
+        self
+    }
+
+    /// Forces the stderr summary on drop.
+    pub fn summary(mut self, enabled: bool) -> FinishGuard {
+        self.summary = enabled;
+        self
+    }
+}
+
+fn env_summary_requested() -> bool {
+    matches!(std::env::var("TEVOT_OBS_SUMMARY"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        let want_summary = self.summary || env_summary_requested();
+        if self.metrics_path.is_none() && !want_summary {
+            return;
+        }
+        let snapshot = Snapshot::capture();
+        if let Some(path) = &self.metrics_path {
+            match write_json(&snapshot, path) {
+                Ok(()) => crate::info!("metrics written to {}", path.display()),
+                Err(e) => crate::error!("{e}"),
+            }
+        }
+        if want_summary {
+            let _ = std::io::stderr().lock().write_all(snapshot.render().as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                ("study".into(), SpanStat { total_ns: 5_000_000, count: 1 }),
+                ("study/train".into(), SpanStat { total_ns: 2_000_000, count: 4 }),
+            ],
+            counters: vec![("sim.events_processed", 42), ("ml.train_iterations", 0)],
+            histograms: vec![("sim.toggles_per_cycle", &[1, 2][..], vec![3, 0, 7])],
+        }
+    }
+
+    #[test]
+    fn json_document_has_schema_and_all_sections() {
+        let doc = sample().to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].get("path").and_then(Json::as_str), Some("study/train"));
+        assert_eq!(spans[1].get("count").and_then(Json::as_u64), Some(4));
+        let counters = doc.get("counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(counters[0].get("value").and_then(Json::as_u64), Some(42));
+        let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
+        assert_eq!(hists[0].get("total").and_then(Json::as_u64), Some(10));
+        assert_eq!(hists[0].get("counts").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn json_report_round_trips_through_parser() {
+        let doc = sample().to_json();
+        let parsed = crate::json::parse(&doc.to_string()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn render_nests_children_and_skips_zero_counters() {
+        let text = sample().render();
+        assert!(text.contains("study"), "{text}");
+        assert!(text.contains("    train"), "child indented: {text}");
+        assert!(text.contains("sim.events_processed"), "{text}");
+        assert!(!text.contains("ml.train_iterations"), "zero counter hidden: {text}");
+        assert!(text.contains("histogram sim.toggles_per_cycle (total 10)"), "{text}");
+        assert!(text.contains("> 2"), "overflow bucket labeled: {text}");
+    }
+}

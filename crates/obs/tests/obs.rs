@@ -1,0 +1,162 @@
+//! Integration tests for `tevot-obs`: span nesting, concurrent counter
+//! updates, histogram edge cases and the JSON round trip.
+//!
+//! The span registry is global, so tests that assert on span paths use
+//! unique names and never assert global emptiness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tevot_obs::json::{parse, Json};
+use tevot_obs::metrics::{Counter, Histogram};
+use tevot_obs::report::{Snapshot, SCHEMA};
+use tevot_obs::span;
+
+fn span_count(snapshot: &[(String, tevot_obs::span::SpanStat)], path: &str) -> Option<u64> {
+    snapshot.iter().find(|(p, _)| p == path).map(|(_, s)| s.count)
+}
+
+#[test]
+fn nested_spans_build_a_tree() {
+    {
+        let _outer = span!("it_outer");
+        for _ in 0..3 {
+            let _mid = span!("it_mid");
+            let _inner = span!("it_inner");
+        }
+    }
+    // A sibling at top level must not nest under it_outer.
+    {
+        let _sibling = span!("it_sibling");
+    }
+    let snap = tevot_obs::span::snapshot();
+    assert_eq!(span_count(&snap, "it_outer"), Some(1));
+    assert_eq!(span_count(&snap, "it_outer/it_mid"), Some(3));
+    assert_eq!(span_count(&snap, "it_outer/it_mid/it_inner"), Some(3));
+    assert_eq!(span_count(&snap, "it_sibling"), Some(1));
+    assert_eq!(span_count(&snap, "it_outer/it_sibling"), None);
+    // Sorted order puts the parent immediately before its children.
+    let outer_idx = snap.iter().position(|(p, _)| p == "it_outer").unwrap();
+    assert_eq!(snap[outer_idx + 1].0, "it_outer/it_mid");
+}
+
+#[test]
+fn spans_on_different_threads_aggregate_into_one_node() {
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let _g = span!("it_threaded");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = tevot_obs::span::snapshot();
+    assert_eq!(span_count(&snap, "it_threaded"), Some(4));
+}
+
+#[test]
+fn counter_is_exact_under_concurrent_updates() {
+    static C: Counter = Counter::new("it.concurrent");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let go = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let go = Arc::clone(&go);
+            std::thread::spawn(move || {
+                while !go.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                for i in 0..PER_THREAD {
+                    if i % 2 == 0 {
+                        C.incr();
+                    } else {
+                        C.add(1);
+                    }
+                }
+            })
+        })
+        .collect();
+    go.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(C.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histogram_is_exact_under_concurrent_updates() {
+    static H: Histogram = Histogram::new("it.concurrent_hist", &[4, 9]);
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for v in 0..1000u64 {
+                    H.record((v + t) % 12);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(H.total(), 4000);
+    // Values 0..=4 -> bucket 0, 5..=9 -> bucket 1, 10..11 -> overflow.
+    let counts = H.counts();
+    assert_eq!(counts.len(), 3);
+    assert!(counts.iter().all(|&c| c > 0));
+}
+
+#[test]
+fn histogram_single_bound_and_extremes() {
+    static H: Histogram = Histogram::new("it.edge", &[0]);
+    H.record(0); // inclusive: lands in bucket 0
+    H.record(1); // overflow
+    H.record(u64::MAX); // overflow
+    assert_eq!(H.counts(), vec![1, 2]);
+}
+
+#[test]
+fn json_report_round_trips_losslessly() {
+    {
+        let _g = span!("it_roundtrip");
+    }
+    tevot_obs::metrics::SIM_EVENTS.add(17);
+    tevot_obs::metrics::SIM_CYCLE_DELAY_PS.record(1234);
+
+    let snapshot = Snapshot::capture();
+    let doc = snapshot.to_json();
+    let text = doc.to_string();
+    let parsed = parse(&text).unwrap();
+    assert_eq!(parsed, doc, "writer output must parse back to the same value");
+
+    assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    let counters = parsed.get("counters").and_then(Json::as_arr).unwrap();
+    let events = counters
+        .iter()
+        .find(|c| c.get("name").and_then(Json::as_str) == Some("sim.events_processed"))
+        .expect("sim.events_processed is registered");
+    assert!(events.get("value").and_then(Json::as_u64).unwrap() >= 17);
+    let spans = parsed.get("spans").and_then(Json::as_arr).unwrap();
+    assert!(spans.iter().any(|s| s.get("path").and_then(Json::as_str) == Some("it_roundtrip")));
+
+    // The stderr summary renders the same snapshot without panicking and
+    // mentions the same data.
+    let rendered = snapshot.render();
+    assert!(rendered.contains("sim.events_processed"));
+    assert!(rendered.contains("it_roundtrip"));
+}
+
+#[test]
+fn log_macros_compile_and_respect_level() {
+    tevot_obs::set_level(tevot_obs::Level::Warn);
+    assert!(tevot_obs::enabled(tevot_obs::Level::Error));
+    assert!(tevot_obs::enabled(tevot_obs::Level::Warn));
+    assert!(!tevot_obs::enabled(tevot_obs::Level::Info));
+    tevot_obs::error!("an error: {}", 1);
+    tevot_obs::warn!("a warning");
+    tevot_obs::info!("suppressed");
+    tevot_obs::debug!("suppressed {}", "too");
+    tevot_obs::set_level(tevot_obs::Level::Info);
+}

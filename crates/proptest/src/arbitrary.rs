@@ -1,0 +1,89 @@
+//! The `any::<T>()` entry point: canonical strategies per type.
+
+use std::marker::PhantomData;
+
+use rand::distributions::{Distribution, Standard};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (uniform over all values for integers
+/// and `bool`; uniform bit patterns, including non-finite values, for
+/// floats).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy behind [`any`] for primitive types.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                Standard.sample(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! arbitrary_float_bits {
+    ($($t:ty : $bits:ty),* $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let bits: $bits = Standard.sample(rng);
+                <$t>::from_bits(bits)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_float_bits!(f32: u32, f64: u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::deterministic_rng;
+
+    #[test]
+    fn any_u32_spans_the_word() {
+        let mut rng = deterministic_rng("arbitrary::u32");
+        let s = any::<u32>();
+        let mut high = false;
+        let mut low = false;
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            high |= v > u32::MAX / 2;
+            low |= v < u32::MAX / 2;
+        }
+        assert!(high && low);
+    }
+}

@@ -1,0 +1,49 @@
+//! Collection strategies.
+
+use crate::strategy::{SizeRange, Strategy};
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size` (a `usize` or a `usize` range).
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+    VecStrategy { element, size: Box::new(size) }
+}
+
+/// The result of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Box<dyn SizeRange>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+impl<S> std::fmt::Debug for VecStrategy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("VecStrategy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::deterministic_rng;
+
+    #[test]
+    fn vec_lengths_follow_the_size_range() {
+        let mut rng = deterministic_rng("collection::vec");
+        let s = vec(0u32..5, 2..6usize);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = vec(0u32..5, 3usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Distributions: the [`Standard`] distribution and uniform ranges.
+
+use crate::RngCore;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and `bool`, uniform over `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty : $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8: next_u32,
+    u16: next_u32,
+    u32: next_u32,
+    u64: next_u64,
+    usize: next_u64,
+    i8: next_u32,
+    i16: next_u32,
+    i32: next_u32,
+    i64: next_u64,
+    isize: next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform over `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform over `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from range expressions, the engine behind
+    //! [`Rng::gen_range`](crate::Rng::gen_range).
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Range expressions `gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    /// Samples uniformly from `[0, span)` by widening multiplication —
+    /// bias is at most 2^-64 per draw, far below anything the workspace
+    /// could observe.
+    #[inline]
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + sample_below(rng, span) as i128) as $t
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    self.start >= self.end
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Only reachable for full-width 64-bit ranges.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + sample_below(rng, span as u64) as i128) as $t
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    self.start() > self.end()
+                }
+            }
+        )*};
+    }
+
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    self.start + (self.end - self.start) * unit
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    self.start >= self.end || self.start.is_nan() || self.end.is_nan()
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                    lo + (hi - lo) * unit
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    self.start() > self.end() || self.start().is_nan() || self.end().is_nan()
+                }
+            }
+        )*};
+    }
+
+    float_range!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match (0u32..=3).sample_single(&mut rng) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..500 {
+            let v = (-5i32..5).sample_single(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn standard_bool_is_balanced() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trues = (0..1000).filter(|_| Distribution::<bool>::sample(&Standard, &mut rng)).count();
+        assert!((350..650).contains(&trues), "bool bias: {trues}/1000");
+    }
+}

@@ -1,0 +1,83 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic generator (xoshiro256++).
+///
+/// Like upstream's `SmallRng`, the exact algorithm and stream are not a
+/// stability guarantee — only seeded determinism within one build is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+        }
+        SmallRng { s }
+    }
+}
+
+/// The standard generator; aliased to [`SmallRng`] in this stand-in.
+pub type StdRng = SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_does_not_stick_at_zero() {
+        let mut rng = SmallRng::from_seed([0; 32]);
+        assert_ne!(rng.next_u64(), 0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_looks_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64 000 bits, expect ~32 000 ones.
+        assert!((30_000..34_000).contains(&ones), "bit bias: {ones}");
+    }
+}

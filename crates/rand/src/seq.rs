@@ -1,0 +1,107 @@
+//! Sequence helpers: random element choice and in-place shuffles.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffles only enough to place a uniformly random `amount`-element
+    /// subset, fully shuffled, at the **front** of the slice; returns
+    /// `(shuffled_front, rest)`.
+    ///
+    /// Callers in this workspace read the selected subset from the front,
+    /// so unlike upstream `rand` (which accumulates it at the tail) the
+    /// front is the contract here.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.gen_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle virtually never fixes everything");
+    }
+
+    #[test]
+    fn partial_shuffle_selects_from_whole_slice() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut tail_hits = 0;
+        for _ in 0..100 {
+            let mut v: Vec<u32> = (0..10).collect();
+            let (front, rest) = v.partial_shuffle(&mut rng, 3);
+            assert_eq!(front.len(), 3);
+            assert_eq!(rest.len(), 7);
+            if front.iter().any(|&x| x >= 7) {
+                tail_hits += 1;
+            }
+        }
+        // Elements originally beyond index 6 must be reachable.
+        assert!(tail_hits > 30, "tail never selected: {tail_hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_and_handles_empty() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1u8, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(*items.choose(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

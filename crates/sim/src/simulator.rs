@@ -152,17 +152,9 @@ impl<'a> TimingSimulator<'a> {
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn step(&mut self, inputs: &[bool]) -> CycleResult {
         let num_outputs = self.netlist.outputs().len();
-        assert_eq!(
-            inputs.len(),
-            self.netlist.inputs().len(),
-            "input vector width mismatch"
-        );
-        let initial_outputs: Vec<bool> = self
-            .netlist
-            .outputs()
-            .iter()
-            .map(|n| self.values[n.index()])
-            .collect();
+        assert_eq!(inputs.len(), self.netlist.inputs().len(), "input vector width mismatch");
+        let initial_outputs: Vec<bool> =
+            self.netlist.outputs().iter().map(|n| self.values[n.index()]).collect();
 
         debug_assert!(self.heap.is_empty());
         for (&net, &v) in self.netlist.inputs().iter().zip(inputs) {
@@ -181,6 +173,8 @@ impl<'a> TimingSimulator<'a> {
         let mut toggles: Vec<(u64, u32)> = Vec::new(); // (time, output slot)
         let mut dynamic_delay = 0u64;
         let mut pins = [false; 3];
+        let events_before = self.events_processed;
+        let mut gate_evals = 0u64;
 
         while let Some(&Reverse(head)) = self.heap.peek() {
             let now = head.time;
@@ -219,6 +213,7 @@ impl<'a> TimingSimulator<'a> {
             // Phase 2: re-evaluate touched gates and (re)schedule their
             // output changes after each gate's propagation delay. Inertial
             // semantics: a fresh evaluation supersedes a pending one.
+            gate_evals += self.touched.len() as u64;
             for ti in 0..self.touched.len() {
                 let gi = self.touched[ti] as usize;
                 let gate = &self.netlist.gates()[gi];
@@ -229,7 +224,8 @@ impl<'a> TimingSimulator<'a> {
                     pins[p] = self.values[n.index()];
                 }
                 let out = gate.eval(&pins[..ins.len()]);
-                let target = if self.pending[gi] { self.pending_value[gi] } else { self.values[gi] };
+                let target =
+                    if self.pending[gi] { self.pending_value[gi] } else { self.values[gi] };
                 if out == target {
                     continue; // already at, or already heading to, this value
                 }
@@ -245,6 +241,15 @@ impl<'a> TimingSimulator<'a> {
                 }));
             }
         }
+
+        // One batched registry update per cycle keeps the hot loop free of
+        // shared-cacheline traffic.
+        tevot_obs::metrics::SIM_CYCLES.incr();
+        tevot_obs::metrics::SIM_EVENTS.add(self.events_processed - events_before);
+        tevot_obs::metrics::SIM_GATE_EVALS.add(gate_evals);
+        tevot_obs::metrics::SIM_OUTPUT_TOGGLES.add(toggles.len() as u64);
+        tevot_obs::metrics::SIM_CYCLE_DELAY_PS.record(dynamic_delay);
+        tevot_obs::metrics::SIM_TOGGLES_PER_CYCLE.record(toggles.len() as u64);
 
         CycleResult::new(initial_outputs, toggles, dynamic_delay, num_outputs)
     }
@@ -307,8 +312,7 @@ mod tests {
             assert_eq!(fu.decode_output(cycle.settled_outputs()), fu.golden(a, b));
             // And the simulator's internal state agrees with functional eval.
             let expect = nl.evaluate(&fu.encode_operands(a, b));
-            let got: Vec<bool> =
-                nl.outputs().iter().map(|n| sim.net_values()[n.index()]).collect();
+            let got: Vec<bool> = nl.outputs().iter().map(|n| sim.net_values()[n.index()]).collect();
             assert_eq!(got, expect);
         }
     }

@@ -108,20 +108,20 @@ mod tests {
         let period = sta::run(&nl, &ann).characterization_period_ps();
 
         let vectors: Vec<Vec<bool>> = (0..20u32)
-            .map(|i| {
-                fu.encode_operands(i.wrapping_mul(0x9E37_79B9), i.wrapping_mul(0x85EB_CA6B))
-            })
+            .map(|i| fu.encode_operands(i.wrapping_mul(0x9E37_79B9), i.wrapping_mul(0x85EB_CA6B)))
             .collect();
 
         let cycles = run_vectors(&nl, &ann, &vectors);
         let text = dump_vcd(&nl, &ann, &vectors, period);
         let vcd = parse_vcd(&text).unwrap();
-        let extracted =
-            dta::dynamic_delays(&vcd, period, vectors.len(), |s| s.starts_with("sum_"));
+        let extracted = dta::dynamic_delays(&vcd, period, vectors.len(), |s| s.starts_with("sum_"));
 
         let direct: Vec<u64> = cycles.iter().map(|c| c.dynamic_delay_ps()).collect();
-        assert_eq!(extracted.delays_ps(), direct.as_slice(),
-            "VCD-extracted dynamic delays must equal the simulator's");
+        assert_eq!(
+            extracted.delays_ps(),
+            direct.as_slice(),
+            "VCD-extracted dynamic delays must equal the simulator's"
+        );
         assert!(direct.iter().any(|&d| d > 0));
     }
 
@@ -130,20 +130,11 @@ mod tests {
         let fu = FunctionalUnit::FpMul;
         let nl = fu.build();
         let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::nominal());
-        let vectors = vec![
-            fu.encode_f32(1.5, 2.0),
-            fu.encode_f32(-3.25, 0.5),
-            fu.encode_f32(100.0, 0.001),
-        ];
+        let vectors =
+            vec![fu.encode_f32(1.5, 2.0), fu.encode_f32(-3.25, 0.5), fu.encode_f32(100.0, 0.001)];
         let cycles = run_vectors(&nl, &ann, &vectors);
         assert_eq!(cycles.len(), 3);
-        assert_eq!(
-            fu.decode_output(cycles[0].settled_outputs()) as u32,
-            3.0f32.to_bits()
-        );
-        assert_eq!(
-            fu.decode_output(cycles[1].settled_outputs()) as u32,
-            (-1.625f32).to_bits()
-        );
+        assert_eq!(fu.decode_output(cycles[0].settled_outputs()) as u32, 3.0f32.to_bits());
+        assert_eq!(fu.decode_output(cycles[1].settled_outputs()) as u32, (-1.625f32).to_bits());
     }
 }

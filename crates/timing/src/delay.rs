@@ -148,15 +148,10 @@ impl DelayModel {
     pub fn scale_factor_with_vth(&self, cond: OperatingCondition, vth_ratio: f64) -> f64 {
         let vth = self.vth(cond.temperature()) * vth_ratio;
         let v = cond.voltage();
-        assert!(
-            v > vth,
-            "supply {v} V is below threshold {vth:.3} V at {} C",
-            cond.temperature()
-        );
+        assert!(v > vth, "supply {v} V is below threshold {vth:.3} V at {} C", cond.temperature());
         let v0 = self.reference.voltage();
         let vth_ref = self.vth(self.reference.temperature()) * vth_ratio;
-        let overdrive = (v / (v - vth).powf(self.alpha))
-            / (v0 / (v0 - vth_ref).powf(self.alpha));
+        let overdrive = (v / (v - vth).powf(self.alpha)) / (v0 / (v0 - vth_ref).powf(self.alpha));
         let mobility = (cond.kelvin() / self.reference.kelvin()).powf(self.mu);
         overdrive * mobility
     }
@@ -244,9 +239,7 @@ impl DelayModel {
             .gates()
             .iter()
             .enumerate()
-            .map(|(i, g)| {
-                self.gate_delay_ps(g.kind(), fanout[i], i, cond).round().max(0.0) as u32
-            })
+            .map(|(i, g)| self.gate_delay_ps(g.kind(), fanout[i], i, cond).round().max(0.0) as u32)
             .collect();
         DelayAnnotation::new(netlist.name(), cond, delays)
     }

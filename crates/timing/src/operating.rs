@@ -131,7 +131,7 @@ impl ConditionGrid {
     }
 }
 
-impl<'a> IntoIterator for &'a ConditionGrid {
+impl IntoIterator for &ConditionGrid {
     type Item = OperatingCondition;
     type IntoIter = std::vec::IntoIter<OperatingCondition>;
 

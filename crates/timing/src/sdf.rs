@@ -32,10 +32,8 @@ pub fn write_sdf(annotation: &DelayAnnotation) -> String {
         if d == 0 {
             continue;
         }
-        let _ = writeln!(
-            out,
-            "  (CELL (INSTANCE g{net}) (DELAY (ABSOLUTE (IOPATH * y ({d}) ({d})))))"
-        );
+        let _ =
+            writeln!(out, "  (CELL (INSTANCE g{net}) (DELAY (ABSOLUTE (IOPATH * y ({d}) ({d})))))");
     }
     out.push_str(")\n");
     out
@@ -89,8 +87,7 @@ pub fn parse_sdf(text: &str, num_nets: usize) -> Result<DelayAnnotation, ParseSd
         if let Some(v) = field(line, "(DESIGN") {
             design = Some(v.to_string());
         } else if let Some(v) = field(line, "(VOLTAGE") {
-            voltage =
-                Some(v.parse::<f64>().map_err(|_| ParseSdfError::new("bad VOLTAGE"))?);
+            voltage = Some(v.parse::<f64>().map_err(|_| ParseSdfError::new("bad VOLTAGE"))?);
         } else if let Some(v) = field(line, "(TEMPERATURE") {
             temperature =
                 Some(v.parse::<f64>().map_err(|_| ParseSdfError::new("bad TEMPERATURE"))?);
@@ -106,9 +103,8 @@ pub fn parse_sdf(text: &str, num_nets: usize) -> Result<DelayAnnotation, ParseSd
                     "instance g{net} out of range for {num_nets} nets"
                 )));
             }
-            let iopath = line
-                .find("(IOPATH")
-                .ok_or_else(|| ParseSdfError::new("CELL without IOPATH"))?;
+            let iopath =
+                line.find("(IOPATH").ok_or_else(|| ParseSdfError::new("CELL without IOPATH"))?;
             let rest = &line[iopath..];
             let open = rest
                 .find("(")
@@ -134,11 +130,7 @@ pub fn parse_sdf(text: &str, num_nets: usize) -> Result<DelayAnnotation, ParseSd
     let design = design.ok_or_else(|| ParseSdfError::new("missing DESIGN"))?;
     let voltage = voltage.ok_or_else(|| ParseSdfError::new("missing VOLTAGE"))?;
     let temperature = temperature.ok_or_else(|| ParseSdfError::new("missing TEMPERATURE"))?;
-    Ok(DelayAnnotation::new(
-        design,
-        OperatingCondition::new(voltage, temperature),
-        delays,
-    ))
+    Ok(DelayAnnotation::new(design, OperatingCondition::new(voltage, temperature), delays))
 }
 
 #[cfg(test)]
@@ -159,11 +151,7 @@ mod tests {
 
     #[test]
     fn header_fields_survive() {
-        let ann = DelayAnnotation::new(
-            "toy",
-            OperatingCondition::new(0.95, 0.0),
-            vec![0, 12, 34],
-        );
+        let ann = DelayAnnotation::new("toy", OperatingCondition::new(0.95, 0.0), vec![0, 12, 34]);
         let text = write_sdf(&ann);
         assert!(text.contains("(DESIGN \"toy\")"));
         assert!(text.contains("(VOLTAGE 0.95)"));
@@ -188,11 +176,7 @@ mod tests {
 
     #[test]
     fn zero_delay_cells_are_omitted() {
-        let ann = DelayAnnotation::new(
-            "toy",
-            OperatingCondition::nominal(),
-            vec![0, 0, 7],
-        );
+        let ann = DelayAnnotation::new("toy", OperatingCondition::nominal(), vec![0, 0, 7]);
         let text = write_sdf(&ann);
         assert!(!text.contains("(INSTANCE g0)"));
         assert!(text.contains("(INSTANCE g2)"));

@@ -244,11 +244,9 @@ mod tests {
         let m = DelayModel::tsmc45_like();
         let shift = SiliconProfile::fresh().aged(5.0).aging_vth_shift();
         let low_fresh = m.scale_factor_with_profile(OperatingCondition::new(0.81, 25.0), 1.0, 0.0);
-        let low_aged =
-            m.scale_factor_with_profile(OperatingCondition::new(0.81, 25.0), 1.0, shift);
+        let low_aged = m.scale_factor_with_profile(OperatingCondition::new(0.81, 25.0), 1.0, shift);
         let high_fresh = m.scale_factor_with_profile(OperatingCondition::new(1.0, 25.0), 1.0, 0.0);
-        let high_aged =
-            m.scale_factor_with_profile(OperatingCondition::new(1.0, 25.0), 1.0, shift);
+        let high_aged = m.scale_factor_with_profile(OperatingCondition::new(1.0, 25.0), 1.0, shift);
         let low_penalty = low_aged / low_fresh;
         let high_penalty = high_aged / high_fresh;
         assert!(

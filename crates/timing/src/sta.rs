@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn critical_path_is_input_to_output() {
         let nl = FunctionalUnit::IntAdd.build();
-        let ann =
-            DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.85, 25.0));
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.85, 25.0));
         let report = run(&nl, &ann);
         let path = report.critical_path();
         assert!(path.len() > 8, "critical path should span the prefix carry network");

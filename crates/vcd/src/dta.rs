@@ -75,6 +75,7 @@ pub fn dynamic_delays(
             delays[cycle] = offset;
         }
     }
+    tevot_obs::metrics::VCD_CYCLES_RECONSTRUCTED.add(num_cycles as u64);
     DtaResult { delays }
 }
 

@@ -143,6 +143,7 @@ pub fn parse_vcd(text: &str) -> Result<Vcd, ParseVcdError> {
         }
     }
 
+    tevot_obs::metrics::VCD_CHANGES_PARSED.add(changes.len() as u64);
     Ok(Vcd { timescale, signals, initial, changes })
 }
 

@@ -112,10 +112,7 @@ impl VcdWriter {
     pub fn change(&mut self, time: u64, signal: SignalId, value: bool) {
         assert!(self.header_done, "change before begin_dump");
         if self.last_time != Some(time) {
-            assert!(
-                self.last_time.is_none_or(|t| t < time),
-                "VCD time must be monotonic"
-            );
+            assert!(self.last_time.is_none_or(|t| t < time), "VCD time must be monotonic");
             let _ = writeln!(self.body, "#{time}");
             self.last_time = Some(time);
         }

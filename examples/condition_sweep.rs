@@ -18,13 +18,9 @@ fn main() {
     println!("{:>14} {:>12} {:>12}", "condition", "avg (ps)", "static (ps)");
     for cond in ConditionGrid::fig3().iter() {
         let trace = characterizer.trace(cond, &workload);
-        let avg: f64 = trace
-            .cycles()
-            .iter()
-            .skip(1)
-            .map(|c| c.dynamic_delay_ps() as f64)
-            .sum::<f64>()
-            / (trace.cycles().len() - 1) as f64;
+        let avg: f64 =
+            trace.cycles().iter().skip(1).map(|c| c.dynamic_delay_ps() as f64).sum::<f64>()
+                / (trace.cycles().len() - 1) as f64;
         println!("{:>14} {avg:>12.0} {:>12}", cond.to_string(), trace.critical_delay_ps());
     }
 

@@ -40,11 +40,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Phase 3: evaluate on unseen vectors (Eq. 4).
     let test = random_workload(fu, 400, 2);
-    let test_truth = characterizer.characterize_with_periods(
-        condition,
-        &test,
-        truth.clock_periods_ps(),
-    );
+    let test_truth =
+        characterizer.characterize_with_periods(condition, &test, truth.clock_periods_ps());
     let mut predictor = model.clone();
     let points = evaluate_predictor(&mut predictor, &test, &test_truth);
     for p in &points {

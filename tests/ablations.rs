@@ -7,9 +7,7 @@ use tevot_repro::core::dta::Characterizer;
 use tevot_repro::core::workload::random_workload;
 use tevot_repro::core::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
 use tevot_repro::ml::ForestParams;
-use tevot_repro::netlist::fu::{
-    int_mul_with_style, AdderStyle, FunctionalUnit, MultiplierStyle,
-};
+use tevot_repro::netlist::fu::{int_mul_with_style, AdderStyle, FunctionalUnit, MultiplierStyle};
 use tevot_repro::timing::{ClockSpeedup, DelayModel, OperatingCondition};
 
 /// The three adder micro-architectures order exactly as their carry

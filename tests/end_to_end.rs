@@ -72,11 +72,7 @@ fn tevot_transfers_across_clock_speeds() {
     let novel_clock = truth.clock_periods_ps()[0] * 97 / 100;
     let test_truth = characterizer.characterize_with_periods(cond, &test, &[novel_clock]);
     let points = evaluate_predictor(&mut model, &test, &test_truth);
-    assert!(
-        points[0].accuracy > 0.85,
-        "accuracy {} at an unseen clock period",
-        points[0].accuracy
-    );
+    assert!(points[0].accuracy > 0.85, "accuracy {} at an unseen clock period", points[0].accuracy);
 }
 
 #[test]

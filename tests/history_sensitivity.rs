@@ -52,10 +52,7 @@ fn varying_history_varies_the_delay() {
             // The multiplier's history sensitivity is large in absolute
             // terms; the balanced prefix adder's is narrower but, sitting
             // right at the clock threshold, still decides correctness.
-            assert!(
-                max > min + min / 20,
-                "{fu}: delay range {min}..{max} too narrow to matter"
-            );
+            assert!(max > min + min / 20, "{fu}: delay range {min}..{max} too narrow to matter");
         }
     }
 }

@@ -37,9 +37,7 @@ fn vcd_dta_reproduces_simulator_delays_for_every_fu() {
         let period = sta::run(&nl, &ann).characterization_period_ps();
 
         let vectors: Vec<Vec<bool>> = (0..15u32)
-            .map(|i| {
-                fu.encode_operands(i.wrapping_mul(0x9E37_79B9), i.wrapping_mul(0x85EB_CA6B))
-            })
+            .map(|i| fu.encode_operands(i.wrapping_mul(0x9E37_79B9), i.wrapping_mul(0x85EB_CA6B)))
             .collect();
         let cycles = run_vectors(&nl, &ann, &vectors);
         let text = dump_vcd(&nl, &ann, &vectors, period);
