@@ -1,0 +1,469 @@
+//! Persisted benchmark baselines and the regression gate.
+//!
+//! `bench_track` distills a fixed suite of pipeline workloads into a
+//! small set of named metrics (throughputs, wall times, model accuracy)
+//! and writes them as a versioned `tevot-bench/1` JSON document —
+//! conventionally `BENCH_<label>.json`, with the committed
+//! `BENCH_baseline.json` at the repo root serving as the reference
+//! point. `bench_compare` then loads a baseline and a candidate, runs
+//! [`compare`], and exits nonzero when any tracked metric moved in its
+//! bad direction by more than the configured relative threshold.
+//!
+//! Every metric carries its own `higher_is_better` direction, so
+//! throughputs (higher is better) and wall times (lower is better)
+//! share one gate without special cases. The threshold is relative:
+//! with the default 10 %, a `cycles/s` drop from 1000 to 899 regresses
+//! while 1000 → 901 is within noise.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use tevot_obs::json::{parse, Json};
+
+use crate::table::TextTable;
+
+/// Schema tag written to (and required of) every benchmark report.
+pub const SCHEMA: &str = "tevot-bench/1";
+
+/// Default relative regression threshold (10 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One tracked benchmark metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted metric name, e.g. `int_add.sim_cycles_per_s`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Display unit, e.g. `cycles/s` or `s`.
+    pub unit: String,
+    /// Direction of goodness: `true` for throughputs and accuracy,
+    /// `false` for wall times.
+    pub higher_is_better: bool,
+}
+
+/// A labelled set of benchmark metrics — one `BENCH_<label>.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Human-readable run label (`baseline`, `ci`, a branch name...).
+    pub label: String,
+    /// Tracked metrics in suite order.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// An empty report with the given label.
+    pub fn new(label: impl Into<String>) -> BenchReport {
+        BenchReport { label: label.into(), metrics: Vec::new() }
+    }
+
+    /// Appends one metric.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: &str,
+        higher_is_better: bool,
+    ) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit: unit.to_string(),
+            higher_is_better,
+        });
+    }
+
+    /// Looks a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The report as a `tevot-bench/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("name", Json::Str(m.name.clone())),
+                    ("value", Json::Num(m.value)),
+                    ("unit", Json::Str(m.unit.clone())),
+                    ("higher_is_better", Json::Bool(m.higher_is_better)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("label", Json::Str(self.label.clone())),
+            ("metrics", Json::Arr(metrics)),
+        ])
+    }
+
+    /// Parses and validates a `tevot-bench/1` JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: invalid
+    /// JSON, a wrong or missing `schema` tag, or a malformed metric.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?} (want {SCHEMA:?})")),
+            None => return Err(format!("missing \"schema\" tag (want {SCHEMA:?})")),
+        }
+        let label = doc.get("label").and_then(Json::as_str).unwrap_or("unlabelled").to_string();
+        let mut report = BenchReport::new(label);
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("\"metrics\" missing or not an array")?;
+        for (i, m) in metrics.iter().enumerate() {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metric {i}: missing \"name\""))?;
+            let value = m
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric {name:?}: missing numeric \"value\""))?;
+            let unit = m.get("unit").and_then(Json::as_str).unwrap_or("");
+            let higher = match m.get("higher_is_better") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err(format!("metric {name:?}: missing \"higher_is_better\"")),
+            };
+            report.push(name, value, unit, higher);
+        }
+        Ok(report)
+    }
+
+    /// Writes the report as pretty-enough JSON (one metric per line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut text = String::new();
+        let _ = writeln!(text, "{{");
+        let _ = writeln!(text, "  \"schema\": {},", Json::Str(SCHEMA.to_string()));
+        let _ = writeln!(text, "  \"label\": {},", Json::Str(self.label.clone()));
+        let _ = writeln!(text, "  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let obj = Json::obj(vec![
+                ("name", Json::Str(m.name.clone())),
+                ("value", Json::Num(m.value)),
+                ("unit", Json::Str(m.unit.clone())),
+                ("higher_is_better", Json::Bool(m.higher_is_better)),
+            ]);
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(text, "    {obj}{comma}");
+        }
+        let _ = writeln!(text, "  ]");
+        let _ = writeln!(text, "}}");
+        std::fs::write(path, text)
+    }
+
+    /// Loads and parses a report file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read bench report {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Outcome of one metric's baseline/candidate comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Moved in the good direction by more than the threshold.
+    Improved,
+    /// Within the threshold either way.
+    Unchanged,
+    /// Moved in the bad direction by more than the threshold.
+    Regressed,
+    /// Present only in the candidate (informational).
+    Added,
+    /// Present only in the baseline — gates like a regression, since
+    /// dropping a metric would otherwise hide one.
+    Removed,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Added => "added",
+            Verdict::Removed => "REMOVED",
+        }
+    }
+}
+
+/// One metric's delta between two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Display unit (from whichever side has the metric).
+    pub unit: String,
+    /// Baseline value, if present there.
+    pub baseline: Option<f64>,
+    /// Candidate value, if present there.
+    pub candidate: Option<f64>,
+    /// Signed relative change `(candidate - baseline) / baseline`;
+    /// `None` when either side is missing or the baseline is zero with
+    /// a nonzero candidate (an infinite relative change).
+    pub relative_change: Option<f64>,
+    /// The gate's classification.
+    pub verdict: Verdict,
+}
+
+/// A full comparison of two reports under one threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Baseline label.
+    pub baseline_label: String,
+    /// Candidate label.
+    pub candidate_label: String,
+    /// The relative threshold used.
+    pub threshold: f64,
+    /// Per-metric deltas, baseline order first, candidate-only last.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl Comparison {
+    /// The deltas that fail the gate ([`Verdict::Regressed`] and
+    /// [`Verdict::Removed`]).
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| matches!(d.verdict, Verdict::Regressed | Verdict::Removed))
+            .collect()
+    }
+
+    /// Whether the gate fails.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions().is_empty()
+    }
+
+    /// Renders the comparison as an aligned table plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut table =
+            TextTable::new(&["metric", "unit", "baseline", "candidate", "change", "verdict"]);
+        for d in &self.deltas {
+            table.row_owned(vec![
+                d.name.clone(),
+                d.unit.clone(),
+                d.baseline.map_or_else(|| "-".to_string(), fmt_value),
+                d.candidate.map_or_else(|| "-".to_string(), fmt_value),
+                d.relative_change
+                    .map_or_else(|| "-".to_string(), |r| format!("{:+.1}%", r * 100.0)),
+                d.verdict.label().to_string(),
+            ]);
+        }
+        let mut out = format!(
+            "bench-compare: {} -> {} (threshold \u{b1}{:.1}%)\n{}",
+            self.baseline_label,
+            self.candidate_label,
+            self.threshold * 100.0,
+            table.render()
+        );
+        let bad = self.regressions().len();
+        if bad == 0 {
+            let _ = write!(out, "\nno regressions beyond the threshold");
+        } else {
+            let _ = write!(out, "\n{bad} metric(s) regressed beyond the threshold");
+        }
+        out
+    }
+}
+
+/// Compares `candidate` against `baseline` with a relative `threshold`.
+///
+/// A shared metric regresses when its relative move in the bad direction
+/// exceeds the threshold (the direction comes from the baseline's
+/// `higher_is_better`). A zero baseline compares exactly: any nonzero
+/// candidate counts as an unbounded move in the candidate's direction.
+pub fn compare(baseline: &BenchReport, candidate: &BenchReport, threshold: f64) -> Comparison {
+    assert!(threshold >= 0.0, "threshold must be non-negative");
+    let mut deltas = Vec::new();
+    for base in &baseline.metrics {
+        let delta = match candidate.metric(&base.name) {
+            None => MetricDelta {
+                name: base.name.clone(),
+                unit: base.unit.clone(),
+                baseline: Some(base.value),
+                candidate: None,
+                relative_change: None,
+                verdict: Verdict::Removed,
+            },
+            Some(cand) => {
+                let (relative_change, verdict) =
+                    classify(base.value, cand.value, base.higher_is_better, threshold);
+                MetricDelta {
+                    name: base.name.clone(),
+                    unit: base.unit.clone(),
+                    baseline: Some(base.value),
+                    candidate: Some(cand.value),
+                    relative_change,
+                    verdict,
+                }
+            }
+        };
+        deltas.push(delta);
+    }
+    for cand in &candidate.metrics {
+        if baseline.metric(&cand.name).is_none() {
+            deltas.push(MetricDelta {
+                name: cand.name.clone(),
+                unit: cand.unit.clone(),
+                baseline: None,
+                candidate: Some(cand.value),
+                relative_change: None,
+                verdict: Verdict::Added,
+            });
+        }
+    }
+    Comparison {
+        baseline_label: baseline.label.clone(),
+        candidate_label: candidate.label.clone(),
+        threshold,
+        deltas,
+    }
+}
+
+/// Classifies one shared metric: returns the signed relative change (when
+/// finite) and the verdict under `threshold`.
+fn classify(
+    base: f64,
+    cand: f64,
+    higher_is_better: bool,
+    threshold: f64,
+) -> (Option<f64>, Verdict) {
+    if base == 0.0 {
+        if cand == 0.0 {
+            return (Some(0.0), Verdict::Unchanged);
+        }
+        // Unbounded relative move: direction decides, threshold cannot.
+        let improving = (cand > 0.0) == higher_is_better;
+        return (None, if improving { Verdict::Improved } else { Verdict::Regressed });
+    }
+    let rel = (cand - base) / base;
+    // `improvement` is positive when the metric got better.
+    let improvement = if higher_is_better { rel } else { -rel };
+    let verdict = if improvement < -threshold {
+        Verdict::Regressed
+    } else if improvement > threshold {
+        Verdict::Improved
+    } else {
+        Verdict::Unchanged
+    };
+    (Some(rel), verdict)
+}
+
+/// Formats a metric value with magnitude-appropriate precision.
+fn fmt_value(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_reports() -> (BenchReport, BenchReport) {
+        let mut base = BenchReport::new("baseline");
+        base.push("int_add.sim_cycles_per_s", 1000.0, "cycles/s", true);
+        base.push("train.wall_s", 4.0, "s", false);
+        base.push("int_add.accuracy_mean", 0.95, "frac", true);
+        let mut cand = BenchReport::new("candidate");
+        cand.push("int_add.sim_cycles_per_s", 1050.0, "cycles/s", true);
+        cand.push("train.wall_s", 3.0, "s", false);
+        cand.push("int_add.accuracy_mean", 0.94, "frac", true);
+        (base, cand)
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let (base, cand) = two_reports();
+        let cmp = compare(&base, &cand, DEFAULT_THRESHOLD);
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        // -25% wall time is an improvement for a lower-is-better metric.
+        let wall = cmp.deltas.iter().find(|d| d.name == "train.wall_s").unwrap();
+        assert_eq!(wall.verdict, Verdict::Improved);
+        assert!((wall.relative_change.unwrap() + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_aware_regressions() {
+        let (base, mut cand) = two_reports();
+        // Throughput down 30%: regression.
+        cand.metrics[0].value = 700.0;
+        // Wall time up 50%: regression despite being a larger number.
+        cand.metrics[1].value = 6.0;
+        let cmp = compare(&base, &cand, DEFAULT_THRESHOLD);
+        let names: Vec<&str> = cmp.regressions().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["int_add.sim_cycles_per_s", "train.wall_s"]);
+    }
+
+    #[test]
+    fn removed_metric_gates_and_added_does_not() {
+        let (base, mut cand) = two_reports();
+        cand.metrics.remove(2);
+        cand.push("fp_mul.sim_cycles_per_s", 50.0, "cycles/s", true);
+        let cmp = compare(&base, &cand, DEFAULT_THRESHOLD);
+        assert!(cmp.has_regressions());
+        assert_eq!(cmp.regressions()[0].verdict, Verdict::Removed);
+        let added = cmp.deltas.last().unwrap();
+        assert_eq!(added.verdict, Verdict::Added);
+        assert!(!matches!(added.verdict, Verdict::Regressed | Verdict::Removed));
+    }
+
+    #[test]
+    fn zero_baseline_is_exact() {
+        let mut base = BenchReport::new("b");
+        base.push("errors", 0.0, "count", false);
+        let mut same = BenchReport::new("c");
+        same.push("errors", 0.0, "count", false);
+        assert!(!compare(&base, &same, 0.1).has_regressions());
+        let mut worse = BenchReport::new("c");
+        worse.push("errors", 1.0, "count", false);
+        let cmp = compare(&base, &worse, 0.1);
+        assert_eq!(cmp.deltas[0].verdict, Verdict::Regressed);
+        assert_eq!(cmp.deltas[0].relative_change, None);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (base, _) = two_reports();
+        let text = base.to_json().to_string();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(BenchReport::parse("not json").unwrap_err().contains("invalid JSON"));
+        assert!(BenchReport::parse(r#"{"metrics":[]}"#).unwrap_err().contains("schema"));
+        assert!(BenchReport::parse(r#"{"schema":"tevot-bench/9","metrics":[]}"#)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(BenchReport::parse(r#"{"schema":"tevot-bench/1"}"#)
+            .unwrap_err()
+            .contains("metrics"));
+        let missing_dir = r#"{"schema":"tevot-bench/1","label":"x",
+            "metrics":[{"name":"a","value":1.0,"unit":"s"}]}"#;
+        assert!(BenchReport::parse(missing_dir).unwrap_err().contains("higher_is_better"));
+    }
+}

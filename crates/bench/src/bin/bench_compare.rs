@@ -1,0 +1,76 @@
+//! The benchmark regression gate: compares a candidate `tevot-bench/1`
+//! report against a baseline and fails on regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare <baseline.json> <candidate.json> \
+//!     [--threshold 0.10] [--report-only]
+//! ```
+//!
+//! Exit status: 0 when every tracked metric is within the threshold
+//! (or `--report-only` was passed), 1 when at least one metric
+//! regressed, 2 on usage or load errors. CI runs this in report-only
+//! mode — shared runners make wall-clock throughputs too noisy for a
+//! hard gate — so the rendered table is the artifact that matters.
+
+use std::process::ExitCode;
+
+use tevot_bench::baseline::{compare, BenchReport, DEFAULT_THRESHOLD};
+
+const USAGE: &str = "usage: bench_compare <baseline.json> <candidate.json> \
+                     [--threshold 0.10] [--report-only]";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("bench_compare: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = None;
+    let mut candidate_path = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut report_only = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => threshold = t,
+                _ => return usage_error("--threshold needs a non-negative number"),
+            },
+            "--report-only" => report_only = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => return usage_error(&format!("unknown flag {arg}")),
+            _ if baseline_path.is_none() => baseline_path = Some(arg),
+            _ if candidate_path.is_none() => candidate_path = Some(arg),
+            _ => return usage_error(&format!("unexpected argument {arg:?}")),
+        }
+    }
+    let (Some(baseline_path), Some(candidate_path)) = (baseline_path, candidate_path) else {
+        return usage_error("need a baseline and a candidate report");
+    };
+
+    let baseline = match BenchReport::load(baseline_path.as_ref()) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    let candidate = match BenchReport::load(candidate_path.as_ref()) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+
+    let comparison = compare(&baseline, &candidate, threshold);
+    println!("{}", comparison.render());
+    if comparison.has_regressions() {
+        if report_only {
+            println!("(report-only mode: not failing the build)");
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,50 @@
+//! Runs the fixed benchmark suite and writes a versioned
+//! `tevot-bench/1` report for `bench_compare` to gate against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tevot-bench --bin bench_track -- \
+//!     [--tiny] [--label NAME] [--out PATH] [--seed N] \
+//!     [--metrics m.json] [--trace t.json] [-v|-q]
+//! ```
+//!
+//! The output defaults to `BENCH_<label>.json` in the working directory;
+//! `--tiny` shrinks the workloads without changing the tracked metric
+//! names, so a tiny candidate still compares cleanly against the
+//! committed standard baseline (expect throughput noise, which is why CI
+//! runs the gate in report-only mode). See EXPERIMENTS.md for the
+//! baseline-refresh procedure.
+
+use std::path::PathBuf;
+
+use tevot_bench::config::StudyConfig;
+use tevot_bench::suite::{run_suite, SuiteScale};
+
+fn value_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let config = StudyConfig::from_env();
+    let _obs = config.observability();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let label = value_after(&args, "--label").unwrap_or_else(|| "local".to_string());
+    let out = value_after(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
+    let mut scale = if args.iter().any(|a| a == "--tiny") {
+        SuiteScale::tiny()
+    } else {
+        SuiteScale::standard()
+    };
+    scale.seed = config.seed;
+
+    let report = run_suite(&label, &scale);
+    if let Err(e) = report.save(&out) {
+        eprintln!("bench_track: cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    println!("wrote {} ({} metrics, label {label:?})", out.display(), report.metrics.len());
+}

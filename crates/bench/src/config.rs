@@ -40,6 +40,8 @@ pub struct StudyConfig {
     pub verbosity: i32,
     /// Where to write the `tevot-obs/1` metrics JSON (`--metrics <path>`).
     pub metrics_path: Option<PathBuf>,
+    /// Where to write the Chrome/Perfetto trace JSON (`--trace <path>`).
+    pub trace_path: Option<PathBuf>,
 }
 
 impl StudyConfig {
@@ -61,6 +63,7 @@ impl StudyConfig {
             seed: 0xDAC2020,
             verbosity: 0,
             metrics_path: None,
+            trace_path: None,
         }
     }
 
@@ -94,8 +97,9 @@ impl StudyConfig {
 
     /// Parses command-line arguments: `--full` selects [`Self::full`],
     /// `--tiny` the smoke-test scale, `--seed N` overrides the RNG seed,
-    /// `--verbose`/`-v` and `--quiet`/`-q` shift the log level, and
-    /// `--metrics <path>` requests the `tevot-obs/1` JSON report.
+    /// `--verbose`/`-v` and `--quiet`/`-q` shift the log level,
+    /// `--metrics <path>` requests the `tevot-obs/1` JSON report, and
+    /// `--trace <path>` a Chrome/Perfetto timeline trace.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let args: Vec<String> = args.collect();
         let mut config = if args.iter().any(|a| a == "--full") {
@@ -120,6 +124,9 @@ impl StudyConfig {
         if let Some(pos) = args.iter().position(|a| a == "--metrics") {
             config.metrics_path = args.get(pos + 1).map(PathBuf::from);
         }
+        if let Some(pos) = args.iter().position(|a| a == "--trace") {
+            config.trace_path = args.get(pos + 1).map(PathBuf::from);
+        }
         config
     }
 
@@ -130,13 +137,17 @@ impl StudyConfig {
 
     /// Applies the parsed verbosity to the global log level and returns
     /// the RAII reporter every experiment binary should hold in `main`:
-    /// on drop it writes the `--metrics` JSON (if requested) and, when
-    /// `TEVOT_OBS_SUMMARY` is set, prints the stderr summary.
+    /// on drop it writes the `--metrics` JSON and `--trace` timeline (if
+    /// requested) and, when `TEVOT_OBS_SUMMARY` is set, prints the stderr
+    /// summary. Passing `--trace` also enables the trace recorder for the
+    /// whole run.
     pub fn observability(&self) -> tevot_obs::report::FinishGuard {
         if self.verbosity != 0 {
             tevot_obs::adjust_level(self.verbosity);
         }
-        tevot_obs::report::FinishGuard::new().metrics_path(self.metrics_path.clone())
+        tevot_obs::report::FinishGuard::new()
+            .metrics_path(self.metrics_path.clone())
+            .trace_path(self.trace_path.clone())
     }
 }
 
@@ -175,5 +186,10 @@ mod tests {
         let c = StudyConfig::from_args(["--verbose".to_string(), "-v".to_string()].into_iter());
         assert_eq!(c.verbosity, 2);
         assert_eq!(c.metrics_path, None);
+        assert_eq!(c.trace_path, None);
+        let c = StudyConfig::from_args(
+            ["--trace".to_string(), "timeline.json".to_string()].into_iter(),
+        );
+        assert_eq!(c.trace_path.as_deref(), Some(std::path::Path::new("timeline.json")));
     }
 }

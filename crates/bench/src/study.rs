@@ -186,8 +186,12 @@ impl Study {
         };
         let _span = tevot_obs::span!("characterize");
         let mut conditions = Vec::with_capacity(config.conditions.len());
+        let progress = tevot_obs::progress::Progress::new(
+            format!("characterize {fu}"),
+            config.conditions.len() as u64,
+        );
         for cond in config.conditions.iter() {
-            tevot_obs::info!("{fu} @ {cond}");
+            tevot_obs::debug!("{fu} @ {cond}");
             let base = base_at(cond.voltage(), &characterizer);
             // The per-condition Fmax measurement still exists offline — it
             // is what the Delay-based baseline calibrates against.
@@ -209,7 +213,9 @@ impl Study {
                 fmax: fmax_char,
                 tests,
             });
+            progress.tick();
         }
+        progress.finish();
         FuStudy {
             fu,
             train_workload: train,

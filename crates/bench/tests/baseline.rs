@@ -1,0 +1,142 @@
+//! Golden-file and exit-code tests for the benchmark-tracking subsystem:
+//! the rendered `bench_compare` table must match `tests/golden/`, and the
+//! gate binary must demonstrably exit nonzero on a synthetic regression.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use tevot_bench::baseline::{compare, BenchReport, DEFAULT_THRESHOLD};
+use tevot_bench::suite::{run_suite, SuiteScale};
+use tevot_netlist::fu::FunctionalUnit;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tevot_bench_test_{}_{name}", std::process::id()));
+    p
+}
+
+/// A pair of canned reports exercising every verdict: a throughput
+/// regression, an in-noise accuracy move, a wall-time improvement, a
+/// removed metric and an added one.
+fn canned_reports() -> (BenchReport, BenchReport) {
+    let mut base = BenchReport::new("baseline");
+    base.push("int_add.sim_cycles_per_s", 1200.0, "cycles/s", true);
+    base.push("int_add.accuracy_mean", 0.95, "frac", true);
+    base.push("train.wall_s", 4.0, "s", false);
+    base.push("old.metric", 7.0, "count", true);
+    let mut cand = BenchReport::new("pr-42");
+    cand.push("int_add.sim_cycles_per_s", 840.0, "cycles/s", true);
+    cand.push("int_add.accuracy_mean", 0.96, "frac", true);
+    cand.push("train.wall_s", 3.0, "s", false);
+    cand.push("new.metric", 2.0, "count", true);
+    (base, cand)
+}
+
+#[test]
+fn rendered_table_matches_golden() {
+    let (base, cand) = canned_reports();
+    let rendered = compare(&base, &cand, DEFAULT_THRESHOLD).render();
+    let golden = include_str!("golden/bench_compare.txt");
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "\n--- actual ---\n{rendered}\n--- end actual ---"
+    );
+}
+
+#[test]
+fn gate_binary_exit_codes() {
+    let gate = env!("CARGO_BIN_EXE_bench_compare");
+    let (base, cand) = canned_reports();
+    let base_path = temp_path("base.json");
+    let cand_path = temp_path("cand.json");
+    base.save(&base_path).unwrap();
+    cand.save(&cand_path).unwrap();
+
+    // Synthetic regression (the canned candidate): nonzero exit, and the
+    // offending metric is named in the report.
+    let out = Command::new(gate).args([&base_path, &cand_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "regression must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("int_add.sim_cycles_per_s"), "{stdout}");
+
+    // Report-only mode downgrades the same regression to exit 0.
+    let out =
+        Command::new(gate).args([&base_path, &cand_path]).arg("--report-only").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("report-only"));
+
+    // A report compared against itself passes.
+    let out = Command::new(gate).args([&base_path, &base_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no regressions"));
+
+    // A generous threshold forgives a pure 30% throughput drop (the
+    // canned candidate is still gated at any threshold because it also
+    // *removes* a metric, so use a slowdown-only variant here).
+    let mut slow = base.clone();
+    slow.metrics[0].value = 840.0;
+    let slow_path = temp_path("slow.json");
+    slow.save(&slow_path).unwrap();
+    let out = Command::new(gate).args([&base_path, &slow_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = Command::new(gate)
+        .args([&base_path, &slow_path])
+        .args(["--threshold", "0.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_file(&slow_path).ok();
+
+    // Usage and load errors exit 2.
+    let out = Command::new(gate).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(gate)
+        .args([base_path.to_str().unwrap(), "/nonexistent/candidate.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(gate).args([&base_path, &cand_path]).arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_file(base_path).ok();
+    std::fs::remove_file(cand_path).ok();
+}
+
+#[test]
+fn suite_smoke_run_tracks_expected_metrics() {
+    // One FU at a minimal scale: checks the metric-name contract and the
+    // save/load/compare round trip end to end.
+    let scale = SuiteScale {
+        fus: vec![FunctionalUnit::IntAdd],
+        train_vectors: 80,
+        test_vectors: 40,
+        num_trees: 2,
+        seed: 11,
+    };
+    let report = run_suite("smoke", &scale);
+    for name in [
+        "int_add.sim_cycles_per_s",
+        "int_add.gate_evals_per_s",
+        "int_add.predictions_per_s",
+        "int_add.accuracy_mean",
+        "featurize.rows_per_s",
+        "train.wall_s",
+        "suite.wall_s",
+    ] {
+        let m = report.metric(name).unwrap_or_else(|| panic!("missing metric {name}"));
+        assert!(m.value.is_finite() && m.value > 0.0, "{name} = {}", m.value);
+    }
+    let acc = report.metric("int_add.accuracy_mean").unwrap();
+    assert!(acc.value <= 1.0 && acc.higher_is_better);
+
+    let path = temp_path("smoke.json");
+    report.save(&path).unwrap();
+    let back = BenchReport::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    // Float round trip is lossy only in formatting, not value identity,
+    // because Json::Num prints with enough precision to re-parse f64s.
+    let cmp = compare(&report, &back, 0.0);
+    assert!(!cmp.has_regressions(), "{}", cmp.render());
+}

@@ -1,17 +1,22 @@
-//! Minimal command-line argument parsing (flag/value pairs), with typed
-//! accessors and helpful errors. Deliberately dependency-free.
+//! Minimal command-line argument parsing (flag/value pairs plus ordered
+//! positionals), with typed accessors and helpful errors. Deliberately
+//! dependency-free.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: the subcommand plus `--flag value` / `--flag`
-/// pairs.
+/// A parsed command line: the subcommand, `--flag value` / `--flag`
+/// pairs, and any remaining positional operands in order (e.g. the two
+/// report paths of `obs-diff a.json b.json`).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: String,
     values: BTreeMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
     consumed: std::cell::RefCell<Vec<String>>,
+    positionals_taken: Cell<usize>,
 }
 
 /// An error produced while parsing or querying arguments.
@@ -29,21 +34,25 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses `argv` (without the program name). The first token is the
     /// subcommand; every `--name value` pair becomes a value, every bare
-    /// `--name` a flag.
+    /// `--name` a flag, and any other token a positional operand.
+    /// Commands that take no positionals reject strays in [`finish`].
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] on a missing subcommand or a stray positional
-    /// token.
+    /// Returns [`ArgError`] on a missing subcommand.
+    ///
+    /// [`finish`]: Args::finish
     pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
         let mut iter = argv.into_iter().peekable();
         let command =
             iter.next().ok_or_else(|| ArgError("missing subcommand (try `tevot help`)".into()))?;
         let mut values = BTreeMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(token) = iter.next() {
             let Some(name) = token.strip_prefix("--") else {
-                return Err(ArgError(format!("unexpected positional argument {token:?}")));
+                positionals.push(token);
+                continue;
             };
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
@@ -52,7 +61,14 @@ impl Args {
                 _ => flags.push(name.to_string()),
             }
         }
-        Ok(Args { command, values, flags, consumed: Default::default() })
+        Ok(Args {
+            command,
+            values,
+            flags,
+            positionals,
+            consumed: Default::default(),
+            positionals_taken: Cell::new(0),
+        })
     }
 
     /// The subcommand.
@@ -103,8 +119,24 @@ impl Args {
         self.flags.iter().any(|f| f == name)
     }
 
+    /// The positional operand at `index`, if present.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals_taken.set(self.positionals_taken.get().max(index + 1));
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// A required positional operand, described as `what` in the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent.
+    pub fn require_positional(&self, index: usize, what: &str) -> Result<&str, ArgError> {
+        self.positional(index)
+            .ok_or_else(|| ArgError(format!("missing {what} (positional argument {})", index + 1)))
+    }
+
     /// Rejects any argument that no accessor asked about — catches typos
-    /// like `--voltag`.
+    /// like `--voltag` and stray positional operands.
     ///
     /// # Errors
     ///
@@ -114,6 +146,11 @@ impl Args {
         for name in self.values.keys().chain(self.flags.iter()) {
             if !consumed.iter().any(|c| c == name) {
                 return Err(ArgError(format!("unknown argument --{name}")));
+            }
+        }
+        if let Some(stray) = self.positionals.get(self.positionals_taken.get()..) {
+            if let Some(first) = stray.first() {
+                return Err(ArgError(format!("unexpected positional argument {first:?}")));
             }
         }
         Ok(())
@@ -155,9 +192,35 @@ mod tests {
     }
 
     #[test]
-    fn rejects_positional() {
-        let err = Args::parse(["x".to_string(), "stray".to_string()]).unwrap_err();
+    fn rejects_unconsumed_positional() {
+        let a = parse(&["x", "stray"]);
+        let err = a.finish().unwrap_err();
         assert!(err.to_string().contains("positional"));
+    }
+
+    #[test]
+    fn positionals_are_ordered_and_consumable() {
+        let a = parse(&["obs-diff", "a.json", "b.json", "--verbose-ish"]);
+        assert_eq!(a.positional(0), Some("a.json"));
+        assert_eq!(a.require_positional(1, "candidate").unwrap(), "b.json");
+        assert!(a
+            .require_positional(2, "nothing")
+            .unwrap_err()
+            .to_string()
+            .contains("positional argument 3"));
+        let _ = a.flag("verbose-ish");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn flag_value_pairs_still_win_over_positionals() {
+        // "--fu int-add" stays a value pair; only the bare token is
+        // positional.
+        let a = parse(&["cmd", "--fu", "int-add", "loose"]);
+        assert_eq!(a.get("fu"), Some("int-add"));
+        assert_eq!(a.positional(0), Some("loose"));
+        assert_eq!(a.positional(1), None);
+        a.finish().unwrap();
     }
 
     #[test]

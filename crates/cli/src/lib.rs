@@ -16,10 +16,13 @@
 //!                    [--prev-a <u32>] [--prev-b <u32>]
 //! tevot sweep        --model model.tevot [--grid fig3|paper]
 //!                    [--vectors N] [--seed S] [--clock-ps N]
+//! tevot obs-diff     <a.json> <b.json>
 //! ```
 //!
 //! Units: `int-add`, `int-mul`, `fp-add`, `fp-mul`. Operands accept
-//! decimal or `0x` hex.
+//! decimal or `0x` hex. Every command also takes `--metrics <path>`
+//! (tevot-obs/1 JSON report) and `--trace <path>` (Chrome/Perfetto
+//! timeline trace); `obs-diff` compares two of the former.
 
 pub mod args;
 
@@ -66,6 +69,7 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
   tevot ter          --model model.tevot --voltage <V> --temperature <C>
                      --clock-ps <N> [--workload trace.txt | --fu <unit>
                      --vectors N] [--validate] [--seed S]
+  tevot obs-diff     <a.json> <b.json>      (two --metrics reports)
 
 units: int-add | int-mul | fp-add | fp-mul; operands take decimal or 0x hex.
 workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.
@@ -74,6 +78,8 @@ global flags (any position):
   -v | --verbose       raise the log level (repeatable; default info)
   -q | --quiet         lower the log level (repeatable)
   --metrics <path>     write stage timings + counters as tevot-obs/1 JSON
+  --trace <path>       record a timeline and write Chrome/Perfetto trace
+                       JSON (open at https://ui.perfetto.dev)
 (the TEVOT_LOG env var sets the base level: off|error|warn|info|debug)";
 
 /// Executes one CLI invocation (`argv` without the program name).
@@ -96,38 +102,45 @@ pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         "predict" => cmd_predict(&args),
         "sweep" => cmd_sweep(&args),
         "ter" => cmd_ter(&args),
+        "obs-diff" => cmd_obs_diff(&args),
         other => Err(ArgError(format!("unknown subcommand {other:?}")).into()),
     }
 }
 
 /// Extracts the global observability flags (`-v`/`--verbose`,
-/// `-q`/`--quiet`, `--metrics <path>`) from anywhere on the command line,
-/// applies the verbosity, and returns the remaining tokens plus the RAII
-/// reporter that writes the metrics JSON when [`run`] finishes.
+/// `-q`/`--quiet`, `--metrics <path>`, `--trace <path>`) from anywhere on
+/// the command line, applies the verbosity, enables timeline recording
+/// when a trace was requested, and returns the remaining tokens plus the
+/// RAII reporter that writes the metrics JSON and the trace when [`run`]
+/// finishes.
 fn global_flags(
     argv: Vec<String>,
 ) -> Result<(Vec<String>, tevot_obs::report::FinishGuard), ArgError> {
     let mut rest = Vec::with_capacity(argv.len());
     let mut verbosity = 0i32;
     let mut metrics = None;
+    let mut trace = None;
     let mut iter = argv.into_iter();
     while let Some(token) = iter.next() {
         match token.as_str() {
             "-v" | "--verbose" => verbosity += 1,
             "-q" | "--quiet" => verbosity -= 1,
-            "--metrics" => match iter.next() {
-                Some(path) if !path.starts_with("--") => {
-                    metrics = Some(std::path::PathBuf::from(path));
+            "--metrics" | "--trace" => {
+                let slot = if token == "--metrics" { &mut metrics } else { &mut trace };
+                match iter.next() {
+                    Some(path) if !path.starts_with("--") => {
+                        *slot = Some(std::path::PathBuf::from(path));
+                    }
+                    _ => return Err(ArgError(format!("{token} needs a file path"))),
                 }
-                _ => return Err(ArgError("--metrics needs a file path".into())),
-            },
+            }
             _ => rest.push(token),
         }
     }
     if verbosity != 0 {
         tevot_obs::adjust_level(verbosity);
     }
-    Ok((rest, tevot_obs::report::FinishGuard::new().metrics_path(metrics)))
+    Ok((rest, tevot_obs::report::FinishGuard::new().metrics_path(metrics).trace_path(trace)))
 }
 
 /// Wraps a file-level I/O result with the offending path.
@@ -177,6 +190,26 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
         let truth = characterizer.characterize_with_periods(cond, &work, &[clock]);
         outln!("  simulated TER: {:.2}%", truth.timing_error_rate(0) * 100.0);
     }
+    Ok(())
+}
+
+/// `tevot obs-diff`: renders the delta between two `tevot-obs/1` metrics
+/// reports (as written by `--metrics`) — spans, counters and histogram
+/// totals/quantiles side by side with absolute and relative changes.
+fn cmd_obs_diff(args: &Args) -> Result<(), Box<dyn Error>> {
+    let a_path = args.require_positional(0, "first report path")?.to_owned();
+    let b_path = args.require_positional(1, "second report path")?.to_owned();
+    args.finish()?;
+
+    let load = |path: &str| -> Result<tevot_obs::diff::Report, Box<dyn Error>> {
+        let text = at_path(std::fs::read_to_string(path), "read metrics report", path)?;
+        tevot_obs::diff::Report::parse(&text).map_err(|e| format!("{path}: {e}").into())
+    };
+    let a = load(&a_path)?;
+    let b = load(&b_path)?;
+    outln!("a: {a_path}");
+    outln!("b: {b_path}");
+    outln!("{}", tevot_obs::diff::render_diff(&a, &b));
     Ok(())
 }
 
@@ -290,10 +323,14 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
     let characterizer = Characterizer::new(fu);
     let work = random_workload(fu, vectors, seed);
     let mut chars = Vec::new();
+    let progress =
+        tevot_obs::progress::Progress::new(format!("characterize {fu}"), grid.len() as u64);
     for cond in grid.iter() {
-        tevot_obs::info!("characterizing {fu} at {cond}...");
+        tevot_obs::debug!("characterizing {fu} at {cond}...");
         chars.push(characterizer.characterize(cond, &work, &ClockSpeedup::PAPER));
+        progress.tick();
     }
+    progress.finish();
     let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
     let data = build_delay_dataset(encoding, &runs);
     tevot_obs::info!("training on {} rows x {} features...", data.len(), data.num_features());

@@ -21,6 +21,78 @@ fn help_and_error_paths() {
     assert!(run(&["stats", "--fu", "int-add", "--bogus", "1"])
         .unwrap_err()
         .contains("unknown argument"));
+    assert!(run(&["stats", "--fu", "int-add", "stray"]).unwrap_err().contains("positional"));
+    assert!(run(&["--trace"]).unwrap_err().contains("needs a file path"));
+}
+
+#[test]
+fn obs_diff_compares_two_reports() {
+    let a = temp_path("obs_a.json");
+    let b = temp_path("obs_b.json");
+    std::fs::write(
+        &a,
+        r#"{"schema":"tevot-obs/1",
+            "spans":[{"path":"train","total_ns":2000000,"count":1}],
+            "counters":[{"name":"sim.cycles_simulated","value":10}],
+            "histograms":[]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        r#"{"schema":"tevot-obs/1",
+            "spans":[{"path":"train","total_ns":3000000,"count":1}],
+            "counters":[{"name":"sim.cycles_simulated","value":20}],
+            "histograms":[]}"#,
+    )
+    .unwrap();
+    run(&["obs-diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+
+    // Error paths: missing operands, unreadable file, wrong schema.
+    assert!(run(&["obs-diff"]).unwrap_err().contains("positional argument 1"));
+    assert!(run(&["obs-diff", a.to_str().unwrap()]).unwrap_err().contains("positional"));
+    assert!(run(&["obs-diff", a.to_str().unwrap(), "/nonexistent/x.json"])
+        .unwrap_err()
+        .contains("read metrics report"));
+    std::fs::write(&b, r#"{"schema":"bogus/7"}"#).unwrap();
+    assert!(run(&["obs-diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .unwrap_err()
+        .contains("unsupported schema"));
+
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn trace_flag_writes_valid_chrome_trace_json() {
+    let trace = temp_path("timeline.json");
+    run(&[
+        "characterize",
+        "--fu",
+        "int-add",
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--vectors",
+        "40",
+        "--trace",
+        trace.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = tevot_obs::json::parse(&text).expect("trace file is valid JSON");
+    let events = doc.get("traceEvents").and_then(tevot_obs::json::Json::as_arr).unwrap();
+    assert!(!events.is_empty(), "span guards must have produced events");
+    for event in events {
+        use tevot_obs::json::Json;
+        assert!(event.get("name").and_then(Json::as_str).is_some());
+        assert!(matches!(event.get("ph").and_then(Json::as_str), Some("B" | "E" | "i")));
+        assert!(event.get("ts").and_then(Json::as_f64).is_some());
+        assert!(event.get("tid").and_then(Json::as_u64).is_some());
+    }
+
+    std::fs::remove_file(trace).ok();
 }
 
 #[test]

@@ -46,6 +46,7 @@ pub fn evaluate_predictor(
         .iter()
         .enumerate()
         .map(|(p_idx, &clock_ps)| {
+            tevot_obs::instant!("eval.period");
             let truth = ground_truth.erroneous(p_idx);
             let mut matched = 0usize;
             for t in 1..ops.len() {

@@ -56,6 +56,12 @@ impl GrayImage {
         &self.pixels
     }
 
+    /// The image's `(min, max)` pixel values. Total because an image is
+    /// never empty (the constructors reject zero dimensions).
+    pub fn pixel_range(&self) -> (u8, u8) {
+        pixel_range(&self.pixels).expect("images have at least one pixel")
+    }
+
     /// Pixel at `(x, y)`.
     ///
     /// # Panics
@@ -93,6 +99,16 @@ impl GrayImage {
         out.extend_from_slice(&self.pixels);
         out
     }
+}
+
+/// The `(min, max)` of a pixel buffer in one pass, or `None` when it is
+/// empty — the graceful alternative to `iter().min().unwrap()` on
+/// possibly-empty slices.
+pub fn pixel_range(pixels: &[u8]) -> Option<(u8, u8)> {
+    pixels.iter().fold(None, |range, &p| match range {
+        None => Some((p, p)),
+        Some((lo, hi)) => Some((lo.min(p), hi.max(p))),
+    })
 }
 
 /// Peak signal-to-noise ratio of `image` against `reference`, in decibels.
@@ -158,6 +174,15 @@ mod tests {
         let b = GrayImage::from_pixels(1, 4, vec![11, 21, 31, 41]);
         let expect = 20.0 * 255.0f64.log10();
         assert!((psnr_db(&a, &b) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pixel_range_handles_empty_and_degenerate_buffers() {
+        assert_eq!(pixel_range(&[]), None);
+        assert_eq!(pixel_range(&[42]), Some((42, 42)));
+        assert_eq!(pixel_range(&[9, 3, 200, 3]), Some((3, 200)));
+        let img = GrayImage::from_pixels(2, 2, vec![7, 1, 9, 4]);
+        assert_eq!(img.pixel_range(), (1, 9));
     }
 
     #[test]

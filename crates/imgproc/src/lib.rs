@@ -46,4 +46,4 @@ pub use arith::{
     ExactArithmetic, FaultyArithmetic, FuArithmetic, FuErrorRates, ProfilingArithmetic,
 };
 pub use filters::{gaussian, sobel, Application};
-pub use image::{is_acceptable, psnr_db, GrayImage, ACCEPTABLE_PSNR_DB};
+pub use image::{is_acceptable, pixel_range, psnr_db, GrayImage, ACCEPTABLE_PSNR_DB};

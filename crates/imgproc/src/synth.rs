@@ -99,8 +99,7 @@ mod tests {
     fn images_have_texture_and_edges() {
         let img = synthetic_image(64, 64, 3);
         // Pixel value diversity: a natural-ish image uses a wide range.
-        let min = *img.pixels().iter().min().unwrap();
-        let max = *img.pixels().iter().max().unwrap();
+        let (min, max) = img.pixel_range();
         assert!(max - min > 60, "dynamic range {min}..{max} too flat");
         // Horizontal gradient energy must be non-trivial (edges exist).
         let mut grad_energy = 0u64;

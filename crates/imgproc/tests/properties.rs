@@ -48,8 +48,7 @@ proptest! {
     #[test]
     fn gaussian_respects_range(img in image(10, 10)) {
         let out = Application::Gaussian.run(&img, &mut ExactArithmetic);
-        let lo = *img.pixels().iter().min().unwrap();
-        let hi = *img.pixels().iter().max().unwrap();
+        let (lo, hi) = img.pixel_range();
         for &p in out.pixels() {
             // +1 tolerates the +0.5 FP rounding offset.
             prop_assert!(p >= lo.saturating_sub(1) && p <= hi.saturating_add(1));

@@ -47,6 +47,7 @@ fn fit_trees(
                 }
             }
             tevot_obs::metrics::ML_TRAIN_ITERATIONS.incr();
+            tevot_obs::instant!("ml.tree_fitted");
             DecisionTree::fit_with_table(data, &indices, task, &params.tree, &table, rng)
         })
         .collect()

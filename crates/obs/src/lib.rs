@@ -12,20 +12,30 @@
 //!   per-stage tree (see [`span`]). `debug_span!` sites compile away
 //!   entirely unless the `debug-spans` feature is on.
 //! * **Metrics** — a global registry of relaxed-atomic [`metrics::Counter`]s
-//!   and fixed-bucket [`metrics::Histogram`]s for the pipeline's hot
-//!   paths (gate evaluations, simulated events, training iterations, ...).
+//!   and fixed-bucket [`metrics::Histogram`]s (with interpolated
+//!   p50/p90/p99 quantiles) for the pipeline's hot paths (gate
+//!   evaluations, simulated events, training iterations, ...).
+//! * **Timeline traces** — [`trace`] records begin/end/instant events
+//!   into a bounded ring buffer (fed by the span guards plus explicit
+//!   [`instant!`] hooks) and exports Chrome/Perfetto trace-format JSON —
+//!   the substrate behind the `--trace <path>` flag.
+//! * **Progress** — [`progress::Progress`] prints rate-limited progress
+//!   lines with an ETA for long sweeps.
 //!
-//! [`report`] renders everything as a human-readable stderr summary and
-//! serializes it to a versioned JSON document (`tevot-obs/1`) — the
+//! [`report`] renders spans + metrics as a human-readable stderr summary
+//! and serializes them to a versioned JSON document (`tevot-obs/1`) — the
 //! substrate behind the CLI's and the experiment binaries' `--metrics`
-//! flag.
+//! flag. [`diff`] compares two such documents and renders the delta.
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Once;
@@ -195,6 +205,24 @@ macro_rules! span {
         $crate::debug!("{} {}", $name, format_args!($($arg)*));
         $crate::span::SpanGuard::enter($name)
     }};
+}
+
+/// Records a point-in-time event on the timeline trace (a no-op unless
+/// tracing is enabled — one relaxed load, no allocation).
+///
+/// The name must be a `'static` string literal so the recording path
+/// stays allocation-free:
+///
+/// ```
+/// tevot_obs::instant!("sim.cycle");
+/// ```
+#[macro_export]
+macro_rules! instant {
+    ($name:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::instant($name);
+        }
+    };
 }
 
 /// Like [`span!`], but compiled out (a no-op guard) unless the

@@ -111,6 +111,53 @@ impl Histogram {
             c.store(0, Ordering::Relaxed);
         }
     }
+
+    /// Interpolated quantile estimate (`q` in `[0, 1]`); see
+    /// [`quantile_from`]. `None` when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from(self.bounds, &self.counts(), q)
+    }
+
+    /// The `(p50, p90, p99)` quantile estimates, or `None` when nothing
+    /// was recorded.
+    pub fn quantiles(&self) -> Option<(f64, f64, f64)> {
+        Some((self.quantile(0.5)?, self.quantile(0.9)?, self.quantile(0.99)?))
+    }
+}
+
+/// Interpolated quantile estimation over fixed-bucket histogram data.
+///
+/// `bounds[i]` is the inclusive upper edge of bucket `i`; `counts` has
+/// one entry per bound plus a trailing overflow bucket. The estimate
+/// assumes observations are uniformly spread inside their bucket and
+/// interpolates linearly between the bucket's edges (bucket 0's lower
+/// edge is 0). The overflow bucket has no upper edge, so quantiles that
+/// land in it saturate at the last finite bound — a deliberate
+/// under-estimate that keeps the result meaningful.
+///
+/// Returns `None` when `counts` sums to zero, and clamps `q` into
+/// `[0, 1]`.
+pub fn quantile_from(bounds: &[u64], counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let last_bound = bounds.last().copied().unwrap_or(0) as f64;
+    let mut cum = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        if count > 0 && (cum + count) as f64 >= target {
+            let Some(&hi) = bounds.get(i) else {
+                return Some(last_bound); // overflow bucket: saturate
+            };
+            let lo = if i == 0 { 0.0 } else { bounds[i - 1] as f64 };
+            let fraction = ((target - cum as f64) / count as f64).clamp(0.0, 1.0);
+            return Some(lo + fraction * (hi as f64 - lo));
+        }
+        cum += count;
+    }
+    // Float round-off pushed the target past the cumulative total.
+    Some(last_bound)
 }
 
 // ---------------------------------------------------------------------
@@ -207,6 +254,49 @@ mod tests {
         H.record(u64::MAX); // overflow
         assert_eq!(H.counts(), vec![2, 1, 1, 2]);
         assert_eq!(H.total(), 6);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        static H: Histogram = Histogram::new("test.q_empty", &[10, 20]);
+        assert_eq!(H.quantile(0.5), None);
+        assert_eq!(H.quantiles(), None);
+        assert_eq!(quantile_from(&[10, 20], &[0, 0, 0], 0.99), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_single_bucket() {
+        // 100 observations, all in the [0, 100] bucket: the estimate
+        // spreads them uniformly, so p50 ~ 50, p90 ~ 90.
+        let bounds = &[100u64];
+        let counts = &[100u64, 0];
+        assert_eq!(quantile_from(bounds, counts, 0.5), Some(50.0));
+        assert_eq!(quantile_from(bounds, counts, 0.9), Some(90.0));
+        assert_eq!(quantile_from(bounds, counts, 0.0), Some(0.0));
+        assert_eq!(quantile_from(bounds, counts, 1.0), Some(100.0));
+        // Out-of-range q clamps instead of extrapolating.
+        assert_eq!(quantile_from(bounds, counts, 7.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantiles_cross_buckets_and_skip_empty_ones() {
+        // Bucket edges 10 / 20 / 40; 10 obs in (20, 40], 10 in overflow.
+        let bounds = &[10u64, 20, 40];
+        let counts = &[0u64, 0, 10, 10];
+        // p25 lands mid-way through the (20, 40] bucket.
+        assert_eq!(quantile_from(bounds, counts, 0.25), Some(30.0));
+        // p75 lands in the overflow bucket and saturates at the last
+        // finite bound.
+        assert_eq!(quantile_from(bounds, counts, 0.75), Some(40.0));
+    }
+
+    #[test]
+    fn quantiles_all_overflow_saturate() {
+        static H: Histogram = Histogram::new("test.q_overflow", &[5]);
+        H.record(1_000);
+        H.record(2_000);
+        assert_eq!(H.quantile(0.5), Some(5.0));
+        assert_eq!(H.quantiles(), Some((5.0, 5.0, 5.0)));
     }
 
     #[test]

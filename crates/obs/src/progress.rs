@@ -1,0 +1,145 @@
+//! Rate-limited progress lines with an ETA for long sweeps.
+//!
+//! A ten-minute characterization sweep that prints nothing is
+//! indistinguishable from a hung one; a sweep that prints every cycle
+//! drowns the terminal. [`Progress`] sits between: `tick()` is cheap
+//! (one relaxed atomic add), and a line is emitted at most once per
+//! configured interval, via the [`info!`](crate::info!) channel:
+//!
+//! ```text
+//! [info tevot_bench] characterize int-add 12/36 (33%) elapsed 8.1s eta 16.2s
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default minimum gap between two emitted lines.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// A rate-limited progress reporter over a known amount of work.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    start: Instant,
+    interval: Duration,
+    last_emit: Mutex<Option<Instant>>,
+}
+
+impl Progress {
+    /// A reporter for `total` units of work, emitting at most one line
+    /// per [`DEFAULT_INTERVAL`]. `total == 0` is allowed (the ETA is
+    /// simply omitted).
+    pub fn new(label: impl Into<String>, total: u64) -> Progress {
+        Progress::with_interval(label, total, DEFAULT_INTERVAL)
+    }
+
+    /// A reporter with an explicit rate-limit interval.
+    pub fn with_interval(label: impl Into<String>, total: u64, interval: Duration) -> Progress {
+        Progress {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            start: Instant::now(),
+            interval,
+            last_emit: Mutex::new(None),
+        }
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed unit; may emit a line.
+    pub fn tick(&self) {
+        self.add(1);
+    }
+
+    /// Records `n` completed units; may emit a line (rate-limited).
+    pub fn add(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if !crate::enabled(crate::Level::Info) {
+            return;
+        }
+        // try_lock: if another thread is mid-emit, this tick just skips
+        // its chance — the next one will report a fresher count anyway.
+        if let Ok(mut last) = self.last_emit.try_lock() {
+            let now = Instant::now();
+            let due = match *last {
+                Some(t) => now.duration_since(t) >= self.interval,
+                None => true,
+            };
+            if due {
+                *last = Some(now);
+                crate::info!(
+                    "{}",
+                    render_line(&self.label, done, self.total, self.start.elapsed())
+                );
+            }
+        }
+    }
+
+    /// Emits the final line unconditionally (bypassing the rate limit).
+    pub fn finish(&self) {
+        crate::info!("{}", render_line(&self.label, self.done(), self.total, self.start.elapsed()));
+    }
+}
+
+/// Formats one progress line: `label done/total (pct%) elapsed Xs eta Ys`.
+/// The ETA extrapolates the observed rate and is omitted when `total` is
+/// zero/unknown or nothing is done yet.
+pub fn render_line(label: &str, done: u64, total: u64, elapsed: Duration) -> String {
+    let secs = elapsed.as_secs_f64();
+    if total == 0 {
+        return format!("{label} {done} done, elapsed {secs:.1}s");
+    }
+    let pct = done as f64 / total as f64 * 100.0;
+    let eta = if done == 0 || done >= total {
+        String::new()
+    } else {
+        let remaining = secs / done as f64 * (total - done) as f64;
+        format!(" eta {remaining:.1}s")
+    };
+    format!("{label} {done}/{total} ({pct:.0}%) elapsed {secs:.1}s{eta}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math_and_formatting() {
+        let line = render_line("characterize", 2, 10, Duration::from_secs(10));
+        // 2 done in 10 s -> 5 s/unit -> 8 remaining units = 40 s.
+        assert_eq!(line, "characterize 2/10 (20%) elapsed 10.0s eta 40.0s");
+        // Complete: no ETA.
+        let line = render_line("characterize", 10, 10, Duration::from_secs(50));
+        assert_eq!(line, "characterize 10/10 (100%) elapsed 50.0s");
+        // Nothing done yet: no ETA (no rate to extrapolate).
+        assert!(!render_line("x", 0, 10, Duration::from_secs(1)).contains("eta"));
+        // Unknown total.
+        assert_eq!(render_line("x", 3, 0, Duration::from_secs(2)), "x 3 done, elapsed 2.0s");
+    }
+
+    #[test]
+    fn ticks_accumulate_and_rate_limit_suppresses_spam() {
+        let p = Progress::with_interval("test", 100, Duration::from_secs(3600));
+        for _ in 0..50 {
+            p.tick();
+        }
+        p.add(25);
+        assert_eq!(p.done(), 75);
+        p.finish(); // must not panic; bypasses the rate limit
+    }
+
+    #[test]
+    fn zero_total_is_tolerated() {
+        let p = Progress::new("open-ended", 0);
+        p.tick();
+        assert_eq!(p.done(), 1);
+        p.finish();
+    }
+}

@@ -16,16 +16,21 @@
 //!     {"name": "sim.cycle_delay_ps",
 //!      "bounds": [250, 500],
 //!      "counts": [10, 5, 1],
-//!      "total": 16}
+//!      "total": 16,
+//!      "p50": 287.5, "p90": 470.0, "p99": 500.0}
 //!   ]
 //! }
 //! ```
 //!
 //! `spans` is sorted by slash-joined path (parents precede children);
 //! `counters`/`histograms` follow registry order. `counts` has one entry
-//! per bound plus a trailing overflow bucket. The stderr summary and the
-//! JSON document are rendered from the same [`Snapshot`], so they always
-//! agree.
+//! per bound plus a trailing overflow bucket; `p50`/`p90`/`p99` are
+//! interpolated quantile estimates ([`metrics::quantile_from`]), `null`
+//! when the histogram is empty. The quantile members were added after the
+//! first `tevot-obs/1` reports shipped; the schema stays `tevot-obs/1`
+//! because the addition is purely additive and consumers ignore unknown
+//! members. The stderr summary and the JSON document are rendered from
+//! the same [`Snapshot`], so they always agree.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -85,11 +90,17 @@ impl Snapshot {
             .histograms
             .iter()
             .map(|(name, bounds, counts)| {
+                let q = |p: f64| {
+                    metrics::quantile_from(bounds, counts, p).map(Json::Num).unwrap_or(Json::Null)
+                };
                 Json::obj(vec![
                     ("name", Json::from(*name)),
                     ("bounds", Json::Arr(bounds.iter().map(|&b| Json::from(b)).collect())),
                     ("counts", Json::Arr(counts.iter().map(|&c| Json::from(c)).collect())),
                     ("total", Json::from(counts.iter().sum::<u64>())),
+                    ("p50", q(0.5)),
+                    ("p90", q(0.9)),
+                    ("p99", q(0.99)),
                 ])
             })
             .collect();
@@ -135,6 +146,13 @@ impl Snapshot {
                 continue;
             }
             out.push_str(&format!("histogram {name} (total {total}):\n"));
+            if let (Some(p50), Some(p90), Some(p99)) = (
+                metrics::quantile_from(bounds, counts, 0.5),
+                metrics::quantile_from(bounds, counts, 0.9),
+                metrics::quantile_from(bounds, counts, 0.99),
+            ) {
+                out.push_str(&format!("  ~quantiles p50={p50:.0} p90={p90:.0} p99={p99:.0}\n"));
+            }
             let peak = counts.iter().copied().max().unwrap_or(1).max(1);
             for (i, &count) in counts.iter().enumerate() {
                 if count == 0 {
@@ -174,6 +192,7 @@ pub fn write_json(snapshot: &Snapshot, path: &Path) -> std::io::Result<()> {
 #[derive(Debug, Default)]
 pub struct FinishGuard {
     metrics_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
     summary: bool,
 }
 
@@ -192,6 +211,17 @@ impl FinishGuard {
         self
     }
 
+    /// Enables timeline-event recording now and writes the Chrome
+    /// trace-format JSON to `path` on drop (the `--trace <path>` flag).
+    /// `None` leaves the current setting unchanged.
+    pub fn trace_path(mut self, path: Option<PathBuf>) -> FinishGuard {
+        if path.is_some() {
+            crate::trace::enable();
+            self.trace_path = path;
+        }
+        self
+    }
+
     /// Forces the stderr summary on drop.
     pub fn summary(mut self, enabled: bool) -> FinishGuard {
         self.summary = enabled;
@@ -205,6 +235,12 @@ fn env_summary_requested() -> bool {
 
 impl Drop for FinishGuard {
     fn drop(&mut self) {
+        if let Some(path) = &self.trace_path {
+            match crate::trace::write_chrome_trace(path) {
+                Ok(()) => crate::info!("trace written to {}", path.display()),
+                Err(e) => crate::error!("{e}"),
+            }
+        }
         let want_summary = self.summary || env_summary_requested();
         if self.metrics_path.is_none() && !want_summary {
             return;
@@ -250,6 +286,24 @@ mod tests {
         let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
         assert_eq!(hists[0].get("total").and_then(Json::as_u64), Some(10));
         assert_eq!(hists[0].get("counts").and_then(Json::as_arr).unwrap().len(), 3);
+        // 7 of 10 observations sit in the overflow bucket, so p50 and p99
+        // both saturate at the last finite bound.
+        assert_eq!(hists[0].get("p50").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(hists[0].get("p99").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn empty_histogram_serializes_null_quantiles() {
+        let snapshot = Snapshot {
+            spans: vec![],
+            counters: vec![],
+            histograms: vec![("empty.hist", &[1][..], vec![0, 0])],
+        };
+        let doc = snapshot.to_json();
+        let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
+        assert_eq!(hists[0].get("p50"), Some(&Json::Null));
+        // The render path skips empty histograms entirely.
+        assert!(!snapshot.render().contains("empty.hist"));
     }
 
     #[test]
@@ -267,6 +321,7 @@ mod tests {
         assert!(text.contains("sim.events_processed"), "{text}");
         assert!(!text.contains("ml.train_iterations"), "zero counter hidden: {text}");
         assert!(text.contains("histogram sim.toggles_per_cycle (total 10)"), "{text}");
+        assert!(text.contains("~quantiles p50=2 p90=2 p99=2"), "{text}");
         assert!(text.contains("> 2"), "overflow bucket labeled: {text}");
     }
 }

@@ -31,10 +31,17 @@ thread_local! {
 
 /// RAII timer for one pipeline stage; create via [`span!`](crate::span!)
 /// or [`debug_span!`](crate::debug_span!).
+///
+/// Besides aggregating into the wall-time tree, a live guard feeds the
+/// timeline recorder (see [`trace`](crate::trace)): begin on `enter`, end
+/// on drop — so once tracing is enabled, every span becomes a slice in
+/// the exported Chrome trace.
 #[derive(Debug)]
 pub struct SpanGuard {
     /// Full path of this span, or `None` for a disabled guard.
     path: Option<String>,
+    /// Leaf name (the trace-slice label).
+    name: &'static str,
     start: Instant,
 }
 
@@ -54,19 +61,21 @@ impl SpanGuard {
             }
             path
         });
-        SpanGuard { path: Some(path), start: Instant::now() }
+        crate::trace::begin(name);
+        SpanGuard { path: Some(path), name, start: Instant::now() }
     }
 
     /// A no-op guard (what `debug_span!` expands to when the
     /// `debug-spans` feature is off).
     pub fn disabled() -> SpanGuard {
-        SpanGuard { path: None, start: Instant::now() }
+        SpanGuard { path: None, name: "", start: Instant::now() }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(path) = self.path.take() else { return };
+        crate::trace::end(self.name);
         let elapsed = self.start.elapsed().as_nanos();
         STACK.with(|stack| {
             stack.borrow_mut().pop();

@@ -1,0 +1,50 @@
+//! Golden-file test for the `obs-diff` delta table: the rendered output
+//! for a canned pair of `tevot-obs/1` reports must match
+//! `tests/golden/obs_diff.txt` byte for byte (modulo trailing newline).
+
+use tevot_obs::diff::{render_diff, Report};
+
+const BASE: &str = r#"{
+  "schema": "tevot-obs/1",
+  "spans": [
+    {"path": "train", "total_ns": 2000000, "count": 1},
+    {"path": "train/characterize", "total_ns": 1500000, "count": 9}
+  ],
+  "counters": [
+    {"name": "sim.cycles_simulated", "value": 1000},
+    {"name": "sim.gate_evaluations", "value": 250000}
+  ],
+  "histograms": [
+    {"name": "sim.cycle_delay_ps", "bounds": [100, 200, 400],
+     "counts": [10, 20, 10, 0]}
+  ]
+}"#;
+
+const CAND: &str = r#"{
+  "schema": "tevot-obs/1",
+  "spans": [
+    {"path": "train", "total_ns": 3000000, "count": 1},
+    {"path": "train/evaluate", "total_ns": 500000, "count": 3}
+  ],
+  "counters": [
+    {"name": "sim.cycles_simulated", "value": 1500},
+    {"name": "sim.gate_evaluations", "value": 250000}
+  ],
+  "histograms": [
+    {"name": "sim.cycle_delay_ps", "bounds": [100, 200, 400],
+     "counts": [5, 20, 25, 0]}
+  ]
+}"#;
+
+#[test]
+fn rendered_diff_matches_golden() {
+    let a = Report::parse(BASE).unwrap();
+    let b = Report::parse(CAND).unwrap();
+    let rendered = render_diff(&a, &b);
+    let golden = include_str!("golden/obs_diff.txt");
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "\n--- actual ---\n{rendered}\n--- end actual ---"
+    );
+}

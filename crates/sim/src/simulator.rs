@@ -243,7 +243,9 @@ impl<'a> TimingSimulator<'a> {
         }
 
         // One batched registry update per cycle keeps the hot loop free of
-        // shared-cacheline traffic.
+        // shared-cacheline traffic. The instant marks each cycle on the
+        // `--trace` timeline; disabled it is a single branch.
+        tevot_obs::instant!("sim.cycle");
         tevot_obs::metrics::SIM_CYCLES.incr();
         tevot_obs::metrics::SIM_EVENTS.add(self.events_processed - events_before);
         tevot_obs::metrics::SIM_GATE_EVALS.add(gate_evals);
