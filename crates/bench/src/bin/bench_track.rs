@@ -5,9 +5,14 @@
 //!
 //! ```text
 //! cargo run --release -p tevot-bench --bin bench_track -- \
-//!     [--tiny] [--label NAME] [--out PATH] [--seed N] \
+//!     [--tiny] [--label NAME] [--out PATH] [--seed N] [--jobs N] \
 //!     [--metrics m.json] [--trace t.json] [-v|-q]
 //! ```
+//!
+//! `--jobs N` (or `TEVOT_JOBS`) sizes the `tevot-par` worker pool; the
+//! `par.*` suite metrics record the sweep throughput and its speedup over
+//! a forced single-worker run. Reported numbers are bit-identical at
+//! every jobs level.
 //!
 //! The output defaults to `BENCH_<label>.json` in the working directory;
 //! `--tiny` shrinks the workloads without changing the tracked metric

@@ -35,6 +35,10 @@ pub struct StudyConfig {
     pub characterization_len: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the `tevot-par` pool (`--jobs N`); `None` defers
+    /// to `TEVOT_JOBS` or the machine's available parallelism. Results are
+    /// bit-identical at every value.
+    pub jobs: Option<usize>,
     /// Log-level shift relative to the `TEVOT_LOG` default: each
     /// `--verbose`/`-v` adds one, each `--quiet`/`-q` subtracts one.
     pub verbosity: i32,
@@ -61,6 +65,7 @@ impl StudyConfig {
             num_trees: 10,
             characterization_len: 300,
             seed: 0xDAC2020,
+            jobs: None,
             verbosity: 0,
             metrics_path: None,
             trace_path: None,
@@ -97,9 +102,10 @@ impl StudyConfig {
 
     /// Parses command-line arguments: `--full` selects [`Self::full`],
     /// `--tiny` the smoke-test scale, `--seed N` overrides the RNG seed,
-    /// `--verbose`/`-v` and `--quiet`/`-q` shift the log level,
-    /// `--metrics <path>` requests the `tevot-obs/1` JSON report, and
-    /// `--trace <path>` a Chrome/Perfetto timeline trace.
+    /// `--jobs N` sets the worker-thread count (otherwise `TEVOT_JOBS` or
+    /// the machine decides), `--verbose`/`-v` and `--quiet`/`-q` shift the
+    /// log level, `--metrics <path>` requests the `tevot-obs/1` JSON
+    /// report, and `--trace <path>` a Chrome/Perfetto timeline trace.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let args: Vec<String> = args.collect();
         let mut config = if args.iter().any(|a| a == "--full") {
@@ -120,6 +126,9 @@ impl StudyConfig {
                 "--quiet" | "-q" => config.verbosity -= 1,
                 _ => {}
             }
+        }
+        if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+            config.jobs = args.get(pos + 1).and_then(|s| s.parse().ok());
         }
         if let Some(pos) = args.iter().position(|a| a == "--metrics") {
             config.metrics_path = args.get(pos + 1).map(PathBuf::from);
@@ -144,6 +153,9 @@ impl StudyConfig {
     pub fn observability(&self) -> tevot_obs::report::FinishGuard {
         if self.verbosity != 0 {
             tevot_obs::adjust_level(self.verbosity);
+        }
+        if let Some(jobs) = self.jobs {
+            tevot_par::set_jobs(jobs);
         }
         tevot_obs::report::FinishGuard::new()
             .metrics_path(self.metrics_path.clone())
@@ -174,6 +186,15 @@ mod tests {
         let c = StudyConfig::from_args(["--seed".to_string(), "123".to_string()].into_iter());
         assert_eq!(c.seed, 123);
         assert_eq!(c.conditions.len(), 9);
+    }
+
+    #[test]
+    fn jobs_flag() {
+        let c = StudyConfig::from_args(["--jobs".to_string(), "4".to_string()].into_iter());
+        assert_eq!(c.jobs, Some(4));
+        assert_eq!(StudyConfig::quick().jobs, None);
+        let c = StudyConfig::from_args(["--jobs".to_string(), "nope".to_string()].into_iter());
+        assert_eq!(c.jobs, None);
     }
 
     #[test]

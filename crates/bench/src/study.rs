@@ -174,25 +174,34 @@ impl Study {
         // error rate) genuinely varies across the (V, T) grid, including
         // the inverse-temperature-dependence corner where a *cold* die at
         // low voltage is the slow one.
-        let mut base_by_voltage: Vec<(f64, u64)> = Vec::new();
-        let mut base_at = |v: f64, characterizer: &Characterizer| -> u64 {
-            if let Some(&(_, b)) = base_by_voltage.iter().find(|&&(bv, _)| (bv - v).abs() < 5e-4) {
-                return b;
+        let mut voltages: Vec<f64> = Vec::new();
+        for cond in config.conditions.iter() {
+            if !voltages.iter().any(|&v| (v - cond.voltage()).abs() < 5e-4) {
+                voltages.push(cond.voltage());
             }
+        }
+        let base_by_voltage: Vec<(f64, u64)> = tevot_par::map(&voltages, |&v| {
             let char_cond = OperatingCondition::new(v, 25.0);
-            let b = characterizer.trace(char_cond, &fmax_suite).fastest_error_free_period_ps();
-            base_by_voltage.push((v, b));
-            b
+            (v, characterizer.trace(char_cond, &fmax_suite).fastest_error_free_period_ps())
+        });
+        let base_at = |v: f64| -> u64 {
+            base_by_voltage
+                .iter()
+                .find(|&&(bv, _)| (bv - v).abs() < 5e-4)
+                .expect("every condition voltage was pre-measured")
+                .1
         };
         let _span = tevot_obs::span!("characterize");
-        let mut conditions = Vec::with_capacity(config.conditions.len());
         let progress = tevot_obs::progress::Progress::new(
             format!("characterize {fu}"),
             config.conditions.len() as u64,
         );
-        for cond in config.conditions.iter() {
+        // One `tevot-par` task per condition; the ordered reduction keeps
+        // `conditions` in grid order, identical to the old serial loop.
+        let grid: Vec<OperatingCondition> = config.conditions.iter().collect();
+        let conditions = tevot_par::map(&grid, |&cond| {
             tevot_obs::debug!("{fu} @ {cond}");
-            let base = base_at(cond.voltage(), &characterizer);
+            let base = base_at(cond.voltage());
             // The per-condition Fmax measurement still exists offline — it
             // is what the Delay-based baseline calibrates against.
             let fmax_trace = characterizer.trace(cond, &fmax_suite);
@@ -205,16 +214,17 @@ impl Study {
                 .iter()
                 .map(|w| characterizer.trace(cond, w).characterization(&periods))
                 .collect();
-            conditions.push(ConditionStudy {
+            let study = ConditionStudy {
                 condition: cond,
                 base_period_ps: base,
                 periods_ps: periods,
                 train: train_char,
                 fmax: fmax_char,
                 tests,
-            });
+            };
             progress.tick();
-        }
+            study
+        });
         progress.finish();
         FuStudy {
             fu,

@@ -41,6 +41,10 @@ pub struct SuiteScale {
     pub test_vectors: usize,
     /// Random-forest size.
     pub num_trees: usize,
+    /// Conditions in the parallel-sweep benchmark (first FU only).
+    pub sweep_conditions: usize,
+    /// Vectors per condition in the parallel-sweep benchmark.
+    pub sweep_vectors: usize,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -53,6 +57,8 @@ impl SuiteScale {
             train_vectors: 600,
             test_vectors: 300,
             num_trees: 10,
+            sweep_conditions: 6,
+            sweep_vectors: 200,
             seed: 0xDAC2020,
         }
     }
@@ -60,7 +66,14 @@ impl SuiteScale {
     /// The `--tiny` smoke scale: same units and metric names, fewer
     /// vectors and trees.
     pub fn tiny() -> SuiteScale {
-        SuiteScale { train_vectors: 200, test_vectors: 120, num_trees: 4, ..Self::standard() }
+        SuiteScale {
+            train_vectors: 200,
+            test_vectors: 120,
+            num_trees: 4,
+            sweep_conditions: 4,
+            sweep_vectors: 80,
+            ..Self::standard()
+        }
     }
 }
 
@@ -151,6 +164,38 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
 
     report.push("featurize.rows_per_s", featurize_rows as f64 / featurize_s, "rows/s", true);
     report.push("train.wall_s", train_s, "s", false);
+
+    // Parallel condition sweep on the first FU: throughput at the active
+    // `--jobs`/`TEVOT_JOBS` level, plus the speedup over a forced
+    // single-worker run. The two sweeps must agree bit for bit — that is
+    // tevot-par's ordered-reduction contract — so this doubles as an
+    // end-to-end determinism check on every benchmark run.
+    {
+        let _span = tevot_obs::span!("bench.par_sweep");
+        let fu = scale.fus[0];
+        let characterizer = Characterizer::new(fu);
+        let sweep_w = random_workload(fu, scale.sweep_vectors, scale.seed + 13);
+        let n = scale.sweep_conditions.max(2);
+        let grid: Vec<OperatingCondition> = (0..n)
+            .map(|i| {
+                let f = i as f64 / (n - 1) as f64;
+                OperatingCondition::new(0.81 + 0.19 * f, 100.0 * f)
+            })
+            .collect();
+        let speedups = ClockSpeedup::PAPER.to_vec();
+        let t0 = Instant::now();
+        let serial = tevot_par::with_jobs(1, || {
+            characterizer.characterize_sweep(&grid, &sweep_w, &speedups)
+        });
+        let serial_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let parallel = characterizer.characterize_sweep(&grid, &sweep_w, &speedups);
+        let parallel_s = t0.elapsed().as_secs_f64();
+        assert_eq!(serial, parallel, "parallel sweep must be bit-identical to --jobs 1");
+        report.push("par.sweep_conds_per_s", n as f64 / parallel_s, "conds/s", true);
+        report.push("par.sweep_speedup", serial_s / parallel_s, "x", true);
+    }
+
     report.push("suite.wall_s", suite_t0.elapsed().as_secs_f64(), "s", false);
     report
 }

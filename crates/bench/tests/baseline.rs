@@ -113,6 +113,8 @@ fn suite_smoke_run_tracks_expected_metrics() {
         train_vectors: 80,
         test_vectors: 40,
         num_trees: 2,
+        sweep_conditions: 2,
+        sweep_vectors: 30,
         seed: 11,
     };
     let report = run_suite("smoke", &scale);
@@ -123,6 +125,8 @@ fn suite_smoke_run_tracks_expected_metrics() {
         "int_add.accuracy_mean",
         "featurize.rows_per_s",
         "train.wall_s",
+        "par.sweep_conds_per_s",
+        "par.sweep_speedup",
         "suite.wall_s",
     ] {
         let m = report.metric(name).unwrap_or_else(|| panic!("missing metric {name}"));

@@ -20,9 +20,11 @@
 //! ```
 //!
 //! Units: `int-add`, `int-mul`, `fp-add`, `fp-mul`. Operands accept
-//! decimal or `0x` hex. Every command also takes `--metrics <path>`
-//! (tevot-obs/1 JSON report) and `--trace <path>` (Chrome/Perfetto
-//! timeline trace); `obs-diff` compares two of the former.
+//! decimal or `0x` hex. Every command also takes `--jobs <N>` (worker
+//! threads for the `tevot-par` pool; results are bit-identical at every
+//! value), `--metrics <path>` (tevot-obs/1 JSON report) and
+//! `--trace <path>` (Chrome/Perfetto timeline trace); `obs-diff`
+//! compares two of the former.
 
 pub mod args;
 
@@ -77,6 +79,9 @@ workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.
 global flags (any position):
   -v | --verbose       raise the log level (repeatable; default info)
   -q | --quiet         lower the log level (repeatable)
+  --jobs <N>           worker threads for parallel stages (default: the
+                       TEVOT_JOBS env var, then all available cores);
+                       results are bit-identical at every jobs level
   --metrics <path>     write stage timings + counters as tevot-obs/1 JSON
   --trace <path>       record a timeline and write Chrome/Perfetto trace
                        JSON (open at https://ui.perfetto.dev)
@@ -107,12 +112,12 @@ pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
     }
 }
 
-/// Extracts the global observability flags (`-v`/`--verbose`,
-/// `-q`/`--quiet`, `--metrics <path>`, `--trace <path>`) from anywhere on
-/// the command line, applies the verbosity, enables timeline recording
-/// when a trace was requested, and returns the remaining tokens plus the
-/// RAII reporter that writes the metrics JSON and the trace when [`run`]
-/// finishes.
+/// Extracts the global flags (`-v`/`--verbose`, `-q`/`--quiet`,
+/// `--jobs <N>`, `--metrics <path>`, `--trace <path>`) from anywhere on
+/// the command line, applies the verbosity and the worker-pool size,
+/// enables timeline recording when a trace was requested, and returns the
+/// remaining tokens plus the RAII reporter that writes the metrics JSON
+/// and the trace when [`run`] finishes.
 fn global_flags(
     argv: Vec<String>,
 ) -> Result<(Vec<String>, tevot_obs::report::FinishGuard), ArgError> {
@@ -125,6 +130,10 @@ fn global_flags(
         match token.as_str() {
             "-v" | "--verbose" => verbosity += 1,
             "-q" | "--quiet" => verbosity -= 1,
+            "--jobs" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(jobs)) => tevot_par::set_jobs(jobs),
+                _ => return Err(ArgError("--jobs needs a worker count".into())),
+            },
             "--metrics" | "--trace" => {
                 let slot = if token == "--metrics" { &mut metrics } else { &mut trace };
                 match iter.next() {
@@ -322,15 +331,10 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
         if history { FeatureEncoding::with_history() } else { FeatureEncoding::without_history() };
     let characterizer = Characterizer::new(fu);
     let work = random_workload(fu, vectors, seed);
-    let mut chars = Vec::new();
-    let progress =
-        tevot_obs::progress::Progress::new(format!("characterize {fu}"), grid.len() as u64);
-    for cond in grid.iter() {
-        tevot_obs::debug!("characterizing {fu} at {cond}...");
-        chars.push(characterizer.characterize(cond, &work, &ClockSpeedup::PAPER));
-        progress.tick();
-    }
-    progress.finish();
+    // One tevot-par task per grid point; output order matches the grid,
+    // so training data (and the model) are identical at every --jobs.
+    let conditions: Vec<OperatingCondition> = grid.iter().collect();
+    let chars = characterizer.characterize_sweep(&conditions, &work, &ClockSpeedup::PAPER);
     let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
     let data = build_delay_dataset(encoding, &runs);
     tevot_obs::info!("training on {} rows x {} features...", data.len(), data.num_features());

@@ -160,21 +160,38 @@ impl TerBased {
 
     /// The calibrated TER at `(cond, clock_ps)` (nearest calibrated clock).
     ///
-    /// # Panics
-    ///
-    /// Panics if the condition was never calibrated.
+    /// An exactly calibrated condition is used when available; otherwise
+    /// the **nearest** calibrated condition answers (distance measured
+    /// with voltage in ~10 mV units and temperature in ~10 °C units so
+    /// the two axes weigh comparably across the paper's 0.8–1.0 V /
+    /// 0–80 °C grid; ties resolve to the earliest calibration run).
+    /// Earlier revisions panicked on uncalibrated conditions, which took
+    /// down whole sweeps over off-grid points.
     pub fn ter(&self, cond: OperatingCondition, clock_ps: u64) -> f64 {
         let (_, rates) = self
             .entries
             .iter()
             .find(|(c, _)| same_condition(*c, cond))
-            .unwrap_or_else(|| panic!("condition {cond} was not calibrated"));
+            .or_else(|| {
+                self.entries.iter().min_by(|(a, _), (b, _)| {
+                    condition_distance(*a, cond).total_cmp(&condition_distance(*b, cond))
+                })
+            })
+            .expect("calibration has at least one condition");
         rates
             .iter()
             .min_by_key(|(p, _)| p.abs_diff(clock_ps))
             .expect("calibration has at least one clock")
             .1
     }
+}
+
+/// Squared distance between conditions with voltage in 10 mV units and
+/// temperature in 10 °C units, so 10 mV and 10 °C are "equally far".
+fn condition_distance(a: OperatingCondition, b: OperatingCondition) -> f64 {
+    let dv = (a.voltage() - b.voltage()) / 0.01;
+    let dt = (a.temperature() - b.temperature()) / 10.0;
+    dv * dv + dt * dt
 }
 
 impl ErrorPredictor for TerBased {
@@ -251,6 +268,23 @@ mod tests {
         let cs = chars();
         let db = DelayBased::calibrate(&cs);
         let _ = db.max_delay_ps(OperatingCondition::new(0.99, 100.0));
+    }
+
+    #[test]
+    fn ter_falls_back_to_nearest_calibrated_condition() {
+        let cs = chars(); // calibrated at (0.85 V, 0 °C) and (0.95 V, 50 °C)
+        let tb = TerBased::calibrate(&cs, 7);
+        let period = cs[0].clock_periods_ps()[1];
+        // Slightly off the first grid point -> answered by the first run.
+        let near_first = OperatingCondition::new(0.86, 5.0);
+        assert_eq!(tb.ter(near_first, period), tb.ter(cs[0].condition(), period));
+        // Clearly nearer the second grid point -> answered by the second.
+        let near_second = OperatingCondition::new(0.97, 60.0);
+        let second_period = cs[1].clock_periods_ps()[1];
+        assert_eq!(tb.ter(near_second, second_period), cs[1].timing_error_rate(1));
+        // And prediction through the trait no longer panics off-grid.
+        let mut tb = tb;
+        let _ = tb.predict_error(OperatingCondition::new(1.2, 99.0), period, (0, 0), (0, 0));
     }
 
     #[test]

@@ -62,12 +62,15 @@ impl SimTrace {
 
     /// Extracts a [`Characterization`] (per-cycle delays + ground-truth
     /// error flags) at the given clock periods.
+    ///
+    /// Error classes derive independently per clock period, so the
+    /// per-period loop runs on the `tevot-par` pool; the ordered
+    /// reduction keeps the output identical to a serial derivation.
     pub fn characterization(&self, clock_periods_ps: &[u64]) -> Characterization {
         let delays: Vec<u64> = self.cycles.iter().map(CycleResult::dynamic_delay_ps).collect();
-        let erroneous = clock_periods_ps
-            .iter()
-            .map(|&p| self.cycles.iter().map(|c| c.is_erroneous_at(p)).collect())
-            .collect();
+        let erroneous = tevot_par::map(clock_periods_ps, |&p| {
+            self.cycles.iter().map(|c| c.is_erroneous_at(p)).collect()
+        });
         Characterization {
             fu: self.fu,
             condition: self.condition,
@@ -291,6 +294,50 @@ impl Characterizer {
         clock_periods_ps: &[u64],
     ) -> Characterization {
         self.trace(cond, workload).characterization(clock_periods_ps)
+    }
+
+    /// Traces `workload` at every condition of a sweep, one `tevot-par`
+    /// task per condition (the paper's per-(V, T) characterization is
+    /// embarrassingly parallel: each condition re-annotates and
+    /// re-simulates the same netlist independently). Results come back
+    /// in `conditions` order and are bit-identical to a serial sweep at
+    /// any `--jobs` level.
+    pub fn trace_sweep(
+        &self,
+        conditions: &[OperatingCondition],
+        workload: &Workload,
+    ) -> Vec<SimTrace> {
+        let _span = tevot_obs::span!("sweep", "{} conditions", conditions.len());
+        let progress = tevot_obs::progress::Progress::new(
+            format!("sweep {}", self.fu),
+            conditions.len() as u64,
+        );
+        let traces = tevot_par::map(conditions, |&cond| {
+            let trace = self.trace(cond, workload);
+            progress.tick();
+            trace
+        });
+        progress.finish();
+        traces
+    }
+
+    /// Parallel form of [`Self::characterize`]: characterizes `workload`
+    /// at every condition (each at the clock periods obtained from its
+    /// own fastest error-free period), in `conditions` order.
+    pub fn characterize_sweep(
+        &self,
+        conditions: &[OperatingCondition],
+        workload: &Workload,
+        speedups: &[ClockSpeedup],
+    ) -> Vec<Characterization> {
+        self.trace_sweep(conditions, workload)
+            .iter()
+            .map(|trace| {
+                let base = trace.fastest_error_free_period_ps();
+                let periods: Vec<u64> = speedups.iter().map(|s| s.apply_to_period(base)).collect();
+                trace.characterization(&periods)
+            })
+            .collect()
     }
 }
 

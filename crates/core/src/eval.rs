@@ -65,6 +65,101 @@ pub fn evaluate_predictor(
         .collect()
 }
 
+/// Why an [`OracleReplay`] could not answer for a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleError {
+    /// The queried clock period is not one of the characterization's
+    /// extraction periods.
+    UnknownPeriod {
+        /// The clock period (ps) that was asked for.
+        clock_ps: u64,
+    },
+    /// The characterization has fewer than two cycles, so there is no
+    /// non-cold-start cycle to replay (and no valid cursor modulus).
+    TooFewCycles {
+        /// The characterization's cycle count.
+        num_cycles: usize,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::UnknownPeriod { clock_ps } => {
+                write!(f, "clock period {clock_ps} ps was not characterized")
+            }
+            OracleError::TooFewCycles { num_cycles } => {
+                write!(f, "characterization has {num_cycles} cycle(s); need at least 2 to replay")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// A predictor that replays a characterization's ground truth cycle by
+/// cycle — the perfect-information upper bound every model is implicitly
+/// compared against (it scores 100 % under [`evaluate_predictor`]).
+///
+/// Earlier revisions panicked on degenerate inputs (`% 0` on a
+/// single-cycle characterization, `.expect` on an uncharacterized clock
+/// period); [`Self::try_predict`] reports both as a typed
+/// [`OracleError`] instead, and the [`ErrorPredictor`] impl degrades to
+/// predicting "no error" so sweeps skip such points gracefully.
+#[derive(Debug, Clone)]
+pub struct OracleReplay<'a> {
+    truth: &'a Characterization,
+    cursor: usize,
+}
+
+impl<'a> OracleReplay<'a> {
+    /// An oracle replaying `truth`, starting at the first non-cold cycle.
+    pub fn new(truth: &'a Characterization) -> Self {
+        OracleReplay { truth, cursor: 0 }
+    }
+
+    /// The ground-truth error flag of the next cycle at `clock_ps`,
+    /// advancing (and wrapping) the replay cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::UnknownPeriod`] when `clock_ps` is not an
+    /// extraction period of the characterization;
+    /// [`OracleError::TooFewCycles`] when the run has fewer than two
+    /// cycles. Neither failure advances the cursor.
+    pub fn try_predict(&mut self, clock_ps: u64) -> Result<bool, OracleError> {
+        let num_cycles = self.truth.num_cycles();
+        if num_cycles < 2 {
+            return Err(OracleError::TooFewCycles { num_cycles });
+        }
+        let p_idx = self
+            .truth
+            .clock_periods_ps()
+            .iter()
+            .position(|&p| p == clock_ps)
+            .ok_or(OracleError::UnknownPeriod { clock_ps })?;
+        let t = self.cursor;
+        self.cursor = (t + 1) % (num_cycles - 1);
+        Ok(self.truth.erroneous(p_idx)[t + 1])
+    }
+}
+
+impl ErrorPredictor for OracleReplay<'_> {
+    fn predict_error(
+        &mut self,
+        _cond: OperatingCondition,
+        clock_ps: u64,
+        _current: (u32, u32),
+        _previous: (u32, u32),
+    ) -> bool {
+        self.try_predict(clock_ps).unwrap_or(false)
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
 /// The model-estimated timing error rate on a workload at one clock period
 /// — the quantity handed to the application-level error injector for each
 /// model in Sec. V-D.
@@ -105,36 +200,6 @@ mod tests {
     use tevot_netlist::fu::FunctionalUnit;
     use tevot_timing::ClockSpeedup;
 
-    /// An oracle that replays the ground truth — must score 100%.
-    struct Oracle<'a> {
-        truth: &'a Characterization,
-        cursor: std::cell::Cell<usize>,
-    }
-
-    impl ErrorPredictor for Oracle<'_> {
-        fn predict_error(
-            &mut self,
-            _cond: OperatingCondition,
-            clock_ps: u64,
-            _current: (u32, u32),
-            _previous: (u32, u32),
-        ) -> bool {
-            let p_idx = self
-                .truth
-                .clock_periods_ps()
-                .iter()
-                .position(|&p| p == clock_ps)
-                .expect("known period");
-            let t = self.cursor.get();
-            self.cursor.set((t + 1) % (self.truth.num_cycles() - 1));
-            self.truth.erroneous(p_idx)[t + 1]
-        }
-
-        fn name(&self) -> &'static str {
-            "oracle"
-        }
-    }
-
     fn setup() -> (Workload, Characterization) {
         let fu = FunctionalUnit::IntAdd;
         let ch = Characterizer::new(fu);
@@ -146,13 +211,41 @@ mod tests {
     #[test]
     fn oracle_scores_perfectly() {
         let (w, c) = setup();
-        let mut oracle = Oracle { truth: &c, cursor: std::cell::Cell::new(0) };
+        let mut oracle = OracleReplay::new(&c);
         let points = evaluate_predictor(&mut oracle, &w, &c);
         assert_eq!(points.len(), 3);
         for p in &points {
             assert_eq!(p.accuracy, 1.0, "oracle must match ground truth at {}", p.clock_ps);
         }
         assert_eq!(mean_accuracy(&points), 1.0);
+    }
+
+    #[test]
+    fn oracle_reports_unknown_period_instead_of_panicking() {
+        let (w, c) = setup();
+        let mut oracle = OracleReplay::new(&c);
+        let bogus = c.clock_periods_ps().iter().max().unwrap() + 12_345;
+        assert_eq!(oracle.try_predict(bogus), Err(OracleError::UnknownPeriod { clock_ps: bogus }));
+        // Through the ErrorPredictor trait the failure degrades to "no
+        // error" — a graceful skip — and the cursor has not advanced, so
+        // a full evaluation afterwards still replays from cycle 1.
+        assert!(!oracle.predict_error(c.condition(), bogus, (0, 0), (0, 0)));
+        let points = evaluate_predictor(&mut oracle, &w, &c);
+        assert!(points.iter().all(|p| p.accuracy == 1.0));
+    }
+
+    #[test]
+    fn oracle_reports_too_few_cycles_instead_of_dividing_by_zero() {
+        // A 1-cycle characterization used to hit `(t + 1) % (num_cycles - 1)`
+        // with a zero modulus.
+        let fu = FunctionalUnit::IntAdd;
+        let chz = Characterizer::new(fu);
+        let w = random_workload(fu, 1, 9);
+        let c = chz.characterize(OperatingCondition::new(0.88, 25.0), &w, &ClockSpeedup::PAPER);
+        let mut oracle = OracleReplay::new(&c);
+        let p = c.clock_periods_ps()[0];
+        assert_eq!(oracle.try_predict(p), Err(OracleError::TooFewCycles { num_cycles: 1 }));
+        assert!(!oracle.predict_error(c.condition(), p, (0, 0), (0, 0)));
     }
 
     #[test]
@@ -175,7 +268,7 @@ mod tests {
     #[test]
     fn predicted_ter_is_a_rate() {
         let (w, c) = setup();
-        let mut oracle = Oracle { truth: &c, cursor: std::cell::Cell::new(0) };
+        let mut oracle = OracleReplay::new(&c);
         let p = c.clock_periods_ps()[1];
         let ter = predicted_ter(&mut oracle, &w, c.condition(), p);
         assert!((0.0..=1.0).contains(&ter));

@@ -23,6 +23,10 @@ use crate::workload::Workload;
 /// `t >= 1` (the cold-start cycle has no history input): features
 /// `{x[t], x[t-1], V, T}` under `encoding`, label `D[t]` in picoseconds.
 ///
+/// Runs featurize independently (one `tevot-par` task each) and the
+/// per-run blocks concatenate in `runs` order, so the matrix is
+/// bit-identical to a serial build at any `--jobs` level.
+///
 /// # Panics
 ///
 /// Panics if a workload's length differs from its characterization's cycle
@@ -31,16 +35,22 @@ pub fn build_delay_dataset(
     encoding: FeatureEncoding,
     runs: &[(&Workload, &Characterization)],
 ) -> Dataset {
-    let capacity: usize = runs.iter().map(|(w, _)| w.len().saturating_sub(1)).sum();
-    let mut data = Dataset::with_capacity(encoding.num_features(), capacity);
-    let mut row = Vec::with_capacity(encoding.num_features());
-    for (workload, ch) in runs {
+    let blocks = tevot_par::map(runs, |&(workload, ch)| {
         assert_eq!(workload.len(), ch.num_cycles(), "workload/characterization cycle mismatch");
         let ops = workload.operands();
+        let mut block =
+            Dataset::with_capacity(encoding.num_features(), ops.len().saturating_sub(1));
+        let mut row = Vec::with_capacity(encoding.num_features());
         for t in 1..ops.len() {
             encoding.encode_into(ch.condition(), ops[t], ops[t - 1], &mut row);
-            data.push(&row, ch.delays_ps()[t] as f64);
+            block.push(&row, ch.delays_ps()[t] as f64);
         }
+        block
+    });
+    let capacity: usize = runs.iter().map(|(w, _)| w.len().saturating_sub(1)).sum();
+    let mut data = Dataset::with_capacity(encoding.num_features(), capacity);
+    for block in &blocks {
+        data.append(block);
     }
     assert!(!data.is_empty(), "no training rows produced");
     data

@@ -103,8 +103,26 @@ impl Dataset {
         out
     }
 
+    /// Appends every row of `other` (same feature width) to `self` — the
+    /// ordered-concatenation primitive behind parallel featurization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature widths differ.
+    pub fn append(&mut self, other: &Dataset) {
+        assert_eq!(self.num_features, other.num_features, "dataset width mismatch");
+        self.features.extend_from_slice(&other.features);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
     /// Splits into `(train, test)` with `train_fraction` of the rows (after
     /// a shuffle driven by `rng`) in the training set.
+    ///
+    /// With at least two rows, both halves are guaranteed non-empty: the
+    /// rounded cut is clamped into `1..=len-1`, so extreme fractions on
+    /// tiny datasets (`round(len * fraction)` hitting `0` or `len`) no
+    /// longer produce an empty train or test set that the estimators
+    /// would panic on.
     ///
     /// # Panics
     ///
@@ -116,7 +134,10 @@ impl Dataset {
         );
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
-        let cut = (self.len() as f64 * train_fraction).round() as usize;
+        let mut cut = (self.len() as f64 * train_fraction).round() as usize;
+        if self.len() >= 2 {
+            cut = cut.clamp(1, self.len() - 1);
+        }
         (self.select(&idx[..cut]), self.select(&idx[cut..]))
     }
 
@@ -241,6 +262,52 @@ mod tests {
         let mut all: Vec<f64> = train.labels().iter().chain(test.labels()).copied().collect();
         all.sort_by(f64::total_cmp);
         assert_eq!(all, (0..10).map(|i| i as f64 * 10.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_of_tiny_datasets_keeps_both_halves_non_empty() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for len in 2..=5usize {
+            let mut d = Dataset::new(1);
+            for i in 0..len {
+                d.push(&[i as f64], i as f64);
+            }
+            for fraction in [0.01, 0.5, 0.99] {
+                let (train, test) = d.split(fraction, &mut rng);
+                assert!(!train.is_empty(), "len {len} fraction {fraction}: empty train");
+                assert!(!test.is_empty(), "len {len} fraction {fraction}: empty test");
+                assert_eq!(train.len() + test.len(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn split_of_single_row_dataset_does_not_panic() {
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], 2.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (train, test) = d.split(0.9, &mut rng);
+        assert_eq!(train.len() + test.len(), 1);
+        let (train, test) = Dataset::new(1).split(0.5, &mut rng);
+        assert!(train.is_empty() && test.is_empty());
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let d = toy();
+        let mut a = d.select(&[0, 1, 2]);
+        let b = d.select(&[3, 4]);
+        a.append(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.row(3), d.row(3));
+        assert_eq!(a.label(4), d.label(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn append_rejects_width_mismatch() {
+        let mut a = Dataset::new(2);
+        a.append(&Dataset::new(3));
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! accuracy and prevent overfitting" (Sec. IV-B2), trained with the
 //! scikit-learn defaults of the time — 10 trees, all features considered
 //! at every split.
+//!
+//! Trees fit in parallel (`tevot-par`, honoring `--jobs`/`TEVOT_JOBS`):
+//! the caller's RNG is consumed **serially** to derive one independent
+//! splitmix-expanded seed per tree before fanning out, so each tree's
+//! bootstrap sample and split randomness come from its own stream and
+//! the trained forest is bit-identical at every worker count.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, Task, ThresholdTable, TreeParams};
@@ -38,19 +45,24 @@ fn fit_trees(
     assert!(params.num_trees > 0, "forest needs at least one tree");
     let table = ThresholdTable::build(data);
     let n = data.len();
-    let mut indices: Vec<u32> = (0..n as u32).collect();
-    (0..params.num_trees)
-        .map(|_| {
-            if params.bootstrap {
-                for slot in indices.iter_mut() {
-                    *slot = rng.gen_range(0..n) as u32;
-                }
+    // One seed per tree, drawn serially from the caller's RNG: each
+    // tree's bootstrap sample and split randomness then come from its
+    // own splitmix-expanded stream, independent of which worker fits it
+    // or in what order — so parallel training is bit-identical to
+    // serial.
+    let seeds: Vec<u64> = (0..params.num_trees).map(|_| rng.gen()).collect();
+    tevot_par::map(&seeds, |&seed| {
+        let mut tree_rng = SmallRng::seed_from_u64(seed);
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        if params.bootstrap {
+            for slot in indices.iter_mut() {
+                *slot = tree_rng.gen_range(0..n) as u32;
             }
-            tevot_obs::metrics::ML_TRAIN_ITERATIONS.incr();
-            tevot_obs::instant!("ml.tree_fitted");
-            DecisionTree::fit_with_table(data, &indices, task, &params.tree, &table, rng)
-        })
-        .collect()
+        }
+        tevot_obs::metrics::ML_TRAIN_ITERATIONS.incr();
+        tevot_obs::instant!("ml.tree_fitted");
+        DecisionTree::fit_with_table(data, &indices, task, &params.tree, &table, &mut tree_rng)
+    })
 }
 
 /// Random-forest regressor: trees average their leaf means.

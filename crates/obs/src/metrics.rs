@@ -184,6 +184,8 @@ pub static CORE_PREDICTIONS: Counter = Counter::new("core.predictions");
 pub static ML_TRAIN_ITERATIONS: Counter = Counter::new("ml.train_iterations");
 /// Internal nodes split while growing trees.
 pub static ML_NODE_SPLITS: Counter = Counter::new("ml.node_splits");
+/// Tasks executed by `tevot-par` parallel regions (any worker count).
+pub static PAR_TASKS: Counter = Counter::new("par.tasks");
 
 /// Dynamic delay of each simulated cycle, in picoseconds.
 pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
@@ -194,7 +196,7 @@ pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
 pub static SIM_TOGGLES_PER_CYCLE: Histogram =
     Histogram::new("sim.toggles_per_cycle", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]);
 
-static COUNTERS: [&Counter; 10] = [
+static COUNTERS: [&Counter; 11] = [
     &SIM_CYCLES,
     &SIM_EVENTS,
     &SIM_GATE_EVALS,
@@ -205,6 +207,7 @@ static COUNTERS: [&Counter; 10] = [
     &CORE_PREDICTIONS,
     &ML_TRAIN_ITERATIONS,
     &ML_NODE_SPLITS,
+    &PAR_TASKS,
 ];
 
 static HISTOGRAMS: [&Histogram; 2] = [&SIM_CYCLE_DELAY_PS, &SIM_TOGGLES_PER_CYCLE];

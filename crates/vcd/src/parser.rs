@@ -76,7 +76,9 @@ impl std::error::Error for ParseVcdError {}
 /// # Errors
 ///
 /// Returns [`ParseVcdError`] on malformed declarations, unknown identifier
-/// codes or non-numeric timestamps.
+/// codes, non-numeric timestamps, four-state (`x`/`z`) values, and vector
+/// (`b.../r...`) value changes — the last two with dedicated messages
+/// instead of the generic "unrecognized line".
 pub fn parse_vcd(text: &str) -> Result<Vcd, ParseVcdError> {
     let mut timescale = String::from("1ps");
     let mut signals: Vec<String> = Vec::new();
@@ -121,9 +123,19 @@ pub fn parse_vcd(text: &str) -> Result<Vcd, ParseVcdError> {
         } else if let Some(ts) = line.strip_prefix('#') {
             let t: u64 = ts.trim().parse().map_err(|_| err(format!("bad timestamp {ts}")))?;
             time = t;
-        } else if let Some(value) = match line.as_bytes()[0] {
-            b'0' => Some(false),
-            b'1' => Some(true),
+        } else if let Some(value) = match line.as_bytes().first() {
+            Some(b'0') => Some(false),
+            Some(b'1') => Some(true),
+            Some(b'x' | b'X' | b'z' | b'Z') => {
+                return Err(err(format!(
+                    "four-state value change {line:?}: only two-state (0/1) dumps are supported"
+                )));
+            }
+            Some(b'b' | b'B' | b'r' | b'R') => {
+                return Err(err(format!(
+                    "vector value change {line:?}: only scalar (single-bit) dumps are supported"
+                )));
+            }
             _ => None,
         } {
             if !header_done && !in_dumpvars {
@@ -196,6 +208,23 @@ mod tests {
         let text = "$timescale 1ps $end\n$enddefinitions $end\n#5\n1Z\n";
         let err = parse_vcd(text).unwrap_err();
         assert!(err.to_string().contains("unknown identifier"));
+    }
+
+    #[test]
+    fn rejects_four_state_values_with_a_dedicated_message() {
+        for v in ["x!", "X!", "z!", "Z!"] {
+            let text = format!("$enddefinitions $end\n#5\n{v}\n");
+            let err = parse_vcd(&text).unwrap_err();
+            assert!(err.to_string().contains("four-state"), "for {v}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_vector_changes_with_a_dedicated_message() {
+        let text = "$enddefinitions $end\n#5\nb1010 !\n";
+        let err = parse_vcd(text).unwrap_err();
+        assert!(err.to_string().contains("vector value change"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
     }
 
     #[test]

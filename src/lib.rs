@@ -19,6 +19,9 @@
 //!   delay model, baselines and evaluation.
 //! * [`imgproc`] — Sobel/Gaussian application workloads, PSNR and
 //!   timing-error injection.
+//! * [`par`] — the zero-dependency scoped thread pool behind `--jobs` /
+//!   `TEVOT_JOBS`; its ordered reduction keeps every parallel stage
+//!   bit-identical to a serial run.
 //!
 //! # Quick start
 //!
@@ -39,6 +42,7 @@ pub use tevot as core;
 pub use tevot_imgproc as imgproc;
 pub use tevot_ml as ml;
 pub use tevot_netlist as netlist;
+pub use tevot_par as par;
 pub use tevot_sim as sim;
 pub use tevot_timing as timing;
 pub use tevot_vcd as vcd;

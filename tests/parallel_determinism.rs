@@ -1,0 +1,51 @@
+//! Parallel/serial equivalence: every `tevot-par` stage must be
+//! bit-identical to a forced single-worker run.
+//!
+//! Determinism comes from two invariants the stages were built around:
+//! the pool's ordered reduction (results land by task index, never by
+//! completion order) and per-tree RNG streams in the forest (one
+//! splitmix-expanded seed per tree, drawn serially before fan-out).
+//!
+//! Everything lives in ONE `#[test]` on purpose: `tevot_par::with_jobs`
+//! swaps a process-global override, and cargo runs tests of a binary
+//! concurrently — separate tests could observe each other's override.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot_repro::core::dta::Characterizer;
+use tevot_repro::core::workload::random_workload;
+use tevot_repro::core::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_repro::netlist::fu::FunctionalUnit;
+use tevot_repro::timing::{ClockSpeedup, OperatingCondition};
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_serial() {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let work = random_workload(fu, 300, 17);
+    let grid: Vec<OperatingCondition> = [(0.82, 0.0), (0.90, 25.0), (0.98, 75.0)]
+        .iter()
+        .map(|&(v, t)| OperatingCondition::new(v, t))
+        .collect();
+
+    let run_pipeline = || {
+        // Condition sweep (one task per condition, each deriving error
+        // classes per period on the pool as well).
+        let chars = characterizer.characterize_sweep(&grid, &work, &ClockSpeedup::PAPER);
+        // Featurization (one task per run, ordered concatenation).
+        let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &runs);
+        // Forest training (one task per tree, per-tree seed streams).
+        let mut rng = SmallRng::seed_from_u64(42);
+        let model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+        (chars, data, model)
+    };
+
+    let (serial_chars, serial_data, serial_model) = tevot_par::with_jobs(1, run_pipeline);
+    for jobs in [2, 4, 7] {
+        let (chars, data, model) = tevot_par::with_jobs(jobs, run_pipeline);
+        assert_eq!(serial_chars, chars, "characterizations diverged at jobs={jobs}");
+        assert_eq!(serial_data, data, "training matrix diverged at jobs={jobs}");
+        assert_eq!(serial_model, model, "trained model diverged at jobs={jobs}");
+    }
+}
