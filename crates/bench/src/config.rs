@@ -46,6 +46,14 @@ pub struct StudyConfig {
     pub metrics_path: Option<PathBuf>,
     /// Where to write the Chrome/Perfetto trace JSON (`--trace <path>`).
     pub trace_path: Option<PathBuf>,
+    /// Checkpoint directory for crash-safe resumable characterization
+    /// (`--resume <dir>`): completed conditions are journaled as atomic
+    /// shards and skipped on restart. `None` disables checkpointing.
+    pub resume: Option<PathBuf>,
+    /// Wall-clock budget in milliseconds (`--deadline-ms N`): a watchdog
+    /// cancels the study cooperatively once it elapses, after flushing
+    /// the checkpoint shards of every completed condition.
+    pub deadline_ms: Option<u64>,
 }
 
 impl StudyConfig {
@@ -69,6 +77,8 @@ impl StudyConfig {
             verbosity: 0,
             metrics_path: None,
             trace_path: None,
+            resume: None,
+            deadline_ms: None,
         }
     }
 
@@ -106,6 +116,10 @@ impl StudyConfig {
     /// the machine decides), `--verbose`/`-v` and `--quiet`/`-q` shift the
     /// log level, `--metrics <path>` requests the `tevot-obs/1` JSON
     /// report, and `--trace <path>` a Chrome/Perfetto timeline trace.
+    /// `--resume <dir>` checkpoints each completed condition to `dir`
+    /// and skips already-completed ones on restart; `--deadline-ms N`
+    /// arms a watchdog that cancels the study gracefully (exit code 6)
+    /// once the budget elapses.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let args: Vec<String> = args.collect();
         let mut config = if args.iter().any(|a| a == "--full") {
@@ -135,6 +149,18 @@ impl StudyConfig {
         }
         if let Some(pos) = args.iter().position(|a| a == "--trace") {
             config.trace_path = args.get(pos + 1).map(PathBuf::from);
+        }
+        if let Some(pos) = args.iter().position(|a| a == "--resume") {
+            config.resume = args.get(pos + 1).map(PathBuf::from);
+        }
+        if let Some(pos) = args.iter().position(|a| a == "--deadline-ms") {
+            match args.get(pos + 1).map(|s| s.parse::<u64>()) {
+                Some(Ok(ms)) => config.deadline_ms = Some(ms),
+                _ => {
+                    eprintln!("error: --deadline-ms expects a duration in milliseconds");
+                    std::process::exit(tevot_resil::ErrorKind::Usage.exit_code() as i32);
+                }
+            }
         }
         config
     }
@@ -195,6 +221,24 @@ mod tests {
         assert_eq!(StudyConfig::quick().jobs, None);
         let c = StudyConfig::from_args(["--jobs".to_string(), "nope".to_string()].into_iter());
         assert_eq!(c.jobs, None);
+    }
+
+    #[test]
+    fn resume_and_deadline_flags() {
+        let c = StudyConfig::from_args(
+            [
+                "--resume".to_string(),
+                "ckpt".to_string(),
+                "--deadline-ms".to_string(),
+                "1500".to_string(),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(c.resume.as_deref(), Some(std::path::Path::new("ckpt")));
+        assert_eq!(c.deadline_ms, Some(1500));
+        let c = StudyConfig::quick();
+        assert_eq!(c.resume, None);
+        assert_eq!(c.deadline_ms, None);
     }
 
     #[test]

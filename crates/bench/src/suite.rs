@@ -25,6 +25,7 @@ use tevot::{build_delay_dataset, TevotModel, TevotParams};
 use tevot_netlist::fu::FunctionalUnit;
 use tevot_obs::metrics::{CORE_ROWS_FEATURIZED, SIM_GATE_EVALS};
 use tevot_obs::progress::Progress;
+use tevot_resil::checkpoint::CheckpointDir;
 use tevot_timing::{ClockSpeedup, OperatingCondition};
 
 use crate::baseline::BenchReport;
@@ -194,6 +195,35 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         assert_eq!(serial, parallel, "parallel sweep must be bit-identical to --jobs 1");
         report.push("par.sweep_conds_per_s", n as f64 / parallel_s, "conds/s", true);
         report.push("par.sweep_speedup", serial_s / parallel_s, "x", true);
+    }
+
+    // Checkpoint resilience: shard write throughput (tmp + fsync +
+    // rename with a checksummed header) and resume-skip throughput (a
+    // validated read replacing recomputation). The no-op failpoint
+    // branches on these paths are part of what the regression gate
+    // watches.
+    {
+        let _span = tevot_obs::span!("bench.resil");
+        let dir = std::env::temp_dir().join(format!("tevot_bench_ckpt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt = CheckpointDir::open(&dir).expect("open bench checkpoint dir");
+        // Payload in the realm of a real condition shard (~16 KiB).
+        let payload: Vec<u8> = (0..4096u32).flat_map(u32::to_le_bytes).collect();
+        let n = 32;
+        let t0 = Instant::now();
+        for i in 0..n {
+            ckpt.write(&format!("bench-{i}"), &payload).expect("write bench shard");
+        }
+        let write_s = t0.elapsed().as_secs_f64();
+        report.push("resil.ckpt_write_per_s", n as f64 / write_s, "shards/s", true);
+
+        let t0 = Instant::now();
+        for i in 0..n {
+            assert!(ckpt.read_valid(&format!("bench-{i}")).is_some(), "shard must round-trip");
+        }
+        let read_s = t0.elapsed().as_secs_f64();
+        report.push("resil.resume_skip_per_s", n as f64 / read_s, "shards/s", true);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     report.push("suite.wall_s", suite_t0.elapsed().as_secs_f64(), "s", false);

@@ -113,6 +113,45 @@ impl Args {
         s.parse().map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}")))
     }
 
+    /// An optional parsed value (absent stays `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(s) => {
+                s.parse().map(Some).map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}")))
+            }
+        }
+    }
+
+    /// An optional comma-separated list (`--temps 0,25,100`), each item
+    /// parsed as `T`. Absent stays `None`; an empty or partially
+    /// unparsable list is an error, never a silent truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first item that fails to parse.
+    pub fn get_list<T: std::str::FromStr>(&self, name: &str) -> Result<Option<Vec<T>>, ArgError> {
+        let Some(raw) = self.get(name) else { return Ok(None) };
+        let mut items = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(ArgError(format!(
+                    "--{name}: empty item in list {raw:?} (expected e.g. 0.9,1.0)"
+                )));
+            }
+            items.push(
+                part.parse()
+                    .map_err(|_| ArgError(format!("--{name}: cannot parse list item {part:?}")))?,
+            );
+        }
+        Ok(Some(items))
+    }
+
     /// Whether a bare `--name` flag was passed.
     pub fn flag(&self, name: &str) -> bool {
         self.consumed.borrow_mut().push(name.to_string());
@@ -226,5 +265,29 @@ mod tests {
     #[test]
     fn missing_subcommand() {
         assert!(Args::parse(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn optional_parsed_values() {
+        let a = parse(&["train", "--deadline-ms", "250"]);
+        assert_eq!(a.get_parsed::<u64>("deadline-ms").unwrap(), Some(250));
+        assert_eq!(a.get_parsed::<u64>("absent").unwrap(), None);
+        let a = parse(&["train", "--deadline-ms", "soon"]);
+        let err = a.get_parsed::<u64>("deadline-ms").unwrap_err();
+        assert!(err.to_string().contains("soon"), "{err}");
+    }
+
+    #[test]
+    fn comma_lists_parse_or_name_the_bad_item() {
+        let a = parse(&["train", "--temps", "0, 25,100"]);
+        assert_eq!(a.get_list::<f64>("temps").unwrap(), Some(vec![0.0, 25.0, 100.0]));
+        assert_eq!(a.get_list::<f64>("voltages").unwrap(), None);
+
+        let a = parse(&["train", "--temps", "0,warm,100"]);
+        let err = a.get_list::<f64>("temps").unwrap_err();
+        assert!(err.to_string().contains("\"warm\""), "{err}");
+
+        let a = parse(&["train", "--temps", "0,,100"]);
+        assert!(a.get_list::<f64>("temps").unwrap_err().to_string().contains("empty item"));
     }
 }

@@ -9,8 +9,9 @@
 //! tevot characterize --fu <unit> --voltage <V> --temperature <C>
 //!                    [--vectors N] [--seed S] [--sdf out.sdf] [--vcd out.vcd]
 //! tevot train        --fu <unit> --out model.tevot
-//!                    [--grid fig3|paper] [--vectors N] [--trees N]
-//!                    [--seed S] [--no-history]
+//!                    [--grid fig3|paper | --voltages V,V --temps C,C]
+//!                    [--vectors N] [--trees N] [--seed S] [--no-history]
+//!                    [--resume <dir>] [--deadline-ms N]
 //! tevot predict      --model model.tevot --voltage <V> --temperature <C>
 //!                    --clock-ps <N> --a <u32> --b <u32>
 //!                    [--prev-a <u32>] [--prev-b <u32>]
@@ -41,7 +42,8 @@ macro_rules! outln {
 
 use std::error::Error;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
 
 use args::{ArgError, Args};
 use rand::rngs::SmallRng;
@@ -51,6 +53,8 @@ use tevot::workload::random_workload;
 use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
 use tevot_ml::ForestParams;
 use tevot_netlist::fu::FunctionalUnit;
+use tevot_resil::checkpoint::CheckpointDir;
+use tevot_resil::{CancelToken, ErrorKind, TevotError, Watchdog};
 use tevot_sim::trace::dump_vcd;
 use tevot_timing::{sdf, ClockSpeedup, ConditionGrid, DelayModel, OperatingCondition};
 
@@ -61,13 +65,14 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
   tevot characterize --fu <unit> --voltage <V> --temperature <C>
                      [--vectors N] [--seed S] [--sdf out.sdf] [--vcd out.vcd]
   tevot train        --fu <unit> --out model.tevot
-                     [--grid fig3|paper] [--vectors N] [--trees N] [--seed S]
-                     [--no-history]
+                     [--grid fig3|paper | --voltages 0.9,1.0 --temps 0,25]
+                     [--vectors N] [--trees N] [--seed S] [--no-history]
+                     [--resume <dir>] [--deadline-ms N]
   tevot predict      --model model.tevot --voltage <V> --temperature <C>
                      --clock-ps <N> --a <u32> --b <u32>
                      [--prev-a <u32>] [--prev-b <u32>]
   tevot sweep        --model model.tevot [--grid fig3|paper] [--vectors N]
-                     [--seed S] [--clock-ps N]
+                     [--voltages V,V --temps C,C] [--seed S] [--clock-ps N]
   tevot ter          --model model.tevot --voltage <V> --temperature <C>
                      --clock-ps <N> [--workload trace.txt | --fu <unit>
                      --vectors N] [--validate] [--seed S]
@@ -75,6 +80,16 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
 
 units: int-add | int-mul | fp-add | fp-mul; operands take decimal or 0x hex.
 workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.
+
+train resilience:
+  --resume <dir>       checkpoint each characterized condition to <dir>
+                       (atomic shards) and skip completed ones on restart;
+                       the resumed model is bit-identical
+  --deadline-ms <N>    cancel the checkpointed sweep gracefully (exit 6)
+                       once the wall-clock budget elapses
+
+exit codes: 0 ok | 1 internal | 2 usage | 3 i/o | 4 corrupt data |
+            5 parse | 6 cancelled
 
 global flags (any position):
   -v | --verbose       raise the log level (repeatable; default info)
@@ -152,9 +167,27 @@ fn global_flags(
     Ok((rest, tevot_obs::report::FinishGuard::new().metrics_path(metrics).trace_path(trace)))
 }
 
-/// Wraps a file-level I/O result with the offending path.
+/// Wraps a file-level I/O result with the offending path, producing a
+/// classified [`TevotError`] so [`exit_code_for`] maps it to the stable
+/// I/O exit code.
 fn at_path<T>(result: std::io::Result<T>, action: &str, path: &str) -> Result<T, Box<dyn Error>> {
-    result.map_err(|e| format!("cannot {action} {path}: {e}").into())
+    result.map_err(|e| TevotError::from(e).context(format!("cannot {action} {path}")).into())
+}
+
+/// The stable process exit code for a CLI failure, per the workspace
+/// error taxonomy (DESIGN.md §12): usage errors exit 2, I/O failures 3,
+/// corrupt stored data 4, unparsable text 5, cooperative cancellation 6,
+/// anything unclassified 1.
+pub fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
+    if e.is::<ArgError>() {
+        ErrorKind::Usage.exit_code()
+    } else if let Some(te) = e.downcast_ref::<TevotError>() {
+        te.exit_code()
+    } else if e.is::<std::io::Error>() {
+        ErrorKind::Io.exit_code()
+    } else {
+        ErrorKind::Internal.exit_code()
+    }
 }
 
 /// `tevot ter`: predicted timing error rate of a workload trace at one
@@ -174,7 +207,8 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
     let work = match workload_path {
         Some(path) => {
             let text = at_path(std::fs::read_to_string(&path), "read workload", &path)?;
-            tevot::Workload::from_text(&text).map_err(ArgError)?
+            // A malformed trace is a parse failure (exit 5), not usage.
+            tevot::Workload::from_text(&text).map_err(TevotError::parse)?
         }
         None => random_workload(fu.unwrap_or(FunctionalUnit::IntAdd), vectors, seed),
     };
@@ -242,6 +276,26 @@ fn parse_grid(name: &str) -> Result<ConditionGrid, ArgError> {
     }
 }
 
+/// The condition grid for a command: an explicit `--voltages`/`--temps`
+/// pair wins over the named `--grid`.
+fn grid_from_args(args: &Args) -> Result<ConditionGrid, ArgError> {
+    let voltages: Option<Vec<f64>> = args.get_list("voltages")?;
+    let temps: Option<Vec<f64>> = args.get_list("temps")?;
+    match (voltages, temps) {
+        (None, None) => parse_grid(args.get("grid").unwrap_or("fig3")),
+        (Some(v), Some(t)) => {
+            if let Some(bad) = v.iter().find(|x| !x.is_finite() || **x <= 0.0) {
+                return Err(ArgError(format!("--voltages: {bad} is not a positive voltage")));
+            }
+            if let Some(bad) = t.iter().find(|x| !x.is_finite()) {
+                return Err(ArgError(format!("--temps: {bad} is not a finite temperature")));
+            }
+            Ok(ConditionGrid::new(v, t))
+        }
+        _ => Err(ArgError("--voltages and --temps must be given together".into())),
+    }
+}
+
 fn parse_u32(s: &str) -> Result<u32, ArgError> {
     let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u32::from_str_radix(hex, 16)
@@ -261,7 +315,7 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
     let fu = parse_fu(args.require("fu")?)?;
     args.finish()?;
     let nl = fu.build();
-    print!("{}", nl.stats());
+    outln!("{}", nl.stats().to_string().trim_end());
     let model = DelayModel::tsmc45_like();
     outln!("\ncritical-path delay across the Fig. 3 condition grid:");
     for cond in ConditionGrid::fig3().iter() {
@@ -320,11 +374,13 @@ fn cmd_characterize(args: &Args) -> Result<(), Box<dyn Error>> {
 fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
     let fu = parse_fu(args.require("fu")?)?;
     let out = args.require("out")?.to_owned();
-    let grid = parse_grid(args.get("grid").unwrap_or("fig3"))?;
+    let grid = grid_from_args(args)?;
     let vectors: usize = args.get_or("vectors", 800)?;
     let trees: usize = args.get_or("trees", 10)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let history = !args.flag("no-history");
+    let resume = args.get("resume").map(str::to_owned);
+    let deadline_ms: Option<u64> = args.get_parsed("deadline-ms")?;
     args.finish()?;
 
     let encoding =
@@ -334,7 +390,25 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
     // One tevot-par task per grid point; output order matches the grid,
     // so training data (and the model) are identical at every --jobs.
     let conditions: Vec<OperatingCondition> = grid.iter().collect();
-    let chars = characterizer.characterize_sweep(&conditions, &work, &ClockSpeedup::PAPER);
+    let token = CancelToken::new();
+    let _watchdog =
+        deadline_ms.map(|ms| Watchdog::deadline(&token, std::time::Duration::from_millis(ms)));
+    let chars = match &resume {
+        // Checkpointed sweep: each completed condition is journaled to
+        // an atomic shard in <dir> and skipped on the next run. The
+        // resumed output is bit-identical to an uninterrupted sweep.
+        Some(dir) => {
+            let ckpt = CheckpointDir::open(dir.as_str()).map_err(Box::new)?;
+            characterizer.characterize_sweep_ckpt(
+                &conditions,
+                &work,
+                &ClockSpeedup::PAPER,
+                &ckpt,
+                &token,
+            )?
+        }
+        None => characterizer.characterize_sweep(&conditions, &work, &ClockSpeedup::PAPER),
+    };
     let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
     let data = build_delay_dataset(encoding, &runs);
     tevot_obs::info!("training on {} rows x {} features...", data.len(), data.num_features());
@@ -347,9 +421,7 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
         let _span = tevot_obs::span!("train");
         TevotModel::train(&data, &params, &mut rng)
     };
-    let mut file = BufWriter::new(at_path(File::create(&out), "create model file", &out)?);
-    at_path(model.save(&mut file), "write model to", &out)?;
-    at_path(file.flush(), "write model to", &out)?;
+    at_path(model.save_path(Path::new(&out)), "write model to", &out)?;
     outln!(
         "trained {} ({} trees, {} conditions, {} rows) -> {out}",
         if history { "TEVoT" } else { "TEVoT-NH" },
@@ -361,8 +433,10 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn load_model(path: &str) -> Result<TevotModel, Box<dyn Error>> {
-    let file = BufReader::new(at_path(File::open(path), "open model", path)?);
-    TevotModel::load(file).map_err(|e| format!("cannot load model {path}: {e}").into())
+    // `load_path` names the path and byte offset of any truncation or
+    // corruption; the conversion classifies it (I/O vs corrupt) for the
+    // exit code.
+    TevotModel::load_path(Path::new(path)).map_err(|e| TevotError::from(e).into())
 }
 
 fn cmd_predict(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -388,7 +462,7 @@ fn cmd_predict(args: &Args) -> Result<(), Box<dyn Error>> {
 
 fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
     let model = load_model(args.require("model")?)?;
-    let grid = parse_grid(args.get("grid").unwrap_or("fig3"))?;
+    let grid = grid_from_args(args)?;
     let vectors: usize = args.get_or("vectors", 300)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let clock: Option<u64> = args.get("clock-ps").map(str::parse).transpose()?;

@@ -7,9 +7,12 @@ fn main() -> ExitCode {
     match tevot_cli::run(argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            let code = tevot_cli::exit_code_for(e.as_ref());
             eprintln!("error: {e}");
-            eprintln!("run `tevot help` for usage");
-            ExitCode::FAILURE
+            if code == 2 {
+                eprintln!("run `tevot help` for usage");
+            }
+            ExitCode::from(code)
         }
     }
 }

@@ -6,6 +6,15 @@ fn run(args: &[&str]) -> Result<(), String> {
     tevot_cli::run(args.iter().map(|s| s.to_string()).collect()).map_err(|e| e.to_string())
 }
 
+/// Runs and reduces the outcome to the process exit code the binary
+/// would return.
+fn run_code(args: &[&str]) -> u8 {
+    match tevot_cli::run(args.iter().map(|s| s.to_string()).collect()) {
+        Ok(()) => 0,
+        Err(e) => tevot_cli::exit_code_for(e.as_ref()),
+    }
+}
+
 fn temp_path(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("tevot_cli_test_{}_{name}", std::process::id()));
@@ -123,6 +132,123 @@ fn characterize_writes_sdf() {
     assert!(text.starts_with("(DELAYFILE"));
     assert!(text.contains("int_add32"));
     std::fs::remove_file(sdf).ok();
+}
+
+#[test]
+fn exit_codes_follow_the_taxonomy() {
+    // Usage: unknown flags, malformed list values, lonely --voltages.
+    assert_eq!(run_code(&["stats", "--fu", "int-add", "--bogus", "1"]), 2);
+    assert_eq!(
+        run_code(&[
+            "train",
+            "--fu",
+            "int-add",
+            "--out",
+            "x",
+            "--voltages",
+            "0.9,hot",
+            "--temps",
+            "25"
+        ]),
+        2
+    );
+    let err = run(&["train", "--fu", "int-add", "--out", "x", "--voltages", "0.9"]).unwrap_err();
+    assert!(err.contains("given together"), "{err}");
+
+    // I/O: the model file does not exist.
+    let missing = &[
+        "predict",
+        "--model",
+        "/nonexistent/m.tevot",
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--clock-ps",
+        "250",
+        "--a",
+        "1",
+        "--b",
+        "2",
+    ];
+    assert_eq!(run_code(missing), 3);
+
+    // Corrupt: the model file exists but is garbage; the error names the
+    // path and the byte offset where decoding stopped.
+    let model = temp_path("garbage.tevot");
+    std::fs::write(&model, b"this is not a model").unwrap();
+    let argv = &[
+        "predict",
+        "--model",
+        model.to_str().unwrap(),
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--clock-ps",
+        "250",
+        "--a",
+        "1",
+        "--b",
+        "2",
+    ];
+    assert_eq!(run_code(argv), 4);
+    let err = run(argv).unwrap_err();
+    assert!(err.contains(model.to_str().unwrap()), "{err}");
+    assert!(err.contains("byte"), "{err}");
+    std::fs::remove_file(model).ok();
+}
+
+#[test]
+fn train_resume_is_bit_identical_and_deadline_cancels() {
+    let ckpt = temp_path("train_ckpt");
+    let plain = temp_path("plain.tevot");
+    let resumed = temp_path("resumed.tevot");
+    let base = |out: &PathBuf, extra: &[&str]| {
+        let mut argv = vec![
+            "train",
+            "--fu",
+            "int-add",
+            "--out",
+            out.to_str().unwrap(),
+            "--vectors",
+            "120",
+            "--trees",
+            "2",
+            "--voltages",
+            "0.9,1.0",
+            "--temps",
+            "25",
+        ];
+        argv.extend_from_slice(extra);
+        argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+
+    // A zero deadline cancels the checkpointed sweep cooperatively
+    // (exit 6) before it finishes both conditions...
+    let ckpt_flag = ckpt.to_str().unwrap().to_owned();
+    let e = tevot_cli::run(base(&resumed, &["--resume", &ckpt_flag, "--deadline-ms", "0"]))
+        .unwrap_err();
+    assert_eq!(tevot_cli::exit_code_for(e.as_ref()), 6, "{e}");
+
+    // ...and rerunning without the deadline resumes from the shards and
+    // produces a model bit-identical to an uninterrupted run.
+    tevot_cli::run(base(&resumed, &["--resume", &ckpt_flag])).unwrap();
+    tevot_cli::run(base(&plain, &[])).unwrap();
+    let a = std::fs::read(&plain).unwrap();
+    let b = std::fs::read(&resumed).unwrap();
+    assert!(!a.is_empty() && a == b, "resumed model must match the plain run byte for byte");
+
+    // A checkpoint directory from a different run configuration is
+    // refused rather than silently mixed in.
+    let e = tevot_cli::run(base(&resumed, &["--resume", &ckpt_flag, "--vectors", "121"]))
+        .map(|_| String::new())
+        .unwrap_err();
+    assert!(e.to_string().contains("configuration"), "{e}");
+
+    std::fs::remove_file(plain).ok();
+    std::fs::remove_file(resumed).ok();
+    std::fs::remove_dir_all(ckpt).ok();
 }
 
 #[test]

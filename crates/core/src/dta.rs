@@ -9,10 +9,32 @@
 
 use tevot_netlist::fu::FunctionalUnit;
 use tevot_netlist::Netlist;
+use tevot_resil::checkpoint::CheckpointDir;
+use tevot_resil::codec::{ByteReader, ByteWriter};
+use tevot_resil::{CancelToken, ResultExt, TevotError};
 use tevot_sim::{CycleResult, TimingSimulator};
 use tevot_timing::{sta, ClockSpeedup, DelayModel, OperatingCondition};
 
 use crate::workload::Workload;
+
+fn fu_tag(fu: FunctionalUnit) -> u8 {
+    match fu {
+        FunctionalUnit::IntAdd => 0,
+        FunctionalUnit::IntMul => 1,
+        FunctionalUnit::FpAdd => 2,
+        FunctionalUnit::FpMul => 3,
+    }
+}
+
+fn fu_from_tag(tag: u8) -> Option<FunctionalUnit> {
+    match tag {
+        0 => Some(FunctionalUnit::IntAdd),
+        1 => Some(FunctionalUnit::IntMul),
+        2 => Some(FunctionalUnit::FpAdd),
+        3 => Some(FunctionalUnit::FpMul),
+        _ => None,
+    }
+}
 
 /// The raw per-cycle simulation record of one (FU, condition, workload)
 /// run: every output toggle of every cycle.
@@ -157,6 +179,84 @@ impl Characterization {
             return 0.0;
         }
         flags[1..].iter().filter(|&&e| e).count() as f64 / (flags.len() - 1) as f64
+    }
+
+    /// Serializes the characterization to the checkpoint payload format:
+    /// a deterministic, bit-exact little-endian encoding (floats travel
+    /// as raw IEEE-754 bits), so a characterization restored from a
+    /// checkpoint shard compares equal to the original.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(1); // payload format version
+        w.put_u8(fu_tag(self.fu));
+        w.put_f64(self.condition.voltage());
+        w.put_f64(self.condition.temperature());
+        w.put_u64(self.critical_delay_ps);
+        w.put_u64_slice(&self.clock_periods_ps);
+        w.put_u64_slice(&self.delays_ps);
+        w.put_u64(self.erroneous.len() as u64);
+        for flags in &self.erroneous {
+            w.put_bools(flags);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a characterization written by [`Self::to_bytes`],
+    /// validating structure (the error-flag matrix must match the period
+    /// and cycle counts) as well as encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`tevot_resil::ErrorKind::Corrupt`] naming the offending byte
+    /// offset on truncation, an unknown version or unit tag, a
+    /// non-finite condition, or mismatched matrix dimensions.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Characterization, TevotError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(r.corrupt(format!("unsupported characterization version {version}")));
+        }
+        let tag = r.u8()?;
+        let fu = fu_from_tag(tag).ok_or_else(|| r.corrupt(format!("unknown unit tag {tag}")))?;
+        let voltage = r.f64()?;
+        let temperature = r.f64()?;
+        if !(voltage.is_finite() && voltage > 0.0 && temperature.is_finite()) {
+            return Err(r.corrupt(format!(
+                "implausible operating condition ({voltage} V, {temperature} C)"
+            )));
+        }
+        let critical_delay_ps = r.u64()?;
+        let clock_periods_ps = r.u64_slice()?;
+        let delays_ps = r.u64_slice()?;
+        let num_periods = r.len_prefix(1)?;
+        if num_periods != clock_periods_ps.len() {
+            return Err(r.corrupt(format!(
+                "error matrix has {num_periods} periods, header lists {}",
+                clock_periods_ps.len()
+            )));
+        }
+        let erroneous = (0..num_periods)
+            .map(|_| {
+                let flags = r.bools()?;
+                if flags.len() != delays_ps.len() {
+                    return Err(r.corrupt(format!(
+                        "error flags cover {} cycles, delays cover {}",
+                        flags.len(),
+                        delays_ps.len()
+                    )));
+                }
+                Ok(flags)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        r.finish()?;
+        Ok(Characterization {
+            fu,
+            condition: OperatingCondition::new(voltage, temperature),
+            clock_periods_ps,
+            critical_delay_ps,
+            delays_ps,
+            erroneous,
+        })
     }
 }
 
@@ -339,6 +439,115 @@ impl Characterizer {
             })
             .collect()
     }
+
+    /// The fingerprint of a sweep configuration: every input that shapes
+    /// a sweep's output (unit, conditions, speedups, workload operands).
+    /// Two sweeps share a checkpoint directory only when their
+    /// fingerprints match.
+    pub fn sweep_fingerprint(
+        &self,
+        conditions: &[OperatingCondition],
+        workload: &Workload,
+        speedups: &[ClockSpeedup],
+    ) -> u64 {
+        let mut w = ByteWriter::new();
+        w.put_u8(fu_tag(self.fu));
+        w.put_u64(conditions.len() as u64);
+        for c in conditions {
+            w.put_f64(c.voltage());
+            w.put_f64(c.temperature());
+        }
+        w.put_u64(speedups.len() as u64);
+        for s in speedups {
+            w.put_f64(s.fraction());
+        }
+        w.put_u64(workload.operands().len() as u64);
+        for &(a, b) in workload.operands() {
+            w.put_u32(a);
+            w.put_u32(b);
+        }
+        tevot_resil::codec::fnv1a64(&w.into_bytes())
+    }
+
+    /// Checkpointed, cancellable form of [`Self::characterize_sweep`]:
+    /// every completed condition is committed to `ckpt` as an atomic
+    /// shard (`cond-<index>`), and conditions whose shard already exists
+    /// and verifies are loaded instead of re-simulated. A run killed (or
+    /// cancelled via `token`) mid-sweep therefore resumes from its last
+    /// completed condition, and the resumed output is **bit-identical**
+    /// to an uninterrupted sweep at any `--jobs` level.
+    ///
+    /// The directory is bound to this sweep's
+    /// [fingerprint](Self::sweep_fingerprint) on first use; resuming
+    /// with a different unit, grid, speedup set, or workload is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`tevot_resil::ErrorKind::Corrupt`] when `ckpt` belongs to a
+    /// different configuration, [`tevot_resil::ErrorKind::Cancelled`]
+    /// when `token` fires mid-sweep (completed shards stay on disk), and
+    /// [`tevot_resil::ErrorKind::Io`] when a shard cannot be written
+    /// after retries.
+    pub fn characterize_sweep_ckpt(
+        &self,
+        conditions: &[OperatingCondition],
+        workload: &Workload,
+        speedups: &[ClockSpeedup],
+        ckpt: &CheckpointDir,
+        token: &CancelToken,
+    ) -> Result<Vec<Characterization>, TevotError> {
+        let _span = tevot_obs::span!("sweep.ckpt", "{} conditions", conditions.len());
+        ckpt.bind_manifest(self.sweep_fingerprint(conditions, workload, speedups))
+            .ctx(|| format!("bind checkpoint directory {}", ckpt.path().display()))?;
+
+        let mut results: Vec<Option<Characterization>> = Vec::with_capacity(conditions.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, condition) in conditions.iter().enumerate() {
+            let restored = ckpt.read_valid(&format!("cond-{i}")).and_then(|payload| {
+                match Characterization::from_bytes(&payload) {
+                    Ok(c) if c.condition() == *condition => Some(c),
+                    Ok(_) => {
+                        tevot_obs::warn!("checkpoint: shard cond-{i} is for another condition");
+                        None
+                    }
+                    Err(e) => {
+                        tevot_obs::warn!("checkpoint: shard cond-{i} undecodable ({e})");
+                        None
+                    }
+                }
+            });
+            if restored.is_none() {
+                missing.push(i);
+            } else {
+                tevot_obs::metrics::RESIL_CKPT_SHARDS_RESUMED.incr();
+            }
+            results.push(restored);
+        }
+        if !missing.is_empty() && missing.len() < conditions.len() {
+            tevot_obs::info!(
+                "sweep: resuming, {} of {} conditions already checkpointed",
+                conditions.len() - missing.len(),
+                conditions.len()
+            );
+        }
+
+        let progress =
+            tevot_obs::progress::Progress::new(format!("sweep {}", self.fu), missing.len() as u64);
+        let computed = tevot_par::map_cancellable(token, &missing, |&i| {
+            let trace = self.trace(conditions[i], workload);
+            let base = trace.fastest_error_free_period_ps();
+            let periods: Vec<u64> = speedups.iter().map(|s| s.apply_to_period(base)).collect();
+            let c = trace.characterization(&periods);
+            let write = ckpt.write(&format!("cond-{i}"), &c.to_bytes());
+            progress.tick();
+            write.map(|()| c)
+        })?;
+        progress.finish();
+        for (slot, outcome) in missing.into_iter().zip(computed) {
+            results[slot] = Some(outcome.ctx(|| format!("checkpoint condition {slot}"))?);
+        }
+        Ok(results.into_iter().map(|c| c.expect("every condition filled")).collect())
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +607,70 @@ mod tests {
         let c = ch.characterize(OperatingCondition::nominal(), &w, &ClockSpeedup::PAPER);
         assert!(c.delays_ps()[0] > 0);
         assert_eq!(c.average_delay_ps(), 0.0);
+    }
+
+    #[test]
+    fn characterization_bytes_round_trip_bit_exactly() {
+        let c = quick_char(FunctionalUnit::IntMul, 0.88, 75.0, 40);
+        let restored = Characterization::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(restored, c);
+    }
+
+    #[test]
+    fn truncated_characterization_bytes_are_corrupt_not_panic() {
+        let bytes = quick_char(FunctionalUnit::IntAdd, 0.9, 25.0, 10).to_bytes();
+        for cut in 0..bytes.len() {
+            let e = Characterization::from_bytes(&bytes[..cut]).unwrap_err();
+            assert_eq!(e.kind(), tevot_resil::ErrorKind::Corrupt, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_characterization_bytes_are_rejected() {
+        // Unknown unit tag.
+        let mut bytes = quick_char(FunctionalUnit::IntAdd, 0.9, 25.0, 10).to_bytes();
+        bytes[1] = 200;
+        assert!(Characterization::from_bytes(&bytes).is_err());
+        // Non-finite voltage.
+        let mut bytes = quick_char(FunctionalUnit::IntAdd, 0.9, 25.0, 10).to_bytes();
+        bytes[2..10].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let e = Characterization::from_bytes(&bytes).unwrap_err();
+        assert!(e.to_string().contains("implausible operating condition"), "{e}");
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_bit_identically() {
+        use tevot_resil::checkpoint::CheckpointDir;
+        use tevot_resil::CancelToken;
+
+        let dir = std::env::temp_dir().join(format!("tevot_dta_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ch = Characterizer::new(FunctionalUnit::IntAdd);
+        let w = random_workload(FunctionalUnit::IntAdd, 30, 11);
+        let conds: Vec<OperatingCondition> = [(0.85, 0.0), (0.9, 50.0), (1.0, 100.0)]
+            .map(|(v, t)| OperatingCondition::new(v, t))
+            .into();
+        let plain = ch.characterize_sweep(&conds, &w, &ClockSpeedup::PAPER);
+
+        let ckpt = CheckpointDir::open(&dir).unwrap();
+        let token = CancelToken::new();
+        let first =
+            ch.characterize_sweep_ckpt(&conds, &w, &ClockSpeedup::PAPER, &ckpt, &token).unwrap();
+        assert_eq!(first, plain);
+        // Second run restores every condition from shards.
+        let before = tevot_obs::metrics::RESIL_CKPT_SHARDS_RESUMED.get();
+        let second =
+            ch.characterize_sweep_ckpt(&conds, &w, &ClockSpeedup::PAPER, &ckpt, &token).unwrap();
+        assert_eq!(second, plain);
+        assert_eq!(tevot_obs::metrics::RESIL_CKPT_SHARDS_RESUMED.get(), before + 3);
+
+        // A different workload must be refused, not silently mixed in.
+        let other = random_workload(FunctionalUnit::IntAdd, 30, 12);
+        let e = ch
+            .characterize_sweep_ckpt(&conds, &other, &ClockSpeedup::PAPER, &ckpt, &token)
+            .unwrap_err();
+        assert_eq!(e.kind(), tevot_resil::ErrorKind::Corrupt);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -178,12 +178,19 @@ impl TevotModel {
     ///
     /// # Errors
     ///
-    /// Returns [`LoadModelError`] on I/O failure or malformed data.
+    /// Returns [`LoadModelError`] on I/O failure or malformed data,
+    /// naming the byte offset where decoding stopped.
     pub fn load(mut reader: impl Read) -> Result<TevotModel, LoadModelError> {
         let mut header = [0u8; 3];
-        reader.read_exact(&mut header)?;
+        reader.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                LoadModelError::format(0, "truncated: shorter than the 3-byte header")
+            } else {
+                e.into()
+            }
+        })?;
         if &header[..2] != b"TV" || header[2] > 1 {
-            return Err(LoadModelError::Format("not a TEVoT model".into()));
+            return Err(LoadModelError::format(0, "not a TEVoT model"));
         }
         let encoding = if header[2] == 1 {
             FeatureEncoding::with_history()
@@ -192,6 +199,31 @@ impl TevotModel {
         };
         let forest = persist::load_regressor(reader)?;
         Ok(TevotModel { forest, encoding })
+    }
+
+    /// Saves the model to `path` (failpoint: `model.save`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors, including injected ones.
+    pub fn save_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        tevot_resil::fail::eval("model.save")?;
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut writer)?;
+        writer.flush()
+    }
+
+    /// Loads a model from `path`; a truncated or corrupt file yields a
+    /// typed error naming the path and byte offset (failpoint:
+    /// `model.load`).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadModelError::AtPath`] wrapping the underlying failure.
+    pub fn load_path(path: &std::path::Path) -> Result<TevotModel, LoadModelError> {
+        persist::open_model(path)
+            .and_then(|f| Self::load(std::io::BufReader::new(f)))
+            .map_err(|e| e.at_path(path))
     }
 }
 

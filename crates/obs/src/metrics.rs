@@ -186,6 +186,14 @@ pub static ML_TRAIN_ITERATIONS: Counter = Counter::new("ml.train_iterations");
 pub static ML_NODE_SPLITS: Counter = Counter::new("ml.node_splits");
 /// Tasks executed by `tevot-par` parallel regions (any worker count).
 pub static PAR_TASKS: Counter = Counter::new("par.tasks");
+/// Faults fired by `tevot-resil` failpoints (chaos testing only).
+pub static RESIL_FAULTS_INJECTED: Counter = Counter::new("resil.failpoints_fired");
+/// I/O operations retried after a transient failure.
+pub static RESIL_RETRIES: Counter = Counter::new("resil.retries");
+/// Checkpoint shards atomically committed to disk.
+pub static RESIL_CKPT_SHARDS_WRITTEN: Counter = Counter::new("resil.ckpt_shards_written");
+/// Sweep conditions skipped on resume because a valid shard existed.
+pub static RESIL_CKPT_SHARDS_RESUMED: Counter = Counter::new("resil.ckpt_shards_resumed");
 
 /// Dynamic delay of each simulated cycle, in picoseconds.
 pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
@@ -196,7 +204,7 @@ pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
 pub static SIM_TOGGLES_PER_CYCLE: Histogram =
     Histogram::new("sim.toggles_per_cycle", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]);
 
-static COUNTERS: [&Counter; 11] = [
+static COUNTERS: [&Counter; 15] = [
     &SIM_CYCLES,
     &SIM_EVENTS,
     &SIM_GATE_EVALS,
@@ -208,6 +216,10 @@ static COUNTERS: [&Counter; 11] = [
     &ML_TRAIN_ITERATIONS,
     &ML_NODE_SPLITS,
     &PAR_TASKS,
+    &RESIL_FAULTS_INJECTED,
+    &RESIL_RETRIES,
+    &RESIL_CKPT_SHARDS_WRITTEN,
+    &RESIL_CKPT_SHARDS_RESUMED,
 ];
 
 static HISTOGRAMS: [&Histogram; 2] = [&SIM_CYCLE_DELAY_PS, &SIM_TOGGLES_PER_CYCLE];

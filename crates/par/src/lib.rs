@@ -50,6 +50,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use tevot_resil::{CancelToken, TevotError};
+
+/// The per-task failpoint (`par.task`): a `panic` action simulates a
+/// worker crashing mid-task, an `io` action is promoted to a panic too —
+/// task closures are infallible, so any injected fault is a crash.
+#[inline]
+fn task_failpoint() {
+    if let Err(e) = tevot_resil::fail::eval("par.task") {
+        panic!("par.task: {e}");
+    }
+}
+
 /// Explicit worker-count override; 0 means "not set, resolve lazily".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
 
@@ -129,6 +141,7 @@ where
         return items
             .iter()
             .map(|item| {
+                task_failpoint();
                 tevot_obs::metrics::PAR_TASKS.incr();
                 f(item)
             })
@@ -151,6 +164,7 @@ where
                     if i >= n {
                         break;
                     }
+                    task_failpoint();
                     let result = f(&items[i]);
                     tevot_obs::metrics::PAR_TASKS.incr();
                     // The receiver outlives the scope body; a send can
@@ -177,6 +191,119 @@ where
             return None;
         }
         Some(slots.into_iter().map(|r| r.expect("every index delivered")).collect())
+    })
+    .expect("a parallel task panicked")
+}
+
+/// Cancellable parallel ordered map with the global worker count.
+///
+/// See [`map_cancellable_with`].
+///
+/// # Errors
+///
+/// [`tevot_resil::ErrorKind::Cancelled`] when `token` is cancelled
+/// before every task has completed.
+pub fn map_cancellable<T, R, F>(
+    token: &CancelToken,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, TevotError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_cancellable_with(jobs(), token, items, f)
+}
+
+/// Cancellable parallel ordered map with an explicit worker count.
+///
+/// Identical to [`map_with`] — same ordered reduction, same determinism
+/// contract, same panic propagation — except that workers check `token`
+/// before claiming each task and stop claiming once it is cancelled.
+/// In-flight tasks run to completion (cancellation is cooperative, not
+/// preemptive), so a caller checkpointing per-task results keeps
+/// everything finished before the abort.
+///
+/// # Errors
+///
+/// [`tevot_resil::ErrorKind::Cancelled`] when the token was cancelled
+/// before every task completed; already-computed results are dropped
+/// (the caller resumes from its checkpoints).
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller, as with [`map_with`].
+pub fn map_cancellable_with<T, R, F>(
+    jobs: usize,
+    token: &CancelToken,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, TevotError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items
+            .iter()
+            .map(|item| {
+                token.check("parallel map")?;
+                task_failpoint();
+                tevot_obs::metrics::PAR_TASKS.incr();
+                Ok(f(item))
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || {
+                let _lane = tevot_obs::span!("par.worker");
+                loop {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    task_failpoint();
+                    let result = f(&items[i]);
+                    tevot_obs::metrics::PAR_TASKS.incr();
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut delivered = 0usize;
+        for (i, result) in rx {
+            slots[i] = Some(result);
+            delivered += 1;
+        }
+        if delivered < n {
+            if token.is_cancelled() {
+                return Some(Err(TevotError::cancelled(format!(
+                    "parallel map cancelled after {delivered}/{n} tasks"
+                ))));
+            }
+            // A worker panicked: let the scope join re-raise it.
+            return None;
+        }
+        Some(Ok(slots.into_iter().map(|r| r.expect("every index delivered")).collect()))
     })
     .expect("a parallel task panicked")
 }
@@ -232,6 +359,55 @@ mod tests {
         let before = tevot_obs::metrics::PAR_TASKS.get();
         let _ = map_with(4, &[1u8, 2, 3, 4, 5], |&x| x);
         assert!(tevot_obs::metrics::PAR_TASKS.get() >= before + 5);
+    }
+
+    #[test]
+    fn cancellable_map_matches_serial_when_not_cancelled() {
+        let items: Vec<u64> = (0..101).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 7).collect();
+        let token = CancelToken::new();
+        for jobs in [1, 2, 4] {
+            let out = map_cancellable_with(jobs, &token, &items, |&x| x * 7).unwrap();
+            assert_eq!(out, serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_short_circuits() {
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1, 4] {
+            let e = map_cancellable_with(jobs, &token, &[1u32, 2, 3], |&x| x).unwrap_err();
+            assert_eq!(e.kind(), tevot_resil::ErrorKind::Cancelled);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_claiming() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let token = CancelToken::new();
+        let observed = AtomicUsize::new(0);
+        let out = map_cancellable_with(4, &token, &items, |&x| {
+            observed.fetch_add(1, Ordering::Relaxed);
+            if x == 50 {
+                token.cancel();
+            }
+            x
+        });
+        let e = out.unwrap_err();
+        assert_eq!(e.kind(), tevot_resil::ErrorKind::Cancelled);
+        assert!(
+            observed.load(Ordering::Relaxed) < items.len(),
+            "cancellation must stop workers before the whole input is processed"
+        );
+    }
+
+    #[test]
+    fn injected_task_fault_panics_like_a_crash() {
+        let _scope = tevot_resil::fail::scoped("par.task=io#3");
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| map_with(2, &items, |&x| x));
+        assert!(caught.is_err(), "injected par.task fault must crash the region");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Cooperative cancellation: a shared token polled by long-running
+//! stages, plus a wall-clock watchdog.
+//!
+//! Cancellation is *cooperative*: nothing is killed. Workers check
+//! [`CancelToken::is_cancelled`] between tasks and stop claiming new
+//! work; the sweep flushes whatever checkpoint shards completed and
+//! returns [`ErrorKind::Cancelled`](crate::ErrorKind::Cancelled), so a
+//! later `--resume` picks up exactly where the abort landed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::TevotError;
+
+/// A cheap, cloneable cancellation flag shared between a controller
+/// (watchdog, signal handler, test) and the workers it may stop.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// A cancellation point: fails fast when the token is cancelled.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Cancelled`](crate::ErrorKind::Cancelled) after
+    /// [`cancel`](Self::cancel) was called.
+    pub fn check(&self, what: &str) -> Result<(), TevotError> {
+        if self.is_cancelled() {
+            Err(TevotError::cancelled(format!("{what}: cancelled")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A wall-clock watchdog that cancels a token after a deadline. The
+/// polling thread exits as soon as the watchdog is dropped, the
+/// deadline fires, or the token is cancelled by someone else.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns a watchdog that cancels `token` once `deadline` elapses.
+    /// Polls at ~1 ms granularity, so sub-millisecond deadlines are
+    /// effectively immediate.
+    pub fn deadline(token: &CancelToken, deadline: Duration) -> Watchdog {
+        let token = token.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tevot-watchdog".into())
+            .spawn(move || {
+                let start = std::time::Instant::now();
+                while !stop_in_thread.load(Ordering::Acquire) && !token.is_cancelled() {
+                    if start.elapsed() >= deadline {
+                        tevot_obs::warn!("watchdog: deadline {deadline:?} elapsed, cancelling");
+                        token.cancel();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog { stop, handle: Some(handle) }
+    }
+
+    /// Disarms the watchdog without waiting for the deadline.
+    pub fn disarm(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ErrorKind;
+
+    #[test]
+    fn token_starts_clear_and_propagates_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        t.check("stage").unwrap();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        let e = t.check("stage").unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Cancelled);
+        assert_eq!(e.exit_code(), 6);
+    }
+
+    #[test]
+    fn watchdog_fires_after_deadline() {
+        let t = CancelToken::new();
+        let _w = Watchdog::deadline(&t, Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(start.elapsed() < Duration::from_secs(5), "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let t = CancelToken::new();
+        let w = Watchdog::deadline(&t, Duration::from_millis(20));
+        w.disarm();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn dropping_the_watchdog_stops_its_thread() {
+        let t = CancelToken::new();
+        drop(Watchdog::deadline(&t, Duration::from_secs(3600)));
+        assert!(!t.is_cancelled());
+    }
+}

@@ -1,0 +1,302 @@
+//! Little-endian byte codec for checkpoint payloads.
+//!
+//! Checkpoint shards must round-trip **bit-exactly** (the resume chaos
+//! test compares resumed and uninterrupted runs byte for byte), so
+//! floating-point values travel as raw IEEE-754 bit patterns. The reader
+//! returns [`ErrorKind::Corrupt`](crate::ErrorKind::Corrupt) errors that
+//! name the offending byte offset, mirroring the `ml/persist.rs`
+//! convention.
+
+use crate::error::TevotError;
+
+/// An append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern (bit-exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `u64`-counted list of little-endian `u64`s.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// Appends a `u64`-counted raw byte blob (e.g. a nested payload).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64`-counted bit-packed bool vector (LSB-first).
+    pub fn put_bools(&mut self, vs: &[bool]) {
+        self.put_u64(vs.len() as u64);
+        for chunk in vs.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                byte |= (b as u8) << i;
+            }
+            self.buf.push(byte);
+        }
+    }
+}
+
+/// A checked little-endian byte reader over a payload slice. Every
+/// failure reports the byte offset at which decoding stopped.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Corrupt-data error at the current offset.
+    pub fn corrupt(&self, message: impl std::fmt::Display) -> TevotError {
+        TevotError::corrupt(format!("{message} at byte {}", self.pos))
+    }
+
+    /// Fails unless every payload byte was consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Corrupt`](crate::ErrorKind::Corrupt) naming the
+    /// number of trailing bytes.
+    pub fn finish(self) -> Result<(), TevotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(self.corrupt(format!("{} unexpected trailing bytes", self.buf.len() - self.pos)))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TevotError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            self.corrupt(format!(
+                "truncated payload: need {n} bytes, {} remain",
+                self.buf.len() - self.pos
+            ))
+        })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error at the current offset on truncation.
+    pub fn u8(&mut self) -> Result<u8, TevotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error at the current offset on truncation.
+    pub fn u32(&mut self) -> Result<u32, TevotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error at the current offset on truncation.
+    pub fn u64(&mut self) -> Result<u64, TevotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its raw IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error at the current offset on truncation.
+    pub fn f64(&mut self) -> Result<f64, TevotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length prefix written by the `put_*_slice` helpers,
+    /// sanity-checking it against the bytes actually remaining (each
+    /// element occupies at least `min_elem_bytes`), so corrupt counts
+    /// fail fast instead of attempting enormous allocations.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error when the count cannot fit in the remaining bytes.
+    pub fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, TevotError> {
+        let at = self.pos;
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        let need = n.checked_mul(min_elem_bytes.max(1) as u64);
+        if need.is_none_or(|need| need > remaining.saturating_mul(8)) {
+            return Err(TevotError::corrupt(format!(
+                "implausible element count {n} at byte {at}: only {remaining} bytes remain"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a `u64`-counted list of little-endian `u64`s.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error on truncation or an implausible count.
+    pub fn u64_slice(&mut self) -> Result<Vec<u64>, TevotError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a `u64`-counted raw byte blob written by
+    /// [`ByteWriter::put_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error on truncation or an implausible count.
+    pub fn bytes(&mut self) -> Result<&'a [u8], TevotError> {
+        let n = self.len_prefix(0)?;
+        let at = self.pos;
+        self.take(n).map_err(|_| {
+            TevotError::corrupt(format!(
+                "truncated blob at byte {at}: need {n} bytes, {} remain",
+                self.buf.len() - at
+            ))
+        })
+    }
+
+    /// Reads a `u64`-counted bit-packed bool vector (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Corrupt error on truncation or an implausible count.
+    pub fn bools(&mut self) -> Result<Vec<bool>, TevotError> {
+        let n = self.len_prefix(0)?;
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+}
+
+/// FNV-1a 64-bit hash; the checkpoint header's checksum function.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ErrorKind;
+
+    #[test]
+    fn scalars_round_trip_bit_exactly() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), f64::NAN.to_bits());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn slices_and_bools_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u64_slice(&[3, 1, 4, 1, 5]);
+        w.put_bools(&[true, false, true, true, false, false, false, true, true]);
+        w.put_bools(&[]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u64_slice().unwrap(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(
+            r.bools().unwrap(),
+            vec![true, false, true, true, false, false, false, true, true]
+        );
+        assert_eq!(r.bools().unwrap(), Vec::<bool>::new());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_names_the_offset() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        r.u8().unwrap();
+        let e = r.u64().unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Corrupt);
+        assert!(e.to_string().contains("at byte 1"), "{e}");
+    }
+
+    #[test]
+    fn implausible_counts_fail_fast() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // claimed element count
+        let bytes = w.into_bytes();
+        let e = ByteReader::new(&bytes).u64_slice().unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Corrupt);
+        assert!(e.to_string().contains("implausible"), "{e}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let e = ByteReader::new(&[0]).finish().unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

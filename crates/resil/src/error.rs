@@ -1,0 +1,249 @@
+//! The workspace error taxonomy.
+//!
+//! Every fallible path of the pipeline funnels into [`TevotError`]: a
+//! classified, context-chained error whose [`ErrorKind`] maps to a
+//! stable process exit code, so scripts driving the CLI (and the CI
+//! chaos job) can distinguish "you typed the flag wrong" from "the
+//! checkpoint shard is corrupt" from "the deadline watchdog fired"
+//! without parsing stderr.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// The coarse classification of a [`TevotError`], and the source of the
+/// stable exit codes documented in DESIGN.md §12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed command-line usage (unknown flag, unparsable value).
+    Usage,
+    /// An operating-system I/O failure (open, read, write, rename...).
+    Io,
+    /// Stored data that exists but fails validation: bad magic, short
+    /// payload, checksum mismatch, implausible counts.
+    Corrupt,
+    /// Text that cannot be parsed (VCD dumps, workload traces, reports).
+    Parse,
+    /// The operation was cancelled cooperatively (watchdog, deadline).
+    Cancelled,
+    /// Everything else — a bug or an unclassified failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable process exit code for this kind. `0` is success and
+    /// `1` the generic failure, so every specific kind starts at 2.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::Corrupt => 4,
+            ErrorKind::Parse => 5,
+            ErrorKind::Cancelled => 6,
+            ErrorKind::Internal => 1,
+        }
+    }
+
+    /// The kind's lowercase label (`usage`, `io`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Io => "io",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// The workspace error: a kind, a message, and an optional chained
+/// source. Context wraps outside-in — `open checkpoint shard
+/// /x/cond-3.ckpt: checksum mismatch at byte 28` — while the innermost
+/// error's [`ErrorKind`] classification is preserved through every
+/// [`TevotError::context`] layer.
+#[derive(Debug)]
+pub struct TevotError {
+    kind: ErrorKind,
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl TevotError {
+    /// An error of the given kind with no source.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        TevotError { kind, message: message.into(), source: None }
+    }
+
+    /// A [`ErrorKind::Usage`] error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Usage, message)
+    }
+
+    /// A [`ErrorKind::Corrupt`] error.
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Corrupt, message)
+    }
+
+    /// A [`ErrorKind::Parse`] error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Parse, message)
+    }
+
+    /// The [`ErrorKind::Cancelled`] error produced by cancellation
+    /// points.
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Cancelled, message)
+    }
+
+    /// Attaches an arbitrary source error.
+    pub fn with_source(mut self, source: impl Error + Send + Sync + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// Wraps this error in an outer context message. The result keeps
+    /// this error's kind, so classification survives any number of
+    /// context layers.
+    pub fn context(self, message: impl Into<String>) -> Self {
+        TevotError { kind: self.kind, message: message.into(), source: Some(Box::new(self)) }
+    }
+
+    /// The error's classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> u8 {
+        self.kind.exit_code()
+    }
+
+    /// This layer's message, without the source chain.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Whether any error in the chain is an injected failpoint failure
+    /// (see [`crate::fail::InjectedFailure`]).
+    pub fn is_injected(&self) -> bool {
+        let mut cursor: Option<&(dyn Error + 'static)> = Some(self);
+        while let Some(e) = cursor {
+            if e.is::<crate::fail::InjectedFailure>() {
+                return true;
+            }
+            if let Some(io) = e.downcast_ref::<io::Error>() {
+                if io.get_ref().is_some_and(|r| r.is::<crate::fail::InjectedFailure>()) {
+                    return true;
+                }
+            }
+            cursor = e.source();
+        }
+        false
+    }
+}
+
+impl fmt::Display for TevotError {
+    /// Renders the full context chain on one line (`outer: inner:
+    /// innermost`), anyhow-style, so `eprintln!("error: {e}")` tells the
+    /// whole story. Each layer prints its own message and then delegates
+    /// the remainder to its source's `Display` — which renders *its*
+    /// chain — so no part of the story appears twice. A layer with an
+    /// empty message (the `From` conversions) is pure classification and
+    /// contributes nothing textual of its own.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.message.is_empty() {
+            write!(f, "{}", self.message)?;
+            if self.source.is_some() {
+                write!(f, ": ")?;
+            }
+        }
+        if let Some(source) = &self.source {
+            write!(f, "{source}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for TevotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|s| s as _)
+    }
+}
+
+impl From<io::Error> for TevotError {
+    /// Classifies without adding text: the io error's own `Display`
+    /// (which includes any custom payload, e.g. an injected failure)
+    /// carries the message.
+    fn from(e: io::Error) -> Self {
+        TevotError { kind: ErrorKind::Io, message: String::new(), source: Some(Box::new(e)) }
+    }
+}
+
+/// Extension adding lazy context to any `Result` convertible into a
+/// [`TevotError`].
+pub trait ResultExt<T> {
+    /// Converts the error into a [`TevotError`] and wraps it in the
+    /// message produced by `message` (evaluated only on failure).
+    fn ctx(self, message: impl FnOnce() -> String) -> Result<T, TevotError>;
+}
+
+impl<T, E: Into<TevotError>> ResultExt<T> for Result<T, E> {
+    fn ctx(self, message: impl FnOnce() -> String) -> Result<T, TevotError> {
+        self.map_err(|e| e.into().context(message()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(ErrorKind::Usage.exit_code(), 2);
+        assert_eq!(ErrorKind::Io.exit_code(), 3);
+        assert_eq!(ErrorKind::Corrupt.exit_code(), 4);
+        assert_eq!(ErrorKind::Parse.exit_code(), 5);
+        assert_eq!(ErrorKind::Cancelled.exit_code(), 6);
+        assert_eq!(ErrorKind::Internal.exit_code(), 1);
+    }
+
+    #[test]
+    fn context_preserves_kind_and_chains_display() {
+        let inner = TevotError::corrupt("checksum mismatch at byte 28");
+        let outer = inner.context("read shard cond-3.ckpt").context("resume sweep");
+        assert_eq!(outer.kind(), ErrorKind::Corrupt);
+        assert_eq!(outer.exit_code(), 4);
+        assert_eq!(
+            outer.to_string(),
+            "resume sweep: read shard cond-3.ckpt: checksum mismatch at byte 28"
+        );
+    }
+
+    #[test]
+    fn io_errors_classify_as_io() {
+        let e: TevotError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(e.kind(), ErrorKind::Io);
+        let wrapped = Err::<(), _>(io::Error::new(io::ErrorKind::NotFound, "gone"))
+            .ctx(|| "open model".into())
+            .unwrap_err();
+        assert_eq!(wrapped.kind(), ErrorKind::Io);
+        assert!(wrapped.to_string().starts_with("open model: "));
+    }
+
+    #[test]
+    fn source_chain_is_walkable() {
+        let e = TevotError::parse("bad token").context("parse workload");
+        let src = e.source().expect("has source");
+        assert!(src.downcast_ref::<TevotError>().is_some());
+    }
+
+    #[test]
+    fn injected_detection_walks_the_chain() {
+        let injected = crate::fail::InjectedFailure::new("ckpt.write");
+        let io_err = io::Error::other(injected);
+        let e = TevotError::from(io_err).context("write shard");
+        assert!(e.is_injected());
+        assert!(!TevotError::corrupt("plain").is_injected());
+    }
+}

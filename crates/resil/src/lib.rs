@@ -1,0 +1,75 @@
+//! `tevot-resil` — the crash-safety and fault-tolerance layer of the
+//! TEVoT pipeline.
+//!
+//! The characterization stage sweeps every (V, T) operating condition
+//! through gate-level simulation before a single model can be trained —
+//! exactly the "extensive and expensive circuit characterization" cost
+//! the timing-error-modeling literature identifies as the bottleneck. A
+//! crashed or killed sweep must not discard hours of work, and failures
+//! must surface as typed, recoverable errors instead of panics deep
+//! inside worker threads. This crate provides the four building blocks,
+//! `std`-only like the rest of the workspace:
+//!
+//! * [`error`] — the workspace error taxonomy: [`TevotError`] with
+//!   context chaining and a stable [`ErrorKind`] → process-exit-code
+//!   mapping shared by every binary.
+//! * [`fail`] — a zero-dependency failpoint facility. Sites like
+//!   `fail_point!("ckpt.write")` are no-op branches (one relaxed atomic
+//!   load) until enabled via `TEVOT_FAIL=site=io@0.3,other=panic#2` or
+//!   programmatically from tests.
+//! * [`retry`] — bounded retry with exponential backoff for transient
+//!   I/O failures (including injected ones).
+//! * [`checkpoint`] — crash-safe shard files: atomic tmp + fsync +
+//!   rename writes with a length/checksum header, so a sweep killed at
+//!   any instant leaves only complete, verifiable shards behind.
+//! * [`cancel`] — a cooperative [`CancelToken`] plumbed through
+//!   `tevot-par`, plus a wall-clock [`Watchdog`] that cancels a runaway
+//!   sweep gracefully after flushing partial checkpoints.
+//! * [`codec`] — the little-endian byte reader/writer checkpoint
+//!   payloads are encoded with, returning [`TevotError`]s that name the
+//!   offending byte offset.
+//!
+//! # Examples
+//!
+//! ```
+//! use tevot_resil::checkpoint::CheckpointDir;
+//!
+//! let dir = std::env::temp_dir().join(format!("resil_doc_{}", std::process::id()));
+//! let ckpt = CheckpointDir::open(&dir).unwrap();
+//! ckpt.write("cond-0", b"payload").unwrap();
+//! assert_eq!(ckpt.read_valid("cond-0").as_deref(), Some(&b"payload"[..]));
+//! assert_eq!(ckpt.read_valid("cond-1"), None);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cancel;
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod fail;
+pub mod retry;
+
+pub use cancel::{CancelToken, Watchdog};
+pub use error::{ErrorKind, ResultExt, TevotError};
+
+/// Evaluates a failpoint site and propagates an injected I/O error with
+/// `?`. Usable in any function whose error type converts from
+/// [`std::io::Error`] (including [`TevotError`]); a `panic` action
+/// panics at the site instead. Compiles to a single relaxed atomic load
+/// plus a never-taken branch when no fault injection is configured.
+///
+/// ```
+/// fn write_side() -> Result<(), tevot_resil::TevotError> {
+///     tevot_resil::fail_point!("doc.site");
+///     Ok(())
+/// }
+/// assert!(write_side().is_ok());
+/// ```
+#[macro_export]
+macro_rules! fail_point {
+    ($site:literal) => {
+        $crate::fail::eval($site)?
+    };
+}

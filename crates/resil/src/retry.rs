@@ -1,0 +1,131 @@
+//! Bounded retry with exponential backoff for transient I/O failures.
+
+use std::io;
+use std::time::Duration;
+
+/// Retry policy: attempt count and backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Retry {
+    attempts: u32,
+    base_delay: Duration,
+    max_delay: Duration,
+}
+
+impl Default for Retry {
+    fn default() -> Self {
+        Retry::new(5, Duration::from_millis(1), Duration::from_millis(50))
+    }
+}
+
+impl Retry {
+    /// A policy making at most `attempts` tries, sleeping
+    /// `base_delay * 2^(try - 1)` between them, capped at `max_delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attempts` is zero — a policy that never tries is a
+    /// configuration bug.
+    pub fn new(attempts: u32, base_delay: Duration, max_delay: Duration) -> Self {
+        assert!(attempts > 0, "a retry policy needs at least one attempt");
+        Retry { attempts, base_delay, max_delay }
+    }
+
+    /// The maximum number of tries (first attempt included).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Runs `op` until it succeeds or the attempt budget is exhausted,
+    /// sleeping with exponential backoff between failures. The
+    /// operation's name labels retry warnings; the final error (if all
+    /// attempts fail) is returned untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's error once the budget is spent.
+    pub fn run<T>(&self, what: &str, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut delay = self.base_delay;
+        for attempt in 1..=self.attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.attempts => {
+                    tevot_obs::metrics::RESIL_RETRIES.incr();
+                    tevot_obs::warn!(
+                        "{what}: attempt {attempt}/{} failed ({e}); retrying in {delay:?}",
+                        self.attempts
+                    );
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(self.max_delay);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Retry {
+        Retry::new(4, Duration::from_micros(1), Duration::from_micros(4))
+    }
+
+    #[test]
+    fn succeeds_first_try_without_retrying() {
+        let mut calls = 0;
+        let out = fast().run("op", || {
+            calls += 1;
+            Ok::<_, io::Error>(7)
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn recovers_from_transient_failures() {
+        let mut calls = 0;
+        let out = fast().run("op", || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+    }
+
+    #[test]
+    fn exhausts_budget_and_returns_last_error() {
+        let mut calls = 0;
+        let out: io::Result<()> = fast().run("op", || {
+            calls += 1;
+            Err(io::Error::other(format!("failure #{calls}")))
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(out.unwrap_err().to_string(), "failure #4");
+    }
+
+    #[test]
+    fn recovers_from_injected_faults() {
+        // A 50% injected failure rate falls well inside a 5-attempt
+        // budget's reach; the deterministic draw sequence makes this
+        // test stable.
+        let _scope = crate::fail::scoped("retry.test=io@0.5");
+        for _ in 0..20 {
+            let out = Retry::default().run("op", || {
+                crate::fail::eval("retry.test")?;
+                Ok(())
+            });
+            assert!(out.is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_is_rejected() {
+        let _ = Retry::new(0, Duration::ZERO, Duration::ZERO);
+    }
+}

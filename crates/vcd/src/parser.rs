@@ -80,6 +80,11 @@ impl std::error::Error for ParseVcdError {}
 /// (`b.../r...`) value changes — the last two with dedicated messages
 /// instead of the generic "unrecognized line".
 pub fn parse_vcd(text: &str) -> Result<Vcd, ParseVcdError> {
+    // Failpoint `vcd.parse`: the chaos harness injects a failure here to
+    // prove callers survive an unparsable dump.
+    if let Err(e) = tevot_resil::fail::eval("vcd.parse") {
+        return Err(ParseVcdError::new(0, format!("injected failure: {e}")));
+    }
     let mut timescale = String::from("1ps");
     let mut signals: Vec<String> = Vec::new();
     let mut by_code: HashMap<&str, usize> = HashMap::new();
@@ -231,5 +236,12 @@ mod tests {
     fn rejects_bad_timestamp() {
         let text = "$enddefinitions $end\n#xyz\n";
         assert!(parse_vcd(text).is_err());
+    }
+
+    #[test]
+    fn parse_failpoint_injects_an_error() {
+        let _guard = tevot_resil::fail::scoped("vcd.parse=io@1");
+        let err = parse_vcd("$enddefinitions $end\n").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
     }
 }

@@ -1,0 +1,58 @@
+//! Fuzzing the VCD parser: whatever bytes it is fed — arbitrary garbage,
+//! truncated dumps, byte-flipped dumps — it must return `ParseVcdError`
+//! or a parsed document, never panic.
+
+use proptest::prelude::*;
+use tevot_vcd::{parse_vcd, VcdWriter};
+
+/// A structurally valid dump produced by the workspace writer, used as
+/// the seed for truncation and mutation.
+fn valid_dump(nsignals: usize, nchanges: usize) -> String {
+    let mut w = VcdWriter::new("fuzz");
+    let ids: Vec<_> = (0..nsignals).map(|i| w.declare_wire(format!("s{i}"))).collect();
+    w.begin_dump(&vec![false; nsignals]);
+    for c in 0..nchanges {
+        w.change(10 + c as u64, ids[c % nsignals], c % 2 == 0);
+    }
+    w.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Valid UTF-8 slices parse as-is; the rest go through the lossy
+        // decoder, which is how a caller would feed a binary file in.
+        match std::str::from_utf8(&bytes) {
+            Ok(text) => drop(parse_vcd(text)),
+            Err(_) => drop(parse_vcd(&String::from_utf8_lossy(&bytes))),
+        }
+    }
+
+    #[test]
+    fn truncated_dumps_never_panic(
+        nsignals in 1usize..12,
+        nchanges in 0usize..40,
+        frac in 0.0f64..1.0,
+    ) {
+        let dump = valid_dump(nsignals, nchanges);
+        let mut cut = (dump.len() as f64 * frac) as usize;
+        while !dump.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse_vcd(&dump[..cut]);
+    }
+
+    #[test]
+    fn byte_flipped_dumps_never_panic(
+        nsignals in 1usize..8,
+        pos_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = valid_dump(nsignals, 10).into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = byte;
+        let _ = parse_vcd(&String::from_utf8_lossy(&bytes));
+    }
+}

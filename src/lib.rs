@@ -22,6 +22,9 @@
 //! * [`par`] — the zero-dependency scoped thread pool behind `--jobs` /
 //!   `TEVOT_JOBS`; its ordered reduction keeps every parallel stage
 //!   bit-identical to a serial run.
+//! * [`resil`] — crash-safe resumable checkpoints, failpoint fault
+//!   injection (`TEVOT_FAIL`), the workspace error taxonomy, and
+//!   cooperative cancellation.
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@ pub use tevot_imgproc as imgproc;
 pub use tevot_ml as ml;
 pub use tevot_netlist as netlist;
 pub use tevot_par as par;
+pub use tevot_resil as resil;
 pub use tevot_sim as sim;
 pub use tevot_timing as timing;
 pub use tevot_vcd as vcd;

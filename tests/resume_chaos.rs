@@ -1,0 +1,179 @@
+//! Chaos test for the crash-safe resumable pipeline: a sweep killed
+//! mid-run by an injected panic (`ckpt.write=panic#3`), then restarted
+//! against the same checkpoint directory, must yield a characterization,
+//! training dataset, and trained model bit-identical to an uninterrupted
+//! baseline — at jobs=1 and jobs=4. Transient injected I/O errors must
+//! be absorbed by bounded retry, and a watchdog cancellation must leave
+//! a resumable directory behind.
+//!
+//! Everything lives in ONE `#[test]` on purpose: `tevot_par::with_jobs`
+//! and the failpoint registry are process-global, and cargo runs tests
+//! of a binary concurrently.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot_repro::core::dta::{Characterization, Characterizer};
+use tevot_repro::core::workload::random_workload;
+use tevot_repro::core::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_repro::ml::ForestParams;
+use tevot_repro::netlist::fu::FunctionalUnit;
+use tevot_repro::resil::checkpoint::CheckpointDir;
+use tevot_repro::resil::retry::Retry;
+use tevot_repro::resil::{fail, CancelToken, ErrorKind, Watchdog};
+use tevot_repro::timing::{ClockSpeedup, OperatingCondition};
+
+/// Checkpoint root for one scenario. `TEVOT_CHAOS_DIR` (set by the CI
+/// chaos job) redirects it into the workspace so surviving shards can be
+/// uploaded as an artifact when an assertion fails; the directories are
+/// removed only on success.
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p =
+        std::env::var_os("TEVOT_CHAOS_DIR").map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    p.push(format!("tevot_chaos_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identical() {
+    let fu = FunctionalUnit::IntAdd;
+    let characterizer = Characterizer::new(fu);
+    let work = random_workload(fu, 200, 11);
+    let grid: Vec<OperatingCondition> =
+        [(0.82, 0.0), (0.86, 25.0), (0.90, 50.0), (0.95, 75.0), (1.00, 100.0)]
+            .iter()
+            .map(|&(v, t)| OperatingCondition::new(v, t))
+            .collect();
+    let speedups = ClockSpeedup::PAPER;
+
+    // Dataset + model from a characterization, fully seeded: any
+    // divergence upstream surfaces as a byte-level model mismatch.
+    let pipeline = |chars: &[Characterization]| {
+        let runs: Vec<_> = chars.iter().map(|c| (&work, c)).collect();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &runs);
+        let params = TevotParams {
+            forest: ForestParams { num_trees: 3, ..ForestParams::default() },
+            encoding: FeatureEncoding::with_history(),
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let model = TevotModel::train(&data, &params, &mut rng);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        (data, bytes)
+    };
+
+    let baseline_chars =
+        tevot_par::with_jobs(1, || characterizer.characterize_sweep(&grid, &work, &speedups));
+    let (baseline_data, baseline_model) = pipeline(&baseline_chars);
+
+    for jobs in [1, 4] {
+        let dir = temp_dir(&format!("kill_j{jobs}"));
+
+        // Kill: the manifest and first two condition shards land, then
+        // the next checkpoint write panics — simulating a crash with the
+        // sweep part-way done.
+        let crash = {
+            let _chaos = fail::scoped("ckpt.write=panic#3");
+            catch_unwind(AssertUnwindSafe(|| {
+                tevot_par::with_jobs(jobs, || {
+                    let ckpt = CheckpointDir::open(&dir).unwrap();
+                    characterizer.characterize_sweep_ckpt(
+                        &grid,
+                        &work,
+                        &speedups,
+                        &ckpt,
+                        &CancelToken::new(),
+                    )
+                })
+            }))
+        };
+        assert!(crash.is_err(), "injected panic must kill the sweep at jobs={jobs}");
+        let shards = std::fs::read_dir(&dir).unwrap().count();
+        assert!(shards >= 1, "crash must leave journaled shards behind at jobs={jobs}");
+
+        // Resume: completed conditions load from their shards, the rest
+        // recompute, and everything downstream is bit-identical.
+        let resumed_before = tevot_obs::metrics::RESIL_CKPT_SHARDS_RESUMED.get();
+        let chars = tevot_par::with_jobs(jobs, || {
+            let ckpt = CheckpointDir::open(&dir).unwrap();
+            characterizer.characterize_sweep_ckpt(
+                &grid,
+                &work,
+                &speedups,
+                &ckpt,
+                &CancelToken::new(),
+            )
+        })
+        .unwrap();
+        assert_eq!(baseline_chars, chars, "resumed characterization diverged at jobs={jobs}");
+        assert!(
+            tevot_obs::metrics::RESIL_CKPT_SHARDS_RESUMED.get() > resumed_before,
+            "resume must skip at least one checkpointed condition at jobs={jobs}"
+        );
+        let (data, model) = pipeline(&chars);
+        assert_eq!(baseline_data, data, "training matrix diverged at jobs={jobs}");
+        assert_eq!(baseline_model, model, "trained model diverged at jobs={jobs}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Transient injected I/O errors on checkpoint reads and writes are
+    // absorbed by bounded retry; the sweep completes bit-identically.
+    // 20 attempts keep the chance of 20 consecutive p=0.3 failures
+    // negligible (~1e-11 per write).
+    {
+        let dir = temp_dir("retry");
+        let _chaos = fail::scoped("ckpt.write=io@0.3,ckpt.read=io@0.2");
+        let chars = tevot_par::with_jobs(2, || {
+            let ckpt = CheckpointDir::open(&dir).unwrap().with_retry(Retry::new(
+                20,
+                Duration::from_micros(1),
+                Duration::from_micros(8),
+            ));
+            characterizer.characterize_sweep_ckpt(
+                &grid,
+                &work,
+                &speedups,
+                &ckpt,
+                &CancelToken::new(),
+            )
+        })
+        .unwrap();
+        assert_eq!(baseline_chars, chars, "sweep under transient i/o faults diverged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // A watchdog deadline cancels the sweep cooperatively (the error
+    // classifies as Cancelled, exit code 6) and the partial checkpoint
+    // directory resumes to a bit-identical result.
+    {
+        let dir = temp_dir("watchdog");
+        let token = CancelToken::new();
+        let _dog = Watchdog::deadline(&token, Duration::from_millis(0));
+        let err = tevot_par::with_jobs(1, || {
+            let ckpt = CheckpointDir::open(&dir).unwrap();
+            characterizer.characterize_sweep_ckpt(&grid, &work, &speedups, &ckpt, &token)
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Cancelled, "{err}");
+        assert_eq!(err.exit_code(), 6);
+
+        let chars = tevot_par::with_jobs(1, || {
+            let ckpt = CheckpointDir::open(&dir).unwrap();
+            characterizer.characterize_sweep_ckpt(
+                &grid,
+                &work,
+                &speedups,
+                &ckpt,
+                &CancelToken::new(),
+            )
+        })
+        .unwrap();
+        assert_eq!(baseline_chars, chars, "post-cancellation resume diverged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
