@@ -46,6 +46,8 @@ pub struct SuiteScale {
     pub sweep_conditions: usize,
     /// Vectors per condition in the parallel-sweep benchmark.
     pub sweep_vectors: usize,
+    /// Requests driven through the loopback serving benchmark.
+    pub serve_requests: usize,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -60,6 +62,7 @@ impl SuiteScale {
             num_trees: 10,
             sweep_conditions: 6,
             sweep_vectors: 200,
+            serve_requests: 1000,
             seed: 0xDAC2020,
         }
     }
@@ -73,6 +76,7 @@ impl SuiteScale {
             num_trees: 4,
             sweep_conditions: 4,
             sweep_vectors: 80,
+            serve_requests: 300,
             ..Self::standard()
         }
     }
@@ -224,6 +228,44 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         let read_s = t0.elapsed().as_secs_f64();
         report.push("resil.resume_skip_per_s", n as f64 / read_s, "shards/s", true);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Online serving: a loopback tevot-serve instance under the
+    // deterministic load generator. With fewer concurrent connections
+    // than the admission bound every request must be answered 200, so
+    // the stage asserts a clean run and tracks end-to-end throughput
+    // (serve.qps) and tail latency (serve.p99_us) in the gate.
+    {
+        let _span = tevot_obs::span!("bench.serve");
+        let fu = scale.fus[0];
+        let characterizer = Characterizer::new(fu);
+        let serve_w = random_workload(fu, scale.train_vectors.min(300), scale.seed + 21);
+        let truth = characterizer.characterize(cond, &serve_w, &ClockSpeedup::PAPER);
+        let mut params = TevotParams::default();
+        params.forest.num_trees = scale.num_trees.min(4);
+        let data = build_delay_dataset(params.encoding, &[(&serve_w, &truth)]);
+        let mut rng = SmallRng::seed_from_u64(scale.seed + 21);
+        let model = TevotModel::train(&data, &params, &mut rng);
+
+        let server =
+            tevot_serve::Server::start(tevot_serve::ServeConfig::default()).expect("bind loopback");
+        server.state().registry.insert(tevot_serve::DEFAULT_MODEL, model);
+        let load = tevot_serve::loadgen::LoadConfig {
+            addr: server.local_addr().to_string(),
+            requests: scale.serve_requests,
+            connections: 4,
+            transitions: 4,
+            model: tevot_serve::DEFAULT_MODEL.into(),
+        };
+        let outcome = tevot_serve::loadgen::run(&load);
+        server.shutdown();
+        assert_eq!(
+            (outcome.shed, outcome.errors),
+            (0, 0),
+            "loopback load run must be shed- and error-free"
+        );
+        report.push("serve.qps", outcome.qps, "req/s", true);
+        report.push("serve.p99_us", outcome.p99_us, "us", false);
     }
 
     report.push("suite.wall_s", suite_t0.elapsed().as_secs_f64(), "s", false);

@@ -15,8 +15,10 @@
 //! tevot predict      --model model.tevot --voltage <V> --temperature <C>
 //!                    --clock-ps <N> --a <u32> --b <u32>
 //!                    [--prev-a <u32>] [--prev-b <u32>]
-//! tevot sweep        --model model.tevot [--grid fig3|paper]
+//! tevot sweep        --model model.tevot [--grid fig3|paper] [--fu <unit>]
 //!                    [--vectors N] [--seed S] [--clock-ps N]
+//! tevot serve        --model model.tevot [--addr host:port]
+//!                    [--max-queue N] [--batch N] [--batch-wait-ms N]
 //! tevot obs-diff     <a.json> <b.json>
 //! ```
 //!
@@ -73,13 +75,25 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
                      [--prev-a <u32>] [--prev-b <u32>]
   tevot sweep        --model model.tevot [--grid fig3|paper] [--vectors N]
                      [--voltages V,V --temps C,C] [--seed S] [--clock-ps N]
+                     [--fu <unit>]          (workload unit; default int-add)
   tevot ter          --model model.tevot --voltage <V> --temperature <C>
                      --clock-ps <N> [--workload trace.txt | --fu <unit>
                      --vectors N] [--validate] [--seed S]
+  tevot serve        --model model.tevot [--addr <host:port>]
+                     [--max-queue N] [--batch N] [--batch-wait-ms N]
   tevot obs-diff     <a.json> <b.json>      (two --metrics reports)
 
 units: int-add | int-mul | fp-add | fp-mul; operands take decimal or 0x hex.
 workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.
+
+serve (online inference; see DESIGN.md for the batching architecture):
+  --addr <host:port>   bind address (default 127.0.0.1:7450; :0 picks a port)
+  --max-queue <N>      admission bound; beyond it requests shed with
+                       HTTP 503 + Retry-After (default 256)
+  --batch <N>          max jobs merged per microbatch (default 32)
+  --batch-wait-ms <N>  how long a microbatch waits for company (default 1)
+  endpoints: POST /predict | POST /ter | POST /models/<name> |
+             GET /models | GET /healthz | GET /metrics
 
 train resilience:
   --resume <dir>       checkpoint each characterized condition to <dir>
@@ -122,6 +136,7 @@ pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         "predict" => cmd_predict(&args),
         "sweep" => cmd_sweep(&args),
         "ter" => cmd_ter(&args),
+        "serve" => cmd_serve(&args),
         "obs-diff" => cmd_obs_diff(&args),
         other => Err(ArgError(format!("unknown subcommand {other:?}")).into()),
     }
@@ -257,15 +272,9 @@ fn cmd_obs_diff(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn parse_fu(name: &str) -> Result<FunctionalUnit, ArgError> {
-    match name {
-        "int-add" => Ok(FunctionalUnit::IntAdd),
-        "int-mul" => Ok(FunctionalUnit::IntMul),
-        "fp-add" => Ok(FunctionalUnit::FpAdd),
-        "fp-mul" => Ok(FunctionalUnit::FpMul),
-        other => Err(ArgError(format!(
-            "unknown unit {other:?} (expected int-add | int-mul | fp-add | fp-mul)"
-        ))),
-    }
+    FunctionalUnit::from_name(name).ok_or_else(|| {
+        ArgError(format!("unknown unit {name:?} (expected int-add | int-mul | fp-add | fp-mul)"))
+    })
 }
 
 fn parse_grid(name: &str) -> Result<ConditionGrid, ArgError> {
@@ -463,20 +472,29 @@ fn cmd_predict(args: &Args) -> Result<(), Box<dyn Error>> {
 fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
     let model = load_model(args.require("model")?)?;
     let grid = grid_from_args(args)?;
+    let fu = args.get("fu").map(parse_fu).transpose()?.unwrap_or(FunctionalUnit::IntAdd);
     let vectors: usize = args.get_or("vectors", 300)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let clock: Option<u64> = args.get("clock-ps").map(str::parse).transpose()?;
     args.finish()?;
+    if vectors < 2 {
+        return Err(ArgError(format!(
+            "--vectors must be at least 2 (got {vectors}); a sweep needs at least one transition"
+        ))
+        .into());
+    }
 
     // The model carries no FU identity; predicted delays are meaningful
-    // for the unit it was trained on. Random 64-bit operand pairs probe
-    // the distribution.
+    // for the unit it was trained on, so --fu should match the training
+    // unit (default int-add). Random operand pairs probe the
+    // distribution.
     let _span = tevot_obs::span!("evaluate");
-    let work = random_workload(FunctionalUnit::IntAdd, vectors, seed);
+    let work = random_workload(fu, vectors, seed);
     let ops = work.operands();
     outln!(
-        "predicted dynamic-delay distribution over {} random transitions{}:",
+        "predicted dynamic-delay distribution over {} random {} transitions{}:",
         vectors - 1,
+        fu.slug(),
         clock.map(|c| format!(" (TER at clock {c} ps)")).unwrap_or_default(),
     );
     outln!("{:>14} {:>8} {:>8} {:>8} {:>10}", "condition", "p50", "p99", "max", "TER");
@@ -484,7 +502,10 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
         let mut delays: Vec<f64> =
             (1..ops.len()).map(|t| model.predict_delay_ps(cond, ops[t], ops[t - 1])).collect();
         delays.sort_by(f64::total_cmp);
-        let q = |p: f64| delays[((delays.len() - 1) as f64 * p) as usize];
+        // Interpolated quantiles — the same convention the tevot-obs
+        // histograms (and thus the serve /metrics endpoint) report, so
+        // CLI and served percentiles agree.
+        let q = |p: f64| tevot_obs::metrics::quantile_sorted(&delays, p).unwrap_or(0.0);
         let ter = clock
             .map(|c| {
                 let errors = delays.iter().filter(|&&d| d > c as f64).count();
@@ -500,5 +521,48 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
             ter,
         );
     }
+    Ok(())
+}
+
+/// `tevot serve`: the online inference server (tevot-serve). Loads
+/// `--model` as the `default` registry entry, binds `--addr`, and serves
+/// until the process is killed. Worker count comes from the global
+/// `--jobs` flag / `TEVOT_JOBS`, like every other command.
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model_path = args.require("model")?.to_owned();
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7450").to_owned();
+    let max_queue: usize = args.get_or("max-queue", 256)?;
+    let batch: usize = args.get_or("batch", 32)?;
+    let batch_wait_ms: u64 = args.get_or("batch-wait-ms", 1)?;
+    args.finish()?;
+    if max_queue == 0 {
+        return Err(ArgError("--max-queue must be at least 1".into()).into());
+    }
+    if batch == 0 {
+        return Err(ArgError("--batch must be at least 1".into()).into());
+    }
+
+    // Load (and validate) the model before binding the port, so a bad
+    // model path fails fast with the taxonomy exit code instead of
+    // leaving a listener that 404s everything.
+    let model = load_model(&model_path)?;
+    let config = tevot_serve::ServeConfig {
+        addr: addr.clone(),
+        jobs: 0, // resolve the global --jobs / TEVOT_JOBS setting
+        max_queue,
+        batch,
+        batch_wait: std::time::Duration::from_millis(batch_wait_ms),
+        ..tevot_serve::ServeConfig::default()
+    };
+    let server = tevot_serve::Server::start(config)
+        .map_err(|e| TevotError::from(e).context(format!("cannot bind {addr}")))?;
+    server.state().registry.insert(tevot_serve::DEFAULT_MODEL, model);
+    outln!(
+        "serving {model_path} as {:?} on http://{}  (queue {max_queue}, batch {batch}, \
+         wait {batch_wait_ms} ms)",
+        tevot_serve::DEFAULT_MODEL,
+        server.local_addr(),
+    );
+    server.join();
     Ok(())
 }

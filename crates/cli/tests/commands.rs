@@ -135,6 +135,18 @@ fn characterize_writes_sdf() {
 }
 
 #[test]
+fn serve_validates_arguments_before_binding() {
+    // Missing --model and nonsense sizing are usage errors (exit 2),
+    // reported before anything touches the network.
+    assert_eq!(run_code(&["serve"]), 2);
+    assert_eq!(run_code(&["serve", "--model", "x.tevot", "--batch", "0"]), 2);
+    assert_eq!(run_code(&["serve", "--model", "x.tevot", "--max-queue", "0"]), 2);
+    // A missing model file fails fast with the I/O exit code instead of
+    // leaving a listener bound with an empty registry.
+    assert_eq!(run_code(&["serve", "--model", "/nonexistent/m.tevot"]), 3);
+}
+
+#[test]
 fn exit_codes_follow_the_taxonomy() {
     // Usage: unknown flags, malformed list values, lonely --voltages.
     assert_eq!(run_code(&["stats", "--fu", "int-add", "--bogus", "1"]), 2);
@@ -304,6 +316,28 @@ fn train_predict_ter_roundtrip() {
 
     run(&["sweep", "--model", model.to_str().unwrap(), "--vectors", "50", "--clock-ps", "250"])
         .unwrap();
+
+    // --fu selects the workload unit; unknown units are usage errors.
+    run(&["sweep", "--model", model.to_str().unwrap(), "--vectors", "20", "--fu", "int-mul"])
+        .unwrap();
+    assert_eq!(
+        run_code(&["sweep", "--model", model.to_str().unwrap(), "--fu", "int-div"]),
+        2,
+        "unknown --fu must be a usage error"
+    );
+
+    // A sweep needs at least one transition: --vectors below 2 must be a
+    // usage error (exit 2), not an arithmetic underflow panic.
+    for vectors in ["0", "1"] {
+        assert_eq!(
+            run_code(&["sweep", "--model", model.to_str().unwrap(), "--vectors", vectors]),
+            2,
+            "--vectors {vectors} must exit 2"
+        );
+        let err =
+            run(&["sweep", "--model", model.to_str().unwrap(), "--vectors", vectors]).unwrap_err();
+        assert!(err.contains("at least 2"), "{err}");
+    }
 
     // Corrupted model data is rejected cleanly.
     std::fs::write(&model, b"garbage").unwrap();

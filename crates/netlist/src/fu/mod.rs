@@ -91,6 +91,24 @@ impl FunctionalUnit {
         }
     }
 
+    /// The unit's machine-readable slug, as accepted by CLI `--fu` flags
+    /// and the serve API (`int-add`, `int-mul`, `fp-add`, `fp-mul`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            FunctionalUnit::IntAdd => "int-add",
+            FunctionalUnit::IntMul => "int-mul",
+            FunctionalUnit::FpAdd => "fp-add",
+            FunctionalUnit::FpMul => "fp-mul",
+        }
+    }
+
+    /// Parses a [`slug`](Self::slug) back into a unit. The single source
+    /// of truth for unit names: the CLI `--fu` parser and the serve API
+    /// both go through here, so they accept exactly the same spellings.
+    pub fn from_name(name: &str) -> Option<FunctionalUnit> {
+        FunctionalUnit::ALL.into_iter().find(|fu| fu.slug() == name)
+    }
+
     /// Whether this is one of the floating-point units.
     pub fn is_float(self) -> bool {
         matches!(self, FunctionalUnit::FpAdd | FunctionalUnit::FpMul)
@@ -179,5 +197,15 @@ mod tests {
         assert!(FunctionalUnit::FpMul.is_float());
         assert!(!FunctionalUnit::IntMul.is_float());
         assert_eq!(FunctionalUnit::ALL.len(), 4);
+    }
+
+    #[test]
+    fn slugs_round_trip_through_from_name() {
+        for fu in FunctionalUnit::ALL {
+            assert_eq!(FunctionalUnit::from_name(fu.slug()), Some(fu));
+        }
+        assert_eq!(FunctionalUnit::from_name("int-div"), None);
+        assert_eq!(FunctionalUnit::from_name("INT ADD"), None);
+        assert_eq!(FunctionalUnit::from_name(""), None);
     }
 }

@@ -160,6 +160,27 @@ pub fn quantile_from(bounds: &[u64], counts: &[u64], q: f64) -> Option<f64> {
     Some(last_bound)
 }
 
+/// Interpolated quantile of an **ascending-sorted** sample (`q` in
+/// `[0, 1]`, clamped).
+///
+/// Uses the same linear-interpolation convention as [`quantile_from`]
+/// applied to exact samples: the rank `q * (n - 1)` is interpolated
+/// between its neighbouring order statistics (the "R-7" estimator), so a
+/// CLI percentile over raw delays and a `/metrics` histogram percentile
+/// agree up to bucket resolution instead of disagreeing by a whole rank
+/// the way a truncating index does.
+///
+/// Returns `None` on an empty sample. Unsorted input yields a
+/// meaningless (but memory-safe) result.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    let last = sorted.len().checked_sub(1)?;
+    let rank = q.clamp(0.0, 1.0) * last as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let fraction = rank - lo as f64;
+    Some(sorted[lo] + fraction * (sorted[hi.min(last)] - sorted[lo]))
+}
+
 // ---------------------------------------------------------------------
 // The pipeline's registry.
 // ---------------------------------------------------------------------
@@ -194,6 +215,14 @@ pub static RESIL_RETRIES: Counter = Counter::new("resil.retries");
 pub static RESIL_CKPT_SHARDS_WRITTEN: Counter = Counter::new("resil.ckpt_shards_written");
 /// Sweep conditions skipped on resume because a valid shard existed.
 pub static RESIL_CKPT_SHARDS_RESUMED: Counter = Counter::new("resil.ckpt_shards_resumed");
+/// HTTP requests accepted by `tevot-serve` (all endpoints).
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+/// Requests shed by admission control (queue full → HTTP 503).
+pub static SERVE_SHED: Counter = Counter::new("serve.shed");
+/// Model registry hot-swaps completed (`POST /models/<name>`).
+pub static SERVE_MODEL_SWAPS: Counter = Counter::new("serve.model_swaps");
+/// Requests answered with an HTTP error status (4xx/5xx).
+pub static SERVE_HTTP_ERRORS: Counter = Counter::new("serve.http_errors");
 
 /// Dynamic delay of each simulated cycle, in picoseconds.
 pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
@@ -203,8 +232,24 @@ pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
 /// Output toggles per simulated cycle.
 pub static SIM_TOGGLES_PER_CYCLE: Histogram =
     Histogram::new("sim.toggles_per_cycle", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]);
+/// `POST /predict` wall-clock latency, in microseconds.
+pub static SERVE_PREDICT_LATENCY_US: Histogram = Histogram::new(
+    "serve.predict_latency_us",
+    &[50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000],
+);
+/// `POST /ter` wall-clock latency, in microseconds.
+pub static SERVE_TER_LATENCY_US: Histogram = Histogram::new(
+    "serve.ter_latency_us",
+    &[50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000],
+);
+/// Jobs merged into each executed microbatch.
+pub static SERVE_BATCH_JOBS: Histogram =
+    Histogram::new("serve.batch_jobs", &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+/// Prediction queue depth observed at each admission.
+pub static SERVE_QUEUE_DEPTH: Histogram =
+    Histogram::new("serve.queue_depth", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
 
-static COUNTERS: [&Counter; 15] = [
+static COUNTERS: [&Counter; 19] = [
     &SIM_CYCLES,
     &SIM_EVENTS,
     &SIM_GATE_EVALS,
@@ -220,9 +265,20 @@ static COUNTERS: [&Counter; 15] = [
     &RESIL_RETRIES,
     &RESIL_CKPT_SHARDS_WRITTEN,
     &RESIL_CKPT_SHARDS_RESUMED,
+    &SERVE_REQUESTS,
+    &SERVE_SHED,
+    &SERVE_MODEL_SWAPS,
+    &SERVE_HTTP_ERRORS,
 ];
 
-static HISTOGRAMS: [&Histogram; 2] = [&SIM_CYCLE_DELAY_PS, &SIM_TOGGLES_PER_CYCLE];
+static HISTOGRAMS: [&Histogram; 6] = [
+    &SIM_CYCLE_DELAY_PS,
+    &SIM_TOGGLES_PER_CYCLE,
+    &SERVE_PREDICT_LATENCY_US,
+    &SERVE_TER_LATENCY_US,
+    &SERVE_BATCH_JOBS,
+    &SERVE_QUEUE_DEPTH,
+];
 
 /// Every registered counter, in report order.
 pub fn counters() -> &'static [&'static Counter] {
@@ -312,6 +368,22 @@ mod tests {
         H.record(2_000);
         assert_eq!(H.quantile(0.5), Some(5.0));
         assert_eq!(H.quantiles(), Some((5.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn quantile_sorted_interpolates_between_order_statistics() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), Some(10.0));
+        assert_eq!(quantile_sorted(&sorted, 1.0), Some(40.0));
+        // Rank 1.5: halfway between the 2nd and 3rd order statistics —
+        // a truncating index would floor this to 20.0.
+        assert_eq!(quantile_sorted(&sorted, 0.5), Some(25.0));
+        assert_eq!(quantile_sorted(&sorted, 0.99), Some(39.7));
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(quantile_sorted(&[7.0], 0.5), Some(7.0));
+        // Out-of-range q clamps.
+        assert_eq!(quantile_sorted(&sorted, 7.0), Some(40.0));
+        assert_eq!(quantile_sorted(&sorted, -1.0), Some(10.0));
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! Endpoint handlers and the error-taxonomy → HTTP status mapping.
+//!
+//! | endpoint               | method | purpose                                   |
+//! |------------------------|--------|-------------------------------------------|
+//! | `/predict`             | POST   | delays (+ verdicts) for operand transitions |
+//! | `/ter`                 | POST   | TER over a random workload at one condition |
+//! | `/models`              | GET    | list registered model names               |
+//! | `/models/<name>`       | POST   | hot-swap: (re)load a model from disk      |
+//! | `/healthz`             | GET    | liveness + registered model count         |
+//! | `/metrics`             | GET    | tevot-obs/1 snapshot + live queue depth   |
+//!
+//! Request and response bodies are JSON via `tevot_obs::json`. Its f64
+//! writer prints the shortest round-tripping decimal, so a delay served
+//! over the wire parses back to the *bit-identical* f64 the model
+//! produced — the parity guarantee the integration tests pin.
+//!
+//! Failures map the workspace [`ErrorKind`] taxonomy onto HTTP statuses
+//! (see [`status_for`]): usage and parse errors are the client's fault
+//! (400), an unreadable model path is 404, a corrupt model file is 422,
+//! a deadline/cancellation is 504, and anything internal is 500. Load
+//! shedding is not an error kind — the admission layer answers 503 with
+//! `Retry-After` directly.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tevot::workload::random_workload;
+use tevot::TevotModel;
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_obs::json::{self, Json};
+use tevot_obs::metrics::{
+    SERVE_HTTP_ERRORS, SERVE_PREDICT_LATENCY_US, SERVE_REQUESTS, SERVE_TER_LATENCY_US,
+};
+use tevot_obs::report::Snapshot;
+use tevot_resil::{CancelToken, ErrorKind, TevotError, Watchdog};
+use tevot_timing::OperatingCondition;
+
+use crate::batch::{Batcher, Transition};
+use crate::http::{Request, Response};
+use crate::registry::{valid_name, ModelRegistry};
+
+/// The model name used when a request does not specify one.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Upper bound on transitions evaluated per request (either endpoint) —
+/// admission control against a single request monopolizing the batcher.
+pub const MAX_TRANSITIONS_PER_REQUEST: usize = 65_536;
+
+/// The HTTP status for a classified [`TevotError`].
+///
+/// `Usage`/`Parse` are malformed client input (400); `Io` means a named
+/// resource could not be read (404); `Corrupt` means the resource exists
+/// but fails validation (422); `Cancelled` is a missed deadline (504);
+/// `Internal` is ours (500).
+pub fn status_for(kind: ErrorKind) -> u16 {
+    match kind {
+        ErrorKind::Usage | ErrorKind::Parse => 400,
+        ErrorKind::Io => 404,
+        ErrorKind::Corrupt => 422,
+        ErrorKind::Cancelled => 504,
+        ErrorKind::Internal => 500,
+    }
+}
+
+/// Shared per-server state: the model registry and the batching executor.
+#[derive(Debug)]
+pub struct ServeState {
+    /// The hot-swappable model registry.
+    pub registry: ModelRegistry,
+    batcher: Batcher,
+}
+
+impl ServeState {
+    /// State with an empty registry and a batcher of the given shape
+    /// (see [`Batcher::start`]).
+    pub fn new(jobs: usize, max_queue: usize, batch: usize, batch_wait: Duration) -> ServeState {
+        ServeState {
+            registry: ModelRegistry::new(),
+            batcher: Batcher::start(jobs, max_queue, batch, batch_wait),
+        }
+    }
+
+    /// Jobs currently queued for batching.
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.depth()
+    }
+}
+
+/// Dispatches one request to its handler and accounts the request and
+/// error counters. This is the single entry point the connection loop
+/// calls; it never panics on client input.
+pub fn handle(state: &ServeState, req: &Request) -> Response {
+    SERVE_REQUESTS.incr();
+    let response = route(state, req);
+    if response.status >= 400 {
+        SERVE_HTTP_ERRORS.incr();
+    }
+    response
+}
+
+fn route(state: &ServeState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => timed(&SERVE_PREDICT_LATENCY_US, || predict(state, req)),
+        ("POST", "/ter") => timed(&SERVE_TER_LATENCY_US, || ter(state, req)),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/models") => list_models(state),
+        ("POST", path) if path.strip_prefix("/models/").is_some_and(|n| !n.is_empty()) => {
+            swap_model(state, req)
+        }
+        (_, "/predict" | "/ter" | "/healthz" | "/metrics" | "/models") => error_response(
+            405,
+            "usage",
+            &format!("method {} not allowed on {}", req.method, req.path),
+        ),
+        _ => error_response(404, "usage", &format!("no such endpoint {:?}", req.path)),
+    }
+}
+
+fn timed(latency: &tevot_obs::metrics::Histogram, f: impl FnOnce() -> Response) -> Response {
+    let start = Instant::now();
+    let response = f();
+    latency.record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    response
+}
+
+/// An error body: `{"error": <message>, "kind": <taxonomy label>}`.
+fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    let body =
+        Json::obj(vec![("error", Json::from(message)), ("kind", Json::from(kind))]).to_string();
+    Response::json(status, body)
+}
+
+fn error_from(e: &TevotError) -> Response {
+    error_response(status_for(e.kind()), e.kind().label(), &e.to_string())
+}
+
+fn ok(members: Vec<(&str, Json)>) -> Response {
+    Response::json(200, Json::obj(members).to_string())
+}
+
+// ---------------------------------------------------------------------
+// Request-body field extraction (usage errors name the field).
+// ---------------------------------------------------------------------
+
+fn parse_body(req: &Request) -> Result<Json, TevotError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| TevotError::parse("request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(TevotError::usage("request body must be a JSON object"));
+    }
+    let doc = json::parse(text).map_err(|e| TevotError::parse(e.to_string()))?;
+    match doc {
+        Json::Obj(_) => Ok(doc),
+        _ => Err(TevotError::usage("request body must be a JSON object")),
+    }
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, TevotError> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| TevotError::usage(format!("missing or non-numeric field {key:?}")))
+}
+
+fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, TevotError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            TevotError::usage(format!("field {key:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_u32(doc: &Json, key: &str) -> Result<Option<u32>, TevotError> {
+    match opt_u64(doc, key)? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v)
+            .map(Some)
+            .map_err(|_| TevotError::usage(format!("field {key:?} exceeds u32 range"))),
+    }
+}
+
+fn req_u32(doc: &Json, key: &str) -> Result<u32, TevotError> {
+    opt_u32(doc, key)?.ok_or_else(|| TevotError::usage(format!("missing operand field {key:?}")))
+}
+
+/// The `(voltage, temperature)` pair, validated before
+/// [`OperatingCondition::new`] (which panics on nonsense by contract).
+fn condition(doc: &Json) -> Result<OperatingCondition, TevotError> {
+    let voltage = req_f64(doc, "voltage")?;
+    let temperature = req_f64(doc, "temperature")?;
+    if !voltage.is_finite() || voltage <= 0.0 {
+        return Err(TevotError::usage(format!("voltage {voltage} is not a positive voltage")));
+    }
+    if !temperature.is_finite() {
+        return Err(TevotError::usage(format!("temperature {temperature} is not finite")));
+    }
+    Ok(OperatingCondition::new(voltage, temperature))
+}
+
+/// Resolves the request's model (default [`DEFAULT_MODEL`]).
+fn model_for(state: &ServeState, doc: &Json) -> Result<(String, Arc<TevotModel>), TevotError> {
+    let name = match doc.get("model") {
+        None | Some(Json::Null) => DEFAULT_MODEL,
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err(TevotError::usage("field \"model\" must be a string")),
+    };
+    let model = state.registry.get(name).ok_or_else(|| {
+        TevotError::new(
+            ErrorKind::Io,
+            format!("unknown model {name:?} (registered: {:?})", state.registry.names()),
+        )
+    })?;
+    Ok((name.to_string(), model))
+}
+
+/// The transitions of a `/predict` body: either a top-level single
+/// `a`/`b` (+ optional `prev_a`/`prev_b`) or a `"transitions"` array of
+/// such objects.
+fn transitions_of(doc: &Json) -> Result<Vec<Transition>, TevotError> {
+    let one = |obj: &Json| -> Result<Transition, TevotError> {
+        let a = req_u32(obj, "a")?;
+        let b = req_u32(obj, "b")?;
+        let prev_a = opt_u32(obj, "prev_a")?.unwrap_or(0);
+        let prev_b = opt_u32(obj, "prev_b")?.unwrap_or(0);
+        Ok(((a, b), (prev_a, prev_b)))
+    };
+    let transitions = match doc.get("transitions") {
+        Some(Json::Arr(items)) => items.iter().map(one).collect::<Result<Vec<_>, TevotError>>()?,
+        Some(_) => return Err(TevotError::usage("field \"transitions\" must be an array")),
+        None => vec![one(doc)?],
+    };
+    if transitions.is_empty() {
+        return Err(TevotError::usage("\"transitions\" must not be empty"));
+    }
+    if transitions.len() > MAX_TRANSITIONS_PER_REQUEST {
+        return Err(TevotError::usage(format!(
+            "{} transitions exceed the per-request limit of {MAX_TRANSITIONS_PER_REQUEST}",
+            transitions.len()
+        )));
+    }
+    Ok(transitions)
+}
+
+/// Submits work to the batcher and waits for its reply, translating
+/// shedding into 503 + `Retry-After`. The optional deadline arms a
+/// [`Watchdog`] on the request's own [`CancelToken`].
+fn run_batched(
+    state: &ServeState,
+    model: Arc<TevotModel>,
+    cond: OperatingCondition,
+    transitions: Vec<Transition>,
+    deadline_ms: Option<u64>,
+) -> Result<Vec<f64>, Response> {
+    let token = CancelToken::new();
+    let deadline = deadline_ms.map(Duration::from_millis);
+    let _watchdog = deadline.map(|d| Watchdog::deadline(&token, d));
+    let rx = state
+        .batcher
+        .submit(model, cond, transitions, token, deadline.map(|d| Instant::now() + d))
+        .map_err(|_| {
+            error_response(503, "shed", "prediction queue is full, try again shortly")
+                .with_header("Retry-After", "1")
+        })?;
+    match rx.recv() {
+        Ok(Ok(delays)) => Ok(delays),
+        Ok(Err(e)) => Err(error_from(&e)),
+        Err(_) => Err(error_response(500, "internal", "batch executor dropped the request")),
+    }
+}
+
+fn predict(state: &ServeState, req: &Request) -> Response {
+    let outcome = (|| {
+        let doc = parse_body(req)?;
+        let cond = condition(&doc)?;
+        let clock = opt_u64(&doc, "clock_ps")?;
+        let deadline_ms = opt_u64(&doc, "deadline_ms")?;
+        let (name, model) = model_for(state, &doc)?;
+        let transitions = transitions_of(&doc)?;
+        Ok((name, model, cond, clock, deadline_ms, transitions))
+    })();
+    let (name, model, cond, clock, deadline_ms, transitions) = match outcome {
+        Ok(parts) => parts,
+        Err(e) => return error_from(&e),
+    };
+    let delays = match run_batched(state, model, cond, transitions, deadline_ms) {
+        Ok(delays) => delays,
+        Err(response) => return response,
+    };
+    let mut members = vec![
+        ("model", Json::from(name.as_str())),
+        ("count", Json::from(delays.len() as u64)),
+        ("delays_ps", Json::Arr(delays.iter().map(|&d| Json::Num(d)).collect())),
+    ];
+    if let Some(clock) = clock {
+        let verdicts = delays.iter().map(|&d| Json::Bool(d > clock as f64)).collect();
+        members.push(("clock_ps", Json::from(clock)));
+        members.push(("erroneous", Json::Arr(verdicts)));
+    }
+    ok(members)
+}
+
+fn ter(state: &ServeState, req: &Request) -> Response {
+    let outcome = (|| {
+        let doc = parse_body(req)?;
+        let cond = condition(&doc)?;
+        let clock = opt_u64(&doc, "clock_ps")?
+            .ok_or_else(|| TevotError::usage("missing or non-numeric field \"clock_ps\""))?;
+        let deadline_ms = opt_u64(&doc, "deadline_ms")?;
+        let (name, model) = model_for(state, &doc)?;
+        let fu = match doc.get("fu") {
+            None | Some(Json::Null) => FunctionalUnit::IntAdd,
+            Some(Json::Str(s)) => FunctionalUnit::from_name(s).ok_or_else(|| {
+                TevotError::usage(format!(
+                    "unknown unit {s:?} (expected int-add | int-mul | fp-add | fp-mul)"
+                ))
+            })?,
+            Some(_) => return Err(TevotError::usage("field \"fu\" must be a string")),
+        };
+        let vectors = opt_u64(&doc, "vectors")?.unwrap_or(400) as usize;
+        if vectors < 2 {
+            return Err(TevotError::usage("\"vectors\" must be at least 2 (one transition)"));
+        }
+        if vectors > MAX_TRANSITIONS_PER_REQUEST {
+            return Err(TevotError::usage(format!(
+                "{vectors} vectors exceed the per-request limit of {MAX_TRANSITIONS_PER_REQUEST}"
+            )));
+        }
+        let seed = opt_u64(&doc, "seed")?.unwrap_or(0);
+        Ok((name, model, cond, clock, deadline_ms, fu, vectors, seed))
+    })();
+    let (name, model, cond, clock, deadline_ms, fu, vectors, seed) = match outcome {
+        Ok(parts) => parts,
+        Err(e) => return error_from(&e),
+    };
+    let work = random_workload(fu, vectors, seed);
+    let ops = work.operands();
+    let transitions: Vec<_> = (1..ops.len()).map(|t| (ops[t], ops[t - 1])).collect();
+    let total = transitions.len();
+    let delays = match run_batched(state, model, cond, transitions, deadline_ms) {
+        Ok(delays) => delays,
+        Err(response) => return response,
+    };
+    let errors = delays.iter().filter(|&&d| d > clock as f64).count();
+    ok(vec![
+        ("model", Json::from(name.as_str())),
+        ("fu", Json::from(fu.slug())),
+        ("clock_ps", Json::from(clock)),
+        ("transitions", Json::from(total as u64)),
+        ("errors", Json::from(errors as u64)),
+        ("ter", Json::Num(errors as f64 / total as f64)),
+    ])
+}
+
+fn swap_model(state: &ServeState, req: &Request) -> Response {
+    let name = req.path.strip_prefix("/models/").unwrap_or_default();
+    if !valid_name(name) {
+        return error_response(
+            400,
+            "usage",
+            &format!("invalid model name {name:?} (want [A-Za-z0-9._-], at most 64 bytes)"),
+        );
+    }
+    let path = match parse_body(req).and_then(|doc| match doc.get("path") {
+        Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+        _ => Err(TevotError::usage("body must be {\"path\": \"<model file>\"}")),
+    }) {
+        Ok(path) => path,
+        Err(e) => return error_from(&e),
+    };
+    match state.registry.load_from(name, std::path::Path::new(&path)) {
+        Ok(()) => {
+            tevot_obs::info!("serve: model {name:?} swapped from {path}");
+            ok(vec![
+                ("ok", Json::Bool(true)),
+                ("model", Json::from(name)),
+                ("path", Json::from(path.as_str())),
+            ])
+        }
+        Err(e) => error_from(&TevotError::from(e).context(format!("load model from {path}"))),
+    }
+}
+
+fn list_models(state: &ServeState) -> Response {
+    let names = state.registry.names();
+    ok(vec![("models", Json::Arr(names.iter().map(|n| Json::from(n.as_str())).collect()))])
+}
+
+fn healthz(state: &ServeState) -> Response {
+    ok(vec![
+        ("ok", Json::Bool(true)),
+        ("models", Json::from(state.registry.len() as u64)),
+        ("queue_depth", Json::from(state.queue_depth() as u64)),
+    ])
+}
+
+/// The tevot-obs/1 snapshot, with the live queue depth appended as an
+/// additive member (consumers of the versioned schema ignore it).
+fn metrics(state: &ServeState) -> Response {
+    let mut doc = Snapshot::capture().to_json();
+    if let Json::Obj(members) = &mut doc {
+        members.push(("queue_depth".into(), Json::from(state.queue_depth() as u64)));
+    }
+    Response::json(200, doc.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tevot::dta::Characterizer;
+    use tevot::{build_delay_dataset, FeatureEncoding, TevotParams};
+    use tevot_timing::ClockSpeedup;
+
+    fn tiny_model() -> TevotModel {
+        let fu = FunctionalUnit::IntAdd;
+        let w = random_workload(fu, 120, 7);
+        let c = Characterizer::new(fu).characterize(
+            OperatingCondition::new(0.9, 25.0),
+            &w,
+            &ClockSpeedup::PAPER,
+        );
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        let mut params = TevotParams::default();
+        params.forest.num_trees = 2;
+        let mut rng = SmallRng::seed_from_u64(7);
+        TevotModel::train(&data, &params, &mut rng)
+    }
+
+    fn state_with_model() -> ServeState {
+        let state = ServeState::new(1, 64, 8, Duration::from_millis(1));
+        state.registry.insert(DEFAULT_MODEL, tiny_model());
+        state
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), headers: vec![], body: vec![] }
+    }
+
+    fn body_json(response: &Response) -> Json {
+        json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn status_mapping_covers_the_taxonomy() {
+        assert_eq!(status_for(ErrorKind::Usage), 400);
+        assert_eq!(status_for(ErrorKind::Parse), 400);
+        assert_eq!(status_for(ErrorKind::Io), 404);
+        assert_eq!(status_for(ErrorKind::Corrupt), 422);
+        assert_eq!(status_for(ErrorKind::Cancelled), 504);
+        assert_eq!(status_for(ErrorKind::Internal), 500);
+    }
+
+    #[test]
+    fn predict_single_transition_matches_direct_model_call() {
+        let state = state_with_model();
+        let req =
+            post("/predict", r#"{"voltage":0.9,"temperature":25,"clock_ps":1000,"a":3,"b":4}"#);
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 200, "{:?}", String::from_utf8_lossy(&response.body));
+        let doc = body_json(&response);
+        let served = doc.get("delays_ps").and_then(Json::as_arr).unwrap()[0].as_f64().unwrap();
+        let direct = state.registry.get(DEFAULT_MODEL).unwrap().predict_delay_ps(
+            OperatingCondition::new(0.9, 25.0),
+            (3, 4),
+            (0, 0),
+        );
+        assert_eq!(served.to_bits(), direct.to_bits());
+        let erroneous = doc.get("erroneous").and_then(Json::as_arr).unwrap();
+        assert_eq!(erroneous[0], Json::Bool(direct > 1000.0));
+    }
+
+    #[test]
+    fn predict_batch_body_returns_one_delay_per_transition() {
+        let state = state_with_model();
+        let req = post(
+            "/predict",
+            r#"{"voltage":0.85,"temperature":50,
+                "transitions":[{"a":1,"b":2},{"a":3,"b":4,"prev_a":1,"prev_b":2}]}"#,
+        );
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 200);
+        let doc = body_json(&response);
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("delays_ps").and_then(Json::as_arr).unwrap().len(), 2);
+        // No clock_ps: no verdicts.
+        assert!(doc.get("erroneous").is_none());
+    }
+
+    #[test]
+    fn predict_usage_errors_are_400() {
+        let state = state_with_model();
+        for body in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"voltage":0.9,"temperature":25}"#,
+            r#"{"voltage":-1,"temperature":25,"a":1,"b":2}"#,
+            r#"{"voltage":0.9,"temperature":25,"a":1}"#,
+            r#"{"voltage":0.9,"temperature":25,"transitions":[]}"#,
+            r#"{"voltage":0.9,"temperature":25,"a":99999999999,"b":2}"#,
+        ] {
+            let response = handle(&state, &post("/predict", body));
+            assert_eq!(response.status, 400, "{body:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_404() {
+        let state = state_with_model();
+        let req =
+            post("/predict", r#"{"model":"nope","voltage":0.9,"temperature":25,"a":1,"b":2}"#);
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 404);
+        let doc = body_json(&response);
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("io"));
+    }
+
+    #[test]
+    fn ter_reports_error_fraction() {
+        let state = state_with_model();
+        let req = post(
+            "/ter",
+            r#"{"voltage":0.9,"temperature":25,"clock_ps":1,"fu":"int-add","vectors":50}"#,
+        );
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 200);
+        let doc = body_json(&response);
+        assert_eq!(doc.get("transitions").and_then(Json::as_u64), Some(49));
+        // A 1 ps clock is slower than every possible delay: TER = 100%.
+        assert_eq!(doc.get("ter").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn ter_rejects_vectors_below_two_and_unknown_units() {
+        let state = state_with_model();
+        for body in [
+            r#"{"voltage":0.9,"temperature":25,"clock_ps":1000,"vectors":1}"#,
+            r#"{"voltage":0.9,"temperature":25,"clock_ps":1000,"fu":"int-div"}"#,
+            r#"{"voltage":0.9,"temperature":25}"#,
+        ] {
+            let response = handle(&state, &post("/ter", body));
+            assert_eq!(response.status, 400, "{body:?}");
+        }
+    }
+
+    #[test]
+    fn swap_model_maps_load_errors_to_4xx() {
+        let state = state_with_model();
+        // Unreadable path: Io → 404.
+        let response =
+            handle(&state, &post("/models/default", r#"{"path":"/nonexistent/m.tevot"}"#));
+        assert_eq!(response.status, 404);
+        assert_eq!(body_json(&response).get("kind").and_then(Json::as_str), Some("io"));
+        // Corrupt file: Corrupt → 422.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tevot-serve-corrupt-{}.tevot", std::process::id()));
+        std::fs::write(&path, b"not a model").unwrap();
+        let body = format!(r#"{{"path":{}}}"#, Json::from(path.to_str().unwrap()));
+        let response = handle(&state, &post("/models/default", &body));
+        std::fs::remove_file(&path).ok();
+        assert_eq!(response.status, 422);
+        assert_eq!(body_json(&response).get("kind").and_then(Json::as_str), Some("corrupt"));
+        // The original model keeps serving after both failures.
+        let req = post("/predict", r#"{"voltage":0.9,"temperature":25,"a":1,"b":2}"#);
+        assert_eq!(handle(&state, &req).status, 200);
+    }
+
+    #[test]
+    fn swap_model_validates_names_and_bodies() {
+        let state = state_with_model();
+        let response = handle(&state, &post("/models/bad%20name", r#"{"path":"x"}"#));
+        assert_eq!(response.status, 400);
+        let response = handle(&state, &post("/models/ok", r#"{"nope":1}"#));
+        assert_eq!(response.status, 400);
+    }
+
+    #[test]
+    fn health_models_and_metrics_endpoints() {
+        let state = state_with_model();
+        let health = handle(&state, &get("/healthz"));
+        assert_eq!(health.status, 200);
+        assert_eq!(body_json(&health).get("ok"), Some(&Json::Bool(true)));
+
+        let models = handle(&state, &get("/models"));
+        let doc = body_json(&models);
+        let names = doc.get("models").and_then(Json::as_arr).unwrap();
+        assert_eq!(names[0].as_str(), Some(DEFAULT_MODEL));
+
+        let metrics = handle(&state, &get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        let doc = body_json(&metrics);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("tevot-obs/1"));
+        assert!(doc.get("queue_depth").is_some());
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let state = state_with_model();
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+        assert_eq!(handle(&state, &get("/predict")).status, 405);
+        assert_eq!(handle(&state, &post("/healthz", "")).status, 405);
+        assert_eq!(handle(&state, &post("/models/", "")).status, 404);
+    }
+
+    #[test]
+    fn immediate_deadline_is_504() {
+        let state = state_with_model();
+        let req =
+            post("/predict", r#"{"voltage":0.9,"temperature":25,"a":1,"b":2,"deadline_ms":0}"#);
+        // deadline_ms 0 expires before the batcher can claim the job.
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 504, "{:?}", String::from_utf8_lossy(&response.body));
+        assert_eq!(body_json(&response).get("kind").and_then(Json::as_str), Some("cancelled"));
+    }
+}

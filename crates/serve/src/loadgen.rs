@@ -1,0 +1,230 @@
+//! A self-contained HTTP load generator for the serve endpoints.
+//!
+//! Used by the `serve_load` bench binary and the bench suite's serving
+//! stage: opens `connections` keep-alive client connections, drives
+//! `requests` total `POST /predict` requests through them, and reports
+//! throughput and latency percentiles (interpolated with
+//! [`tevot_obs::metrics::quantile_sorted`], the same convention the
+//! server's `/metrics` histograms use).
+//!
+//! The generator is deterministic: request bodies derive from the
+//! request index, so two runs against the same server are comparable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use tevot_obs::metrics::quantile_sorted;
+
+/// Load-run shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7450`.
+    pub addr: String,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Concurrent keep-alive client connections.
+    pub connections: usize,
+    /// Operand transitions per request body.
+    pub transitions: usize,
+    /// Model name to query.
+    pub model: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: String::new(),
+            requests: 1000,
+            connections: 4,
+            transitions: 4,
+            model: "default".into(),
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// `200 OK` responses.
+    pub ok: usize,
+    /// `503` shed responses.
+    pub shed: usize,
+    /// Any other non-200 response or transport failure.
+    pub errors: usize,
+    /// Successful requests per second of wall-clock time.
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// The deterministic `POST /predict` body for request `index`.
+fn body_for(config: &LoadConfig, index: usize) -> String {
+    let mut transitions = String::new();
+    for t in 0..config.transitions {
+        // Knuth-style multiplicative scrambles: cheap, deterministic,
+        // well-spread operand patterns.
+        let x = (index * config.transitions + t) as u32;
+        let a = x.wrapping_mul(2_654_435_761);
+        let b = x.wrapping_mul(40_503).wrapping_add(17);
+        if t > 0 {
+            transitions.push(',');
+        }
+        transitions.push_str(&format!(
+            "{{\"a\":{a},\"b\":{b},\"prev_a\":{},\"prev_b\":{}}}",
+            b.rotate_left(7),
+            a.rotate_left(3),
+        ));
+    }
+    format!(
+        "{{\"model\":\"{}\",\"voltage\":0.9,\"temperature\":25,\"clock_ps\":1000,\
+         \"transitions\":[{transitions}]}}",
+        config.model
+    )
+}
+
+/// Reads one HTTP response (status line + headers + `Content-Length`
+/// body) and returns the status code.
+fn read_status(reader: &mut impl BufRead) -> std::io::Result<u16> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::ErrorKind::UnexpectedEof.into());
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line {line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| bad("bad Content-Length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(status)
+}
+
+/// One client connection's share of the run.
+fn client(config: &LoadConfig, indices: std::ops::Range<usize>) -> (usize, usize, usize, Vec<f64>) {
+    let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
+    let mut latencies = Vec::with_capacity(indices.len());
+    let Ok(stream) = TcpStream::connect(&config.addr) else {
+        return (0, 0, indices.len(), latencies);
+    };
+    stream.set_nodelay(true).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return (0, 0, indices.len(), latencies),
+    };
+    let mut reader = BufReader::new(stream);
+    for index in indices {
+        let body = body_for(config, index);
+        let request = format!(
+            "POST /predict HTTP/1.1\r\nHost: tevot\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let start = Instant::now();
+        if writer.write_all(request.as_bytes()).is_err() {
+            errors += 1;
+            break;
+        }
+        match read_status(&mut reader) {
+            Ok(200) => {
+                ok += 1;
+                latencies.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            Ok(503) => shed += 1,
+            Ok(_) => errors += 1,
+            Err(_) => {
+                errors += 1;
+                break;
+            }
+        }
+    }
+    (ok, shed, errors, latencies)
+}
+
+/// Runs the configured load and aggregates the outcome.
+///
+/// Connection failures count as errors rather than aborting the run, so
+/// the caller always gets a report to assert on.
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let _span = tevot_obs::span!("serve.loadgen");
+    let connections = config.connections.max(1);
+    let per = config.requests.div_ceil(connections);
+    let start = Instant::now();
+    let results: Vec<(usize, usize, usize, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let lo = (c * per).min(config.requests);
+                let hi = ((c + 1) * per).min(config.requests);
+                scope.spawn(move || client(config, lo..hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen client panicked")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut errors) = (0, 0, 0);
+    for (o, s, e, mut l) in results {
+        ok += o;
+        shed += s;
+        errors += e;
+        latencies.append(&mut l);
+    }
+    latencies.sort_by(f64::total_cmp);
+    LoadReport {
+        requests: config.requests,
+        ok,
+        shed,
+        errors,
+        qps: if elapsed > 0.0 { ok as f64 / elapsed } else { 0.0 },
+        p50_us: quantile_sorted(&latencies, 0.5).unwrap_or(0.0),
+        p99_us: quantile_sorted(&latencies, 0.99).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_are_deterministic_and_distinct() {
+        let config = LoadConfig { transitions: 2, ..LoadConfig::default() };
+        assert_eq!(body_for(&config, 3), body_for(&config, 3));
+        assert_ne!(body_for(&config, 3), body_for(&config, 4));
+        let parsed = tevot_obs::json::parse(&body_for(&config, 0)).expect("valid JSON");
+        assert_eq!(
+            parsed.get("transitions").and_then(tevot_obs::json::Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn read_status_parses_framed_responses() {
+        let text = "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\
+                    Content-Length: 5\r\n\r\nhello";
+        let mut reader = BufReader::new(text.as_bytes());
+        assert_eq!(read_status(&mut reader).unwrap(), 503);
+        assert!(
+            matches!(read_status(&mut reader), Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
+        );
+    }
+}

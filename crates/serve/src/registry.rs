@@ -1,0 +1,155 @@
+//! The hot-swappable model registry.
+//!
+//! Models are held as `Arc<TevotModel>` behind an `RwLock`ed map. A
+//! lookup clones the `Arc` (cheap) and drops the lock immediately, so a
+//! request that is mid-prediction keeps its model alive even while a
+//! `POST /models/<name>` replaces the registry entry — the swap is
+//! atomic from the registry's point of view and invisible to in-flight
+//! work, which simply finishes on the old model. The *new* model is
+//! fully loaded and validated from disk **before** the write lock is
+//! taken, so readers can never observe a torn or half-loaded model.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use tevot::TevotModel;
+use tevot_ml::persist::LoadModelError;
+
+/// Validates a client-supplied model name: nonempty, `[A-Za-z0-9._-]`,
+/// at most 64 bytes — safe to echo into logs and URLs.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// A named collection of served models supporting atomic hot-swap.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<BTreeMap<String, Arc<TevotModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Inserts (or replaces) a model under `name`. Replacement is the
+    /// hot-swap: the old `Arc` stays alive until its last in-flight
+    /// request drops it.
+    pub fn insert(&self, name: impl Into<String>, model: TevotModel) {
+        let mut models = self.models.write().expect("registry lock poisoned");
+        models.insert(name.into(), Arc::new(model));
+    }
+
+    /// Loads a model from `path` and swaps it in under `name`. The load
+    /// happens outside any lock; a failure leaves the registry unchanged
+    /// (the previous model, if any, keeps serving).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadModelError`] naming the path and byte offset on an
+    /// unreadable, truncated, or corrupt model file.
+    pub fn load_from(&self, name: impl Into<String>, path: &Path) -> Result<(), LoadModelError> {
+        let model = TevotModel::load_path(path)?;
+        self.insert(name, model);
+        tevot_obs::metrics::SERVE_MODEL_SWAPS.incr();
+        Ok(())
+    }
+
+    /// The model registered under `name`, if any. The returned `Arc` is
+    /// a stable snapshot: later swaps do not affect it.
+    pub fn get(&self, name: &str) -> Option<Arc<TevotModel>> {
+        let models = self.models.read().expect("registry lock poisoned");
+        models.get(name).cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let models = self.models.read().expect("registry lock poisoned");
+        models.keys().cloned().collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tevot::dta::Characterizer;
+    use tevot::workload::random_workload;
+    use tevot::{build_delay_dataset, FeatureEncoding, TevotParams};
+    use tevot_netlist::fu::FunctionalUnit;
+    use tevot_timing::{ClockSpeedup, OperatingCondition};
+
+    fn tiny_model(seed: u64) -> TevotModel {
+        let fu = FunctionalUnit::IntAdd;
+        let w = random_workload(fu, 120, seed);
+        let c = Characterizer::new(fu).characterize(
+            OperatingCondition::new(0.9, 25.0),
+            &w,
+            &ClockSpeedup::PAPER,
+        );
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        let mut params = TevotParams::default();
+        params.forest.num_trees = 2;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        TevotModel::train(&data, &params, &mut rng)
+    }
+
+    #[test]
+    fn insert_get_and_names() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.get("default").is_none());
+        reg.insert("default", tiny_model(1));
+        reg.insert("alt", tiny_model(2));
+        assert_eq!(reg.names(), vec!["alt".to_string(), "default".to_string()]);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("default").is_some());
+    }
+
+    #[test]
+    fn swap_leaves_old_arc_usable() {
+        let reg = ModelRegistry::new();
+        reg.insert("m", tiny_model(1));
+        let old = reg.get("m").unwrap();
+        let before = old.predict_delay_ps(OperatingCondition::new(0.9, 25.0), (3, 4), (0, 0));
+        reg.insert("m", tiny_model(2));
+        // The held Arc still answers identically after the swap.
+        let after = old.predict_delay_ps(OperatingCondition::new(0.9, 25.0), (3, 4), (0, 0));
+        assert_eq!(before.to_bits(), after.to_bits());
+    }
+
+    #[test]
+    fn failed_load_leaves_registry_unchanged() {
+        let reg = ModelRegistry::new();
+        reg.insert("m", tiny_model(1));
+        let held = reg.get("m").unwrap();
+        let err = reg.load_from("m", Path::new("/nonexistent/model.tevot")).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/model.tevot"));
+        assert!(Arc::ptr_eq(&held, &reg.get("m").unwrap()), "entry must be untouched");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("default"));
+        assert!(valid_name("int-add_v2.1"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name("sneaky/../path"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+}

@@ -1,0 +1,334 @@
+//! End-to-end tests of tevot-serve over real loopback TCP: framing,
+//! keep-alive, admission control, and — the critical one — hot-swapping
+//! a model under concurrent `/predict` traffic without a single torn or
+//! dropped request.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tevot::dta::Characterizer;
+use tevot::workload::random_workload;
+use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_obs::json::{self, Json};
+use tevot_serve::{ServeConfig, Server, DEFAULT_MODEL};
+use tevot_timing::{ClockSpeedup, OperatingCondition};
+
+/// A small but real model; distinct seeds give distinct predictions, so
+/// a response can be attributed to the model that produced it.
+fn tiny_model(seed: u64) -> TevotModel {
+    let fu = FunctionalUnit::IntAdd;
+    let w = random_workload(fu, 120, seed);
+    let c = Characterizer::new(fu).characterize(
+        OperatingCondition::new(0.9, 25.0),
+        &w,
+        &ClockSpeedup::PAPER,
+    );
+    let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+    let mut params = TevotParams::default();
+    params.forest.num_trees = 2;
+    TevotModel::train(&data, &params, &mut SmallRng::seed_from_u64(seed))
+}
+
+fn start_with_model(config: ServeConfig, seed: u64) -> Server {
+    let server = Server::start(config).expect("bind loopback");
+    server.state().registry.insert(DEFAULT_MODEL, tiny_model(seed));
+    server
+}
+
+/// One parsed response: status, headers (lowercased names), body text.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        json::parse(&self.body).unwrap_or_else(|e| panic!("bad JSON body {:?}: {e}", self.body))
+    }
+}
+
+fn send(writer: &mut impl Write, method: &str, path: &str, body: &str) -> std::io::Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn read_reply(reader: &mut impl BufRead) -> std::io::Result<Reply> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::ErrorKind::UnexpectedEof.into());
+    }
+    let status: u16 = line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            if name == "content-length" {
+                content_length = value.trim().parse().unwrap();
+            }
+            headers.push((name, value.trim().to_string()));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Reply { status, headers, body: String::from_utf8(body).unwrap() })
+}
+
+/// A keep-alive client connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone stream");
+        Client { writer, reader: BufReader::new(stream) }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Reply {
+        send(&mut self.writer, method, path, body).expect("write request");
+        read_reply(&mut self.reader).expect("read response")
+    }
+}
+
+#[test]
+fn healthz_predict_and_metrics_share_one_keep_alive_connection() {
+    let server = start_with_model(ServeConfig::default(), 7);
+    let mut client = Client::connect(server.local_addr());
+
+    let health = client.request("GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("content-type"), Some("application/json"));
+    assert_eq!(health.json().get("ok"), Some(&Json::Bool(true)));
+
+    // Same socket, next request: keep-alive worked.
+    let body = r#"{"voltage":0.9,"temperature":25,"clock_ps":1000,"a":3,"b":4}"#;
+    let predict = client.request("POST", "/predict", body);
+    assert_eq!(predict.status, 200, "{}", predict.body);
+    let served =
+        predict.json().get("delays_ps").and_then(Json::as_arr).unwrap()[0].as_f64().unwrap();
+
+    // The served delay round-trips to the bit-identical offline number.
+    let direct = server.state().registry.get(DEFAULT_MODEL).unwrap().predict_delay_ps(
+        OperatingCondition::new(0.9, 25.0),
+        (3, 4),
+        (0, 0),
+    );
+    assert_eq!(served.to_bits(), direct.to_bits());
+
+    let metrics = client.request("GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.json().get("schema").and_then(Json::as_str), Some("tevot-obs/1"));
+
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_is_honored() {
+    let server = start_with_model(ServeConfig::default(), 7);
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let reply = read_reply(&mut reader).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("connection"), Some("close"));
+    // The server closes; the next read hits EOF.
+    let mut rest = Vec::new();
+    assert_eq!(reader.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_line_gets_400_and_a_closed_connection() {
+    let server = start_with_model(ServeConfig::default(), 7);
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"definitely not http\r\n\r\n").unwrap();
+    let reply = read_reply(&mut reader).unwrap();
+    assert_eq!(reply.status, 400);
+    let mut rest = Vec::new();
+    assert_eq!(reader.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_gets_413() {
+    let config = ServeConfig { max_body: 256, ..ServeConfig::default() };
+    let server = start_with_model(config, 7);
+    let mut client = Client::connect(server.local_addr());
+    let reply = client.request("POST", "/predict", &"x".repeat(512));
+    assert_eq!(reply.status, 413);
+    server.shutdown();
+}
+
+/// Admission control over TCP: with a single worker, a one-slot queue
+/// and one-job batches, a long-running request occupies the executor
+/// while later arrivals first fill the queue slot and then shed with
+/// 503 + `Retry-After`. Every request is *answered* — shedding is a
+/// response, not a dropped connection.
+#[test]
+fn overload_sheds_with_retry_after_and_answers_every_request() {
+    let config = ServeConfig {
+        jobs: 1,
+        max_queue: 1,
+        batch: 1,
+        batch_wait: Duration::from_millis(0),
+        ..ServeConfig::default()
+    };
+    let server = start_with_model(config, 7);
+    let addr = server.local_addr();
+
+    // A big request to occupy the single worker...
+    let mut big = String::from(r#"{"voltage":0.9,"temperature":25,"transitions":["#);
+    for i in 0..40_000u32 {
+        if i > 0 {
+            big.push(',');
+        }
+        big.push_str(&format!(r#"{{"a":{i},"b":{}}}"#, i ^ 0xFFFF));
+    }
+    big.push_str("]}");
+
+    let mut heavy = Client::connect(addr);
+    send(&mut heavy.writer, "POST", "/predict", &big).unwrap();
+    // ...give the batcher time to claim it and start executing...
+    std::thread::sleep(Duration::from_millis(60));
+
+    // ...then pile on more heavy requests than queue + executor can hold.
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let big = &big;
+                scope.spawn(move || Client::connect(addr).request("POST", "/predict", big))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let heavy_reply = read_reply(&mut heavy.reader).unwrap();
+    assert_eq!(heavy_reply.status, 200, "{}", heavy_reply.body);
+
+    let shed = replies.iter().filter(|r| r.status == 503).count();
+    let ok = replies.iter().filter(|r| r.status == 200).count();
+    assert_eq!(ok + shed, replies.len(), "only 200 or 503 under pure overload");
+    assert!(shed >= 1, "queue of 1 cannot absorb 4 concurrent heavy requests");
+    for reply in replies.iter().filter(|r| r.status == 503) {
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert_eq!(reply.json().get("kind").and_then(Json::as_str), Some("shed"));
+    }
+    server.shutdown();
+}
+
+/// Satellite (d), and the heart of the hot-swap contract: concurrent
+/// `/predict` traffic while the default model is repeatedly re-loaded
+/// from disk never observes a torn model and never drops a request.
+/// Every response must be 200 and bit-identical to what *one* of the two
+/// models predicts offline — an interleaving or partially-swapped state
+/// would produce a number matching neither.
+#[test]
+fn hot_swap_under_concurrent_traffic_is_never_torn_and_never_drops() {
+    let model_a = tiny_model(1);
+    let model_b = tiny_model(2);
+    let cond = OperatingCondition::new(0.9, 25.0);
+    let expect_a: Vec<u64> =
+        (0..8u32).map(|i| model_a.predict_delay_ps(cond, (i, i + 1), (0, 0)).to_bits()).collect();
+    let expect_b: Vec<u64> =
+        (0..8u32).map(|i| model_b.predict_delay_ps(cond, (i, i + 1), (0, 0)).to_bits()).collect();
+    assert_ne!(expect_a, expect_b, "seeds must give distinguishable models");
+
+    let dir = std::env::temp_dir();
+    let path_a = dir.join(format!("tevot_serve_swap_a_{}.tevot", std::process::id()));
+    let path_b = dir.join(format!("tevot_serve_swap_b_{}.tevot", std::process::id()));
+    model_a.save_path(&path_a).unwrap();
+    model_b.save_path(&path_b).unwrap();
+
+    let server = Server::start(ServeConfig::default()).expect("bind loopback");
+    server.state().registry.insert(DEFAULT_MODEL, model_a);
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Swapper: alternate the default model between the two files as
+        // fast as the HTTP round-trip allows.
+        let swapper = scope.spawn(|| {
+            let mut client = Client::connect(addr);
+            let mut swaps = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let path = if swaps % 2 == 0 { &path_b } else { &path_a };
+                let body = format!(r#"{{"path":{}}}"#, Json::from(path.to_str().unwrap()));
+                let reply = client.request("POST", "/models/default", &body);
+                assert_eq!(reply.status, 200, "swap failed: {}", reply.body);
+                swaps += 1;
+            }
+            swaps
+        });
+
+        // Clients: hammer /predict; every reply must match model A or
+        // model B exactly, transition for transition.
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr);
+                    let mut sent = 0usize;
+                    let body = concat!(
+                        r#"{"voltage":0.9,"temperature":25,"transitions":["#,
+                        r#"{"a":0,"b":1},{"a":1,"b":2},{"a":2,"b":3},{"a":3,"b":4},"#,
+                        r#"{"a":4,"b":5},{"a":5,"b":6},{"a":6,"b":7},{"a":7,"b":8}]}"#,
+                    );
+                    while !stop.load(Ordering::Relaxed) {
+                        let reply = client.request("POST", "/predict", body);
+                        assert_eq!(reply.status, 200, "dropped during swap: {}", reply.body);
+                        let served: Vec<u64> = reply
+                            .json()
+                            .get("delays_ps")
+                            .and_then(Json::as_arr)
+                            .unwrap()
+                            .iter()
+                            .map(|d| d.as_f64().unwrap().to_bits())
+                            .collect();
+                        assert!(
+                            served == expect_a || served == expect_b,
+                            "torn response: matches neither model A nor B"
+                        );
+                        sent += 1;
+                    }
+                    sent
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+        let swaps = swapper.join().expect("swapper thread");
+        let total: usize = clients.into_iter().map(|c| c.join().expect("client thread")).sum();
+        assert!(swaps >= 2, "need at least two swaps to exercise both directions ({swaps})");
+        assert!(total >= 10, "clients must have made real progress ({total} requests)");
+    });
+
+    server.shutdown();
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
