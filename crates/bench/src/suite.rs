@@ -247,8 +247,13 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         let mut rng = SmallRng::seed_from_u64(scale.seed + 21);
         let model = TevotModel::train(&data, &params, &mut rng);
 
-        let server =
-            tevot_serve::Server::start(tevot_serve::ServeConfig::default()).expect("bind loopback");
+        // Watch at its default resolution, as production would run: the
+        // tracked serve.qps therefore gates the telemetry overhead too.
+        let config = tevot_serve::ServeConfig {
+            watch: Some(tevot_serve::WatchConfig::default()),
+            ..tevot_serve::ServeConfig::default()
+        };
+        let server = tevot_serve::Server::start(config).expect("bind loopback");
         server.state().registry.insert(tevot_serve::DEFAULT_MODEL, model);
         let load = tevot_serve::loadgen::LoadConfig {
             addr: server.local_addr().to_string(),
@@ -266,6 +271,32 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         );
         report.push("serve.qps", outcome.qps, "req/s", true);
         report.push("serve.p99_us", outcome.p99_us, "us", false);
+    }
+
+    // Watch hot paths in isolation: the per-tick cost of sampling every
+    // registered metric into the ring store, and the Prometheus text
+    // exposition (what a scraper hits on every poll).
+    {
+        let _span = tevot_obs::span!("bench.watch");
+        let store = tevot_obs::watch::TimeSeriesStore::new(1, 600);
+        let base = tevot_obs::watch::wall_ms();
+        let n = 2000u64;
+        let t0 = Instant::now();
+        for i in 0..n {
+            store.sample_registry(base + i, &[("bench.gauge", i as f64)]);
+        }
+        let sample_s = t0.elapsed().as_secs_f64();
+        report.push("watch.sample_overhead_ns", sample_s * 1e9 / n as f64, "ns", false);
+
+        let n = 500u64;
+        let t0 = Instant::now();
+        let mut rendered = 0usize;
+        for _ in 0..n {
+            rendered += tevot_obs::prom::render().len();
+        }
+        let expose_s = t0.elapsed().as_secs_f64();
+        assert!(rendered > 0, "exposition must render something");
+        report.push("watch.expose_per_s", n as f64 / expose_s, "renders/s", true);
     }
 
     report.push("suite.wall_s", suite_t0.elapsed().as_secs_f64(), "s", false);

@@ -115,6 +115,7 @@ fn suite_smoke_run_tracks_expected_metrics() {
         num_trees: 2,
         sweep_conditions: 2,
         sweep_vectors: 30,
+        serve_requests: 50,
         seed: 11,
     };
     let report = run_suite("smoke", &scale);
@@ -127,6 +128,9 @@ fn suite_smoke_run_tracks_expected_metrics() {
         "train.wall_s",
         "par.sweep_conds_per_s",
         "par.sweep_speedup",
+        "serve.qps",
+        "watch.sample_overhead_ns",
+        "watch.expose_per_s",
         "suite.wall_s",
     ] {
         let m = report.metric(name).unwrap_or_else(|| panic!("missing metric {name}"));

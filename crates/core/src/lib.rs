@@ -60,6 +60,7 @@ pub mod dta;
 pub mod eval;
 mod features;
 mod model;
+pub mod reference;
 pub mod workload;
 
 pub use baselines::{DelayBased, ErrorPredictor, TerBased};

@@ -15,6 +15,7 @@ use tevot_timing::OperatingCondition;
 
 use crate::dta::Characterization;
 use crate::features::FeatureEncoding;
+use crate::reference::ReferenceStats;
 use crate::workload::Workload;
 
 /// Builds the Eq. 3 feature/label matrices from characterization runs.
@@ -83,6 +84,7 @@ impl Default for TevotParams {
 pub struct TevotModel {
     forest: RandomForestRegressor,
     encoding: FeatureEncoding,
+    reference: Option<ReferenceStats>,
 }
 
 impl TevotModel {
@@ -102,7 +104,21 @@ impl TevotModel {
         TevotModel {
             forest: RandomForestRegressor::fit(data, &params.forest, rng),
             encoding: params.encoding,
+            reference: None,
         }
+    }
+
+    /// The train-time reference statistics, when the model carries them
+    /// (models saved before the reference block, or trained without one,
+    /// return `None`).
+    pub fn reference(&self) -> Option<&ReferenceStats> {
+        self.reference.as_ref()
+    }
+
+    /// Attaches train-time reference statistics; they persist through
+    /// [`Self::save`] and feed serve-side drift monitoring.
+    pub fn set_reference(&mut self, reference: ReferenceStats) {
+        self.reference = Some(reference);
     }
 
     /// The feature encoding this model was trained with.
@@ -163,15 +179,24 @@ impl TevotModel {
         self.predict_delay_ps(cond, current, previous) > clock_ps as f64
     }
 
-    /// Serializes the model (see `tevot_ml::persist` for the format).
+    /// Serializes the model (see `tevot_ml::persist` for the forest
+    /// format). The header tag is a bitfield: bit 0 = history features,
+    /// bit 1 = a [`ReferenceStats`] block follows the forest.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, mut writer: impl Write) -> std::io::Result<()> {
-        let tag: u8 = if self.encoding.has_history() { 1 } else { 0 };
+        let mut tag: u8 = if self.encoding.has_history() { 1 } else { 0 };
+        if self.reference.is_some() {
+            tag |= 2;
+        }
         writer.write_all(&[b'T', b'V', tag])?;
-        persist::save_regressor(&self.forest, writer)
+        persist::save_regressor(&self.forest, &mut writer)?;
+        match &self.reference {
+            Some(reference) => reference.write_to(writer),
+            None => Ok(()),
+        }
     }
 
     /// Deserializes a model written by [`Self::save`].
@@ -189,16 +214,20 @@ impl TevotModel {
                 e.into()
             }
         })?;
-        if &header[..2] != b"TV" || header[2] > 1 {
+        if &header[..2] != b"TV" || header[2] > 3 {
             return Err(LoadModelError::format(0, "not a TEVoT model"));
         }
-        let encoding = if header[2] == 1 {
+        let encoding = if header[2] & 1 == 1 {
             FeatureEncoding::with_history()
         } else {
             FeatureEncoding::without_history()
         };
-        let forest = persist::load_regressor(reader)?;
-        Ok(TevotModel { forest, encoding })
+        let forest = persist::load_regressor(&mut reader)?;
+        // Pre-reference files (tags 0/1) end at the forest and load with
+        // reference = None; bit 1 promises a trailing TVRS block.
+        let reference =
+            if header[2] & 2 == 2 { Some(ReferenceStats::read_from(reader)?) } else { None };
+        Ok(TevotModel { forest, encoding, reference })
     }
 
     /// Saves the model to `path` (failpoint: `model.save`).
@@ -304,6 +333,39 @@ mod tests {
             loaded.predict_delay_ps(c.condition(), ops[2], ops[1])
         );
         assert!(loaded.encoding().has_history());
+    }
+
+    #[test]
+    fn reference_block_round_trips_and_is_optional() {
+        let (w, c) = tiny_setup();
+        let data = build_delay_dataset(FeatureEncoding::with_history(), &[(&w, &c)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut model = TevotModel::train(&data, &TevotParams::default(), &mut rng);
+
+        // Without a reference, the pre-reference byte stream is emitted:
+        // old loaders keep working and reference() stays None.
+        let mut plain = Vec::new();
+        model.save(&mut plain).unwrap();
+        assert_eq!(plain[2], 1, "history-only tag for reference-free models");
+        assert!(TevotModel::load(plain.as_slice()).unwrap().reference().is_none());
+
+        let delays: Vec<f64> = c.delays_ps().iter().map(|&d| d as f64).collect();
+        model.set_reference(ReferenceStats::collect(&[c.condition()], &delays));
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        assert_eq!(buf[2], 3, "history + reference bits");
+        let loaded = TevotModel::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded, model);
+        let reference = loaded.reference().expect("reference block survives the round-trip");
+        assert_eq!(reference.voltage.total(), 1);
+        assert_eq!(reference.delay_ps.total() as usize, c.delays_ps().len());
+
+        // A truncated reference block is a load error, not a silent None.
+        assert!(TevotModel::load(&buf[..buf.len() - 5]).is_err());
+        // Unknown future tags are rejected.
+        let mut future = plain;
+        future[2] = 4;
+        assert!(TevotModel::load(future.as_slice()).is_err());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub struct Histogram {
     name: &'static str,
     bounds: &'static [u64],
     counts: [AtomicU64; HISTOGRAM_SLOTS],
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -74,7 +75,12 @@ impl Histogram {
     /// `HISTOGRAM_SLOTS - 1` bounds are given.
     pub const fn new(name: &'static str, bounds: &'static [u64]) -> Histogram {
         assert!(bounds.len() < HISTOGRAM_SLOTS, "too many histogram bounds");
-        Histogram { name, bounds, counts: [const { AtomicU64::new(0) }; HISTOGRAM_SLOTS] }
+        Histogram {
+            name,
+            bounds,
+            counts: [const { AtomicU64::new(0) }; HISTOGRAM_SLOTS],
+            sum: AtomicU64::new(0),
+        }
     }
 
     /// The histogram's registry name.
@@ -92,6 +98,7 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         let slot = self.bounds.partition_point(|&b| b < value);
         self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     /// Per-bucket counts: one per bound, plus the trailing overflow
@@ -105,11 +112,18 @@ impl Histogram {
         self.counts().iter().sum()
     }
 
+    /// Sum of every recorded value (wraps at `u64::MAX`, which at
+    /// microsecond resolution is ~585k years of recorded latency).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Zeroes every bucket (test isolation).
     pub fn reset(&self) {
         for c in &self.counts {
             c.store(0, Ordering::Relaxed);
         }
+        self.sum.store(0, Ordering::Relaxed);
     }
 
     /// Interpolated quantile estimate (`q` in `[0, 1]`); see
@@ -223,6 +237,13 @@ pub static SERVE_SHED: Counter = Counter::new("serve.shed");
 pub static SERVE_MODEL_SWAPS: Counter = Counter::new("serve.model_swaps");
 /// Requests answered with an HTTP error status (4xx/5xx).
 pub static SERVE_HTTP_ERRORS: Counter = Counter::new("serve.http_errors");
+/// SLO/drift alerts raised by `tevot-watch` monitors.
+pub static WATCH_ALERTS: Counter = Counter::new("watch.alerts");
+/// Sampler passes taken over the registry by the watch store.
+pub static WATCH_SAMPLES: Counter = Counter::new("watch.samples");
+/// Served requests replayed through the simulator oracle for shadow
+/// scoring.
+pub static WATCH_SHADOW_REPLAYS: Counter = Counter::new("watch.shadow_replays");
 
 /// Dynamic delay of each simulated cycle, in picoseconds.
 pub static SIM_CYCLE_DELAY_PS: Histogram = Histogram::new(
@@ -249,7 +270,7 @@ pub static SERVE_BATCH_JOBS: Histogram =
 pub static SERVE_QUEUE_DEPTH: Histogram =
     Histogram::new("serve.queue_depth", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
 
-static COUNTERS: [&Counter; 19] = [
+static COUNTERS: [&Counter; 22] = [
     &SIM_CYCLES,
     &SIM_EVENTS,
     &SIM_GATE_EVALS,
@@ -269,6 +290,9 @@ static COUNTERS: [&Counter; 19] = [
     &SERVE_SHED,
     &SERVE_MODEL_SWAPS,
     &SERVE_HTTP_ERRORS,
+    &WATCH_ALERTS,
+    &WATCH_SAMPLES,
+    &WATCH_SHADOW_REPLAYS,
 ];
 
 static HISTOGRAMS: [&Histogram; 6] = [
@@ -328,6 +352,17 @@ mod tests {
     }
 
     #[test]
+    fn histogram_sum_tracks_recorded_values() {
+        static H: Histogram = Histogram::new("test.sum", &[10, 20]);
+        H.record(3);
+        H.record(15);
+        H.record(100);
+        assert_eq!(H.sum(), 118);
+        H.reset();
+        assert_eq!(H.sum(), 0);
+    }
+
+    #[test]
     fn quantiles_of_empty_histogram_are_none() {
         static H: Histogram = Histogram::new("test.q_empty", &[10, 20]);
         assert_eq!(H.quantile(0.5), None);
@@ -378,7 +413,9 @@ mod tests {
         // Rank 1.5: halfway between the 2nd and 3rd order statistics —
         // a truncating index would floor this to 20.0.
         assert_eq!(quantile_sorted(&sorted, 0.5), Some(25.0));
-        assert_eq!(quantile_sorted(&sorted, 0.99), Some(39.7));
+        // 0.99 * 3 is not exactly representable; compare with tolerance.
+        let p99 = quantile_sorted(&sorted, 0.99).unwrap();
+        assert!((p99 - 39.7).abs() < 1e-9, "p99 {p99}");
         assert_eq!(quantile_sorted(&[], 0.5), None);
         assert_eq!(quantile_sorted(&[7.0], 0.5), Some(7.0));
         // Out-of-range q clamps.

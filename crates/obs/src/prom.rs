@@ -1,0 +1,296 @@
+//! Prometheus text exposition (format 0.0.4) for the metrics registry.
+//!
+//! Renders every registered [`Counter`](crate::metrics::Counter) and
+//! [`Histogram`](crate::metrics::Histogram) in the plain-text format any
+//! Prometheus-compatible scraper understands, and provides the inverse
+//! — a strict line parser — so CI can assert a scrape round-trips
+//! without external tooling.
+//!
+//! Conventions:
+//!
+//! * Registry names are dotted (`serve.requests`); exposition names are
+//!   mangled through [`metric_name`] into `tevot_serve_requests` (every
+//!   character outside `[a-zA-Z0-9_:]` becomes `_`, plus the `tevot_`
+//!   namespace prefix).
+//! * Counters render as `<name>_total <value>`.
+//! * Histograms render as cumulative `<name>_bucket{le="..."}` series
+//!   (one per finite upper edge plus `le="+Inf"`), then `<name>_sum` and
+//!   `<name>_count` — the shape `histogram_quantile()` expects.
+//! * Label values escape `\`, `"`, and newlines per the format spec
+//!   ([`escape_label_value`]).
+
+use crate::metrics::{Counter, Histogram};
+
+/// Mangles a dotted registry name into a Prometheus metric name:
+/// `tevot_` prefix, every character outside `[a-zA-Z0-9_:]` replaced by
+/// `_`, and a leading `_` inserted when the name would start with a
+/// digit.
+pub fn metric_name(registry_name: &str) -> String {
+    let mut out = String::with_capacity(registry_name.len() + 6);
+    out.push_str("tevot_");
+    for (i, c) in registry_name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one counter (TYPE line + sample).
+pub fn render_counter(out: &mut String, name: &str, value: u64) {
+    let prom = metric_name(name);
+    out.push_str(&format!("# TYPE {prom}_total counter\n{prom}_total {value}\n"));
+}
+
+/// Renders one histogram (TYPE line + cumulative buckets + sum + count).
+///
+/// `counts` holds one entry per finite bound plus the trailing overflow
+/// bucket, the layout [`Histogram::counts`](crate::metrics::Histogram::counts)
+/// returns.
+pub fn render_histogram(out: &mut String, name: &str, bounds: &[u64], counts: &[u64], sum: u64) {
+    let prom = metric_name(name);
+    out.push_str(&format!("# TYPE {prom} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &bound) in bounds.iter().enumerate() {
+        cumulative += counts.get(i).copied().unwrap_or(0);
+        let le = escape_label_value(&bound.to_string());
+        out.push_str(&format!("{prom}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    let total: u64 = counts.iter().sum();
+    out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {total}\n"));
+    out.push_str(&format!("{prom}_sum {sum}\n"));
+    out.push_str(&format!("{prom}_count {total}\n"));
+}
+
+/// Renders explicit counter/histogram slices — the testable core of
+/// [`render`].
+pub fn render_parts(counters: &[&Counter], histograms: &[&Histogram]) -> String {
+    let mut out = String::new();
+    for c in counters {
+        render_counter(&mut out, c.name(), c.get());
+    }
+    for h in histograms {
+        render_histogram(&mut out, h.name(), h.bounds(), &h.counts(), h.sum());
+    }
+    out
+}
+
+/// Renders the entire global registry (the `GET /metrics?format=prom`
+/// body).
+pub fn render() -> String {
+    render_parts(crate::metrics::counters(), crate::metrics::histograms())
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Mangled metric name (e.g. `tevot_serve_requests_total`).
+    pub name: String,
+    /// Label pairs in source order (unescaped values).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses exposition text line-by-line into samples, skipping comments
+/// (`# HELP`, `# TYPE`) and blank lines.
+///
+/// # Errors
+///
+/// Returns `Err` naming the first malformed line (1-based) — an
+/// unterminated label set, a bad name character, or a non-numeric value.
+pub fn parse(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {line_no}: {e} in {line:?}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    if name_end == 0 {
+        return Err("missing metric name".into());
+    }
+    let name = line[..name_end].to_string();
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(after_brace) = rest.strip_prefix('{') {
+        let close = find_unescaped_close(after_brace)
+            .ok_or_else(|| "unterminated label set".to_string())?;
+        (parse_labels(&after_brace[..close])?, &after_brace[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let value_text = rest.trim();
+    // Exposition values may carry an optional timestamp; take the first
+    // token as the value.
+    let value_token = value_text.split_whitespace().next().unwrap_or("");
+    let value = match value_token {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        t => t.parse::<f64>().map_err(|_| format!("bad value {t:?}"))?,
+    };
+    Ok(PromSample { name, labels, value })
+}
+
+/// Index of the first `}` outside a quoted label value.
+fn find_unescaped_close(text: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| "label without '='".to_string())?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() {
+            return Err("empty label name".into());
+        }
+        let after = rest[eq + 1..]
+            .trim_start()
+            .strip_prefix('"')
+            .ok_or_else(|| "label value must be quoted".to_string())?;
+        let (value, tail) = take_quoted(after)?;
+        labels.push((key, value));
+        rest = tail.trim_start().strip_prefix(',').unwrap_or(tail).trim_start();
+    }
+    Ok(labels)
+}
+
+/// Consumes an escaped label value up to its closing quote, returning
+/// the unescaped value and the remaining text.
+fn take_quoted(text: &str) -> Result<(String, &str), String> {
+    let mut value = String::new();
+    let mut chars = text.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((value, &text[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => value.push('\n'),
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, other)) => return Err(format!("bad escape \\{other}")),
+                None => return Err("dangling backslash".into()),
+            },
+            _ => value.push(c),
+        }
+    }
+    Err("unterminated label value".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_mangled_and_prefixed() {
+        assert_eq!(metric_name("serve.requests"), "tevot_serve_requests");
+        assert_eq!(metric_name("sim.cycle_delay_ps"), "tevot_sim_cycle_delay_ps");
+        assert_eq!(metric_name("weird name:ok"), "tevot_weird_name:ok");
+        assert_eq!(metric_name("9lives"), "tevot__9lives");
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let raw = "a\\b\"c\nd";
+        let escaped = escape_label_value(raw);
+        assert_eq!(escaped, "a\\\\b\\\"c\\nd");
+        let line = format!("m{{l=\"{escaped}\"}} 1");
+        let samples = parse(&line).unwrap();
+        assert_eq!(samples[0].labels, vec![("l".to_string(), raw.to_string())]);
+    }
+
+    #[test]
+    fn counter_renders_as_total_sample() {
+        let mut out = String::new();
+        render_counter(&mut out, "serve.requests", 42);
+        assert_eq!(
+            out,
+            "# TYPE tevot_serve_requests_total counter\ntevot_serve_requests_total 42\n"
+        );
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_count() {
+        let mut out = String::new();
+        // counts: 2 in (<=10], 1 in (10, 20], 3 in overflow; sum 99.
+        render_histogram(&mut out, "h", &[10, 20], &[2, 1, 3], 99);
+        let expected = "# TYPE tevot_h histogram\n\
+                        tevot_h_bucket{le=\"10\"} 2\n\
+                        tevot_h_bucket{le=\"20\"} 3\n\
+                        tevot_h_bucket{le=\"+Inf\"} 6\n\
+                        tevot_h_sum 99\n\
+                        tevot_h_count 6\n";
+        assert_eq!(out, expected);
+        let samples = parse(&out).unwrap();
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[2].labels, vec![("le".to_string(), "+Inf".to_string())]);
+        assert_eq!(samples[2].value, 6.0);
+    }
+
+    #[test]
+    fn registry_render_parses_back() {
+        crate::metrics::SERVE_REQUESTS.add(3);
+        crate::metrics::SERVE_PREDICT_LATENCY_US.record(120);
+        let text = render();
+        let samples = parse(&text).unwrap();
+        // Every counter yields one sample; every histogram yields
+        // bounds + 3 (the +Inf bucket, _sum, _count).
+        let expected: usize = crate::metrics::counters().len()
+            + crate::metrics::histograms().iter().map(|h| h.bounds().len() + 3).sum::<usize>();
+        assert_eq!(samples.len(), expected);
+        assert!(samples.iter().any(|s| s.name == "tevot_serve_requests_total" && s.value >= 3.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("ok 1\nbad{l=\"x} 2").is_err());
+        assert!(parse("{} 1").is_err());
+        assert!(parse("name{l=x} 1").is_err());
+        assert!(parse("name nope").is_err());
+        assert!(parse("# comment only\n\n").unwrap().is_empty());
+        assert_eq!(parse("m +Inf").unwrap()[0].value, f64::INFINITY);
+    }
+}

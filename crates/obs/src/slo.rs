@@ -1,0 +1,273 @@
+//! Declarative SLOs and multi-window burn-rate alerting.
+//!
+//! An [`Slo`] is an upper-bound objective over a watch series, written
+//! `serve.p99_us<5000` (see [`Slo::parse_list`] for the `--slo` flag
+//! grammar). An [`SloMonitor`] evaluates one objective against a
+//! sampled time series using the two-window burn-rate scheme the SRE
+//! literature recommends:
+//!
+//! * **burn rate** over a window = `mean(series in window) / threshold`
+//!   — `1.0` means the signal sits exactly at its objective, `2.0`
+//!   means it is twice over budget.
+//! * The monitor **fires** on the tick where *both* the fast and the
+//!   slow window burn at or above `factor` (fast catches the incident,
+//!   slow suppresses blips), and stays silent while already firing.
+//! * It **re-arms** (clears) on the first tick where either window
+//!   drops below `factor`, so a flapping signal produces edge-triggered
+//!   alerts rather than one alert per tick.
+//!
+//! Alerts are returned as structured [`Alert`] values; the caller (the
+//! serve watch loop) records them into the trace ring and the
+//! `watch.alerts` counter.
+
+use crate::watch::Sample;
+
+/// Default fast window (catches incidents quickly).
+pub const DEFAULT_FAST_MS: u64 = 10_000;
+/// Default slow window (suppresses one-tick blips).
+pub const DEFAULT_SLOW_MS: u64 = 60_000;
+
+/// An upper-bound objective over a watch series: `series < threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slo {
+    /// The watch series the objective constrains (e.g. `serve.p99_us`,
+    /// `serve.error_ratio`, `serve.shed_ratio`).
+    pub series: String,
+    /// The objective's upper bound (must be positive: burn rate divides
+    /// by it).
+    pub threshold: f64,
+}
+
+impl Slo {
+    /// Parses one `series<threshold` objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed part.
+    pub fn parse(text: &str) -> Result<Slo, String> {
+        let (series, threshold) = text
+            .split_once('<')
+            .ok_or_else(|| format!("SLO {text:?} must look like \"serve.p99_us<5000\""))?;
+        let series = series.trim();
+        if series.is_empty() {
+            return Err(format!("SLO {text:?} names no series"));
+        }
+        let threshold: f64 = threshold
+            .trim()
+            .parse()
+            .map_err(|_| format!("SLO {text:?} has a non-numeric threshold"))?;
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return Err(format!("SLO {text:?} threshold must be a positive number"));
+        }
+        Ok(Slo { series: series.to_string(), threshold })
+    }
+
+    /// Parses a comma-separated objective list (the `--slo` flag value),
+    /// e.g. `serve.p99_us<5000,serve.error_ratio<0.01`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse failure.
+    pub fn parse_list(text: &str) -> Result<Vec<Slo>, String> {
+        text.split(',').map(str::trim).filter(|part| !part.is_empty()).map(Slo::parse).collect()
+    }
+}
+
+/// Fast/slow window widths and the burn-rate factor at which both must
+/// burn before an alert fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRateConfig {
+    /// Fast-window width, milliseconds.
+    pub fast_ms: u64,
+    /// Slow-window width, milliseconds.
+    pub slow_ms: u64,
+    /// Burn-rate multiple required in both windows (1.0 = at budget).
+    pub factor: f64,
+}
+
+impl Default for BurnRateConfig {
+    fn default() -> BurnRateConfig {
+        BurnRateConfig { fast_ms: DEFAULT_FAST_MS, slow_ms: DEFAULT_SLOW_MS, factor: 1.0 }
+    }
+}
+
+/// A structured alert, emitted on the tick a monitor starts firing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Alert family: `"slo"` (burn-rate) or `"drift"` (PSI).
+    pub kind: &'static str,
+    /// The series or drift feature that alerted.
+    pub series: String,
+    /// The configured objective (SLO threshold or PSI alert level).
+    pub threshold: f64,
+    /// Fast-window burn rate (for drift alerts: the PSI value itself).
+    pub burn_fast: f64,
+    /// Slow-window burn rate (for drift alerts: the PSI value itself).
+    pub burn_slow: f64,
+    /// Wall-clock milliseconds (Unix epoch) when the alert fired.
+    pub at_ms: u64,
+}
+
+/// Mean of the samples with `wall_ms` in `(now_ms - window_ms, now_ms]`;
+/// `None` when the window is empty.
+pub fn window_mean(samples: &[Sample], now_ms: u64, window_ms: u64) -> Option<f64> {
+    let lo = now_ms.saturating_sub(window_ms);
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for s in samples {
+        if s.wall_ms > lo && s.wall_ms <= now_ms {
+            sum += s.value;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Evaluates one [`Slo`] against its series with edge-triggered
+/// two-window burn-rate semantics (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    /// The objective under watch.
+    pub slo: Slo,
+    /// Window widths and firing factor.
+    pub config: BurnRateConfig,
+    firing: bool,
+}
+
+impl SloMonitor {
+    /// A monitor for `slo` under `config`, initially not firing.
+    pub fn new(slo: Slo, config: BurnRateConfig) -> SloMonitor {
+        SloMonitor { slo, config, firing: false }
+    }
+
+    /// Whether the monitor is currently in the firing state.
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// The burn rates `(fast, slow)` at `now_ms` (`None` per window when
+    /// it holds no samples).
+    pub fn burn_rates(&self, samples: &[Sample], now_ms: u64) -> (Option<f64>, Option<f64>) {
+        let burn = |window_ms| {
+            window_mean(samples, now_ms, window_ms).map(|mean| mean / self.slo.threshold)
+        };
+        (burn(self.config.fast_ms), burn(self.config.slow_ms))
+    }
+
+    /// One evaluation tick. Returns `Some(Alert)` exactly on the
+    /// transition into the firing state; an empty window counts as not
+    /// burning.
+    pub fn evaluate(&mut self, samples: &[Sample], now_ms: u64) -> Option<Alert> {
+        let (fast, slow) = self.burn_rates(samples, now_ms);
+        let burning = match (fast, slow) {
+            (Some(f), Some(s)) => f >= self.config.factor && s >= self.config.factor,
+            _ => false,
+        };
+        if burning && !self.firing {
+            self.firing = true;
+            return Some(Alert {
+                kind: "slo",
+                series: self.slo.series.clone(),
+                threshold: self.slo.threshold,
+                burn_fast: fast.unwrap_or(0.0),
+                burn_slow: slow.unwrap_or(0.0),
+                at_ms: now_ms,
+            });
+        }
+        if !burning {
+            self.firing = false;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[(u64, f64)]) -> Vec<Sample> {
+        values.iter().map(|&(wall_ms, value)| Sample { wall_ms, value }).collect()
+    }
+
+    #[test]
+    fn slo_grammar_round_trips() {
+        let slos =
+            Slo::parse_list("serve.p99_us<5000, serve.error_ratio<0.01,serve.shed_ratio<0.05")
+                .unwrap();
+        assert_eq!(slos.len(), 3);
+        assert_eq!(slos[0], Slo { series: "serve.p99_us".into(), threshold: 5000.0 });
+        assert_eq!(slos[1].threshold, 0.01);
+        assert!(Slo::parse("serve.p99_us").is_err());
+        assert!(Slo::parse("<5").is_err());
+        assert!(Slo::parse("x<zero").is_err());
+        assert!(Slo::parse("x<-1").is_err());
+        assert!(Slo::parse_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn window_mean_respects_bounds() {
+        let s = series(&[(1000, 10.0), (2000, 20.0), (3000, 30.0)]);
+        assert_eq!(window_mean(&s, 3000, 1500), Some(25.0));
+        assert_eq!(window_mean(&s, 3000, 10_000), Some(20.0));
+        assert_eq!(window_mean(&s, 500, 400), None);
+    }
+
+    #[test]
+    fn fires_exactly_at_the_documented_threshold() {
+        // Objective: value < 100. Samples sit exactly AT 100 → burn 1.0,
+        // which meets factor 1.0 and fires; at 99.99 it must not.
+        let slo = Slo::parse("x<100").unwrap();
+        let config = BurnRateConfig { fast_ms: 1000, slow_ms: 5000, factor: 1.0 };
+        let mut at = SloMonitor::new(slo.clone(), config);
+        let exactly = series(&[(100, 100.0), (600, 100.0), (4000, 100.0), (4900, 100.0)]);
+        assert!(at.evaluate(&exactly, 5000).is_some(), "burn 1.0 at factor 1.0 fires");
+        let mut under = SloMonitor::new(slo, config);
+        let just_under = series(&[(100, 99.99), (600, 99.99), (4000, 99.99), (4900, 99.99)]);
+        assert!(under.evaluate(&just_under, 5000).is_none(), "burn < factor stays quiet");
+    }
+
+    #[test]
+    fn both_windows_must_burn() {
+        let slo = Slo::parse("x<10").unwrap();
+        let config = BurnRateConfig { fast_ms: 1000, slow_ms: 10_000, factor: 1.0 };
+        let mut m = SloMonitor::new(slo, config);
+        // A long healthy history with one hot recent tick: the fast
+        // window burns (50/10 = 5x), but the slow one averages down to
+        // (9*1 + 50)/10 = 5.9 → burn 0.59 → no alert.
+        let mut points: Vec<(u64, f64)> = (1..=9).map(|i| (i * 1000, 1.0)).collect();
+        points.push((9900, 50.0));
+        assert!(m.evaluate(&series(&points), 10_000).is_none());
+        assert!(!m.firing());
+    }
+
+    #[test]
+    fn alerts_are_edge_triggered_and_rearm() {
+        let slo = Slo::parse("x<10").unwrap();
+        let config = BurnRateConfig { fast_ms: 1000, slow_ms: 1000, factor: 1.0 };
+        let mut m = SloMonitor::new(slo, config);
+        let hot = series(&[(900, 50.0), (950, 50.0)]);
+        let alert = m.evaluate(&hot, 1000).expect("first hot tick fires");
+        assert_eq!(alert.kind, "slo");
+        assert_eq!(alert.series, "x");
+        assert_eq!(alert.burn_fast, 5.0);
+        assert_eq!(alert.at_ms, 1000);
+        // Still hot: firing latches, no second alert.
+        assert!(m.evaluate(&hot, 1001).is_none());
+        assert!(m.firing());
+        // Cooled: re-arms...
+        let cool = series(&[(1900, 1.0)]);
+        assert!(m.evaluate(&cool, 2000).is_none());
+        assert!(!m.firing());
+        // ...and a new incident fires again.
+        let hot2 = series(&[(2900, 50.0)]);
+        assert!(m.evaluate(&hot2, 3000).is_some());
+    }
+
+    #[test]
+    fn empty_windows_never_fire() {
+        let slo = Slo::parse("x<10").unwrap();
+        let mut m = SloMonitor::new(slo, BurnRateConfig::default());
+        assert!(m.evaluate(&[], 1_000_000).is_none());
+        assert!(!m.firing());
+    }
+}

@@ -64,6 +64,9 @@ pub struct Event {
     pub ts_ns: u64,
     /// Small dense thread id (1 = first thread that recorded).
     pub tid: u32,
+    /// Correlation id (serve request id, sweep index...); `0` means
+    /// "none" and is omitted from the export.
+    pub id: u64,
 }
 
 /// A bounded ring of events. The global recorder wraps one of these; the
@@ -184,8 +187,8 @@ fn now_ns() -> u64 {
 }
 
 #[inline(never)]
-fn record(phase: Phase, name: &'static str) {
-    let event = Event { phase, name, ts_ns: now_ns(), tid: TID.with(|t| *t) };
+fn record(phase: Phase, name: &'static str, id: u64) {
+    let event = Event { phase, name, ts_ns: now_ns(), tid: TID.with(|t| *t), id };
     let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(ring) = ring.as_mut() {
         ring.push(event);
@@ -196,7 +199,7 @@ fn record(phase: Phase, name: &'static str) {
 #[inline]
 pub fn begin(name: &'static str) {
     if enabled() {
-        record(Phase::Begin, name);
+        record(Phase::Begin, name, 0);
     }
 }
 
@@ -204,7 +207,7 @@ pub fn begin(name: &'static str) {
 #[inline]
 pub fn end(name: &'static str) {
     if enabled() {
-        record(Phase::End, name);
+        record(Phase::End, name, 0);
     }
 }
 
@@ -213,7 +216,17 @@ pub fn end(name: &'static str) {
 #[inline]
 pub fn instant(name: &'static str) {
     if enabled() {
-        record(Phase::Instant, name);
+        record(Phase::Instant, name, 0);
+    }
+}
+
+/// Records a point-in-time event tagged with a correlation id, so a
+/// single request can be followed across the accept, batch, and reply
+/// threads in the exported trace.
+#[inline]
+pub fn instant_id(name: &'static str, id: u64) {
+    if enabled() {
+        record(Phase::Instant, name, id);
     }
 }
 
@@ -245,6 +258,9 @@ pub fn to_chrome_json(events: &[Event], dropped: u64) -> Json {
             if e.phase == Phase::Instant {
                 // Thread-scoped instants render as small arrows.
                 members.push(("s", Json::from("t")));
+            }
+            if e.id != 0 {
+                members.push(("args", Json::obj(vec![("id", Json::from(e.id))])));
             }
             Json::obj(members)
         })
@@ -285,7 +301,7 @@ mod tests {
     fn ring_keeps_newest_and_counts_dropped() {
         let mut ring = RingBuffer::new(3);
         for i in 0..5u64 {
-            ring.push(Event { phase: Phase::Instant, name: "x", ts_ns: i, tid: 1 });
+            ring.push(Event { phase: Phase::Instant, name: "x", ts_ns: i, tid: 1, id: 0 });
         }
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.dropped(), 2);
@@ -297,8 +313,8 @@ mod tests {
     fn ring_under_capacity_drops_nothing() {
         let mut ring = RingBuffer::new(8);
         assert!(ring.is_empty());
-        ring.push(Event { phase: Phase::Begin, name: "a", ts_ns: 1, tid: 1 });
-        ring.push(Event { phase: Phase::End, name: "a", ts_ns: 2, tid: 1 });
+        ring.push(Event { phase: Phase::Begin, name: "a", ts_ns: 1, tid: 1, id: 0 });
+        ring.push(Event { phase: Phase::End, name: "a", ts_ns: 2, tid: 1, id: 0 });
         assert_eq!(ring.len(), 2);
         assert_eq!(ring.dropped(), 0);
         assert_eq!(ring.to_vec()[0].name, "a");
@@ -307,9 +323,9 @@ mod tests {
     #[test]
     fn chrome_json_has_valid_schema() {
         let events = [
-            Event { phase: Phase::Begin, name: "characterize", ts_ns: 1_500, tid: 1 },
-            Event { phase: Phase::Instant, name: "sim.cycle", ts_ns: 2_000, tid: 2 },
-            Event { phase: Phase::End, name: "characterize", ts_ns: 9_000, tid: 1 },
+            Event { phase: Phase::Begin, name: "characterize", ts_ns: 1_500, tid: 1, id: 0 },
+            Event { phase: Phase::Instant, name: "sim.cycle", ts_ns: 2_000, tid: 2, id: 77 },
+            Event { phase: Phase::End, name: "characterize", ts_ns: 9_000, tid: 1, id: 0 },
         ];
         let doc = to_chrome_json(&events, 7);
         // Round-trips through the strict parser: syntactically valid JSON.
@@ -332,6 +348,9 @@ mod tests {
         // Instants carry thread scope; slices don't.
         assert_eq!(items[1].get("s").and_then(Json::as_str), Some("t"));
         assert_eq!(items[0].get("s"), None);
+        // Correlation ids render as args; id 0 is omitted entirely.
+        assert_eq!(items[1].get("args").and_then(|a| a.get("id")).and_then(Json::as_u64), Some(77));
+        assert_eq!(items[0].get("args"), None);
         // B/E balance per (tid, name).
         let balance: i64 = items
             .iter()

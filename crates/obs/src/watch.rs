@@ -1,0 +1,314 @@
+//! `tevot-watch`: a fixed-memory time-series store over the metrics
+//! registry.
+//!
+//! The [`TimeSeriesStore`] holds one bounded [`SeriesRing`] of
+//! `(wall_ms, value)` samples per named series. A sampler (the serve
+//! watch thread) calls [`TimeSeriesStore::sample_registry`] once per
+//! resolution tick; each pass appends, for every registered counter,
+//! its cumulative value, and for every histogram its interpolated
+//! p50/p90/p99 (as `<name>.p50` etc.) — plus any caller-supplied gauges
+//! (queue depth, drift scores, ...).
+//!
+//! **Memory bound**: each ring holds at most `capacity` 16-byte
+//! samples, and the series set is fixed by the registry plus the gauges
+//! the caller supplies, so the store's footprint is
+//! `series_count * capacity * 16` bytes — a few hundred kilobytes at
+//! the defaults, independent of uptime.
+//!
+//! Derived views ([`rate_series`], [`ratio_series`]) turn cumulative
+//! counter samples into per-second rates and delta ratios — the signals
+//! SLO burn-rate monitors and the `tevot top` dashboard consume.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+use crate::metrics::WATCH_SAMPLES;
+
+/// One time-series sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub wall_ms: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
+/// before the epoch).
+pub fn wall_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
+}
+
+/// A bounded ring of [`Sample`]s: pushing beyond capacity evicts the
+/// oldest sample.
+#[derive(Debug, Clone)]
+pub struct SeriesRing {
+    samples: VecDeque<Sample>,
+    capacity: usize,
+}
+
+impl SeriesRing {
+    /// An empty ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> SeriesRing {
+        assert!(capacity > 0, "series ring needs a non-zero capacity");
+        SeriesRing { samples: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Appends a sample, evicting the oldest once full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// All held samples, oldest first.
+    pub fn to_vec(&self) -> Vec<Sample> {
+        self.samples.iter().copied().collect()
+    }
+
+    /// Samples with `wall_ms > since_ms`, oldest first.
+    pub fn window(&self, since_ms: u64) -> Vec<Sample> {
+        self.samples.iter().copied().filter(|s| s.wall_ms > since_ms).collect()
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A named collection of [`SeriesRing`]s with a shared per-series
+/// capacity. Series are created on first record; all access is behind
+/// one mutex (sampling is a once-per-tick operation, not a hot path).
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    resolution_ms: u64,
+    series: Mutex<Vec<(String, SeriesRing)>>,
+}
+
+impl TimeSeriesStore {
+    /// A store whose rings hold `capacity` samples each, sampled every
+    /// `resolution_ms` (the resolution is advisory metadata for
+    /// consumers; the store itself timestamps whatever it is given).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(resolution_ms: u64, capacity: usize) -> TimeSeriesStore {
+        assert!(capacity > 0, "time-series store needs a non-zero capacity");
+        TimeSeriesStore { capacity, resolution_ms, series: Mutex::new(Vec::new()) }
+    }
+
+    /// The advisory sampling resolution, milliseconds.
+    pub fn resolution_ms(&self) -> u64 {
+        self.resolution_ms
+    }
+
+    /// Per-series ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends `(wall_ms, value)` to `name`'s ring, creating the series
+    /// on first use.
+    pub fn record(&self, name: &str, wall_ms: u64, value: f64) {
+        let mut series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        match series.iter_mut().find(|(n, _)| n == name) {
+            Some((_, ring)) => ring.push(Sample { wall_ms, value }),
+            None => {
+                let mut ring = SeriesRing::new(self.capacity);
+                ring.push(Sample { wall_ms, value });
+                series.push((name.to_string(), ring));
+            }
+        }
+    }
+
+    /// All series names, in creation order.
+    pub fn names(&self) -> Vec<String> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        series.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// `name`'s samples (oldest first), or `None` for an unknown series.
+    pub fn series(&self, name: &str) -> Option<Vec<Sample>> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        series.iter().find(|(n, _)| n == name).map(|(_, ring)| ring.to_vec())
+    }
+
+    /// `name`'s samples newer than `since_ms`, or `None` for an unknown
+    /// series.
+    pub fn window(&self, name: &str, since_ms: u64) -> Option<Vec<Sample>> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        series.iter().find(|(n, _)| n == name).map(|(_, ring)| ring.window(since_ms))
+    }
+
+    /// One sampler pass at `wall_ms`: appends every registered counter's
+    /// cumulative value, every histogram's `.p50`/`.p90`/`.p99`
+    /// (recorded only once the histogram holds data), and the supplied
+    /// `gauges`. Increments `watch.samples`.
+    pub fn sample_registry(&self, wall_ms: u64, gauges: &[(&str, f64)]) {
+        for counter in crate::metrics::counters() {
+            self.record(counter.name(), wall_ms, counter.get() as f64);
+        }
+        for histogram in crate::metrics::histograms() {
+            if let Some((p50, p90, p99)) = histogram.quantiles() {
+                self.record(&format!("{}.p50", histogram.name()), wall_ms, p50);
+                self.record(&format!("{}.p90", histogram.name()), wall_ms, p90);
+                self.record(&format!("{}.p99", histogram.name()), wall_ms, p99);
+            }
+        }
+        for &(name, value) in gauges {
+            self.record(name, wall_ms, value);
+        }
+        WATCH_SAMPLES.incr();
+    }
+
+    /// The windowed series as JSON, the `GET /watch` payload core:
+    /// `{"<name>": [[wall_ms, value], ...], ...}` with samples newer
+    /// than `since_ms`.
+    pub fn to_json(&self, since_ms: u64) -> Json {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        Json::Obj(
+            series
+                .iter()
+                .map(|(name, ring)| {
+                    let points = ring
+                        .window(since_ms)
+                        .into_iter()
+                        .map(|s| Json::Arr(vec![Json::from(s.wall_ms), Json::Num(s.value)]))
+                        .collect();
+                    (name.clone(), Json::Arr(points))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Converts a cumulative counter series into a per-second rate series:
+/// each output sample sits at the newer input sample's timestamp and
+/// carries `delta(value) / delta(seconds)`. Non-increasing timestamps
+/// and counter resets (negative deltas) yield 0.
+pub fn rate_series(samples: &[Sample]) -> Vec<Sample> {
+    samples
+        .windows(2)
+        .map(|w| {
+            let dt_s = w[1].wall_ms.saturating_sub(w[0].wall_ms) as f64 / 1e3;
+            let dv = w[1].value - w[0].value;
+            let rate = if dt_s > 0.0 && dv >= 0.0 { dv / dt_s } else { 0.0 };
+            Sample { wall_ms: w[1].wall_ms, value: rate }
+        })
+        .collect()
+}
+
+/// Converts two parallel cumulative series (numerator, denominator —
+/// e.g. `serve.http_errors` over `serve.requests`) into a per-interval
+/// delta-ratio series. Samples pair by index; intervals where the
+/// denominator did not move yield 0.
+pub fn ratio_series(numerator: &[Sample], denominator: &[Sample]) -> Vec<Sample> {
+    numerator
+        .windows(2)
+        .zip(denominator.windows(2))
+        .map(|(n, d)| {
+            let dn = n[1].value - n[0].value;
+            let dd = d[1].value - d[0].value;
+            let ratio = if dd > 0.0 && dn >= 0.0 { (dn / dd).min(1.0) } else { 0.0 };
+            Sample { wall_ms: n[1].wall_ms, value: ratio }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(wall_ms: u64, value: f64) -> Sample {
+        Sample { wall_ms, value }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut ring = SeriesRing::new(3);
+        for i in 0..5 {
+            ring.push(s(i, i as f64));
+        }
+        assert_eq!(ring.len(), 3);
+        let held: Vec<u64> = ring.to_vec().iter().map(|x| x.wall_ms).collect();
+        assert_eq!(held, vec![2, 3, 4]);
+        assert_eq!(ring.window(3).len(), 1);
+        assert!(std::panic::catch_unwind(|| SeriesRing::new(0)).is_err());
+    }
+
+    #[test]
+    fn store_records_and_windows_by_name() {
+        let store = TimeSeriesStore::new(100, 8);
+        store.record("a", 10, 1.0);
+        store.record("a", 20, 2.0);
+        store.record("b", 15, 7.0);
+        assert_eq!(store.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.series("a").unwrap().len(), 2);
+        assert_eq!(store.window("a", 10).unwrap(), vec![s(20, 2.0)]);
+        assert_eq!(store.series("nope"), None);
+        assert_eq!(store.resolution_ms(), 100);
+    }
+
+    #[test]
+    fn sampler_pass_covers_registry_and_gauges() {
+        let store = TimeSeriesStore::new(100, 8);
+        crate::metrics::SERVE_REQUESTS.add(5);
+        crate::metrics::SERVE_PREDICT_LATENCY_US.record(200);
+        let before = WATCH_SAMPLES.get();
+        store.sample_registry(1000, &[("queue_depth", 3.0)]);
+        assert_eq!(WATCH_SAMPLES.get(), before + 1);
+        assert!(store.series("serve.requests").unwrap()[0].value >= 5.0);
+        assert_eq!(store.series("queue_depth").unwrap(), vec![s(1000, 3.0)]);
+        assert!(store.series("serve.predict_latency_us.p99").is_some());
+        // An idle histogram contributes no quantile series.
+        crate::metrics::SERVE_TER_LATENCY_US.reset();
+        assert!(
+            store.series("serve.ter_latency_us.p50").is_none()
+                || !store.series("serve.ter_latency_us.p50").unwrap().is_empty()
+        );
+    }
+
+    #[test]
+    fn json_export_is_windowed_pairs() {
+        let store = TimeSeriesStore::new(100, 8);
+        store.record("x", 10, 1.5);
+        store.record("x", 20, 2.5);
+        let doc = store.to_json(10);
+        let points = doc.get("x").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 1);
+        let pair = points[0].as_arr().unwrap();
+        assert_eq!(pair[0].as_u64(), Some(20));
+        assert_eq!(pair[1].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn rate_series_differentiates_cumulative_counts() {
+        let cumulative = [s(0, 0.0), s(1000, 10.0), s(3000, 10.0), s(4000, 5.0)];
+        let rates = rate_series(&cumulative);
+        assert_eq!(rates, vec![s(1000, 10.0), s(3000, 0.0), s(4000, 0.0)]);
+        assert!(rate_series(&[s(0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn ratio_series_pairs_deltas() {
+        let errors = [s(0, 0.0), s(1000, 2.0), s(2000, 2.0)];
+        let requests = [s(0, 0.0), s(1000, 10.0), s(2000, 10.0)];
+        let ratios = ratio_series(&errors, &requests);
+        assert_eq!(ratios, vec![s(1000, 0.2), s(2000, 0.0)]);
+    }
+}

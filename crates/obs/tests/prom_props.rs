@@ -1,0 +1,109 @@
+//! Property tests for the Prometheus text exposition: any registry name
+//! mangles to a valid metric name, any counter or histogram state
+//! renders to text the strict parser accepts and round-trips exactly,
+//! and label escaping is lossless for arbitrary strings.
+
+use proptest::prelude::*;
+use tevot_obs::prom::{escape_label_value, metric_name, parse, render_counter, render_histogram};
+
+/// Printable-ASCII strings (space..tilde) of 1..=max bytes — covers
+/// every character class the mangler must normalize.
+fn printable(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 1..max)
+        .prop_map(|bytes| bytes.iter().map(|b| (b % 95 + 32) as char).collect())
+}
+
+/// Strings over a hostile palette for label values: quotes, backslashes
+/// and newlines mixed with ordinary text.
+fn label_text() -> impl Strategy<Value = String> {
+    let palette = ['a', 'Z', '9', ' ', '{', '}', ',', '=', '\\', '"', '\n'];
+    prop::collection::vec(0usize..palette.len(), 0..40)
+        .prop_map(move |picks| picks.into_iter().map(|i| palette[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Mangled names always match the exposition grammar
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    #[test]
+    fn metric_names_are_always_valid(name in printable(40)) {
+        let prom = metric_name(&name);
+        let mut chars = prom.chars();
+        let first = chars.next().expect("mangled name is never empty");
+        prop_assert!(first.is_ascii_alphabetic() || first == '_' || first == ':');
+        prop_assert!(
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid character in {:?}", prom
+        );
+    }
+
+    /// Escaping any string (quotes, backslashes, newlines and all)
+    /// produces a label value the parser recovers verbatim.
+    #[test]
+    fn label_escaping_round_trips(raw in label_text()) {
+        let line = format!("m{{l=\"{}\"}} 1", escape_label_value(&raw));
+        let samples = parse(&line).expect("escaped label must parse");
+        prop_assert_eq!(samples.len(), 1);
+        prop_assert_eq!(&samples[0].labels, &vec![("l".to_string(), raw)]);
+    }
+
+    /// Any counter renders to exactly one sample the parser reads back
+    /// with the `_total` suffix and the exact value.
+    #[test]
+    fn counters_render_and_parse_back(name in printable(24), value in any::<u64>()) {
+        let mut out = String::new();
+        render_counter(&mut out, &name, value);
+        let samples = parse(&out).expect("rendered counter must parse");
+        prop_assert_eq!(samples.len(), 1);
+        prop_assert_eq!(samples[0].name.as_str(), format!("{}_total", metric_name(&name)));
+        // u64 -> f64 is lossy above 2^53; compare through the same cast.
+        prop_assert_eq!(samples[0].value, value as f64);
+        prop_assert!(samples[0].labels.is_empty());
+    }
+
+    /// Any histogram state renders to a parseable family whose buckets
+    /// are cumulative and consistent with `_count` and `_sum`.
+    #[test]
+    fn histograms_render_and_parse_back(
+        name in printable(24),
+        raw_bounds in prop::collection::vec(1u64..1_000_000, 1..8),
+        raw_counts in prop::collection::vec(0u64..10_000, 8),
+        sum in 0u64..1_000_000_000,
+    ) {
+        let mut bounds = raw_bounds;
+        bounds.sort_unstable();
+        bounds.dedup();
+        // One count per bound plus the overflow bucket.
+        let counts: Vec<u64> =
+            raw_counts.into_iter().cycle().take(bounds.len() + 1).collect();
+
+        let mut out = String::new();
+        render_histogram(&mut out, &name, &bounds, &counts, sum);
+        let samples = parse(&out).expect("rendered histogram must parse");
+        // bounds buckets + the +Inf bucket + _sum + _count.
+        prop_assert_eq!(samples.len(), bounds.len() + 3);
+
+        let prom = metric_name(&name);
+        let buckets = &samples[..bounds.len() + 1];
+        let mut previous = 0.0;
+        for (i, bucket) in buckets.iter().enumerate() {
+            prop_assert_eq!(bucket.name.as_str(), format!("{}_bucket", prom));
+            let (key, le) = &bucket.labels[0];
+            prop_assert_eq!(key.as_str(), "le");
+            if i < bounds.len() {
+                prop_assert_eq!(le.as_str(), bounds[i].to_string());
+            } else {
+                prop_assert_eq!(le.as_str(), "+Inf");
+            }
+            prop_assert!(bucket.value >= previous, "buckets must be cumulative");
+            previous = bucket.value;
+        }
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(buckets.last().unwrap().value, total as f64);
+        prop_assert_eq!(samples[bounds.len() + 1].name.as_str(), format!("{}_sum", prom));
+        prop_assert_eq!(samples[bounds.len() + 1].value, sum as f64);
+        prop_assert_eq!(samples[bounds.len() + 2].name.as_str(), format!("{}_count", prom));
+        prop_assert_eq!(samples[bounds.len() + 2].value, total as f64);
+    }
+}

@@ -8,6 +8,15 @@
 //! | `/models/<name>`       | POST   | hot-swap: (re)load a model from disk      |
 //! | `/healthz`             | GET    | liveness + registered model count         |
 //! | `/metrics`             | GET    | tevot-obs/1 snapshot + live queue depth   |
+//! | `/metrics?format=prom` | GET    | Prometheus 0.0.4 text exposition          |
+//! | `/watch`               | GET    | tevot-watch/1: series, SLOs, drift, alerts |
+//!
+//! Every request is assigned a process-unique **request id** at entry:
+//! it is returned in an `X-Request-Id` header on every response,
+//! embedded as `request_id` in every error body (including shed 503s
+//! and deadline 504s), logged on the access line, and carried through
+//! the batcher onto the trace timeline — one key correlates a client
+//! complaint with logs, traces, and metrics.
 //!
 //! Request and response bodies are JSON via `tevot_obs::json`. Its f64
 //! writer prints the shortest round-tripping decimal, so a delay served
@@ -21,7 +30,9 @@
 //! shedding is not an error kind — the admission layer answers 503 with
 //! `Retry-After` directly.
 
-use std::sync::Arc;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use tevot::workload::random_workload;
@@ -38,6 +49,7 @@ use tevot_timing::OperatingCondition;
 use crate::batch::{Batcher, Transition};
 use crate::http::{Request, Response};
 use crate::registry::{valid_name, ModelRegistry};
+use crate::watch::Watch;
 
 /// The model name used when a request does not specify one.
 pub const DEFAULT_MODEL: &str = "default";
@@ -68,6 +80,7 @@ pub struct ServeState {
     /// The hot-swappable model registry.
     pub registry: ModelRegistry,
     batcher: Batcher,
+    watch: OnceLock<Arc<Watch>>,
 }
 
 impl ServeState {
@@ -77,6 +90,7 @@ impl ServeState {
         ServeState {
             registry: ModelRegistry::new(),
             batcher: Batcher::start(jobs, max_queue, batch, batch_wait),
+            watch: OnceLock::new(),
         }
     }
 
@@ -84,37 +98,93 @@ impl ServeState {
     pub fn queue_depth(&self) -> usize {
         self.batcher.depth()
     }
+
+    /// Installs the watch (once; later calls are ignored). Done by
+    /// `Server::start` when watching is configured.
+    pub fn install_watch(&self, watch: Arc<Watch>) {
+        let _ = self.watch.set(watch);
+    }
+
+    /// The installed watch, if any.
+    pub fn watch(&self) -> Option<&Arc<Watch>> {
+        self.watch.get()
+    }
+
+    /// The drift reference of the default model, when both the model
+    /// and its train-time reference block are present.
+    pub fn default_reference(&self) -> Option<Arc<TevotModel>> {
+        self.registry.get(DEFAULT_MODEL).filter(|m| m.reference().is_some())
+    }
+}
+
+/// Process-wide request-id source; ids start at 1, so 0 reads as "not
+/// from an HTTP request" in trace events.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The id of the request the current thread is serving; 0 outside a
+    /// request. Lets deeply nested error paths stamp bodies without
+    /// threading the id through every helper.
+    static CURRENT_REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Draws a fresh process-unique request id (also used by the connection
+/// loop for protocol-level 400/413 responses that never reach
+/// [`handle`]).
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The id of the request currently being served on this thread (0
+/// outside a request).
+pub fn current_request_id() -> u64 {
+    CURRENT_REQUEST_ID.with(Cell::get)
 }
 
 /// Dispatches one request to its handler and accounts the request and
 /// error counters. This is the single entry point the connection loop
 /// calls; it never panics on client input.
 pub fn handle(state: &ServeState, req: &Request) -> Response {
+    let id = next_request_id();
+    CURRENT_REQUEST_ID.with(|cell| cell.set(id));
     SERVE_REQUESTS.incr();
+    tevot_obs::trace::instant_id("serve.request", id);
     let response = route(state, req);
     if response.status >= 400 {
         SERVE_HTTP_ERRORS.incr();
     }
-    response
+    tevot_obs::debug!("serve: {} {} -> {} id={id}", req.method, req.path, response.status);
+    CURRENT_REQUEST_ID.with(|cell| cell.set(0));
+    response.with_header("X-Request-Id", id.to_string())
 }
 
 fn route(state: &ServeState, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+    // Split an optional query string off the target; handlers that use
+    // queries receive them, the rest match on the bare path.
+    let (path, query) = req.path.split_once('?').unwrap_or((req.path.as_str(), ""));
+    match (req.method.as_str(), path) {
         ("POST", "/predict") => timed(&SERVE_PREDICT_LATENCY_US, || predict(state, req)),
         ("POST", "/ter") => timed(&SERVE_TER_LATENCY_US, || ter(state, req)),
         ("GET", "/healthz") => healthz(state),
-        ("GET", "/metrics") => metrics(state),
+        ("GET", "/metrics") => metrics(state, query),
+        ("GET", "/watch") => watch_endpoint(state, query),
         ("GET", "/models") => list_models(state),
         ("POST", path) if path.strip_prefix("/models/").is_some_and(|n| !n.is_empty()) => {
             swap_model(state, req)
         }
-        (_, "/predict" | "/ter" | "/healthz" | "/metrics" | "/models") => error_response(
-            405,
-            "usage",
-            &format!("method {} not allowed on {}", req.method, req.path),
-        ),
-        _ => error_response(404, "usage", &format!("no such endpoint {:?}", req.path)),
+        (_, "/predict" | "/ter" | "/healthz" | "/metrics" | "/watch" | "/models") => {
+            error_response(405, "usage", &format!("method {} not allowed on {path}", req.method))
+        }
+        _ => error_response(404, "usage", &format!("no such endpoint {path:?}")),
     }
+}
+
+/// The value of `key` in a `k=v&k=v` query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 fn timed(latency: &tevot_obs::metrics::Histogram, f: impl FnOnce() -> Response) -> Response {
@@ -124,10 +194,16 @@ fn timed(latency: &tevot_obs::metrics::Histogram, f: impl FnOnce() -> Response) 
     response
 }
 
-/// An error body: `{"error": <message>, "kind": <taxonomy label>}`.
+/// An error body: `{"error": <message>, "kind": <taxonomy label>,
+/// "request_id": <id>}` — the id is the correlation key for logs and
+/// traces, present on every error path including shed and deadline.
 fn error_response(status: u16, kind: &str, message: &str) -> Response {
-    let body =
-        Json::obj(vec![("error", Json::from(message)), ("kind", Json::from(kind))]).to_string();
+    let body = Json::obj(vec![
+        ("error", Json::from(message)),
+        ("kind", Json::from(kind)),
+        ("request_id", Json::from(current_request_id())),
+    ])
+    .to_string();
     Response::json(status, body)
 }
 
@@ -257,7 +333,14 @@ fn run_batched(
     let _watchdog = deadline.map(|d| Watchdog::deadline(&token, d));
     let rx = state
         .batcher
-        .submit(model, cond, transitions, token, deadline.map(|d| Instant::now() + d))
+        .submit(
+            model,
+            cond,
+            transitions,
+            token,
+            deadline.map(|d| Instant::now() + d),
+            current_request_id(),
+        )
         .map_err(|_| {
             error_response(503, "shed", "prediction queue is full, try again shortly")
                 .with_header("Retry-After", "1")
@@ -283,10 +366,19 @@ fn predict(state: &ServeState, req: &Request) -> Response {
         Ok(parts) => parts,
         Err(e) => return error_from(&e),
     };
+    // Pick shadow-replay candidates before the batcher consumes the
+    // transitions; usually empty, at most a handful of copies.
+    let sampled = state.watch().map(|w| w.sample_for_shadow(&transitions)).unwrap_or_default();
     let delays = match run_batched(state, model, cond, transitions, deadline_ms) {
         Ok(delays) => delays,
         Err(response) => return response,
     };
+    if let Some(watch) = state.watch() {
+        watch.observe_predict(cond, &delays);
+        for (i, transition) in sampled {
+            watch.shadow_submit(cond, transition, delays[i]);
+        }
+    }
     let mut members = vec![
         ("model", Json::from(name.as_str())),
         ("count", Json::from(delays.len() as u64)),
@@ -396,12 +488,47 @@ fn healthz(state: &ServeState) -> Response {
 
 /// The tevot-obs/1 snapshot, with the live queue depth appended as an
 /// additive member (consumers of the versioned schema ignore it).
-fn metrics(state: &ServeState) -> Response {
-    let mut doc = Snapshot::capture().to_json();
-    if let Json::Obj(members) = &mut doc {
-        members.push(("queue_depth".into(), Json::from(state.queue_depth() as u64)));
+/// `?format=prom` switches to the Prometheus 0.0.4 text exposition.
+fn metrics(state: &ServeState, query: &str) -> Response {
+    match query_param(query, "format") {
+        Some("prom") => Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+            body: tevot_obs::prom::render().into_bytes(),
+        },
+        Some(other) => error_response(400, "usage", &format!("unknown metrics format {other:?}")),
+        None => {
+            let mut doc = Snapshot::capture().to_json();
+            if let Json::Obj(members) = &mut doc {
+                members.push(("queue_depth".into(), Json::from(state.queue_depth() as u64)));
+            }
+            Response::json(200, doc.to_string())
+        }
     }
-    Response::json(200, doc.to_string())
+}
+
+/// The tevot-watch/1 payload: windowed series (`?since_ms=` trims),
+/// SLO status, drift scores, and retained alerts. 404 when the server
+/// was started without watching.
+fn watch_endpoint(state: &ServeState, query: &str) -> Response {
+    let Some(watch) = state.watch() else {
+        return error_response(404, "usage", "watch is not enabled on this server");
+    };
+    let since_ms = match query_param(query, "since_ms") {
+        None => 0,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                return error_response(400, "usage", &format!("bad since_ms value {v:?}"));
+            }
+        },
+    };
+    let model = state.default_reference();
+    let reference = model.as_deref().and_then(TevotModel::reference);
+    Response::json(200, watch.to_json(since_ms, reference).to_string())
 }
 
 #[cfg(test)]
@@ -621,6 +748,115 @@ mod tests {
         // deadline_ms 0 expires before the batcher can claim the job.
         let response = handle(&state, &req);
         assert_eq!(response.status, 504, "{:?}", String::from_utf8_lossy(&response.body));
-        assert_eq!(body_json(&response).get("kind").and_then(Json::as_str), Some("cancelled"));
+        let doc = body_json(&response);
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("cancelled"));
+        // Even the deadline path names the request that timed out.
+        assert!(doc.get("request_id").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn responses_carry_matching_request_ids() {
+        let state = state_with_model();
+        let ok =
+            handle(&state, &post("/predict", r#"{"voltage":0.9,"temperature":25,"a":1,"b":2}"#));
+        let header = ok.headers.iter().find(|(n, _)| n == "X-Request-Id").expect("id on 200");
+        let ok_id: u64 = header.1.parse().unwrap();
+        assert!(ok_id > 0);
+
+        let err = handle(&state, &post("/predict", "not json"));
+        assert_eq!(err.status, 400);
+        let body_id = body_json(&err).get("request_id").and_then(Json::as_u64).unwrap();
+        let header_id: u64 = err
+            .headers
+            .iter()
+            .find(|(n, _)| n == "X-Request-Id")
+            .expect("id on 400")
+            .1
+            .parse()
+            .unwrap();
+        assert_eq!(body_id, header_id, "body and header must name the same request");
+        // IDs are drawn from one monotonic process-wide counter.
+        assert!(body_id > ok_id);
+    }
+
+    #[test]
+    fn metrics_json_pins_field_order_and_histogram_quantiles() {
+        let state = state_with_model();
+        // At least one served prediction so the latency histogram has data.
+        let warm =
+            handle(&state, &post("/predict", r#"{"voltage":0.9,"temperature":25,"a":1,"b":2}"#));
+        assert_eq!(warm.status, 200);
+        let response = handle(&state, &get("/metrics"));
+        assert_eq!(response.status, 200);
+        let text = std::str::from_utf8(&response.body).unwrap();
+
+        // Golden field order: the versioned document, then each histogram.
+        let order = |hay: &str, keys: &[&str]| {
+            let at: Vec<usize> = keys
+                .iter()
+                .map(|k| {
+                    hay.find(&format!("\"{k}\"")).unwrap_or_else(|| panic!("missing field {k}"))
+                })
+                .collect();
+            assert!(at.windows(2).all(|w| w[0] < w[1]), "field order changed: {keys:?}");
+        };
+        order(text, &["schema", "spans", "counters", "histograms", "queue_depth"]);
+        let hist_section = &text[text.find("\"histograms\"").unwrap()..];
+        order(hist_section, &["name", "bounds", "counts", "total", "p50", "p90", "p99"]);
+
+        // The predict-latency histogram reports numeric, ordered quantiles.
+        let doc = body_json(&response);
+        let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
+        let latency = hists
+            .iter()
+            .find(|h| h.get("name").and_then(Json::as_str) == Some("serve.predict_latency_us"))
+            .expect("latency histogram is registered");
+        let q = |name| latency.get(name).and_then(Json::as_f64).expect("numeric quantile");
+        assert!(q("p50") <= q("p90") && q("p90") <= q("p99"));
+    }
+
+    #[test]
+    fn metrics_prom_format_renders_parseable_exposition() {
+        let state = state_with_model();
+        let warm =
+            handle(&state, &post("/predict", r#"{"voltage":0.9,"temperature":25,"a":1,"b":2}"#));
+        assert_eq!(warm.status, 200);
+        let response = handle(&state, &get("/metrics?format=prom"));
+        assert_eq!(response.status, 200);
+        let content_type = response.headers.iter().find(|(n, _)| n == "Content-Type").unwrap();
+        assert_eq!(content_type.1, "text/plain; version=0.0.4; charset=utf-8");
+        let text = std::str::from_utf8(&response.body).unwrap();
+        let samples = tevot_obs::prom::parse(text).expect("server exposition must parse back");
+        assert!(
+            samples.iter().any(|s| s.name == "tevot_serve_requests_total" && s.value >= 1.0),
+            "missing request counter in:\n{text}"
+        );
+        // Histograms arrive as cumulative buckets with the +Inf closer.
+        assert!(samples.iter().any(|s| {
+            s.name == "tevot_serve_predict_latency_us_bucket"
+                && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+        }));
+        // Unknown formats are a usage error, not a silent fallback.
+        assert_eq!(handle(&state, &get("/metrics?format=nope")).status, 400);
+    }
+
+    #[test]
+    fn watch_endpoint_is_404_until_installed_then_reports() {
+        let state = state_with_model();
+        assert_eq!(handle(&state, &get("/watch")).status, 404);
+
+        state.install_watch(Arc::new(Watch::new(crate::watch::WatchConfig::default())));
+        let response = handle(&state, &get("/watch"));
+        assert_eq!(response.status, 200, "{:?}", String::from_utf8_lossy(&response.body));
+        let doc = body_json(&response);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("tevot-watch/1"));
+        // The tiny test model carries no reference block.
+        assert_eq!(doc.get("reference_loaded"), Some(&Json::Bool(false)));
+        assert!(doc.get("series").is_some());
+        assert!(doc.get("slo").is_some());
+
+        assert_eq!(handle(&state, &get("/watch?since_ms=nope")).status, 400);
+        assert_eq!(handle(&state, &get("/watch?since_ms=0")).status, 200);
+        assert_eq!(handle(&state, &post("/watch", "")).status, 405);
     }
 }

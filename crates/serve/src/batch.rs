@@ -46,6 +46,9 @@ struct Job {
     transitions: Vec<Transition>,
     token: CancelToken,
     deadline: Option<Instant>,
+    /// Originating HTTP request id (0 when not from a request), carried
+    /// through so batch-side trace events correlate with access logs.
+    request_id: u64,
     reply: mpsc::Sender<Result<Vec<f64>, TevotError>>,
 }
 
@@ -112,13 +115,14 @@ impl Batcher {
         transitions: Vec<Transition>,
         token: CancelToken,
         deadline: Option<Instant>,
+        request_id: u64,
     ) -> Result<mpsc::Receiver<Result<Vec<f64>, TevotError>>, Shed> {
         if self.stop.is_cancelled() {
             SERVE_SHED.incr();
             return Err(Shed);
         }
         let (reply, result) = mpsc::channel();
-        let job = Job { model, cond, transitions, token, deadline, reply };
+        let job = Job { model, cond, transitions, token, deadline, request_id, reply };
         // Count the job in *before* it becomes visible to the batcher,
         // which decrements on dequeue — the other order can transiently
         // underflow the depth.
@@ -235,6 +239,10 @@ fn execute_batch(batch: Vec<Job>, jobs: usize) {
         .enumerate()
         .flat_map(|(j, job)| (0..job.transitions.len()).map(move |t| (j, t)))
         .collect();
+    for job in &runnable {
+        // One timeline mark per executed job, correlated by request id.
+        tevot_obs::trace::instant_id("serve.batch.job", job.request_id);
+    }
     let workers = if jobs > 0 { jobs } else { tevot_par::jobs() };
     let delays = {
         let _span = tevot_obs::span!("serve.batch", "{} tasks", flat.len());
@@ -297,7 +305,14 @@ mod tests {
                 .chunks(5)
                 .map(|chunk| {
                     batcher
-                        .submit(Arc::clone(&model), cond, chunk.to_vec(), CancelToken::new(), None)
+                        .submit(
+                            Arc::clone(&model),
+                            cond,
+                            chunk.to_vec(),
+                            CancelToken::new(),
+                            None,
+                            0,
+                        )
                         .expect("queue has room")
                 })
                 .collect();
@@ -322,8 +337,14 @@ mod tests {
         let mut shed = 0;
         let mut receivers = Vec::new();
         for _ in 0..64 {
-            match batcher.submit(Arc::clone(&model), cond, transitions(1), CancelToken::new(), None)
-            {
+            match batcher.submit(
+                Arc::clone(&model),
+                cond,
+                transitions(1),
+                CancelToken::new(),
+                None,
+                0,
+            ) {
                 Ok(rx) => receivers.push(rx),
                 Err(Shed) => shed += 1,
             }
@@ -348,6 +369,7 @@ mod tests {
                 transitions(4),
                 CancelToken::new(),
                 Some(Instant::now() - Duration::from_millis(1)),
+                0,
             )
             .unwrap();
         let err = rx.recv().expect("reply").unwrap_err();
@@ -362,7 +384,7 @@ mod tests {
         let batcher = Batcher::start(1, 8, 4, Duration::from_millis(1));
         let token = CancelToken::new();
         token.cancel();
-        let rx = batcher.submit(Arc::clone(&model), cond, transitions(2), token, None).unwrap();
+        let rx = batcher.submit(Arc::clone(&model), cond, transitions(2), token, None, 0).unwrap();
         let err = rx.recv().expect("reply").unwrap_err();
         assert_eq!(err.kind(), tevot_resil::ErrorKind::Cancelled);
         batcher.shutdown();
@@ -376,7 +398,7 @@ mod tests {
         batcher.stop.cancel();
         // After the stop token fires, submissions shed.
         let err = batcher
-            .submit(Arc::clone(&model), cond, transitions(1), CancelToken::new(), None)
+            .submit(Arc::clone(&model), cond, transitions(1), CancelToken::new(), None, 0)
             .unwrap_err();
         assert_eq!(err, Shed);
         batcher.shutdown();
@@ -390,7 +412,7 @@ mod tests {
         let receivers: Vec<_> = (0..16)
             .map(|_| {
                 batcher
-                    .submit(Arc::clone(&model), cond, transitions(2), CancelToken::new(), None)
+                    .submit(Arc::clone(&model), cond, transitions(2), CancelToken::new(), None, 0)
                     .unwrap()
             })
             .collect();

@@ -223,6 +223,36 @@ pub fn write_response(stream: &mut impl Write, response: &Response, close: bool)
     stream.flush()
 }
 
+/// A one-shot blocking `GET` against a tevot-serve endpoint: connects,
+/// sends `Connection: close`, and returns `(status, body)`. Used by the
+/// CLI's `top` and `prom-check` commands; not a general HTTP client
+/// (no redirects, no chunked bodies, no TLS).
+///
+/// # Errors
+///
+/// Propagates connect/read failures and malformed responses as
+/// [`io::Error`].
+pub fn get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without header end"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

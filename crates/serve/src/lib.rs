@@ -23,6 +23,12 @@
 //!   `Retry-After` when the queue is full, per-request deadlines answer
 //!   504 through `tevot-resil`'s `CancelToken`/`Watchdog`.
 //! * [`server`] — the accept loop and per-connection threads.
+//! * [`watch`] — production telemetry: a fixed-memory time-series store
+//!   fed by a sampler thread, SLO burn-rate monitors, PSI model-drift
+//!   detection against the reference histograms stored in the model
+//!   file, and a shadow-replay thread scoring live accuracy against the
+//!   gate-level simulator. Exposed as `GET /watch` (JSON) and
+//!   `GET /metrics?format=prom` (Prometheus text exposition).
 //! * [`loadgen`] — a deterministic load generator for benches and CI
 //!   smoke tests.
 //!
@@ -34,8 +40,10 @@ pub mod http;
 pub mod loadgen;
 pub mod registry;
 pub mod server;
+pub mod watch;
 
 pub use api::{status_for, ServeState, DEFAULT_MODEL};
 pub use batch::{Batcher, Shed};
 pub use registry::ModelRegistry;
 pub use server::{ServeConfig, Server};
+pub use watch::{Watch, WatchConfig};

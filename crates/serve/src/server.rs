@@ -17,6 +17,7 @@ use tevot_resil::CancelToken;
 
 use crate::api::{self, ServeState};
 use crate::http::{read_request, write_response, ReadError, Response};
+use crate::watch::{Watch, WatchConfig};
 
 /// Server tuning knobs; the defaults match the CLI's documented
 /// defaults.
@@ -35,6 +36,9 @@ pub struct ServeConfig {
     pub batch_wait: Duration,
     /// Maximum accepted request-body size, in bytes.
     pub max_body: usize,
+    /// Telemetry: `Some` starts the watch sampler thread (time-series
+    /// store, SLO monitors, drift detection); `None` serves without it.
+    pub watch: Option<WatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +50,7 @@ impl Default for ServeConfig {
             batch: 32,
             batch_wait: Duration::from_millis(1),
             max_body: 1 << 20,
+            watch: None,
         }
     }
 }
@@ -61,6 +66,7 @@ pub struct Server {
     addr: SocketAddr,
     stop: CancelToken,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    sampler_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -89,8 +95,22 @@ impl Server {
         let accept_handle = std::thread::Builder::new()
             .name("tevot-serve-accept".into())
             .spawn(move || accept_loop(&listener, &accept_state, &accept_stop, max_body))?;
+        let sampler_handle = match config.watch {
+            Some(watch_config) => {
+                let watch = Arc::new(Watch::new(watch_config));
+                state.install_watch(Arc::clone(&watch));
+                let sampler_state = Arc::clone(&state);
+                let sampler_stop = stop.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("tevot-serve-sampler".into())
+                        .spawn(move || sampler_loop(&watch, &sampler_state, &sampler_stop))?,
+                )
+            }
+            None => None,
+        };
         tevot_obs::info!("serve: listening on {addr}");
-        Ok(Server { state, addr, stop, accept_handle: Some(accept_handle) })
+        Ok(Server { state, addr, stop, accept_handle: Some(accept_handle), sampler_handle })
     }
 
     /// The bound address (resolves `:0` to the actual port).
@@ -123,12 +143,33 @@ impl Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.sampler_handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// The watch sampler: one tick per `resolution_ms`, polling the stop
+/// token between short sleeps so shutdown converges quickly.
+fn sampler_loop(watch: &Watch, state: &Arc<ServeState>, stop: &CancelToken) {
+    let resolution = Duration::from_millis(watch.config().resolution_ms.max(1));
+    let poll = resolution.min(Duration::from_millis(50));
+    let mut next = std::time::Instant::now() + resolution;
+    while !stop.is_cancelled() {
+        std::thread::sleep(poll);
+        if std::time::Instant::now() < next {
+            continue;
+        }
+        next += resolution;
+        let model = state.default_reference();
+        let reference = model.as_deref().and_then(tevot::TevotModel::reference);
+        let _ = watch.tick(tevot_obs::watch::wall_ms(), state.queue_depth(), reference);
     }
 }
 
@@ -196,15 +237,23 @@ fn connection_loop(stream: TcpStream, state: &ServeState, stop: &CancelToken, ma
                 }
             }
             Err(ReadError::Malformed(m)) => {
-                let body = format!("{{\"error\":{},\"kind\":\"parse\"}}", quoted(&m));
-                let _ = write_response(&mut writer, &Response::json(400, body), true);
+                let id = api::next_request_id();
+                let body =
+                    format!("{{\"error\":{},\"kind\":\"parse\",\"request_id\":{id}}}", quoted(&m));
+                let response =
+                    Response::json(400, body).with_header("X-Request-Id", id.to_string());
+                let _ = write_response(&mut writer, &response, true);
                 return;
             }
             Err(ReadError::BodyTooLarge(n)) => {
+                let id = api::next_request_id();
                 let body = format!(
-                    "{{\"error\":\"request body of {n} bytes too large\",\"kind\":\"usage\"}}"
+                    "{{\"error\":\"request body of {n} bytes too large\",\
+                     \"kind\":\"usage\",\"request_id\":{id}}}"
                 );
-                let _ = write_response(&mut writer, &Response::json(413, body), true);
+                let response =
+                    Response::json(413, body).with_header("X-Request-Id", id.to_string());
+                let _ = write_response(&mut writer, &response, true);
                 return;
             }
             Err(ReadError::Io(_)) => return,

@@ -11,11 +11,12 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tevot::dta::Characterizer;
+use tevot::reference::ReferenceStats;
 use tevot::workload::random_workload;
 use tevot::{build_delay_dataset, FeatureEncoding, TevotModel, TevotParams};
 use tevot_netlist::fu::FunctionalUnit;
 use tevot_obs::json::{self, Json};
-use tevot_serve::{ServeConfig, Server, DEFAULT_MODEL};
+use tevot_serve::{ServeConfig, Server, WatchConfig, DEFAULT_MODEL};
 use tevot_timing::{ClockSpeedup, OperatingCondition};
 
 /// A small but real model; distinct seeds give distinct predictions, so
@@ -240,6 +241,86 @@ fn overload_sheds_with_retry_after_and_answers_every_request() {
         assert_eq!(reply.json().get("kind").and_then(Json::as_str), Some("shed"));
     }
     server.shutdown();
+}
+
+/// End-to-end drift detection: a server watching a model whose file
+/// carries reference histograms stays quiet while traffic matches the
+/// training distribution and raises a `drift` alert once the operating
+/// condition moves off-reference. This is the acceptance scenario for
+/// the watch subsystem — no mocks, real sampler thread, real HTTP.
+#[test]
+fn watch_drift_alert_fires_off_reference_and_stays_quiet_on() {
+    let train_cond = OperatingCondition::new(0.9, 25.0);
+    let mut model = tiny_model(7);
+
+    // Reference distribution = exactly what in-distribution traffic will
+    // look like: the model's own predictions at the training condition
+    // over the operand stream the clean phase sends.
+    let operands: Vec<(u32, u32)> = (0..64u32).map(|i| (i * 3 + 1, i ^ 0x2A)).collect();
+    let delays: Vec<f64> =
+        operands.iter().map(|&(a, b)| model.predict_delay_ps(train_cond, (a, b), (0, 0))).collect();
+    let conditions = vec![train_cond; delays.len()];
+    model.set_reference(ReferenceStats::collect(&conditions, &delays));
+
+    let config = ServeConfig {
+        watch: Some(WatchConfig { resolution_ms: 25, ..WatchConfig::default() }),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).expect("bind loopback");
+    server.state().registry.insert(DEFAULT_MODEL, model);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    let drift_alerts = |reply: &Reply| -> usize {
+        reply
+            .json()
+            .get("alerts")
+            .and_then(Json::as_arr)
+            .map(|alerts| {
+                alerts
+                    .iter()
+                    .filter(|a| a.get("kind").and_then(Json::as_str) == Some("drift"))
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+
+    // Phase 1: in-distribution traffic. Several sampler ticks pass; the
+    // monitors must stay quiet.
+    for &(a, b) in &operands {
+        let body = format!(r#"{{"voltage":0.9,"temperature":25,"a":{a},"b":{b}}}"#);
+        assert_eq!(client.request("POST", "/predict", &body).status, 200);
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    let quiet = client.request("GET", "/watch", "");
+    assert_eq!(quiet.status, 200, "{}", quiet.body);
+    assert_eq!(quiet.json().get("reference_loaded"), Some(&Json::Bool(true)));
+    assert_eq!(drift_alerts(&quiet), 0, "clean traffic must not alert: {}", quiet.body);
+
+    // Phase 2: the operating condition moves far off-reference. Enough
+    // observations to dominate the drift windows, then poll for the alert.
+    for round in 0..40 {
+        for &(a, b) in &operands {
+            let body = format!(r#"{{"voltage":0.7,"temperature":90,"a":{a},"b":{b}}}"#);
+            assert_eq!(client.request("POST", "/predict", &body).status, 200);
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        let reply = client.request("GET", "/watch", "");
+        assert_eq!(reply.status, 200);
+        if drift_alerts(&reply) > 0 {
+            let doc = reply.json();
+            let psi = doc
+                .get("drift")
+                .and_then(|d| d.get("voltage_psi"))
+                .and_then(Json::as_f64)
+                .expect("voltage PSI reported");
+            assert!(psi > 0.25, "alerting PSI should exceed the level: {psi}");
+            server.shutdown();
+            return;
+        }
+        assert!(round < 39, "no drift alert after sustained off-reference traffic");
+    }
+    unreachable!();
 }
 
 /// Satellite (d), and the heart of the hot-swap contract: concurrent

@@ -43,4 +43,4 @@ mod simulator;
 pub mod trace;
 
 pub use cycle::CycleResult;
-pub use simulator::TimingSimulator;
+pub use simulator::{replay_transition, TimingSimulator};

@@ -257,6 +257,21 @@ impl<'a> TimingSimulator<'a> {
     }
 }
 
+/// Replays the single transition `previous -> current` and returns the
+/// current cycle's dynamic delay in picoseconds — the oracle the serve
+/// stack's shadow sampler uses to score live predictions without running
+/// a full characterization (settling on `previous` first reproduces the
+/// input-history dependence the paper's Fig. 1 motivates).
+pub fn replay_transition(
+    netlist: &Netlist,
+    delays: &DelayAnnotation,
+    previous: &[bool],
+    current: &[bool],
+) -> u64 {
+    let mut sim = TimingSimulator::with_initial_inputs(netlist, delays, previous);
+    sim.step(current).dynamic_delay_ps()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +369,21 @@ mod tests {
         assert_eq!(cycle.dynamic_delay_ps(), 0);
         assert!(cycle.toggles().is_empty());
         assert_eq!(fu.decode_output(cycle.settled_outputs()), 85);
+    }
+
+    #[test]
+    fn replay_transition_matches_a_sequential_run() {
+        let fu = FunctionalUnit::IntAdd;
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(0.85, 50.0));
+        let mut sim = TimingSimulator::new(&nl, &ann);
+        let mut prev = fu.encode_operands(0, 0);
+        for (a, b) in [(1u32, 1u32), (u32::MAX, 1), (0xAAAA_AAAA, 0x5555_5555), (7, 9)] {
+            let cur = fu.encode_operands(a, b);
+            let sequential = sim.step(&cur).dynamic_delay_ps();
+            assert_eq!(replay_transition(&nl, &ann, &prev, &cur), sequential);
+            prev = cur;
+        }
     }
 
     #[test]
