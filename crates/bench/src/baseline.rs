@@ -50,12 +50,18 @@ pub struct BenchReport {
     pub label: String,
     /// Tracked metrics in suite order.
     pub metrics: Vec<Metric>,
+    /// Per-span-path self time in milliseconds, captured from the
+    /// run's span registry. Informational (not gated numerically): when
+    /// a metric regresses, `bench_compare` diffs the two profiles to
+    /// show *where* the time moved. Empty in reports written before the
+    /// profiler existed — the member is additive.
+    pub profile: Vec<(String, f64)>,
 }
 
 impl BenchReport {
     /// An empty report with the given label.
     pub fn new(label: impl Into<String>) -> BenchReport {
-        BenchReport { label: label.into(), metrics: Vec::new() }
+        BenchReport { label: label.into(), metrics: Vec::new(), profile: Vec::new() }
     }
 
     /// Appends one metric.
@@ -93,11 +99,24 @@ impl BenchReport {
                 ])
             })
             .collect();
-        Json::obj(vec![
+        let mut members = vec![
             ("schema", Json::Str(SCHEMA.to_string())),
             ("label", Json::Str(self.label.clone())),
             ("metrics", Json::Arr(metrics)),
-        ])
+        ];
+        if !self.profile.is_empty() {
+            members.push(("profile", Json::Arr(self.profile_json())));
+        }
+        Json::obj(members)
+    }
+
+    fn profile_json(&self) -> Vec<Json> {
+        self.profile
+            .iter()
+            .map(|(path, self_ms)| {
+                Json::obj(vec![("path", Json::Str(path.clone())), ("self_ms", Json::Num(*self_ms))])
+            })
+            .collect()
     }
 
     /// Parses and validates a `tevot-bench/1` JSON document.
@@ -135,6 +154,19 @@ impl BenchReport {
             };
             report.push(name, value, unit, higher);
         }
+        if let Some(Json::Arr(entries)) = doc.get("profile") {
+            for (i, entry) in entries.iter().enumerate() {
+                let path = entry
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("profile entry {i}: missing \"path\""))?;
+                let self_ms = entry
+                    .get("self_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("profile entry {path:?}: missing \"self_ms\""))?;
+                report.profile.push((path.to_string(), self_ms));
+            }
+        }
         Ok(report)
     }
 
@@ -159,7 +191,18 @@ impl BenchReport {
             let comma = if i + 1 < self.metrics.len() { "," } else { "" };
             let _ = writeln!(text, "    {obj}{comma}");
         }
-        let _ = writeln!(text, "  ]");
+        if self.profile.is_empty() {
+            let _ = writeln!(text, "  ]");
+        } else {
+            let _ = writeln!(text, "  ],");
+            let _ = writeln!(text, "  \"profile\": [");
+            let entries = self.profile_json();
+            for (i, entry) in entries.iter().enumerate() {
+                let comma = if i + 1 < entries.len() { "," } else { "" };
+                let _ = writeln!(text, "    {entry}{comma}");
+            }
+            let _ = writeln!(text, "  ]");
+        }
         let _ = writeln!(text, "}}");
         std::fs::write(path, text)
     }
@@ -450,6 +493,28 @@ mod tests {
         let text = base.to_json().to_string();
         let back = BenchReport::parse(&text).unwrap();
         assert_eq!(back, base);
+    }
+
+    #[test]
+    fn profile_member_round_trips_and_stays_additive() {
+        let (mut base, _) = two_reports();
+        base.profile.push(("train/characterize/dta/sim".into(), 123.5));
+        base.profile.push(("train/fit".into(), 4.25));
+        let back = BenchReport::parse(&base.to_json().to_string()).unwrap();
+        assert_eq!(back, base);
+
+        // `save` and `to_json` agree on the document.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tevot-bench-profile-{}.json", std::process::id()));
+        base.save(&path).unwrap();
+        let saved = BenchReport::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(saved, base);
+
+        // Old documents without the member still parse, with no profile.
+        let (plain, _) = two_reports();
+        let old = BenchReport::parse(&plain.to_json().to_string()).unwrap();
+        assert!(old.profile.is_empty());
     }
 
     #[test]

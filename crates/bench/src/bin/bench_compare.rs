@@ -66,6 +66,21 @@ fn main() -> ExitCode {
     let comparison = compare(&baseline, &candidate, threshold);
     println!("{}", comparison.render());
     if comparison.has_regressions() {
+        // Point at the hot paths: when the gate trips and both reports
+        // carry a profile, show where self time moved (top 10 by
+        // magnitude) so the regression comes with a lead, not just a
+        // number.
+        if !baseline.profile.is_empty() && !candidate.profile.is_empty() {
+            print!(
+                "{}",
+                tevot_obs::diff::render_self_time_delta(
+                    "self time (ms), top 10 by |delta|",
+                    &baseline.profile,
+                    &candidate.profile,
+                    10,
+                )
+            );
+        }
         if report_only {
             println!("(report-only mode: not failing the build)");
             return ExitCode::SUCCESS;

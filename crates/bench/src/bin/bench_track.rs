@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p tevot-bench --bin bench_track -- \
 //!     [--tiny] [--label NAME] [--out PATH] [--seed N] [--jobs N] \
-//!     [--metrics m.json] [--trace t.json] [-v|-q]
+//!     [--metrics m.json] [--trace t.json] [--profile-folded p.txt] [-v|-q]
 //! ```
 //!
 //! `--jobs N` (or `TEVOT_JOBS`) sizes the `tevot-par` worker pool; the
@@ -45,6 +45,10 @@ fn main() {
         SuiteScale::standard()
     };
     scale.seed = config.seed;
+
+    // Statistical profile of the whole suite run, written on exit.
+    let _prof = value_after(&args, "--profile-folded")
+        .map(|path| tevot_prof::FoldedGuard::start(PathBuf::from(path)));
 
     let report = run_suite(&label, &scale);
     if let Err(e) = report.save(&out) {

@@ -299,7 +299,42 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         report.push("watch.expose_per_s", n as f64 / expose_s, "renders/s", true);
     }
 
+    // Statistical-profiler hot path in isolation: one sampler tick
+    // (snapshot every live span slot, charge the elapsed time). This is
+    // the entire cost the sampler thread pays per period, so it bounds
+    // the profiler's overhead at any sampling rate.
+    {
+        let _span = tevot_obs::span!("bench.prof");
+        let was_enabled = tevot_obs::stacks::enabled();
+        tevot_obs::stacks::enable();
+        let _probe = tevot_obs::span!("bench.prof_probe");
+        let mut core = tevot_prof::SamplerCore::new();
+        let n = 2000u64;
+        let t0 = Instant::now();
+        for i in 0..=n {
+            let paths = tevot_obs::stacks::sample_paths();
+            core.tick(u128::from(i) * 1_000, &paths);
+        }
+        let sample_s = t0.elapsed().as_secs_f64();
+        assert!(core.total_ns() > 0, "sampler must observe the probe span");
+        if !was_enabled {
+            tevot_obs::stacks::disable();
+        }
+        report.push("prof.sample_overhead_ns", sample_s * 1e9 / n as f64, "ns", false);
+    }
+
     report.push("suite.wall_s", suite_t0.elapsed().as_secs_f64(), "s", false);
+
+    // Attach the run's per-span self times so bench_compare can show
+    // *where* the time moved when a metric regresses.
+    let snapshot = tevot_obs::report::Snapshot::capture();
+    let self_ns = snapshot.self_times_ns();
+    report.profile = snapshot
+        .spans
+        .iter()
+        .zip(&self_ns)
+        .map(|((path, _), &ns)| (path.clone(), ns as f64 / 1e6))
+        .collect();
     report
 }
 

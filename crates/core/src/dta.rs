@@ -348,8 +348,13 @@ impl Characterizer {
             cond.temperature(),
             workload.operands().len()
         );
-        let ann = self.delay_model.annotate(&self.netlist, cond);
-        let crit = sta::run(&self.netlist, &ann).critical_delay_ps();
+        let (ann, crit) = {
+            let _span = tevot_obs::span!("annotate");
+            let ann = self.delay_model.annotate(&self.netlist, cond);
+            let crit = sta::run(&self.netlist, &ann).critical_delay_ps();
+            (ann, crit)
+        };
+        let _span = tevot_obs::span!("sim", "{} cycles", workload.operands().len());
         let mut sim = TimingSimulator::new(&self.netlist, &ann);
         let mut input = Vec::with_capacity(self.fu.input_bits());
         let cycles = workload

@@ -52,6 +52,9 @@ fn fit_trees(
     // serial.
     let seeds: Vec<u64> = (0..params.num_trees).map(|_| rng.gen()).collect();
     tevot_par::map(&seeds, |&seed| {
+        // The span makes per-tree fitting visible to the statistical
+        // sampler on whichever worker thread runs it.
+        let _span = tevot_obs::span!("tree", "{n} rows");
         let mut tree_rng = SmallRng::seed_from_u64(seed);
         let mut indices: Vec<u32> = (0..n as u32).collect();
         if params.bootstrap {

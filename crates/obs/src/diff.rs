@@ -9,6 +9,12 @@
 //! with `-` on the other side. Histograms contribute three derived rows
 //! each (`total`, `~p50`, `~p99`, the quantiles interpolated via
 //! [`metrics::quantile_from`](crate::metrics::quantile_from)).
+//!
+//! `tevot-prof/1` self-time tables diff through the same machinery:
+//! standalone prof documents parse into [`Report::profile`], embedded
+//! `profile` blocks ride along with full reports, and pre-profile
+//! reports derive self time from their span totals — in every case the
+//! diff renders a "self time (ms)" section ordered by delta magnitude.
 
 use crate::json::{parse, Json};
 use crate::metrics::quantile_from;
@@ -24,7 +30,8 @@ pub struct HistogramData {
     pub counts: Vec<u64>,
 }
 
-/// A parsed `tevot-obs/1` document, structurally validated.
+/// A parsed `tevot-obs/1` (or standalone `tevot-prof/1`) document,
+/// structurally validated.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// `(path, total_ns, count)` per span, in document order.
@@ -33,10 +40,16 @@ pub struct Report {
     pub counters: Vec<(String, u64)>,
     /// Histogram data, in document order.
     pub histograms: Vec<HistogramData>,
+    /// `(path, self_ns)` per span from the `tevot-prof/1` self-time
+    /// block (embedded `profile` member or a standalone prof document);
+    /// derived from `spans` when the document predates the block.
+    pub profile: Vec<(String, f64)>,
 }
 
 impl Report {
-    /// Parses and validates a `tevot-obs/1` JSON document.
+    /// Parses and validates a metrics document: either a full
+    /// `tevot-obs/1` report or a standalone `tevot-prof/1` self-time
+    /// table (which fills only [`Report::profile`]).
     ///
     /// # Errors
     ///
@@ -46,8 +59,15 @@ impl Report {
         let doc = parse(text).map_err(|e| e.to_string())?;
         match doc.get("schema").and_then(Json::as_str) {
             Some(crate::report::SCHEMA) => {}
+            Some(crate::report::PROF_SCHEMA) => {
+                let mut report = Report::default();
+                parse_hot_paths(&doc, &mut report.profile)?;
+                return Ok(report);
+            }
             Some(other) => {
-                return Err(format!("unsupported schema {other:?} (expected tevot-obs/1)"))
+                return Err(format!(
+                    "unsupported schema {other:?} (expected tevot-obs/1 or tevot-prof/1)"
+                ))
             }
             None => return Err("not a tevot-obs report: missing \"schema\" member".into()),
         }
@@ -94,8 +114,49 @@ impl Report {
                 counts: ints("counts")?,
             });
         }
+        if let Some(profile) = doc.get("profile") {
+            parse_hot_paths(profile, &mut report.profile)?;
+        } else {
+            // Reports written before the profile block shipped: derive
+            // self time from the span totals (total minus direct
+            // children, clamped), same arithmetic as the reporter.
+            let mut child_totals: std::collections::BTreeMap<&str, f64> = Default::default();
+            for (path, total_ns, _) in &report.spans {
+                if let Some((parent, _)) = path.rsplit_once('/') {
+                    *child_totals.entry(parent).or_default() += total_ns;
+                }
+            }
+            report.profile = report
+                .spans
+                .iter()
+                .map(|(path, total_ns, _)| {
+                    let children = child_totals.get(path.as_str()).copied().unwrap_or(0.0);
+                    (path.clone(), (total_ns - children).max(0.0))
+                })
+                .collect();
+        }
         Ok(report)
     }
+}
+
+/// Reads a `tevot-prof/1` `hot_paths` array into `(path, self_ns)`
+/// pairs.
+fn parse_hot_paths(block: &Json, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+    let entries = block
+        .get("hot_paths")
+        .and_then(Json::as_arr)
+        .ok_or("tevot-prof block without \"hot_paths\" array")?;
+    for entry in entries {
+        out.push((
+            entry
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("hot_paths entry without \"path\"")?
+                .to_string(),
+            entry.get("self_ns").and_then(Json::as_f64).ok_or("hot_paths entry without self_ns")?,
+        ));
+    }
+    Ok(())
 }
 
 /// One comparable quantity with a display precision.
@@ -169,6 +230,38 @@ fn section(out: &mut String, title: &str, rows: &[(String, Cell, Cell)]) {
     }
 }
 
+/// Renders one self-time delta table (the `tevot-prof/1` renderer,
+/// shared with `bench_compare`'s regression summaries): rows are keyed
+/// by span path, valued in whatever unit the caller supplies, sorted by
+/// absolute delta descending and truncated to `limit`.
+pub fn render_self_time_delta(
+    title: &str,
+    a: &[(String, f64)],
+    b: &[(String, f64)],
+    limit: usize,
+) -> String {
+    let mut rows: Vec<(String, Cell, Cell)> = union_keys(a, b)
+        .into_iter()
+        .map(|(key, a_v, b_v)| {
+            (
+                key.to_string(),
+                Cell { value: a_v.copied(), decimals: 3 },
+                Cell { value: b_v.copied(), decimals: 3 },
+            )
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        let magnitude = |row: &(String, Cell, Cell)| {
+            (row.2.value.unwrap_or(0.0) - row.1.value.unwrap_or(0.0)).abs()
+        };
+        magnitude(y).total_cmp(&magnitude(x)).then_with(|| x.0.cmp(&y.0))
+    });
+    rows.truncate(limit);
+    let mut out = String::new();
+    section(&mut out, title, &rows);
+    out
+}
+
 /// Renders the delta table between two parsed reports (`a` = before /
 /// baseline, `b` = after / candidate).
 pub fn render_diff(a: &Report, b: &Report) -> String {
@@ -189,6 +282,16 @@ pub fn render_diff(a: &Report, b: &Report) -> String {
         ));
     }
     section(&mut out, "spans (total ms)", &rows);
+
+    let to_ms = |profile: &[(String, f64)]| -> Vec<(String, f64)> {
+        profile.iter().map(|(k, ns)| (k.clone(), ns / 1e6)).collect()
+    };
+    out.push_str(&render_self_time_delta(
+        "self time (ms)",
+        &to_ms(&a.profile),
+        &to_ms(&b.profile),
+        usize::MAX,
+    ));
 
     let mut rows = Vec::new();
     for (key, a_v, b_v) in union_keys(&a.counters, &b.counters) {
@@ -287,6 +390,41 @@ mod tests {
         // Histogram quantiles shift right: p50 moves from 100 to 200.
         assert!(text.contains("sim.cycle_delay_ps.~p50"), "{text}");
         assert!(text.contains("+100.0%"), "{text}");
+    }
+
+    #[test]
+    fn old_reports_derive_self_time_from_span_totals() {
+        let a = Report::parse(A).unwrap();
+        // study: 4 ms total - 1 ms child = 3 ms self; leaf keeps its own.
+        assert_eq!(a.profile[0], ("study".into(), 3_000_000.0));
+        assert_eq!(a.profile[1], ("study/train".into(), 1_000_000.0));
+    }
+
+    #[test]
+    fn standalone_prof_documents_parse_and_diff() {
+        let a = r#"{"schema":"tevot-prof/1","hot_paths":[
+            {"path":"sweep/dta/sim","self_ns":9000000,"total_ns":9000000,"count":5},
+            {"path":"sweep","self_ns":1000000,"total_ns":10000000,"count":1}]}"#;
+        let b = r#"{"schema":"tevot-prof/1","hot_paths":[
+            {"path":"sweep/dta/sim","self_ns":4000000,"total_ns":4000000,"count":5},
+            {"path":"sweep","self_ns":1000000,"total_ns":5000000,"count":1}]}"#;
+        let a = Report::parse(a).unwrap();
+        let b = Report::parse(b).unwrap();
+        assert!(a.spans.is_empty() && a.counters.is_empty());
+        assert_eq!(a.profile.len(), 2);
+        let text = render_diff(&a, &b);
+        assert!(text.contains("self time (ms)"), "{text}");
+        assert!(text.contains("sweep/dta/sim"), "{text}");
+        assert!(text.contains("-5.000"), "{text}");
+    }
+
+    #[test]
+    fn self_time_delta_sorts_by_magnitude_and_truncates() {
+        let a = vec![("tiny".to_string(), 1.0), ("big".to_string(), 10.0)];
+        let b = vec![("tiny".to_string(), 1.5), ("big".to_string(), 2.0)];
+        let text = render_self_time_delta("self time (ms)", &a, &b, 1);
+        assert!(text.contains("big"), "{text}");
+        assert!(!text.contains("tiny"), "truncated to top 1: {text}");
     }
 
     #[test]

@@ -29,8 +29,13 @@
 //! when the histogram is empty. The quantile members were added after the
 //! first `tevot-obs/1` reports shipped; the schema stays `tevot-obs/1`
 //! because the addition is purely additive and consumers ignore unknown
-//! members. The stderr summary and the JSON document are rendered from
-//! the same [`Snapshot`], so they always agree.
+//! members. The same precedent covers the later additions: per-span
+//! `self_ns`/`min_ns`/`max_ns` members and a top-level `profile` member
+//! — an embedded `tevot-prof/1` block listing every path by descending
+//! self time (`{"schema": "tevot-prof/1", "hot_paths": [{"path": ...,
+//! "self_ns": ..., "total_ns": ..., "count": ...}]}`). The stderr
+//! summary and the JSON document are rendered from the same
+//! [`Snapshot`], so they always agree.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -41,6 +46,10 @@ use crate::span::{self, SpanStat, PATH_SEPARATOR};
 
 /// The schema identifier written into every JSON report.
 pub const SCHEMA: &str = "tevot-obs/1";
+
+/// Schema identifier of the embedded self-time profile block (also used
+/// standalone by `tevot-prof` tooling and understood by `obs-diff`).
+pub const PROF_SCHEMA: &str = "tevot-prof/1";
 
 /// A point-in-time copy of every span, counter, and histogram.
 #[derive(Debug, Clone)]
@@ -66,16 +75,51 @@ impl Snapshot {
         }
     }
 
+    /// Self time of every span path, aligned with `self.spans`: total
+    /// wall time minus the totals of *direct* children, clamped at zero
+    /// (a child running on several threads can accumulate more wall
+    /// time than its parent).
+    pub fn self_times_ns(&self) -> Vec<u128> {
+        let mut child_totals: std::collections::BTreeMap<&str, u128> =
+            std::collections::BTreeMap::new();
+        for (path, stat) in &self.spans {
+            if let Some((parent, _)) = path.rsplit_once(PATH_SEPARATOR) {
+                *child_totals.entry(parent).or_default() += stat.total_ns;
+            }
+        }
+        self.spans
+            .iter()
+            .map(|(path, stat)| {
+                stat.total_ns.saturating_sub(child_totals.get(path.as_str()).copied().unwrap_or(0))
+            })
+            .collect()
+    }
+
+    /// Span indices sorted by descending self time (ties by path), the
+    /// order of the hot-path table.
+    fn hot_order(&self, self_ns: &[u128]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.spans.len()).collect();
+        order.sort_by(|&a, &b| {
+            self_ns[b].cmp(&self_ns[a]).then_with(|| self.spans[a].0.cmp(&self.spans[b].0))
+        });
+        order
+    }
+
     /// Serializes to the versioned `tevot-obs/1` JSON document.
     pub fn to_json(&self) -> Json {
+        let self_ns = self.self_times_ns();
         let spans = self
             .spans
             .iter()
-            .map(|(path, stat)| {
+            .zip(&self_ns)
+            .map(|((path, stat), &self_ns)| {
                 Json::obj(vec![
                     ("path", Json::Str(path.clone())),
                     ("total_ns", Json::Num(stat.total_ns as f64)),
+                    ("self_ns", Json::Num(self_ns as f64)),
                     ("count", Json::from(stat.count)),
+                    ("min_ns", Json::Num(stat.min_ns as f64)),
+                    ("max_ns", Json::Num(stat.max_ns as f64)),
                 ])
             })
             .collect();
@@ -104,11 +148,34 @@ impl Snapshot {
                 ])
             })
             .collect();
+        let hot_paths = self
+            .hot_order(&self_ns)
+            .into_iter()
+            .map(|i| {
+                let (path, stat) = &self.spans[i];
+                Json::obj(vec![
+                    ("path", Json::Str(path.clone())),
+                    ("self_ns", Json::Num(self_ns[i] as f64)),
+                    ("total_ns", Json::Num(stat.total_ns as f64)),
+                    ("count", Json::from(stat.count)),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("schema", Json::from(SCHEMA)),
             ("spans", Json::Arr(spans)),
             ("counters", Json::Arr(counters)),
             ("histograms", Json::Arr(histograms)),
+            // Additive member (consumers ignore unknown members, same
+            // precedent as the quantile fields): the self-time profile,
+            // an embedded tevot-prof/1 block sorted hottest-first.
+            (
+                "profile",
+                Json::obj(vec![
+                    ("schema", Json::from(PROF_SCHEMA)),
+                    ("hot_paths", Json::Arr(hot_paths)),
+                ]),
+            ),
         ])
     }
 
@@ -120,8 +187,33 @@ impl Snapshot {
         if self.spans.is_empty() {
             out.push_str("stages: (none recorded)\n");
         } else {
+            let self_ns = self.self_times_ns();
+            // Tree walk with siblings ordered hottest-first (by self
+            // time), so the expensive stage tops each level instead of
+            // whatever sorts first alphabetically.
+            let index: std::collections::BTreeMap<&str, usize> =
+                self.spans.iter().enumerate().map(|(i, (path, _))| (path.as_str(), i)).collect();
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+            let mut roots: Vec<usize> = Vec::new();
+            for (i, (path, _)) in self.spans.iter().enumerate() {
+                match path.rsplit_once(PATH_SEPARATOR).and_then(|(parent, _)| index.get(parent)) {
+                    Some(&p) => children[p].push(i),
+                    None => roots.push(i),
+                }
+            }
+            let by_self_desc = |siblings: &mut Vec<usize>| {
+                siblings.sort_by(|&a, &b| {
+                    self_ns[b].cmp(&self_ns[a]).then_with(|| self.spans[a].0.cmp(&self.spans[b].0))
+                });
+            };
+            by_self_desc(&mut roots);
+            for list in &mut children {
+                by_self_desc(list);
+            }
             out.push_str("stages:\n");
-            for (path, stat) in &self.spans {
+            let mut stack: Vec<usize> = roots.into_iter().rev().collect();
+            while let Some(i) = stack.pop() {
+                let (path, stat) = &self.spans[i];
                 let depth = path.matches(PATH_SEPARATOR).count();
                 let name = path.rsplit(PATH_SEPARATOR).next().unwrap_or(path);
                 let ms = stat.total_ns as f64 / 1e6;
@@ -130,6 +222,17 @@ impl Snapshot {
                     "",
                     stat.count,
                     indent = depth * 2,
+                ));
+                stack.extend(children[i].iter().rev());
+            }
+            out.push_str("hot paths (self time):\n");
+            for i in self.hot_order(&self_ns).into_iter().take(8) {
+                let (path, stat) = &self.spans[i];
+                out.push_str(&format!(
+                    "  {path:<40} self {:>9.3} ms  total {:>9.3} ms  x{}\n",
+                    self_ns[i] as f64 / 1e6,
+                    stat.total_ns as f64 / 1e6,
+                    stat.count,
                 ));
             }
         }
@@ -262,11 +365,15 @@ impl Drop for FinishGuard {
 mod tests {
     use super::*;
 
+    fn stat(total_ns: u128, count: u64) -> SpanStat {
+        SpanStat { total_ns, count, min_ns: total_ns / count.max(1) as u128, max_ns: total_ns }
+    }
+
     fn sample() -> Snapshot {
         Snapshot {
             spans: vec![
-                ("study".into(), SpanStat { total_ns: 5_000_000, count: 1 }),
-                ("study/train".into(), SpanStat { total_ns: 2_000_000, count: 4 }),
+                ("study".into(), stat(5_000_000, 1)),
+                ("study/train".into(), stat(2_000_000, 4)),
             ],
             counters: vec![("sim.events_processed", 42), ("ml.train_iterations", 0)],
             histograms: vec![("sim.toggles_per_cycle", &[1, 2][..], vec![3, 0, 7])],
@@ -323,5 +430,60 @@ mod tests {
         assert!(text.contains("histogram sim.toggles_per_cycle (total 10)"), "{text}");
         assert!(text.contains("~quantiles p50=2 p90=2 p99=2"), "{text}");
         assert!(text.contains("> 2"), "overflow bucket labeled: {text}");
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_and_clamps() {
+        let snapshot = Snapshot {
+            spans: vec![
+                ("study".into(), stat(5_000_000, 1)),
+                ("study/train".into(), stat(2_000_000, 4)),
+                // Parallel children can out-accumulate the parent; the
+                // parent's self time clamps at zero instead of wrapping.
+                ("study/train/fit".into(), stat(9_000_000, 8)),
+            ],
+            counters: vec![],
+            histograms: vec![],
+        };
+        let self_ns = snapshot.self_times_ns();
+        assert_eq!(self_ns, vec![3_000_000, 0, 9_000_000]);
+    }
+
+    #[test]
+    fn render_sorts_siblings_by_self_time_and_lists_hot_paths() {
+        let snapshot = Snapshot {
+            spans: vec![
+                ("study".into(), stat(10_000_000, 1)),
+                ("study/aaa_cheap".into(), stat(1_000_000, 1)),
+                ("study/zzz_hot".into(), stat(8_000_000, 1)),
+            ],
+            counters: vec![],
+            histograms: vec![],
+        };
+        let text = snapshot.render();
+        let hot = text.find("zzz_hot").expect("hot child rendered");
+        let cheap = text.find("aaa_cheap").expect("cheap child rendered");
+        assert!(hot < cheap, "hot sibling first despite sorting later by name: {text}");
+        assert!(text.contains("hot paths (self time):"), "{text}");
+        // Hottest self time leads the table: zzz_hot (8 ms self) beats
+        // study (10 total - 9 children = 1 ms self).
+        let table = &text[text.find("hot paths").unwrap()..];
+        assert!(
+            table.find("study/zzz_hot").unwrap() < table.find("study/aaa_cheap").unwrap(),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn json_spans_carry_self_and_extremes_and_profile_block() {
+        let doc = sample().to_json();
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(spans[0].get("self_ns").and_then(Json::as_f64), Some(3_000_000.0));
+        assert!(spans[0].get("min_ns").is_some() && spans[0].get("max_ns").is_some());
+        let profile = doc.get("profile").unwrap();
+        assert_eq!(profile.get("schema").and_then(Json::as_str), Some(PROF_SCHEMA));
+        let hot = profile.get("hot_paths").and_then(Json::as_arr).unwrap();
+        assert_eq!(hot[0].get("path").and_then(Json::as_str), Some("study"));
+        assert_eq!(hot[0].get("self_ns").and_then(Json::as_f64), Some(3_000_000.0));
     }
 }

@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::stacks::NO_PREV;
+
 /// Separator between nested span names in an aggregation path.
 pub const PATH_SEPARATOR: char = '/';
 
@@ -21,6 +23,20 @@ pub struct SpanStat {
     pub total_ns: u128,
     /// Number of times the span closed.
     pub count: u64,
+    /// Shortest single closure, in nanoseconds (0 until the first close).
+    pub min_ns: u128,
+    /// Longest single closure, in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl SpanStat {
+    /// Folds one closed span of `elapsed` nanoseconds into the stat.
+    fn record(&mut self, elapsed: u128) {
+        self.total_ns += elapsed;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(elapsed);
+        self.min_ns = if self.count == 1 { elapsed } else { self.min_ns.min(elapsed) };
+    }
 }
 
 static SPANS: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
@@ -42,6 +58,9 @@ pub struct SpanGuard {
     path: Option<String>,
     /// Leaf name (the trace-slice label).
     name: &'static str,
+    /// Slot path id to restore on drop when stack-slot publishing was
+    /// live at enter ([`stacks::NO_PREV`](crate::stacks) otherwise).
+    prev_slot: usize,
     start: Instant,
 }
 
@@ -62,13 +81,15 @@ impl SpanGuard {
             path
         });
         crate::trace::begin(name);
-        SpanGuard { path: Some(path), name, start: Instant::now() }
+        let prev_slot =
+            if crate::stacks::enabled() { crate::stacks::publish(&path) } else { NO_PREV };
+        SpanGuard { path: Some(path), name, prev_slot, start: Instant::now() }
     }
 
     /// A no-op guard (what `debug_span!` expands to when the
     /// `debug-spans` feature is off).
     pub fn disabled() -> SpanGuard {
-        SpanGuard { path: None, name: "", start: Instant::now() }
+        SpanGuard { path: None, name: "", prev_slot: NO_PREV, start: Instant::now() }
     }
 }
 
@@ -76,14 +97,13 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(path) = self.path.take() else { return };
         crate::trace::end(self.name);
+        crate::stacks::restore(self.prev_slot);
         let elapsed = self.start.elapsed().as_nanos();
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
         let mut spans = SPANS.lock().unwrap_or_else(|e| e.into_inner());
-        let stat = spans.entry(path).or_default();
-        stat.total_ns += elapsed;
-        stat.count += 1;
+        spans.entry(path).or_default().record(elapsed);
     }
 }
 
@@ -110,6 +130,18 @@ mod tests {
         }
         // Other tests share the global registry; only assert on our key.
         assert!(snapshot().iter().all(|(p, _)| !p.contains("disabled")));
+    }
+
+    #[test]
+    fn min_max_track_single_closure_extremes() {
+        let mut stat = SpanStat::default();
+        for elapsed in [30, 10, 20] {
+            stat.record(elapsed);
+        }
+        assert_eq!(stat.total_ns, 60);
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.min_ns, 10);
+        assert_eq!(stat.max_ns, 30);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Live per-thread span-stack slots for statistical profiling.
+//!
+//! Every thread that opens a span publishes its *current span path* into
+//! a lock-light slot: one interned path id behind a single
+//! [`AtomicUsize`]. A sampler (see the `tevot-prof` crate) periodically
+//! reads every slot and charges the elapsed interval to whatever path
+//! each thread was inside — statistical profiling with no signal
+//! handlers and no native unwinding, fully portable.
+//!
+//! Cost model: when profiling is disabled (the default) a span
+//! enter/exit performs exactly one relaxed [`AtomicBool`] load, the same
+//! discipline as [`trace`](crate::trace). When enabled, enter interns
+//! the path (a mutex + map lookup, hit after the first occurrence of a
+//! path) and stores one atomic; exit stores one atomic. Span paths are
+//! interned forever — the table is bounded by the number of distinct
+//! span paths, which is small by construction (stage granularity, never
+//! per-event).
+//!
+//! The current path id is also mirrored into a const-initialized
+//! thread-local readable from inside a global allocator
+//! ([`current_path_id`]) so `tevot-prof`'s `TevotAlloc` can attribute
+//! allocations to span paths without ever allocating or locking itself.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Path id meaning "this thread is not inside any span".
+pub const IDLE: usize = 0;
+
+/// Sentinel returned by [`publish`] when there is nothing to restore.
+pub(crate) const NO_PREV: usize = usize::MAX;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether stack-slot publishing is active. One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns on stack-slot publishing (spans start paying the publish cost).
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns publishing back off. Already-published slots are left as-is;
+/// they reset to [`IDLE`] as the spans that set them close.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Interned path table: id 0 is reserved for [`IDLE`]; path id `n`
+/// lives at `paths[n - 1]`. Interned strings are leaked — the set of
+/// distinct span paths is small and stable, and `&'static str` keys let
+/// both the sampler and the allocator resolve ids without cloning.
+struct PathTable {
+    ids: BTreeMap<&'static str, usize>,
+    paths: Vec<&'static str>,
+}
+
+static TABLE: Mutex<PathTable> = Mutex::new(PathTable { ids: BTreeMap::new(), paths: Vec::new() });
+
+fn intern(path: &str) -> usize {
+    let mut table = TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = table.ids.get(path) {
+        return id;
+    }
+    let leaked: &'static str = Box::leak(path.to_owned().into_boxed_str());
+    table.paths.push(leaked);
+    let id = table.paths.len(); // ids start at 1; 0 is IDLE
+    table.ids.insert(leaked, id);
+    id
+}
+
+/// Resolves a path id back to its interned path, or `None` for
+/// [`IDLE`] / unknown ids.
+pub fn path_for_id(id: usize) -> Option<&'static str> {
+    if id == IDLE {
+        return None;
+    }
+    let table = TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    table.paths.get(id - 1).copied()
+}
+
+/// One thread's published position. `path_id` is the only hot field;
+/// `free` lets exited threads hand their slot to new threads so the
+/// registry stays bounded by peak thread count.
+struct Slot {
+    path_id: AtomicUsize,
+    free: AtomicBool,
+}
+
+static REGISTRY: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
+
+/// Owns this thread's slot; returns it to the free pool on thread exit.
+struct SlotHandle(Arc<Slot>);
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        self.0.path_id.store(IDLE, Ordering::Relaxed);
+        self.0.free.store(true, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static SLOT: SlotHandle = SlotHandle(acquire_slot());
+    /// Mirror of the slot's path id, readable from a global allocator:
+    /// const-initialized and `Drop`-free, so access never allocates.
+    static ALLOC_PATH: Cell<usize> = const { Cell::new(IDLE) };
+}
+
+fn acquire_slot() -> Arc<Slot> {
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for slot in registry.iter() {
+        if slot.free.compare_exchange(true, false, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            return Arc::clone(slot);
+        }
+    }
+    let slot = Arc::new(Slot { path_id: AtomicUsize::new(IDLE), free: AtomicBool::new(false) });
+    registry.push(Arc::clone(&slot));
+    slot
+}
+
+/// Publishes `path` as this thread's current position; returns the
+/// previous path id so the caller can [`restore`] it on span exit.
+/// Called by [`SpanGuard::enter`](crate::span::SpanGuard) when
+/// [`enabled`].
+pub(crate) fn publish(path: &str) -> usize {
+    let id = intern(path);
+    let prev = SLOT.with(|slot| slot.0.path_id.swap(id, Ordering::Relaxed));
+    let _ = ALLOC_PATH.try_with(|cell| cell.set(id));
+    prev
+}
+
+/// Restores a previously published path id (span exit).
+pub(crate) fn restore(prev: usize) {
+    if prev == NO_PREV {
+        return;
+    }
+    SLOT.with(|slot| slot.0.path_id.store(prev, Ordering::Relaxed));
+    let _ = ALLOC_PATH.try_with(|cell| cell.set(prev));
+}
+
+/// The span path the calling thread is currently inside, as an id.
+///
+/// Safe to call from a `GlobalAlloc` implementation: reads a
+/// const-initialized thread-local and never allocates, locks, or
+/// initializes lazily. Returns [`IDLE`] outside any span (or while the
+/// thread-local area is being torn down).
+#[inline]
+pub fn current_path_id() -> usize {
+    ALLOC_PATH.try_with(Cell::get).unwrap_or(IDLE)
+}
+
+/// Snapshot of every live thread's current span path. Threads that are
+/// idle (no open span) are skipped. This is the sampler's read side:
+/// one registry lock, one relaxed load per thread, one table lock.
+pub fn sample_paths() -> Vec<&'static str> {
+    let ids: Vec<usize> = {
+        let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        registry
+            .iter()
+            .filter(|slot| !slot.free.load(Ordering::Acquire))
+            .map(|slot| slot.path_id.load(Ordering::Relaxed))
+            .filter(|&id| id != IDLE)
+            .collect()
+    };
+    let table = TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    ids.into_iter().filter_map(|id| table.paths.get(id - 1).copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggle_round_trips() {
+        // Other tests may race on the global flag; exercise the local
+        // transition only.
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn intern_is_stable_and_resolvable() {
+        let a = intern("stacks.test/alpha");
+        let b = intern("stacks.test/beta");
+        assert_ne!(a, b);
+        assert_eq!(intern("stacks.test/alpha"), a);
+        assert_eq!(path_for_id(a), Some("stacks.test/alpha"));
+        assert_eq!(path_for_id(IDLE), None);
+    }
+
+    #[test]
+    fn publish_and_restore_drive_the_slot_and_alloc_mirror() {
+        let prev = publish("stacks.test/outer");
+        let outer = current_path_id();
+        assert_eq!(path_for_id(outer), Some("stacks.test/outer"));
+        let mid = publish("stacks.test/outer/inner");
+        assert_eq!(path_for_id(current_path_id()), Some("stacks.test/outer/inner"));
+        restore(mid);
+        assert_eq!(current_path_id(), outer);
+        restore(prev);
+    }
+
+    #[test]
+    fn sample_paths_sees_published_threads() {
+        let done = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let ready = done.0;
+        let handle = std::thread::spawn(move || {
+            let prev = publish("stacks.test/worker");
+            ready.send(()).unwrap();
+            release_rx.recv().unwrap();
+            restore(prev);
+        });
+        done.1.recv().unwrap();
+        let sampled = sample_paths();
+        assert!(sampled.contains(&"stacks.test/worker"), "expected worker path in {sampled:?}");
+        release_tx.send(()).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,122 @@
+//! `TevotAlloc`: a global-allocator wrapper attributing heap traffic to
+//! span paths, behind a feature-free runtime toggle.
+//!
+//! Install it in a binary with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tevot_prof::TevotAlloc = tevot_prof::TevotAlloc;
+//! ```
+//!
+//! and flip it on at runtime with [`enable`] (the `--profile-alloc`
+//! CLI flag). While disabled — the default — every allocation pays
+//! exactly one relaxed atomic load on top of the system allocator.
+//! While enabled, each allocation bumps the global `alloc.allocations`
+//! / `alloc.bytes` counters and a fixed-capacity per-span-path bucket
+//! selected by [`tevot_obs::stacks::current_path_id`] — a
+//! const-initialized thread-local read, so the accounting path never
+//! allocates, locks, or recurses into itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tevot_obs::metrics::{ALLOC_ALLOCATIONS, ALLOC_BYTES};
+
+/// Per-path bucket capacity. Path ids beyond the range share the last
+/// bucket (reported as the `(overflow)` path).
+const PATH_BUCKETS: usize = 512;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static PATH_ALLOCS: [AtomicU64; PATH_BUCKETS] = [const { AtomicU64::new(0) }; PATH_BUCKETS];
+static PATH_BYTES: [AtomicU64; PATH_BUCKETS] = [const { AtomicU64::new(0) }; PATH_BUCKETS];
+
+/// Turns allocation profiling on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns allocation profiling off (counters keep their values).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether allocation profiling is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes the per-path buckets and the global `alloc.*` counters
+/// (test isolation).
+pub fn reset() {
+    for bucket in PATH_ALLOCS.iter().chain(PATH_BYTES.iter()) {
+        bucket.store(0, Ordering::Relaxed);
+    }
+    ALLOC_ALLOCATIONS.reset();
+    ALLOC_BYTES.reset();
+}
+
+/// Per-span-path allocation totals: `(path, allocations, bytes)`,
+/// descending by bytes. Bucket 0 (allocations outside any span) reports
+/// as `(no span)`; the shared overflow bucket as `(overflow)`.
+pub fn by_path() -> Vec<(String, u64, u64)> {
+    let mut rows = Vec::new();
+    for (id, (allocs, bytes)) in PATH_ALLOCS.iter().zip(&PATH_BYTES).enumerate() {
+        let (allocs, bytes) = (allocs.load(Ordering::Relaxed), bytes.load(Ordering::Relaxed));
+        if allocs == 0 && bytes == 0 {
+            continue;
+        }
+        let path = if id == 0 {
+            "(no span)".to_string()
+        } else if id == PATH_BUCKETS - 1 {
+            "(overflow)".to_string()
+        } else {
+            tevot_obs::stacks::path_for_id(id).unwrap_or("(unknown)").to_string()
+        };
+        rows.push((path, allocs, bytes));
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// The wrapping allocator; see the module docs for installation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TevotAlloc;
+
+impl TevotAlloc {
+    #[inline]
+    fn record(size: usize) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        ALLOC_ALLOCATIONS.incr();
+        ALLOC_BYTES.add(size as u64);
+        let bucket = tevot_obs::stacks::current_path_id().min(PATH_BUCKETS - 1);
+        PATH_ALLOCS[bucket].fetch_add(1, Ordering::Relaxed);
+        PATH_BYTES[bucket].fetch_add(size as u64, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: pure pass-through to `System`; the accounting touches only
+// lock-free atomics and a const-initialized thread-local, so it cannot
+// re-enter the allocator or violate any GlobalAlloc contract.
+unsafe impl GlobalAlloc for TevotAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        TevotAlloc::record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        TevotAlloc::record(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        TevotAlloc::record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

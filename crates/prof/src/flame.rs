@@ -1,0 +1,221 @@
+//! Self-contained SVG flamegraph rendering, zero dependencies.
+//!
+//! Layout follows the classic flamegraph convention: x-extent is a
+//! frame's share of total weight, depth grows upward from the root row
+//! at the bottom. Every frame carries a `<title>` tooltip with its full
+//! path, weight, and percentage, so the SVG is explorable in any
+//! browser without scripts. Colors are a deterministic hash of the
+//! frame name over a warm palette — equal names share a hue across
+//! renders and machines.
+
+use std::collections::BTreeMap;
+
+use crate::folded::Profile;
+
+/// Rendered image width in CSS pixels.
+const IMAGE_WIDTH: f64 = 1200.0;
+/// Height of one frame row.
+const ROW_HEIGHT: f64 = 17.0;
+/// Vertical padding above the deepest row (title space).
+const TOP_PAD: f64 = 40.0;
+/// Frames narrower than this many pixels get no visible label.
+const MIN_LABEL_WIDTH: f64 = 35.0;
+/// Approximate glyph advance of the embedded monospace font at 11 px.
+const GLYPH_WIDTH: f64 = 6.6;
+
+/// One node of the merged frame tree.
+#[derive(Debug, Default)]
+struct Node {
+    /// Weight of stacks ending at or passing through this frame.
+    total: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn insert(&mut self, frames: &[String], weight: u64) {
+        self.total += weight;
+        if let Some((head, rest)) = frames.split_first() {
+            self.children.entry(head.clone()).or_default().insert(rest, weight);
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// FNV-1a over the frame name; drives the deterministic palette.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A warm flame color (red→orange→yellow band) keyed by name hash.
+fn color(name: &str) -> String {
+    let hash = fnv1a(name);
+    let r = 205 + (hash % 50) as u32; // 205..255
+    let g = 60 + ((hash >> 8) % 130) as u32; // 60..190
+    let b = ((hash >> 16) % 55) as u32; // 0..55
+    format!("rgb({r},{g},{b})")
+}
+
+fn xml_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders `profile` as a standalone SVG document string.
+///
+/// An empty profile still renders a valid SVG containing a note to that
+/// effect, so pipelines can always write the file.
+pub fn render_svg(profile: &Profile, title: &str) -> String {
+    let mut root = Node::default();
+    for (frames, weight) in profile.iter() {
+        root.insert(frames, weight);
+    }
+    let depth = if root.children.is_empty() { 1 } else { root.depth() - 1 };
+    let height = TOP_PAD + depth as f64 * ROW_HEIGHT + 10.0;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{IMAGE_WIDTH}\" \
+         height=\"{height}\" viewBox=\"0 0 {IMAGE_WIDTH} {height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{IMAGE_WIDTH}\" height=\"{height}\" \
+         fill=\"#f8f8f8\"/>\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        IMAGE_WIDTH / 2.0,
+        xml_escape(title)
+    ));
+    if root.children.is_empty() {
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">(empty profile)</text>\n",
+            IMAGE_WIDTH / 2.0,
+            TOP_PAD + ROW_HEIGHT
+        ));
+        svg.push_str("</svg>\n");
+        return svg;
+    }
+    let total = root.total.max(1);
+    // Depth-first emit: each child occupies a slice of its parent's
+    // x-extent proportional to weight, at the row above.
+    let mut stack: Vec<(&Node, String, f64, usize)> = Vec::new();
+    let mut x = 0.0;
+    for (name, node) in &root.children {
+        let width = node.total as f64 / total as f64 * IMAGE_WIDTH;
+        stack.push((node, name.clone(), x, 0));
+        x += width;
+    }
+    // Reverse so the leftmost frame is emitted first (cosmetic only).
+    stack.reverse();
+    while let Some((node, path, x0, level)) = stack.pop() {
+        let width = node.total as f64 / total as f64 * IMAGE_WIDTH;
+        let y = height - 10.0 - (level + 1) as f64 * ROW_HEIGHT;
+        let name = path.rsplit('/').next().unwrap_or(&path);
+        let pct = node.total as f64 / total as f64 * 100.0;
+        svg.push_str(&format!(
+            "<g><title>{} ({} ns, {pct:.2}%)</title>\
+             <rect x=\"{x0:.2}\" y=\"{y:.2}\" width=\"{width:.2}\" \
+             height=\"{:.2}\" fill=\"{}\" stroke=\"#f8f8f8\" \
+             stroke-width=\"0.5\"/>",
+            xml_escape(&path),
+            node.total,
+            ROW_HEIGHT - 1.0,
+            color(name),
+        ));
+        if width >= MIN_LABEL_WIDTH {
+            let fit = ((width - 6.0) / GLYPH_WIDTH) as usize;
+            let label: String = if name.len() > fit {
+                name.chars().take(fit.saturating_sub(2)).chain("..".chars()).collect()
+            } else {
+                name.to_string()
+            };
+            svg.push_str(&format!(
+                "<text x=\"{:.2}\" y=\"{:.2}\">{}</text>",
+                x0 + 3.0,
+                y + ROW_HEIGHT - 5.0,
+                xml_escape(&label)
+            ));
+        }
+        svg.push_str("</g>\n");
+        let mut cx = x0;
+        for (child_name, child) in &node.children {
+            stack.push((child, format!("{path}/{child_name}"), cx, level + 1));
+            cx += child.total as f64 / total as f64 * IMAGE_WIDTH;
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        let mut p = Profile::new();
+        p.add(&["sweep", "dta", "sim"], 700);
+        p.add(&["sweep", "dta"], 200);
+        p.add(&["train"], 100);
+        p
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_names_every_frame() {
+        let svg = render_svg(&profile(), "test profile");
+        assert!(svg.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        for frame in ["sweep", "dta", "sim", "train"] {
+            assert!(svg.contains(&format!(">{frame}")), "frame {frame} missing: {svg}");
+        }
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+        assert_eq!(svg.matches("<rect").count(), 5, "4 frames + background");
+    }
+
+    #[test]
+    fn widths_are_proportional_to_weight() {
+        let svg = render_svg(&profile(), "t");
+        // sweep holds 900 of 1000 → 90% of 1200 px = 1080 px.
+        assert!(svg.contains("width=\"1080.00\""), "{svg}");
+        // train holds 100 of 1000 → 120 px.
+        assert!(svg.contains("width=\"120.00\""), "{svg}");
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder_svg() {
+        let svg = render_svg(&Profile::new(), "empty");
+        assert!(svg.contains("(empty profile)"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn frame_titles_are_xml_escaped() {
+        let mut p = Profile::new();
+        p.add(&["a<b>&\"c\""], 10);
+        let svg = render_svg(&p, "esc");
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"), "{svg}");
+        assert!(!svg.contains("a<b>"), "{svg}");
+    }
+
+    #[test]
+    fn colors_are_deterministic_per_name() {
+        assert_eq!(color("sim"), color("sim"));
+        assert_ne!(color("sim"), color("train"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The collapsed-stack ("folded") profile format.
+//!
+//! One line per distinct stack, Brendan Gregg's convention:
+//!
+//! ```text
+//! frame;frame;frame count
+//! ```
+//!
+//! The separator characters (`;` between frames, the final space before
+//! the count) and `%` are percent-escaped inside frame names (`%3B`,
+//! `%20`, `%25`, plus `%0A` for newlines), so any span name round-trips:
+//! render → parse → render is the identity. Lines render sorted by
+//! stack, making the output deterministic and diff-friendly, and
+//! compatible with the wider flamegraph toolchain.
+
+use std::collections::BTreeMap;
+
+/// A weighted multiset of stacks. Weights are opaque counts — the
+/// sampler stores nanoseconds, other producers may store samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    counts: BTreeMap<Vec<String>, u64>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Adds `weight` to the stack `frames` (root first). Empty stacks
+    /// and zero weights are ignored.
+    pub fn add<S: AsRef<str>>(&mut self, frames: &[S], weight: u64) {
+        if frames.is_empty() || weight == 0 {
+            return;
+        }
+        let key: Vec<String> = frames.iter().map(|f| f.as_ref().to_string()).collect();
+        *self.counts.entry(key).or_insert(0) += weight;
+    }
+
+    /// Adds a slash-separated span path (the [`tevot_obs::span`] path
+    /// convention) by splitting it into frames.
+    pub fn add_span_path(&mut self, path: &str, weight: u64) {
+        let frames: Vec<&str> = path.split(tevot_obs::span::PATH_SEPARATOR).collect();
+        self.add(&frames, weight);
+    }
+
+    /// Folds another profile into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for (frames, weight) in &other.counts {
+            *self.counts.entry(frames.clone()).or_insert(0) += weight;
+        }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the profile holds no stacks at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(stack, weight)` in sorted stack order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[String], u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_slice(), v))
+    }
+
+    /// Renders the folded text form, one sorted line per stack.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (frames, weight) in &self.counts {
+            for (i, frame) in frames.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                escape_into(&mut out, frame);
+            }
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses folded text produced by [`Profile::render`] (or any
+    /// collapsed-stack tool). Blank lines are skipped; weights of equal
+    /// stacks accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"line N: ..."` describing the first malformed line
+    /// (missing count, bad integer, empty stack, bad escape).
+    pub fn parse(text: &str) -> Result<Profile, String> {
+        let mut profile = Profile::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: &str| format!("line {}: {message}", i + 1);
+            let (stack, count) =
+                line.rsplit_once(' ').ok_or_else(|| err("missing ' count' suffix"))?;
+            let weight: u64 = count.parse().map_err(|_| err(&format!("bad count {count:?}")))?;
+            if stack.is_empty() {
+                return Err(err("empty stack"));
+            }
+            let frames = stack
+                .split(';')
+                .map(unescape)
+                .collect::<Result<Vec<String>, String>>()
+                .map_err(|e| err(&e))?;
+            if frames.iter().any(String::is_empty) {
+                return Err(err("empty frame name"));
+            }
+            profile.add(&frames, weight);
+        }
+        Ok(profile)
+    }
+}
+
+fn escape_into(out: &mut String, frame: &str) {
+    for ch in frame.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            ';' => out.push_str("%3B"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn unescape(frame: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(frame.len());
+    let mut chars = frame.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '%' {
+            out.push(ch);
+            continue;
+        }
+        let pair: String = chars.by_ref().take(2).collect();
+        match pair.as_str() {
+            "25" => out.push('%'),
+            "3B" | "3b" => out.push(';'),
+            "20" => out.push(' '),
+            "0A" | "0a" => out.push('\n'),
+            other => return Err(format!("bad escape %{other}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_sorted_and_parse_round_trips() {
+        let mut p = Profile::new();
+        p.add(&["zeta", "inner"], 7);
+        p.add(&["alpha"], 3);
+        p.add(&["alpha", "beta"], 10);
+        let text = p.render();
+        assert_eq!(text, "alpha 3\nalpha;beta 10\nzeta;inner 7\n");
+        assert_eq!(Profile::parse(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn separators_in_frame_names_are_escaped() {
+        let mut p = Profile::new();
+        p.add(&["a b;c", "d%e"], 2);
+        let text = p.render();
+        assert_eq!(text, "a%20b%3Bc;d%25e 2\n");
+        let back = Profile::parse(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn span_paths_split_on_slash() {
+        let mut p = Profile::new();
+        p.add_span_path("sweep/dta/sim", 5);
+        let (stack, weight) = p.iter().next().unwrap();
+        assert_eq!(stack, ["sweep", "dta", "sim"]);
+        assert_eq!(weight, 5);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_position() {
+        assert!(Profile::parse("no-count-here").unwrap_err().contains("line 1"));
+        assert!(Profile::parse("a;b nope").unwrap_err().contains("bad count"));
+        assert!(Profile::parse(" 5").unwrap_err().contains("empty stack"));
+        assert!(Profile::parse("a;;b 5").unwrap_err().contains("empty frame"));
+        assert!(Profile::parse("a%ZZ 5").unwrap_err().contains("bad escape"));
+    }
+
+    #[test]
+    fn merge_accumulates_equal_stacks() {
+        let mut a = Profile::new();
+        a.add(&["x"], 1);
+        let mut b = Profile::new();
+        b.add(&["x"], 2);
+        b.add(&["y"], 3);
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! `tevot-prof`: a zero-dependency statistical profiler for the TEVoT
+//! pipeline.
+//!
+//! The pipeline's spans already tell every thread where it is
+//! ([`tevot_obs::stacks`] publishes the current span path into a
+//! lock-light per-thread slot); this crate adds the consumer side:
+//!
+//! - [`sampler`] — a sampler thread snapshots every slot at a fixed
+//!   rate and charges elapsed wall time to the observed span paths. No
+//!   signal handlers, no native unwinding: fully portable statistical
+//!   profiling whose only cost to profiled threads is the span
+//!   enter/exit publish.
+//! - [`folded`] — the weighted stacks as Brendan-Gregg collapsed-stack
+//!   text (`frame;frame count`), with separator escaping so arbitrary
+//!   span names round-trip.
+//! - [`flame`] — a self-contained SVG flamegraph renderer (`tevot
+//!   flame`).
+//! - [`alloc`] — [`TevotAlloc`], a global-allocator wrapper counting
+//!   allocations/bytes per span path behind a runtime toggle, surfaced
+//!   as the `alloc.*` metrics.
+//!
+//! Wall-clock *self time* (total minus direct children) is computed by
+//! the reporter in `tevot-obs` from exact span totals; the sampled
+//! profile complements it by splitting time *between* span boundaries
+//! statistically. See DESIGN.md §15 for the bias/overhead analysis.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod flame;
+pub mod folded;
+pub mod sampler;
+
+pub use alloc::TevotAlloc;
+pub use folded::Profile;
+pub use sampler::{FoldedGuard, Sampler, SamplerCore};

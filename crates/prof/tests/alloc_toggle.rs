@@ -1,0 +1,62 @@
+//! Proof that `TevotAlloc` is free when disabled, in the same spirit as
+//! the allocator-counting harness in `tevot-obs`'s trace tests: this
+//! binary installs the wrapper as its real global allocator, hammers the
+//! heap with the toggle off, and asserts the accounting observed
+//! *nothing* — the disabled path is one relaxed load, no counters, no
+//! buckets. Then the toggle flips on and the same traffic must be fully
+//! attributed, including per-span-path buckets.
+//!
+//! Must stay a dedicated binary with exactly one `#[test]`: a sibling
+//! test allocating concurrently would race the global counters.
+
+use tevot_obs::metrics::{ALLOC_ALLOCATIONS, ALLOC_BYTES};
+use tevot_prof::alloc;
+
+#[global_allocator]
+static ALLOC: tevot_prof::TevotAlloc = tevot_prof::TevotAlloc;
+
+#[test]
+fn disabled_allocator_observes_nothing_and_enabled_attributes() {
+    // Warm up outside the probe window (lazy TLS, registry init).
+    {
+        let _g = tevot_obs::span!("alloc_toggle_warmup");
+        let warmup: Vec<u8> = vec![0; 64];
+        drop(warmup);
+    }
+    alloc::reset();
+    assert!(!alloc::enabled(), "toggle must start off");
+
+    // Probe window: a million allocations with profiling disabled.
+    for i in 0..1_000_000u64 {
+        let v: Vec<u8> = Vec::with_capacity(16 + (i % 3) as usize);
+        std::hint::black_box(&v);
+    }
+    assert_eq!(ALLOC_ALLOCATIONS.get(), 0, "disabled toggle must observe no allocations");
+    assert_eq!(ALLOC_BYTES.get(), 0);
+    assert!(alloc::by_path().is_empty());
+
+    // Counterfactual: the same traffic with the toggle on is counted
+    // and attributed to the enclosing span path.
+    tevot_obs::stacks::enable();
+    alloc::enable();
+    {
+        let _outer = tevot_obs::span!("alloc_toggle");
+        let _inner = tevot_obs::span!("probe");
+        for _ in 0..1_000u64 {
+            let v: Vec<u8> = Vec::with_capacity(32);
+            std::hint::black_box(&v);
+        }
+    }
+    alloc::disable();
+    tevot_obs::stacks::disable();
+
+    assert!(ALLOC_ALLOCATIONS.get() >= 1_000, "got {}", ALLOC_ALLOCATIONS.get());
+    assert!(ALLOC_BYTES.get() >= 32_000, "got {}", ALLOC_BYTES.get());
+    let by_path = alloc::by_path();
+    let probe = by_path
+        .iter()
+        .find(|(path, _, _)| path == "alloc_toggle/probe")
+        .unwrap_or_else(|| panic!("probe span missing from {by_path:?}"));
+    assert!(probe.1 >= 1_000, "allocations attributed to the span: {by_path:?}");
+    assert!(probe.2 >= 32_000, "bytes attributed to the span: {by_path:?}");
+}

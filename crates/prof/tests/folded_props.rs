@@ -1,0 +1,49 @@
+//! Property tests for the collapsed-stack codec: rendering any profile
+//! — including frames containing spaces, semicolons, percent signs and
+//! newlines — parses back to the same profile, and render → parse →
+//! render is the identity on the text.
+
+use proptest::prelude::*;
+use tevot_prof::Profile;
+
+/// Frame names over a hostile palette: separator characters mixed with
+/// ordinary text, 1..=12 chars.
+fn frame() -> impl Strategy<Value = String> {
+    let palette = ['a', 'Z', '9', '.', '_', ' ', ';', '%', '\n', '/'];
+    prop::collection::vec(0usize..palette.len(), 1..12)
+        .prop_map(move |picks| picks.into_iter().map(|i| palette[i]).collect())
+}
+
+fn stacks() -> impl Strategy<Value = Vec<(Vec<String>, u64)>> {
+    prop::collection::vec((prop::collection::vec(frame(), 1..5), 1u64..1_000_000), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// render → parse recovers the profile exactly; parsing the render
+    /// of the parse reproduces the same text (full round-trip identity).
+    #[test]
+    fn render_parse_render_is_identity(raw in stacks()) {
+        let mut profile = Profile::new();
+        for (frames, weight) in &raw {
+            profile.add(frames, *weight);
+        }
+        let text = profile.render();
+        let parsed = Profile::parse(&text).expect("rendered profile must parse");
+        prop_assert_eq!(&parsed, &profile);
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// Total weight survives the text round trip.
+    #[test]
+    fn totals_are_preserved(raw in stacks()) {
+        let mut profile = Profile::new();
+        for (frames, weight) in &raw {
+            profile.add(frames, *weight);
+        }
+        let parsed = Profile::parse(&profile.render()).unwrap();
+        prop_assert_eq!(parsed.total(), profile.total());
+        prop_assert_eq!(parsed.len(), profile.len());
+    }
+}

@@ -168,11 +168,12 @@ fn route(state: &ServeState, req: &Request) -> Response {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state, query),
         ("GET", "/watch") => watch_endpoint(state, query),
+        ("GET", "/profile") => profile(),
         ("GET", "/models") => list_models(state),
         ("POST", path) if path.strip_prefix("/models/").is_some_and(|n| !n.is_empty()) => {
             swap_model(state, req)
         }
-        (_, "/predict" | "/ter" | "/healthz" | "/metrics" | "/watch" | "/models") => {
+        (_, "/predict" | "/ter" | "/healthz" | "/metrics" | "/watch" | "/profile" | "/models") => {
             error_response(405, "usage", &format!("method {} not allowed on {path}", req.method))
         }
         _ => error_response(404, "usage", &format!("no such endpoint {path:?}")),
@@ -352,7 +353,31 @@ fn run_batched(
     }
 }
 
+/// Records one request's stage breakdown into the watch's slow-request
+/// exemplar buffer (no-op when watching is off).
+fn observe_exemplar(
+    state: &ServeState,
+    endpoint: &'static str,
+    started: Instant,
+    stages: Vec<(&'static str, u64)>,
+) {
+    if let Some(watch) = state.watch() {
+        watch.observe_exemplar(crate::watch::Exemplar {
+            request_id: current_request_id(),
+            endpoint,
+            total_us: started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            stages,
+            at_ms: tevot_obs::watch::wall_ms(),
+        });
+    }
+}
+
+fn stage_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 fn predict(state: &ServeState, req: &Request) -> Response {
+    let started = Instant::now();
     let outcome = (|| {
         let doc = parse_body(req)?;
         let cond = condition(&doc)?;
@@ -362,6 +387,7 @@ fn predict(state: &ServeState, req: &Request) -> Response {
         let transitions = transitions_of(&doc)?;
         Ok((name, model, cond, clock, deadline_ms, transitions))
     })();
+    let parse_ns = stage_ns(started);
     let (name, model, cond, clock, deadline_ms, transitions) = match outcome {
         Ok(parts) => parts,
         Err(e) => return error_from(&e),
@@ -369,16 +395,24 @@ fn predict(state: &ServeState, req: &Request) -> Response {
     // Pick shadow-replay candidates before the batcher consumes the
     // transitions; usually empty, at most a handful of copies.
     let sampled = state.watch().map(|w| w.sample_for_shadow(&transitions)).unwrap_or_default();
+    let batch_started = Instant::now();
     let delays = match run_batched(state, model, cond, transitions, deadline_ms) {
         Ok(delays) => delays,
         Err(response) => return response,
     };
+    let batch_ns = stage_ns(batch_started);
     if let Some(watch) = state.watch() {
         watch.observe_predict(cond, &delays);
         for (i, transition) in sampled {
-            watch.shadow_submit(cond, transition, delays[i]);
+            // `get` rather than indexing: a model erroring mid-batch
+            // could in principle answer short, and a sampling slip must
+            // not panic the connection thread.
+            if let Some(&delay) = delays.get(i) {
+                watch.shadow_submit(cond, transition, delay);
+            }
         }
     }
+    let serialize_started = Instant::now();
     let mut members = vec![
         ("model", Json::from(name.as_str())),
         ("count", Json::from(delays.len() as u64)),
@@ -389,10 +423,18 @@ fn predict(state: &ServeState, req: &Request) -> Response {
         members.push(("clock_ps", Json::from(clock)));
         members.push(("erroneous", Json::Arr(verdicts)));
     }
-    ok(members)
+    let response = ok(members);
+    observe_exemplar(
+        state,
+        "/predict",
+        started,
+        vec![("parse", parse_ns), ("batch", batch_ns), ("serialize", stage_ns(serialize_started))],
+    );
+    response
 }
 
 fn ter(state: &ServeState, req: &Request) -> Response {
+    let started = Instant::now();
     let outcome = (|| {
         let doc = parse_body(req)?;
         let cond = condition(&doc)?;
@@ -421,6 +463,7 @@ fn ter(state: &ServeState, req: &Request) -> Response {
         let seed = opt_u64(&doc, "seed")?.unwrap_or(0);
         Ok((name, model, cond, clock, deadline_ms, fu, vectors, seed))
     })();
+    let parse_ns = stage_ns(started);
     let (name, model, cond, clock, deadline_ms, fu, vectors, seed) = match outcome {
         Ok(parts) => parts,
         Err(e) => return error_from(&e),
@@ -429,19 +472,29 @@ fn ter(state: &ServeState, req: &Request) -> Response {
     let ops = work.operands();
     let transitions: Vec<_> = (1..ops.len()).map(|t| (ops[t], ops[t - 1])).collect();
     let total = transitions.len();
+    let workload_ns = stage_ns(started).saturating_sub(parse_ns);
+    let batch_started = Instant::now();
     let delays = match run_batched(state, model, cond, transitions, deadline_ms) {
         Ok(delays) => delays,
         Err(response) => return response,
     };
+    let batch_ns = stage_ns(batch_started);
     let errors = delays.iter().filter(|&&d| d > clock as f64).count();
-    ok(vec![
+    let response = ok(vec![
         ("model", Json::from(name.as_str())),
         ("fu", Json::from(fu.slug())),
         ("clock_ps", Json::from(clock)),
         ("transitions", Json::from(total as u64)),
         ("errors", Json::from(errors as u64)),
         ("ter", Json::Num(errors as f64 / total as f64)),
-    ])
+    ]);
+    observe_exemplar(
+        state,
+        "/ter",
+        started,
+        vec![("parse", parse_ns), ("workload", workload_ns), ("batch", batch_ns)],
+    );
+    response
 }
 
 fn swap_model(state: &ServeState, req: &Request) -> Response {
@@ -529,6 +582,20 @@ fn watch_endpoint(state: &ServeState, query: &str) -> Response {
     let model = state.default_reference();
     let reference = model.as_deref().and_then(TevotModel::reference);
     Response::json(200, watch.to_json(since_ms, reference).to_string())
+}
+
+/// The current folded profile from the always-on statistical sampler as
+/// `text/plain` collapsed stacks (feed it straight to `tevot flame`).
+/// Sampling starts lazily on the first scrape, so a server nobody
+/// profiles pays nothing beyond the span enter/exit publish.
+fn profile() -> Response {
+    tevot_prof::sampler::start_global();
+    let body = tevot_prof::sampler::global_profile().map(|p| p.render()).unwrap_or_default();
+    Response {
+        status: 200,
+        headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+        body: body.into_bytes(),
+    }
 }
 
 #[cfg(test)]
@@ -858,5 +925,40 @@ mod tests {
         assert_eq!(handle(&state, &get("/watch?since_ms=nope")).status, 400);
         assert_eq!(handle(&state, &get("/watch?since_ms=0")).status, 200);
         assert_eq!(handle(&state, &post("/watch", "")).status, 405);
+    }
+
+    #[test]
+    fn profile_endpoint_serves_folded_text_and_rejects_post() {
+        let state = state_with_model();
+        let response = handle(&state, &get("/profile"));
+        assert_eq!(response.status, 200);
+        let content_type = response.headers.iter().find(|(n, _)| n == "Content-Type").unwrap();
+        assert_eq!(content_type.1, "text/plain; charset=utf-8");
+        // The body (possibly empty right after the lazy start) must be
+        // valid collapsed-stack text.
+        let text = std::str::from_utf8(&response.body).unwrap();
+        tevot_prof::Profile::parse(text).expect("profile endpoint must emit parseable stacks");
+        assert!(tevot_prof::sampler::global_running(), "first scrape starts the sampler");
+        assert_eq!(handle(&state, &post("/profile", "")).status, 405);
+    }
+
+    #[test]
+    fn slow_request_exemplars_surface_in_watch_payload() {
+        let state = state_with_model();
+        state.install_watch(Arc::new(Watch::new(crate::watch::WatchConfig::default())));
+        let ok =
+            handle(&state, &post("/predict", r#"{"voltage":0.9,"temperature":25,"a":1,"b":2}"#));
+        assert_eq!(ok.status, 200);
+        let response = handle(&state, &get("/watch"));
+        let doc = body_json(&response);
+        let exemplars = doc.get("exemplars").and_then(Json::as_arr).expect("exemplars member");
+        assert!(!exemplars.is_empty(), "a served predict must leave an exemplar");
+        let first = &exemplars[0];
+        assert_eq!(first.get("endpoint").and_then(Json::as_str), Some("/predict"));
+        assert!(first.get("request_id").and_then(Json::as_u64).unwrap() > 0);
+        let stages = first.get("stages").and_then(Json::as_arr).unwrap();
+        let names: Vec<_> =
+            stages.iter().map(|s| s.get("name").and_then(Json::as_str).unwrap()).collect();
+        assert_eq!(names, ["parse", "batch", "serialize"]);
     }
 }

@@ -110,6 +110,27 @@ struct ShadowJob {
     predicted_ps: f64,
 }
 
+/// Number of slow-request exemplars retained (the k slowest requests
+/// seen so far, by total latency).
+pub const MAX_EXEMPLARS: usize = 8;
+
+/// The per-stage span breakdown of one served request, retained when it
+/// ranks among the slowest — the "what was this request doing" answer
+/// `/watch` and `tevot top` surface next to the latency quantiles.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// Process-unique request id (matches `X-Request-Id`).
+    pub request_id: u64,
+    /// Endpoint that served the request (`/predict`, `/ter`).
+    pub endpoint: &'static str,
+    /// End-to-end handler latency, in microseconds.
+    pub total_us: u64,
+    /// `(stage, nanoseconds)` pairs in execution order.
+    pub stages: Vec<(&'static str, u64)>,
+    /// Wall-clock capture time, in ms since the epoch.
+    pub at_ms: u64,
+}
+
 /// Live drift windows plus the per-feature edge-trigger latches.
 struct DriftState {
     voltage: DriftWindow,
@@ -143,6 +164,7 @@ pub struct Watch {
     shadow_tx: Option<SyncSender<ShadowJob>>,
     shadow_handle: Option<std::thread::JoinHandle<()>>,
     transition_seq: AtomicU64,
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 impl std::fmt::Debug for Watch {
@@ -187,6 +209,7 @@ impl Watch {
             shadow_tx,
             shadow_handle,
             transition_seq: AtomicU64::new(0),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
@@ -348,6 +371,31 @@ impl Watch {
         (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
     }
 
+    /// Offers one request's breakdown to the slow-exemplar buffer: kept
+    /// while there is room, otherwise it must beat the fastest retained
+    /// exemplar. O(k) with k = [`MAX_EXEMPLARS`], no allocation on the
+    /// reject path.
+    pub fn observe_exemplar(&self, exemplar: Exemplar) {
+        let mut buffer = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        if buffer.len() < MAX_EXEMPLARS {
+            buffer.push(exemplar);
+            return;
+        }
+        if let Some(slot) = buffer.iter_mut().min_by_key(|e| e.total_us) {
+            if exemplar.total_us > slot.total_us {
+                *slot = exemplar;
+            }
+        }
+    }
+
+    /// The retained slow-request exemplars, slowest first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let buffer = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<Exemplar> = buffer.clone();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.request_id.cmp(&b.request_id)));
+        out
+    }
+
     /// Alerts currently retained (newest last).
     pub fn alerts(&self) -> Vec<Alert> {
         self.alerts.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
@@ -426,6 +474,38 @@ impl Watch {
             ),
             ("slo", Json::Arr(slo_status)),
             ("alerts", Json::Arr(alerts)),
+            // Additive member (same precedent as the tevot-obs/1
+            // quantiles): the slow-request exemplars, slowest first.
+            (
+                "exemplars",
+                Json::Arr(
+                    self.exemplars()
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("request_id", Json::from(e.request_id)),
+                                ("endpoint", Json::from(e.endpoint)),
+                                ("total_us", Json::from(e.total_us)),
+                                ("at_ms", Json::from(e.at_ms)),
+                                (
+                                    "stages",
+                                    Json::Arr(
+                                        e.stages
+                                            .iter()
+                                            .map(|&(name, ns)| {
+                                                Json::obj(vec![
+                                                    ("name", Json::from(name)),
+                                                    ("ns", Json::from(ns)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("series", self.store.to_json(since_ms)),
         ])
     }
@@ -495,6 +575,33 @@ mod tests {
         assert!(qps[0].value >= 10.0, "10 requests over 1s: qps {}", qps[0].value);
         assert_eq!(watch.store().series("serve.queue_depth").unwrap().len(), 2);
         assert!(watch.alerts().is_empty());
+    }
+
+    #[test]
+    fn exemplar_buffer_keeps_the_k_slowest_and_serializes() {
+        let watch =
+            Watch::new(WatchConfig { resolution_ms: 10, capacity: 16, ..Default::default() });
+        for i in 0..(MAX_EXEMPLARS as u64 + 4) {
+            watch.observe_exemplar(Exemplar {
+                request_id: i + 1,
+                endpoint: "/predict",
+                total_us: 100 + i * 10,
+                stages: vec![("parse", 1_000), ("batch", (100 + i * 10) * 1_000)],
+                at_ms: 5_000 + i,
+            });
+        }
+        let kept = watch.exemplars();
+        assert_eq!(kept.len(), MAX_EXEMPLARS);
+        // Slowest first, and the fastest requests were evicted.
+        assert_eq!(kept[0].total_us, 100 + (MAX_EXEMPLARS as u64 + 3) * 10);
+        assert!(kept.iter().all(|e| e.total_us >= 140), "{kept:?}");
+        assert!(kept.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+        let doc = watch.to_json(0, None);
+        let exemplars = doc.get("exemplars").and_then(Json::as_arr).expect("exemplars member");
+        assert_eq!(exemplars.len(), MAX_EXEMPLARS);
+        assert_eq!(exemplars[0].get("endpoint").and_then(Json::as_str), Some("/predict"));
+        let stages = exemplars[0].get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(stages[0].get("name").and_then(Json::as_str), Some("parse"));
     }
 
     #[test]
