@@ -294,6 +294,15 @@ impl Comparison {
         !self.regressions().is_empty()
     }
 
+    /// The deltas for metrics present in the baseline but absent from
+    /// the candidate. A missing metric is structural breakage (a dropped
+    /// or renamed benchmark stage), not measurement noise, so these fail
+    /// the gate even in report-only mode — otherwise deleting a stage
+    /// would silently retire its regression coverage.
+    pub fn removed(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.verdict == Verdict::Removed).collect()
+    }
+
     /// Renders the comparison as an aligned table plus a verdict line.
     pub fn render(&self) -> String {
         let mut table =
@@ -471,6 +480,17 @@ mod tests {
         let added = cmp.deltas.last().unwrap();
         assert_eq!(added.verdict, Verdict::Added);
         assert!(!matches!(added.verdict, Verdict::Regressed | Verdict::Removed));
+        // removed() is the report-only escape hatch's input: it must list
+        // exactly the missing baseline metrics, not Regressed/Added ones.
+        let removed: Vec<&str> = cmp.removed().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(removed, ["int_add.accuracy_mean"]);
+        // An ordinary regression is NOT in removed() — report-only mode
+        // still forgives it.
+        let (base, mut slow) = two_reports();
+        slow.metrics[0].value = 100.0;
+        let cmp = compare(&base, &slow, DEFAULT_THRESHOLD);
+        assert!(cmp.has_regressions());
+        assert!(cmp.removed().is_empty());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! regressed, 2 on usage or load errors. CI runs this in report-only
 //! mode — shared runners make wall-clock throughputs too noisy for a
 //! hard gate — so the rendered table is the artifact that matters.
+//! One exception survives report-only: a metric present in the baseline
+//! but missing from the candidate always fails, because a dropped or
+//! renamed benchmark stage would otherwise silently lose its coverage.
 
 use std::process::ExitCode;
 
@@ -82,8 +85,22 @@ fn main() -> ExitCode {
             );
         }
         if report_only {
-            println!("(report-only mode: not failing the build)");
-            return ExitCode::SUCCESS;
+            // Throughput noise is forgiven in report-only mode, but a
+            // baseline metric that vanished from the candidate is
+            // structural breakage — failing here is the whole point of
+            // the gate, or deleting a stage would retire its coverage.
+            let removed = comparison.removed();
+            if removed.is_empty() {
+                println!("(report-only mode: not failing the build)");
+                return ExitCode::SUCCESS;
+            }
+            for d in &removed {
+                eprintln!(
+                    "bench_compare: baseline metric {:?} is missing from the candidate",
+                    d.name
+                );
+            }
+            eprintln!("bench_compare: missing metrics fail even in report-only mode");
         }
         return ExitCode::from(1);
     }

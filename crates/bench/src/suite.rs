@@ -99,9 +99,17 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
     let mut featurize_s = 0.0;
     let mut train_s = 0.0;
 
+    // The event-engine trace of one unit, kept for the levelized-engine
+    // stage below: (fu, workload, trace, wall seconds). Prefer IntMul —
+    // the deepest netlist and the unit the gate's speedup floor names.
+    let mut event_exemplar = None;
+
     for &fu in &scale.fus {
         let slug = fu.name().to_lowercase().replace(' ', "_");
-        let characterizer = Characterizer::new(fu);
+        // Pin the event engine: `{slug}.sim_cycles_per_s` is the
+        // event-driven reference the levelized speedup is measured
+        // against, and must stay comparable across baselines.
+        let characterizer = Characterizer::new(fu).with_engine(tevot_sim::Engine::Event);
         let train_w = random_workload(fu, scale.train_vectors, scale.seed);
 
         // Gate-level simulation throughput (cycles and gate evaluations
@@ -110,6 +118,9 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         let t0 = Instant::now();
         let trace = characterizer.trace(cond, &train_w);
         let sim_s = t0.elapsed().as_secs_f64();
+        if fu == FunctionalUnit::IntMul || event_exemplar.is_none() {
+            event_exemplar = Some((fu, train_w.clone(), trace.clone(), sim_s));
+        }
         let gate_evals = SIM_GATE_EVALS.get() - evals_before;
         report.push(
             format!("{slug}.sim_cycles_per_s"),
@@ -169,6 +180,32 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
 
     report.push("featurize.rows_per_s", featurize_rows as f64 / featurize_s, "rows/s", true);
     report.push("train.wall_s", train_s, "s", false);
+
+    // Bit-parallel levelized engine vs the event-driven reference, on the
+    // same unit, condition, and workload as the per-FU stage above. The
+    // traces must agree bit for bit (the oracle contract), so this stage
+    // is simultaneously the sweep-throughput benchmark and an end-to-end
+    // differential check on every benchmark run.
+    {
+        let _span = tevot_obs::span!("bench.levelized");
+        let (fu, work, event_trace, event_s) =
+            event_exemplar.expect("per-FU stage ran at least once");
+        let characterizer = Characterizer::new(fu); // default: levelized
+        let t0 = Instant::now();
+        let lev_trace = characterizer.trace(cond, &work);
+        let lev_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            lev_trace, event_trace,
+            "levelized trace must be bit-identical to the event-driven oracle"
+        );
+        report.push(
+            "sim.levelized_cycles_per_s",
+            scale.train_vectors as f64 / lev_s,
+            "cycles/s",
+            true,
+        );
+        report.push("sim.speedup_vs_event", event_s / lev_s, "x", true);
+    }
 
     // Parallel condition sweep on the first FU: throughput at the active
     // `--jobs`/`TEVOT_JOBS` level, plus the speedup over a forced

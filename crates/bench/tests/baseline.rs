@@ -61,11 +61,15 @@ fn gate_binary_exit_codes() {
     assert!(stdout.contains("REGRESSED"), "{stdout}");
     assert!(stdout.contains("int_add.sim_cycles_per_s"), "{stdout}");
 
-    // Report-only mode downgrades the same regression to exit 0.
+    // Report-only does NOT forgive the canned candidate: it *removes*
+    // old.metric, and a baseline metric missing from the candidate is
+    // structural breakage, not throughput noise.
     let out =
         Command::new(gate).args([&base_path, &cand_path]).arg("--report-only").output().unwrap();
-    assert_eq!(out.status.code(), Some(0));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("report-only"));
+    assert_eq!(out.status.code(), Some(1), "a removed metric must fail even report-only");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("old.metric"), "{stderr}");
+    assert!(stderr.contains("report-only"), "{stderr}");
 
     // A report compared against itself passes.
     let out = Command::new(gate).args([&base_path, &base_path]).output().unwrap();
@@ -87,6 +91,11 @@ fn gate_binary_exit_codes() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
+    // A pure slowdown (no missing metric) IS downgraded by report-only.
+    let out =
+        Command::new(gate).args([&base_path, &slow_path]).arg("--report-only").output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "report-only must forgive throughput noise");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("report-only"));
     std::fs::remove_file(&slow_path).ok();
 
     // Usage and load errors exit 2.
@@ -126,6 +135,8 @@ fn suite_smoke_run_tracks_expected_metrics() {
         "int_add.accuracy_mean",
         "featurize.rows_per_s",
         "train.wall_s",
+        "sim.levelized_cycles_per_s",
+        "sim.speedup_vs_event",
         "par.sweep_conds_per_s",
         "par.sweep_speedup",
         "serve.qps",

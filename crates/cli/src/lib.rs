@@ -70,10 +70,12 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
   tevot stats        --fu <unit>
   tevot characterize --fu <unit> --voltage <V> --temperature <C>
                      [--vectors N] [--seed S] [--sdf out.sdf] [--vcd out.vcd]
+                     [--engine event|levelized]
   tevot train        --fu <unit> --out model.tevot
                      [--grid fig3|paper | --voltages 0.9,1.0 --temps 0,25]
                      [--vectors N] [--trees N] [--seed S] [--no-history]
                      [--resume <dir>] [--deadline-ms N]
+                     [--engine event|levelized]
   tevot predict      --model model.tevot --voltage <V> --temperature <C>
                      --clock-ps <N> --a <u32> --b <u32>
                      [--prev-a <u32>] [--prev-b <u32>]
@@ -94,6 +96,8 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
 
 units: int-add | int-mul | fp-add | fp-mul; operands take decimal or 0x hex.
 workload traces: one `aaaaaaaa bbbbbbbb` hex pair per line, `#` comments.
+engines: levelized (default; bit-parallel, 64 cycles per pass) | event
+         (event-driven oracle); both produce bit-identical results.
 
 serve (online inference; see DESIGN.md for the batching architecture):
   --addr <host:port>   bind address (default 127.0.0.1:7450; :0 picks a port)
@@ -135,7 +139,8 @@ global flags (any position):
   -q | --quiet         lower the log level (repeatable)
   --jobs <N>           worker threads for parallel stages (default: the
                        TEVOT_JOBS env var, then all available cores);
-                       results are bit-identical at every jobs level
+                       results are bit-identical at every jobs level;
+                       0 clamps to 1 worker with a warning
   --metrics <path>     write stage timings + counters as tevot-obs/1 JSON
   --trace <path>       record a timeline and write Chrome/Perfetto trace
                        JSON (open at https://ui.perfetto.dev)
@@ -198,6 +203,12 @@ fn global_flags(
             "-v" | "--verbose" => verbosity += 1,
             "-q" | "--quiet" => verbosity -= 1,
             "--jobs" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(0)) => {
+                    // A zero-worker pool could never drain its queue;
+                    // clamp to serial instead of hanging or erroring.
+                    tevot_obs::warn!("--jobs 0 would be a zero-worker pool; clamping to 1 worker");
+                    tevot_par::set_jobs(1);
+                }
                 Some(Ok(jobs)) => tevot_par::set_jobs(jobs),
                 _ => return Err(ArgError("--jobs needs a worker count".into())),
             },
@@ -226,6 +237,17 @@ fn global_flags(
     }
     let prof = folded.map(tevot_prof::FoldedGuard::start);
     Ok((rest, tevot_obs::report::FinishGuard::new().metrics_path(metrics).trace_path(trace), prof))
+}
+
+/// Reads the `--engine {event,levelized}` flag (default: levelized, the
+/// bit-parallel engine; both produce bit-identical characterizations).
+fn engine_from_args(args: &Args) -> Result<tevot_sim::Engine, ArgError> {
+    match args.get("engine") {
+        None => Ok(tevot_sim::Engine::default()),
+        Some(name) => tevot_sim::Engine::from_name(name).ok_or_else(|| {
+            ArgError(format!("--engine: unknown engine {name:?} (expected event or levelized)"))
+        }),
+    }
 }
 
 /// Wraps a file-level I/O result with the offending path, producing a
@@ -263,6 +285,7 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
     let vectors: usize = args.get_or("vectors", 400)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let validate = args.flag("validate");
+    let engine = engine_from_args(args)?;
     args.finish()?;
 
     let work = match workload_path {
@@ -290,7 +313,7 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
             ArgError("--validate needs --fu to pick the gate-level netlist".into())
         })?;
         tevot_obs::info!("validating against gate-level simulation...");
-        let characterizer = Characterizer::new(fu);
+        let characterizer = Characterizer::new(fu).with_engine(engine);
         let truth = characterizer.characterize_with_periods(cond, &work, &[clock]);
         outln!("  simulated TER: {:.2}%", truth.timing_error_rate(0) * 100.0);
     }
@@ -416,9 +439,10 @@ fn cmd_characterize(args: &Args) -> Result<(), Box<dyn Error>> {
     let seed: u64 = args.get_or("seed", 0)?;
     let sdf_path = args.get("sdf").map(str::to_owned);
     let vcd_path = args.get("vcd").map(str::to_owned);
+    let engine = engine_from_args(args)?;
     args.finish()?;
 
-    let characterizer = Characterizer::new(fu);
+    let characterizer = Characterizer::new(fu).with_engine(engine);
     let work = random_workload(fu, vectors, seed);
     tevot_obs::info!("characterizing {fu} at {cond} over {vectors} random vectors...");
     let truth = characterizer.characterize(cond, &work, &ClockSpeedup::PAPER);
@@ -464,11 +488,12 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
     let history = !args.flag("no-history");
     let resume = args.get("resume").map(str::to_owned);
     let deadline_ms: Option<u64> = args.get_parsed("deadline-ms")?;
+    let engine = engine_from_args(args)?;
     args.finish()?;
 
     let encoding =
         if history { FeatureEncoding::with_history() } else { FeatureEncoding::without_history() };
-    let characterizer = Characterizer::new(fu);
+    let characterizer = Characterizer::new(fu).with_engine(engine);
     let work = random_workload(fu, vectors, seed);
     // One tevot-par task per grid point; output order matches the grid,
     // so training data (and the model) are identical at every --jobs.

@@ -264,6 +264,86 @@ fn train_resume_is_bit_identical_and_deadline_cancels() {
 }
 
 #[test]
+fn jobs_zero_clamps_to_serial_with_identical_output() {
+    let serial = temp_path("jobs1.tevot");
+    let clamped = temp_path("jobs0.tevot");
+    let base = |out: &PathBuf, jobs: &str| {
+        let argv = [
+            "train",
+            "--fu",
+            "int-add",
+            "--out",
+            out.to_str().unwrap(),
+            "--vectors",
+            "100",
+            "--trees",
+            "2",
+            "--voltages",
+            "0.9,1.0",
+            "--temps",
+            "25",
+            "--jobs",
+            jobs,
+        ];
+        argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+    // --jobs 0 must clamp to one worker (with a warning), not dead-lock a
+    // zero-worker pool or error out...
+    tevot_cli::run(base(&clamped, "0")).unwrap();
+    // ...and its output must be byte-identical to an explicit --jobs 1.
+    tevot_cli::run(base(&serial, "1")).unwrap();
+    let a = std::fs::read(&serial).unwrap();
+    let b = std::fs::read(&clamped).unwrap();
+    assert!(!a.is_empty() && a == b, "--jobs 0 output must match --jobs 1 byte for byte");
+    tevot_par::set_jobs(0); // restore default resolution for other tests
+    std::fs::remove_file(serial).ok();
+    std::fs::remove_file(clamped).ok();
+}
+
+#[test]
+fn engine_flag_selects_a_simulator_bit_identically() {
+    let metrics = temp_path("engine_lev.json");
+    let base = |engine: &str, metrics: Option<&str>| {
+        let mut argv = vec![
+            "characterize",
+            "--fu",
+            "int-add",
+            "--voltage",
+            "0.9",
+            "--temperature",
+            "25",
+            "--vectors",
+            "50",
+            "--engine",
+            engine,
+        ];
+        if let Some(m) = metrics {
+            argv.extend_from_slice(&["--metrics", m]);
+        }
+        argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+    tevot_cli::run(base("event", None)).unwrap();
+    tevot_cli::run(base("levelized", Some(metrics.to_str().unwrap()))).unwrap();
+    // The levelized engine advances its block counter in the metrics.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let doc = tevot_obs::json::parse(&text).unwrap();
+    let blocks = doc
+        .get("counters")
+        .and_then(tevot_obs::json::Json::as_arr)
+        .unwrap()
+        .iter()
+        .find(|c| {
+            c.get("name").and_then(tevot_obs::json::Json::as_str) == Some("sim.levelized_blocks")
+        })
+        .and_then(|c| c.get("value").and_then(tevot_obs::json::Json::as_u64))
+        .unwrap();
+    assert!(blocks >= 1, "levelized run must record at least one block, got {blocks}");
+    // Unknown engines are usage errors.
+    assert_eq!(run_code(&base("warp", None).iter().map(String::as_str).collect::<Vec<_>>()), 2);
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
 fn train_predict_ter_roundtrip() {
     let model = temp_path("model.tevot");
     let trace = temp_path("trace.txt");

@@ -12,7 +12,7 @@ use tevot_netlist::Netlist;
 use tevot_resil::checkpoint::CheckpointDir;
 use tevot_resil::codec::{ByteReader, ByteWriter};
 use tevot_resil::{CancelToken, ResultExt, TevotError};
-use tevot_sim::{CycleResult, TimingSimulator};
+use tevot_sim::{CycleResult, Engine, LevelizedSimulator, TimingSimulator};
 use tevot_timing::{sta, ClockSpeedup, DelayModel, OperatingCondition};
 
 use crate::workload::Workload;
@@ -291,6 +291,7 @@ pub struct Characterizer {
     fu: FunctionalUnit,
     netlist: Netlist,
     delay_model: DelayModel,
+    engine: Engine,
 }
 
 impl Characterizer {
@@ -301,7 +302,7 @@ impl Characterizer {
 
     /// Builds the characterizer with a custom delay model.
     pub fn with_delay_model(fu: FunctionalUnit, delay_model: DelayModel) -> Self {
-        Characterizer { fu, netlist: fu.build(), delay_model }
+        Characterizer { fu, netlist: fu.build(), delay_model, engine: Engine::default() }
     }
 
     /// Uses a caller-supplied netlist (e.g. the carry-lookahead adder
@@ -313,7 +314,21 @@ impl Characterizer {
     pub fn with_netlist(fu: FunctionalUnit, netlist: Netlist, delay_model: DelayModel) -> Self {
         assert_eq!(netlist.inputs().len(), fu.input_bits(), "input width mismatch");
         assert_eq!(netlist.outputs().len(), fu.output_bits(), "output width mismatch");
-        Characterizer { fu, netlist, delay_model }
+        Characterizer { fu, netlist, delay_model, engine: Engine::default() }
+    }
+
+    /// Selects the simulation engine for subsequent traces. Both engines
+    /// produce bit-identical [`SimTrace`]s (pinned by the differential
+    /// oracle suite); [`Engine::Levelized`] is the default because sweeps
+    /// re-simulate the same netlist hundreds of times.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine traces run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The functional unit under characterization.
@@ -354,19 +369,37 @@ impl Characterizer {
             let crit = sta::run(&self.netlist, &ann).critical_delay_ps();
             (ann, crit)
         };
-        let _span = tevot_obs::span!("sim", "{} cycles", workload.operands().len());
-        let mut sim = TimingSimulator::new(&self.netlist, &ann);
-        let mut input = Vec::with_capacity(self.fu.input_bits());
-        let cycles = workload
-            .operands()
-            .iter()
-            .map(|&(a, b)| {
-                input.clear();
-                input.extend((0..32).map(|i| a >> i & 1 == 1));
-                input.extend((0..32).map(|i| b >> i & 1 == 1));
-                sim.step(&input)
-            })
-            .collect();
+        let cycles = match self.engine {
+            Engine::Event => {
+                let _span = tevot_obs::span!("sim", "{} cycles", workload.operands().len());
+                let mut sim = TimingSimulator::new(&self.netlist, &ann);
+                let mut input = Vec::with_capacity(self.fu.input_bits());
+                workload
+                    .operands()
+                    .iter()
+                    .map(|&(a, b)| {
+                        input.clear();
+                        input.extend((0..32).map(|i| a >> i & 1 == 1));
+                        input.extend((0..32).map(|i| b >> i & 1 == 1));
+                        sim.step(&input)
+                    })
+                    .collect()
+            }
+            Engine::Levelized => {
+                let _span = tevot_obs::span!("sim.lev", "{} cycles", workload.operands().len());
+                let vectors: Vec<Vec<bool>> = workload
+                    .operands()
+                    .iter()
+                    .map(|&(a, b)| {
+                        let mut input = Vec::with_capacity(self.fu.input_bits());
+                        input.extend((0..32).map(|i| a >> i & 1 == 1));
+                        input.extend((0..32).map(|i| b >> i & 1 == 1));
+                        input
+                    })
+                    .collect();
+                LevelizedSimulator::new(&self.netlist, &ann).run(&vectors)
+            }
+        };
         SimTrace { fu: self.fu, condition: cond, critical_delay_ps: crit, cycles }
     }
 
@@ -676,6 +709,40 @@ mod tests {
             .unwrap_err();
         assert_eq!(e.kind(), tevot_resil::ErrorKind::Corrupt);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn both_engines_trace_bit_identically() {
+        let fu = FunctionalUnit::IntAdd;
+        let w = random_workload(fu, 80, 5);
+        let cond = OperatingCondition::new(0.85, 50.0);
+        let lev = Characterizer::new(fu).trace(cond, &w);
+        let ev = Characterizer::new(fu).with_engine(Engine::Event).trace(cond, &w);
+        assert_eq!(lev, ev);
+        assert_eq!(Characterizer::new(fu).engine(), Engine::Levelized);
+    }
+
+    #[test]
+    fn clock_edge_boundary_error_iff_delay_exceeds_period() {
+        // Paper semantics (Sec. III): a cycle is erroneous iff its dynamic
+        // delay exceeds the clock period — a toggle landing *exactly* on
+        // the edge is captured. Pin the boundary through the full
+        // trace → characterization path, not just CycleResult.
+        let fu = FunctionalUnit::IntAdd;
+        let ch = Characterizer::new(fu);
+        let trace = ch.trace(OperatingCondition::nominal(), &random_workload(fu, 20, 9));
+        let d = trace.cycles()[3].dynamic_delay_ps();
+        assert!(d > 0, "random operands must toggle outputs");
+        let c = trace.characterization(&[d - 1, d, d + 1]);
+        assert!(c.erroneous(0)[3], "period just below the delay must err");
+        assert!(!c.erroneous(1)[3], "a toggle exactly at the edge is captured");
+        assert!(!c.erroneous(2)[3]);
+        assert_eq!(c.erroneous(1)[3], trace.cycles()[3].is_erroneous_at(d));
+        assert_eq!(
+            trace.cycles()[3].sample_at(d),
+            trace.cycles()[3].settled_outputs(),
+            "sampling at the edge sees the settled word when delay == period"
+        );
     }
 
     #[test]

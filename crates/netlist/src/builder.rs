@@ -174,6 +174,16 @@ impl NetlistBuilder {
         self.push(GateKind::Xor3, &[a, b, c])
     }
 
+    /// Adds a four-input AND.
+    pub fn and4(&mut self, a: NetId, b: NetId, c: NetId, d: NetId) -> NetId {
+        self.push(GateKind::And4, &[a, b, c, d])
+    }
+
+    /// Adds a four-input OR.
+    pub fn or4(&mut self, a: NetId, b: NetId, c: NetId, d: NetId) -> NetId {
+        self.push(GateKind::Or4, &[a, b, c, d])
+    }
+
     /// Number of nets created so far.
     pub fn num_nets(&self) -> usize {
         self.gates.len()
@@ -233,6 +243,24 @@ mod tests {
         let mut b = NetlistBuilder::new("noout");
         let _ = b.input("a");
         let _ = b.finish();
+    }
+
+    #[test]
+    fn wide_gates_evaluate() {
+        let mut b = NetlistBuilder::new("wide");
+        let ins: Vec<NetId> = (0..4).map(|i| b.input(format!("i{i}"))).collect();
+        let all = b.and4(ins[0], ins[1], ins[2], ins[3]);
+        let any = b.or4(ins[0], ins[1], ins[2], ins[3]);
+        b.output("all", all);
+        b.output("any", any);
+        let nl = b.finish();
+        assert_eq!(nl.max_fan_in(), 4);
+        for bits in 0..16u16 {
+            let pins: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let out = nl.evaluate(&pins);
+            assert_eq!(out[0], bits == 15, "and4 at {bits:04b}");
+            assert_eq!(out[1], bits != 0, "or4 at {bits:04b}");
+        }
     }
 
     #[test]

@@ -67,9 +67,17 @@ pub enum GateKind {
     Maj3,
     /// Three-input XOR (a full adder's sum): `y = a ^ b ^ c`.
     Xor3,
+    /// Four-input AND.
+    And4,
+    /// Four-input OR.
+    Or4,
 }
 
 impl GateKind {
+    /// The widest fan-in any cell kind of the library has. Scratch buffers
+    /// indexed by pin position can be sized with this constant.
+    pub const MAX_ARITY: usize = 4;
+
     /// Number of input pins of this cell kind.
     #[inline]
     pub fn arity(self) -> usize {
@@ -79,6 +87,7 @@ impl GateKind {
             Buf | Not => 1,
             And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 => 2,
             Mux2 | Maj3 | Xor3 => 3,
+            And4 | Or4 => 4,
         }
     }
 
@@ -107,11 +116,32 @@ impl GateKind {
             Mux2 => "mux2",
             Maj3 => "maj3",
             Xor3 => "xor3",
+            And4 => "and4",
+            Or4 => "or4",
         }
     }
 
+    /// The truth table of this kind as a bit-packed word: bit `i` holds the
+    /// output for the pin assignment where pin `p` carries bit `p` of `i`.
+    /// Only the low `1 << arity` bits are meaningful; kinds without a logic
+    /// function (primary inputs) evaluate to 0.
+    ///
+    /// This is the lookup-table form the levelized simulator evaluates
+    /// cells with: `out = (tt >> pin_index) & 1`, branch-free.
+    pub fn truth_table(self) -> u16 {
+        let mut tt = 0u16;
+        let gate = Gate { kind: self, ins: [Gate::NO_NET; Self::MAX_ARITY] };
+        for idx in 0..(1u16 << self.arity()) {
+            let pins = [idx & 1 != 0, idx & 2 != 0, idx & 4 != 0, idx & 8 != 0];
+            if gate.eval(&pins[..self.arity()]) {
+                tt |= 1 << idx;
+            }
+        }
+        tt
+    }
+
     /// All gate kinds, in declaration order.
-    pub const ALL: [GateKind; 14] = [
+    pub const ALL: [GateKind; 16] = [
         GateKind::Input,
         GateKind::Const0,
         GateKind::Const1,
@@ -126,6 +156,8 @@ impl GateKind {
         GateKind::Mux2,
         GateKind::Maj3,
         GateKind::Xor3,
+        GateKind::And4,
+        GateKind::Or4,
     ];
 }
 
@@ -142,7 +174,7 @@ impl fmt::Display for GateKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Gate {
     kind: GateKind,
-    ins: [NetId; 3],
+    ins: [NetId; GateKind::MAX_ARITY],
 }
 
 impl Gate {
@@ -150,7 +182,7 @@ impl Gate {
 
     pub(crate) fn new(kind: GateKind, ins: &[NetId]) -> Self {
         debug_assert_eq!(kind.arity(), ins.len(), "gate arity mismatch for {kind}");
-        let mut fixed = [Self::NO_NET; 3];
+        let mut fixed = [Self::NO_NET; GateKind::MAX_ARITY];
         fixed[..ins.len()].copy_from_slice(ins);
         Gate { kind, ins: fixed }
     }
@@ -196,6 +228,8 @@ impl Gate {
             }
             Maj3 => (pins[0] & pins[1]) | (pins[0] & pins[2]) | (pins[1] & pins[2]),
             Xor3 => pins[0] ^ pins[1] ^ pins[2],
+            And4 => pins[0] & pins[1] & pins[2] & pins[3],
+            Or4 => pins[0] | pins[1] | pins[2] | pins[3],
         }
     }
 }
@@ -207,11 +241,13 @@ mod tests {
     #[test]
     fn arity_matches_inputs() {
         for kind in GateKind::ALL {
-            assert!(kind.arity() <= 3, "{kind} arity too large");
+            assert!(kind.arity() <= GateKind::MAX_ARITY, "{kind} arity too large");
         }
         assert_eq!(GateKind::Mux2.arity(), 3);
+        assert_eq!(GateKind::And4.arity(), 4);
         assert_eq!(GateKind::Not.arity(), 1);
         assert_eq!(GateKind::Input.arity(), 0);
+        assert!(GateKind::ALL.iter().any(|k| k.arity() == GateKind::MAX_ARITY));
     }
 
     fn eval(kind: GateKind, pins: &[bool]) -> bool {
@@ -241,6 +277,27 @@ mod tests {
         }
         assert!(!eval(Const0, &[]));
         assert!(eval(Const1, &[]));
+        for bits in 0..16u16 {
+            let pins = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0];
+            assert_eq!(eval(And4, &pins), pins.iter().all(|&p| p));
+            assert_eq!(eval(Or4, &pins), pins.iter().any(|&p| p));
+        }
+    }
+
+    #[test]
+    fn truth_table_matches_eval() {
+        for kind in GateKind::ALL {
+            if kind == GateKind::Input {
+                assert_eq!(kind.truth_table(), 0);
+                continue;
+            }
+            let tt = kind.truth_table();
+            for idx in 0..(1u16 << kind.arity()) {
+                let pins = [idx & 1 != 0, idx & 2 != 0, idx & 4 != 0, idx & 8 != 0];
+                let expect = eval(kind, &pins[..kind.arity()]);
+                assert_eq!((tt >> idx) & 1 == 1, expect, "{kind} at {idx:04b}");
+            }
+        }
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod words;
 
 pub use builder::NetlistBuilder;
 pub use gate::{Gate, GateKind, NetId};
-pub use netlist::{FanoutCsr, Netlist, NetlistStats, PortGroup};
+pub use netlist::{FanoutCsr, Levelization, Netlist, NetlistStats, PortGroup};

@@ -146,7 +146,7 @@ impl Netlist {
         for (&net, &v) in self.inputs.iter().zip(inputs) {
             values[net.index()] = v;
         }
-        let mut pins = [false; 3];
+        let mut pins = [false; GateKind::MAX_ARITY];
         for (i, gate) in self.gates.iter().enumerate() {
             if gate.kind() == GateKind::Input {
                 continue;
@@ -205,17 +205,35 @@ impl Netlist {
 
     /// Logic depth: the maximum number of cells on any input-to-output path.
     pub fn depth(&self) -> usize {
-        let mut level = vec![0usize; self.gates.len()];
-        let mut max = 0;
+        self.levelize().depth()
+    }
+
+    /// The widest fan-in of any gate in this netlist (0 for a circuit of
+    /// nothing but inputs and ties). Simulators size per-pin scratch
+    /// buffers from this instead of hard-coding a library-wide maximum.
+    pub fn max_fan_in(&self) -> usize {
+        self.gates.iter().map(|g| g.kind().arity()).max().unwrap_or(0)
+    }
+
+    /// Topological levelization: assigns every net the length of the
+    /// longest cell chain feeding it (primary inputs and ties sit at level
+    /// 0, a cell sits one past its deepest input). Because gates are stored
+    /// topologically, this is a single forward pass; the levelized
+    /// simulator uses the result to schedule its arrival-time recovery so
+    /// that every fan-in is final before a gate is replayed.
+    pub fn levelize(&self) -> Levelization {
+        let mut levels = vec![0u32; self.gates.len()];
+        let mut max = 0u32;
         for (i, gate) in self.gates.iter().enumerate() {
             if !gate.kind().is_cell() {
                 continue;
             }
-            let l = 1 + gate.inputs().iter().map(|n| level[n.index()]).max().unwrap_or(0);
-            level[i] = l;
+            let l = 1 + gate.inputs().iter().map(|n| levels[n.index()]).max().unwrap_or(0);
+            levels[i] = l;
             max = max.max(l);
         }
-        max
+        let num_levels = if self.gates.is_empty() { 0 } else { max as usize + 1 };
+        Levelization { levels, num_levels }
     }
 
     /// Per-kind cell counts plus totals.
@@ -267,6 +285,39 @@ impl Netlist {
             return Err("input port groups do not cover all primary inputs".into());
         }
         Ok(())
+    }
+}
+
+/// Per-net topological levels of a [`Netlist`], as computed by
+/// [`Netlist::levelize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    levels: Vec<u32>,
+    num_levels: usize,
+}
+
+impl Levelization {
+    /// The level of `net`: 0 for primary inputs and ties, `1 + max(input
+    /// levels)` for cells. Every gate's level is strictly greater than all
+    /// of its fan-ins' levels.
+    #[inline]
+    pub fn level(&self, net: NetId) -> u32 {
+        self.levels[net.index()]
+    }
+
+    /// Per-net levels indexed by raw net index.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Number of distinct levels (`max level + 1`; 0 for an empty circuit).
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// The maximum level — the circuit's logic depth in cells.
+    pub fn depth(&self) -> usize {
+        self.num_levels.saturating_sub(1)
     }
 }
 
@@ -372,6 +423,48 @@ mod tests {
         b.output("y", x);
         let nl = b.finish();
         assert_eq!(nl.depth(), 5);
+    }
+
+    #[test]
+    fn levelize_orders_every_fan_in_below_its_gate() {
+        let mut b = NetlistBuilder::new("lvl");
+        let a = b.input("a");
+        let x = b.input("b");
+        let n1 = b.not(a); // level 1
+        let n2 = b.and(n1, x); // level 2
+        let n3 = b.or(n2, a); // level 3
+        b.output("y", n3);
+        let nl = b.finish();
+        let lv = nl.levelize();
+        assert_eq!(lv.level(a), 0);
+        assert_eq!(lv.level(n1), 1);
+        assert_eq!(lv.level(n2), 2);
+        assert_eq!(lv.level(n3), 3);
+        assert_eq!(lv.num_levels(), 4);
+        assert_eq!(lv.depth(), nl.depth());
+        for (i, gate) in nl.gates().iter().enumerate() {
+            for &n in gate.inputs() {
+                assert!(lv.levels()[n.index()] < lv.levels()[i], "fan-in level inversion");
+            }
+        }
+    }
+
+    #[test]
+    fn max_fan_in_tracks_the_widest_gate() {
+        let mut b = NetlistBuilder::new("fanin");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        assert_eq!(b.finish().max_fan_in(), 1);
+
+        let mut b = NetlistBuilder::new("fanin4");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let d = b.input("d");
+        let y = b.and4(a, x, c, d);
+        b.output("y", y);
+        assert_eq!(b.finish().max_fan_in(), 4);
     }
 
     #[test]

@@ -207,6 +207,16 @@ pub static SIM_EVENTS: Counter = Counter::new("sim.events_processed");
 pub static SIM_GATE_EVALS: Counter = Counter::new("sim.gate_evaluations");
 /// Primary-output toggles recorded into cycle results.
 pub static SIM_OUTPUT_TOGGLES: Counter = Counter::new("sim.output_toggles");
+/// 64-vector blocks processed by the levelized engine's bit-parallel pass.
+pub static SIM_LEV_BLOCKS: Counter = Counter::new("sim.levelized_blocks");
+/// Whole-word (64 cycles at once) gate evaluations in the levelized
+/// engine's value-propagation pass.
+pub static SIM_LEV_WORD_EVALS: Counter = Counter::new("sim.levelized_word_evals");
+/// Fan-in toggles consumed by the levelized engine's arrival-time
+/// replay — the merge work it actually did, excluding cycles the
+/// non-sensitized skip proved inert (comparable to
+/// `sim.gate_evaluations`).
+pub static SIM_LEV_REPLAY_EVALS: Counter = Counter::new("sim.levelized_replay_evals");
 /// Cycles whose dynamic timing was reconstructed from a VCD dump.
 pub static VCD_CYCLES_RECONSTRUCTED: Counter = Counter::new("vcd.cycles_reconstructed");
 /// Value-change records parsed from VCD text.
@@ -277,11 +287,14 @@ pub static SERVE_BATCH_JOBS: Histogram =
 pub static SERVE_QUEUE_DEPTH: Histogram =
     Histogram::new("serve.queue_depth", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
 
-static COUNTERS: [&Counter; 25] = [
+static COUNTERS: [&Counter; 28] = [
     &SIM_CYCLES,
     &SIM_EVENTS,
     &SIM_GATE_EVALS,
     &SIM_OUTPUT_TOGGLES,
+    &SIM_LEV_BLOCKS,
+    &SIM_LEV_WORD_EVALS,
+    &SIM_LEV_REPLAY_EVALS,
     &VCD_CYCLES_RECONSTRUCTED,
     &VCD_CHANGES_PARSED,
     &CORE_ROWS_FEATURIZED,

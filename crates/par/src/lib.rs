@@ -71,17 +71,33 @@ pub fn set_jobs(jobs: usize) {
     JOBS.store(jobs, Ordering::Relaxed);
 }
 
+/// Parses a `TEVOT_JOBS` value: a positive integer passes through, `0`
+/// clamps to one worker (a zero-worker pool could never make progress),
+/// and anything unparseable is ignored. Returns `(jobs, clamped)`.
+fn parse_env_jobs(raw: &str) -> Option<(usize, bool)> {
+    match raw.trim().parse::<usize>().ok()? {
+        0 => Some((1, true)),
+        n => Some((n, false)),
+    }
+}
+
 /// The worker count parallel regions use: an explicit [`set_jobs`] value
-/// if one was set, else a positive integer `TEVOT_JOBS`, else the
-/// hardware parallelism (1 when even that is unknown).
+/// if one was set, else `TEVOT_JOBS` (with `0` clamped to 1 — see
+/// [`parse_env_jobs`]), else the hardware parallelism (1 when even that
+/// is unknown).
 pub fn jobs() -> usize {
     let explicit = JOBS.load(Ordering::Relaxed);
     if explicit > 0 {
         return explicit;
     }
-    if let Some(n) =
-        std::env::var("TEVOT_JOBS").ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+    if let Some((n, clamped)) = std::env::var("TEVOT_JOBS").ok().as_deref().and_then(parse_env_jobs)
     {
+        if clamped {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                tevot_obs::warn!("TEVOT_JOBS=0 would be a zero-worker pool; clamping to 1 worker");
+            });
+        }
         return n;
     }
     std::thread::available_parallelism().map(usize::from).unwrap_or(1)
@@ -352,6 +368,17 @@ mod tests {
     #[test]
     fn jobs_is_at_least_one() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn env_jobs_zero_clamps_to_one_worker() {
+        assert_eq!(parse_env_jobs("0"), Some((1, true)), "0 must clamp, not disable the pool");
+        assert_eq!(parse_env_jobs(" 0 "), Some((1, true)));
+        assert_eq!(parse_env_jobs("1"), Some((1, false)));
+        assert_eq!(parse_env_jobs("8"), Some((8, false)));
+        assert_eq!(parse_env_jobs("many"), None);
+        assert_eq!(parse_env_jobs(""), None);
+        assert_eq!(parse_env_jobs("-2"), None);
     }
 
     #[test]

@@ -122,6 +122,26 @@ mod tests {
     }
 
     #[test]
+    fn clock_edge_boundary_pins_error_iff_delay_exceeds_period() {
+        // Paper semantics: a cycle errs iff its dynamic delay *exceeds*
+        // the clock period. The boundary period == delay captures the
+        // final toggle, so sample_at and is_erroneous_at must both treat
+        // it as clean — and SimTrace::characterization (crate `tevot`)
+        // derives its flags from is_erroneous_at, keeping all consumers
+        // on the same convention.
+        let c = sample_cycle();
+        let d = c.dynamic_delay_ps();
+        assert!(c.is_erroneous_at(d - 1));
+        assert!(!c.is_erroneous_at(d));
+        assert_eq!(c.sample_at(d), c.settled_outputs());
+        assert_ne!(c.sample_at(d - 1), c.settled_outputs());
+        // A quiet cycle (no toggles, delay 0) is clean even at period 0.
+        let quiet = CycleResult::new(vec![true], vec![], 0, 1);
+        assert!(!quiet.is_erroneous_at(0));
+        assert_eq!(quiet.sample_at(0), quiet.settled_outputs());
+    }
+
+    #[test]
     fn glitch_that_restores_value_is_not_an_error() {
         // Bit 0 pulses high at 100 and back low at 200: settled == initial.
         let c = CycleResult::new(vec![false], vec![(100, 0), (200, 0)], 200, 1);

@@ -39,8 +39,10 @@
 #![warn(missing_docs)]
 
 mod cycle;
+mod levelized;
 mod simulator;
 pub mod trace;
 
 pub use cycle::CycleResult;
+pub use levelized::{Engine, LevelizedSimulator};
 pub use simulator::{replay_transition, TimingSimulator};

@@ -73,6 +73,10 @@ pub struct TimingSimulator<'a> {
     pending_value: Vec<bool>,
     /// Output-net positions: `output_slot[net] == k+1` if net is output k.
     output_slot: Vec<u32>,
+    /// Pin-value scratch, sized from the netlist's max fan-in once at
+    /// construction so cells wider than the historical 3-pin library
+    /// (e.g. `and4`/`or4`) cannot index out of bounds in the hot loop.
+    pins: Vec<bool>,
     events_processed: u64,
 }
 
@@ -122,6 +126,7 @@ impl<'a> TimingSimulator<'a> {
             pending: vec![false; n],
             pending_value: vec![false; n],
             output_slot,
+            pins: vec![false; netlist.max_fan_in()],
             events_processed: 0,
         }
     }
@@ -172,7 +177,7 @@ impl<'a> TimingSimulator<'a> {
 
         let mut toggles: Vec<(u64, u32)> = Vec::new(); // (time, output slot)
         let mut dynamic_delay = 0u64;
-        let mut pins = [false; 3];
+        let mut pins = std::mem::take(&mut self.pins);
         let events_before = self.events_processed;
         let mut gate_evals = 0u64;
 
@@ -241,6 +246,8 @@ impl<'a> TimingSimulator<'a> {
                 }));
             }
         }
+
+        self.pins = pins;
 
         // One batched registry update per cycle keeps the hot loop free of
         // shared-cacheline traffic. The instant marks each cycle on the
@@ -383,6 +390,27 @@ mod tests {
             let sequential = sim.step(&cur).dynamic_delay_ps();
             assert_eq!(replay_transition(&nl, &ann, &prev, &cur), sequential);
             prev = cur;
+        }
+    }
+
+    #[test]
+    fn wide_gates_simulate_without_out_of_bounds() {
+        // Regression: the pin scratch buffer used to be a fixed `[bool; 3]`,
+        // so any cell with fan-in 4 (the MAC FU building blocks) indexed
+        // out of bounds. Size it from the netlist instead.
+        let mut b = NetlistBuilder::new("wide");
+        let ins: Vec<_> = (0..4).map(|i| b.input(format!("i{i}"))).collect();
+        let all = b.and4(ins[0], ins[1], ins[2], ins[3]);
+        let any = b.or4(ins[0], ins[1], ins[2], ins[3]);
+        b.output("all", all);
+        b.output("any", any);
+        let nl = b.finish();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::nominal());
+        let mut sim = TimingSimulator::new(&nl, &ann);
+        for bits in [0b1111u16, 0b0001, 0b0000, 0b1110, 0b1111] {
+            let pins: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let cycle = sim.step(&pins);
+            assert_eq!(cycle.settled_outputs(), &[bits == 15, bits != 0], "bits {bits:04b}");
         }
     }
 

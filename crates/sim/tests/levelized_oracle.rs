@@ -1,0 +1,165 @@
+//! Differential fuzzing of the levelized engine against the event-driven
+//! oracle.
+//!
+//! The levelized engine's contract is **bit identity**, not statistical
+//! agreement: for any netlist, delay annotation (including zero-delay
+//! cells), initial state, and vector stream, both engines must produce the
+//! same [`CycleResult`]s — same dynamic delays, same output-toggle lists
+//! in the same order, same settled words, and hence the same error class
+//! at every clock period. These tests pin that contract on random
+//! netlists and on all four functional units across the paper's (V, T)
+//! grid, at one and at four `tevot-par` workers.
+
+use proptest::prelude::*;
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_netlist::{Netlist, NetlistBuilder};
+use tevot_sim::{CycleResult, LevelizedSimulator, TimingSimulator};
+use tevot_timing::{ConditionGrid, DelayAnnotation, DelayModel, OperatingCondition};
+
+fn event_cycles(nl: &Netlist, ann: &DelayAnnotation, vectors: &[Vec<bool>]) -> Vec<CycleResult> {
+    let mut sim = TimingSimulator::new(nl, ann);
+    vectors.iter().map(|v| sim.step(v)).collect()
+}
+
+/// One randomly chosen gate: a kind selector plus raw input picks that are
+/// reduced modulo the number of nets existing when the gate is placed, so
+/// every generated netlist is automatically topologically valid.
+type GateSpec = (u8, (u16, u16, u16, u16));
+
+fn build_random_netlist(num_inputs: usize, gates: &[GateSpec], out_picks: &[u16]) -> Netlist {
+    let mut b = NetlistBuilder::new("fuzz");
+    let mut nets: Vec<tevot_netlist::NetId> =
+        (0..num_inputs).map(|i| b.input(format!("i{i}"))).collect();
+    for &(kind, picks) in gates {
+        let p = |raw: u16| nets[raw as usize % nets.len()];
+        let (a, c, d, e) = (p(picks.0), p(picks.1), p(picks.2), p(picks.3));
+        let net = match kind % 13 {
+            0 => b.buf(a),
+            1 => b.not(a),
+            2 => b.and(a, c),
+            3 => b.or(a, c),
+            4 => b.nand(a, c),
+            5 => b.nor(a, c),
+            6 => b.xor(a, c),
+            7 => b.xnor(a, c),
+            8 => b.mux(a, c, d),
+            9 => b.maj(a, c, d),
+            10 => b.xor3(a, c, d),
+            11 => b.and4(a, c, d, e),
+            _ => b.or4(a, c, d, e),
+        };
+        nets.push(net);
+    }
+    // Outputs may tap any net, primary inputs included — but each net at
+    // most once: the simulators map a toggling net to a single output
+    // slot, so two slots sharing one net would shadow each other.
+    let mut taken = Vec::new();
+    for &pick in out_picks {
+        let net = nets[pick as usize % nets.len()];
+        if !taken.contains(&net) {
+            taken.push(net);
+        }
+    }
+    for (k, &net) in taken.iter().enumerate() {
+        b.output(format!("o{k}"), net);
+    }
+    b.finish()
+}
+
+/// Per-net delays cycled from a small pool that deliberately includes 0:
+/// zero-delay cells make the event engine cascade several commit waves
+/// within one timestep, the hardest case for exact replay.
+fn annotate(nl: &Netlist, pool: &[u32]) -> DelayAnnotation {
+    let delays = (0..nl.num_nets()).map(|i| pool[i % pool.len()]).collect();
+    DelayAnnotation::new(nl.name(), OperatingCondition::nominal(), delays)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random netlists x random delay pools (with zeros) x random vector
+    /// streams: the two engines agree cycle for cycle, bit for bit.
+    #[test]
+    fn random_netlists_agree_bit_for_bit(
+        num_inputs in 2usize..=6,
+        gates in prop::collection::vec(
+            (any::<u8>(), (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>())),
+            5..50,
+        ),
+        out_picks in prop::collection::vec(any::<u16>(), 1..5),
+        delay_pool in prop::collection::vec(0u32..=40, 1..8),
+        stream in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let nl = build_random_netlist(num_inputs, &gates, &out_picks);
+        let ann = annotate(&nl, &delay_pool);
+        let vectors: Vec<Vec<bool>> = stream
+            .iter()
+            .map(|&bits| (0..num_inputs).map(|p| bits >> p & 1 == 1).collect())
+            .collect();
+        let expect = event_cycles(&nl, &ann, &vectors);
+        let got = LevelizedSimulator::new(&nl, &ann).run(&vectors);
+        prop_assert_eq!(&got, &expect);
+        // Settled outputs also equal the zero-delay functional evaluation.
+        let functional = nl.evaluate(&vectors[vectors.len() - 1]);
+        prop_assert_eq!(got.last().unwrap().settled_outputs(), &functional[..]);
+    }
+
+    /// Functional units under realistic annotations: random operand
+    /// transitions at a random (V, T) point.
+    #[test]
+    fn fu_transitions_agree(
+        fu in prop_oneof![
+            Just(FunctionalUnit::IntAdd),
+            Just(FunctionalUnit::IntMul),
+            Just(FunctionalUnit::FpAdd),
+            Just(FunctionalUnit::FpMul),
+        ],
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..5),
+        v in 0.81f64..=1.0,
+        t in 0.0f64..=100.0,
+    ) {
+        let nl = fu.build();
+        let ann = DelayModel::tsmc45_like().annotate(&nl, OperatingCondition::new(v, t));
+        let vectors: Vec<Vec<bool>> =
+            pairs.iter().map(|&(a, b)| fu.encode_operands(a, b)).collect();
+        let expect = event_cycles(&nl, &ann, &vectors);
+        let got = LevelizedSimulator::new(&nl, &ann).run(&vectors);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// All four functional units across the full Fig. 3 (V, T) grid, swept in
+/// parallel at one and at four workers: the levelized engine matches the
+/// event-driven oracle on every condition, and the parallel fan-out does
+/// not perturb the per-condition results.
+#[test]
+fn all_fus_full_grid_oracle_at_one_and_four_workers() {
+    let conditions: Vec<OperatingCondition> = ConditionGrid::fig3().iter().collect();
+    for fu in [
+        FunctionalUnit::IntAdd,
+        FunctionalUnit::IntMul,
+        FunctionalUnit::FpAdd,
+        FunctionalUnit::FpMul,
+    ] {
+        let nl = fu.build();
+        let vectors: Vec<Vec<bool>> = (0..20u32)
+            .map(|i| {
+                let a = i.wrapping_mul(0x9E37_79B9) ^ 0x0F0F_1234;
+                let b = i.wrapping_mul(0x85EB_CA6B).rotate_left(7);
+                fu.encode_operands(a, b)
+            })
+            .collect();
+        let sweep = |jobs: usize| {
+            tevot_par::with_jobs(jobs, || {
+                tevot_par::map(&conditions, |&cond| {
+                    let ann = DelayModel::tsmc45_like().annotate(&nl, cond);
+                    let expect = event_cycles(&nl, &ann, &vectors);
+                    let got = LevelizedSimulator::new(&nl, &ann).run(&vectors);
+                    assert_eq!(got, expect, "{fu} at {cond}: engines disagree");
+                    got
+                })
+            })
+        };
+        assert_eq!(sweep(1), sweep(4), "{fu}: sweep results depend on the worker count");
+    }
+}

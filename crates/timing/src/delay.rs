@@ -184,6 +184,8 @@ impl DelayModel {
             Xnor2 => 24.0,
             Maj3 => 26.0,
             Xor3 => 32.0,
+            And4 => 20.0,
+            Or4 => 20.0,
         }
     }
 
