@@ -212,7 +212,7 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
     // single-worker run. The two sweeps must agree bit for bit — that is
     // tevot-par's ordered-reduction contract — so this doubles as an
     // end-to-end determinism check on every benchmark run.
-    {
+    let sweep_reference = {
         let _span = tevot_obs::span!("bench.par_sweep");
         let fu = scale.fus[0];
         let characterizer = Characterizer::new(fu);
@@ -236,6 +236,34 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         assert_eq!(serial, parallel, "parallel sweep must be bit-identical to --jobs 1");
         report.push("par.sweep_conds_per_s", n as f64 / parallel_s, "conds/s", true);
         report.push("par.sweep_speedup", serial_s / parallel_s, "x", true);
+        (grid, parallel)
+    };
+
+    // Fleet sweep over the same grid, sharded across thread-mode workers
+    // through the full lease protocol + checkpoint journal. The result
+    // must match the in-process sweep bit for bit; the tracked metric is
+    // the end-to-end coordination overhead (lease HTTP round-trips,
+    // shard fsyncs, final assembly) on top of the raw simulation.
+    {
+        let _span = tevot_obs::span!("bench.fleet_sweep");
+        let (grid, reference) = &sweep_reference;
+        let dir = std::env::temp_dir().join(format!("tevot_bench_fleet_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec = tevot_fleet::FleetSweepSpec::new(
+            scale.fus[0],
+            scale.sweep_vectors,
+            scale.seed + 13,
+            &dir,
+        );
+        spec.conditions = grid.clone();
+        spec.workers = 2;
+        let token = tevot_resil::CancelToken::new();
+        let t0 = Instant::now();
+        let fleet = tevot_fleet::run_sweep(&spec, &token).expect("fleet sweep");
+        let fleet_s = t0.elapsed().as_secs_f64();
+        assert_eq!(&fleet, reference, "fleet sweep must be bit-identical to the in-process sweep");
+        report.push("fleet.sweep_conds_per_s", grid.len() as f64 / fleet_s, "conds/s", true);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     // Checkpoint resilience: shard write throughput (tmp + fsync +

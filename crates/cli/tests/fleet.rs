@@ -1,0 +1,243 @@
+//! End-to-end fleet tests against the real `tevot` binary: sharded
+//! sweeps with chaos-killed workers, resume over damaged journals, and
+//! replicated serving surviving a SIGKILL.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TEVOT: &str = env!("CARGO_BIN_EXE_tevot");
+
+fn scratch(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("tevot_fleet_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// Common training flags: int-add over a 3x2 (V, T) grid. Six work
+/// units matter: the kill failpoint fires on a worker's *second* unit,
+/// so the grid must outnumber the largest fleet (4 workers) for every
+/// run to contain real deaths.
+fn train_args(out: &str, seed: &str) -> Vec<String> {
+    [
+        "train",
+        "--fu",
+        "int-add",
+        "--out",
+        out,
+        "--voltages",
+        "0.85,0.90,0.95",
+        "--temps",
+        "0,50",
+        "--vectors",
+        "60",
+        "--trees",
+        "3",
+        "--seed",
+        seed,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn run_ok(args: &[String], envs: &[(&str, &str)]) {
+    let output = Command::new(TEVOT)
+        .args(args)
+        .envs(envs.iter().map(|&(k, v)| (k, v)))
+        .output()
+        .expect("spawn tevot");
+    assert!(
+        output.status.success(),
+        "tevot {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// A child killed on drop, so a failing assertion never leaks a server.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn fleet_train_with_killed_workers_is_bit_identical() {
+    let dir = scratch("chaos");
+    let serial = dir.join("serial.tevot");
+    run_ok(&train_args(serial.to_str().unwrap(), "7"), &[]);
+    let serial_bytes = std::fs::read(&serial).unwrap();
+
+    for workers in ["2", "4"] {
+        let out = dir.join(format!("fleet{workers}.tevot"));
+        let metrics = dir.join(format!("fleet{workers}.metrics.json"));
+        let mut args = train_args(out.to_str().unwrap(), "7");
+        args.extend(
+            ["--workers", workers, "--metrics", metrics.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        // Every first-generation worker aborts at its second work unit;
+        // replacements are spawned with the failpoint scrubbed, so the
+        // run converges after real kill -9-grade deaths.
+        run_ok(&args, &[("TEVOT_FAIL", "fleet.task=kill#1"), ("TEVOT_FAIL_SEED", "1")]);
+
+        let fleet_bytes = std::fs::read(&out).unwrap();
+        assert_eq!(
+            serial_bytes, fleet_bytes,
+            "--workers {workers} model must be bit-identical to the single-process model"
+        );
+
+        // The recovery path must actually have run: the coordinator
+        // counts every unit it took back from a corpse.
+        let report = std::fs::read_to_string(&metrics).unwrap();
+        let reassigned = report
+            .split("\"name\":\"fleet.reassigned\",\"value\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&['}', ','][..]).next())
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no fleet.reassigned counter in {report}"));
+        assert!(reassigned > 0, "workers were killed, so units must have been reassigned");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_resume_redoes_truncated_shard_and_refuses_foreign_journal() {
+    let dir = scratch("resume");
+    let journal = dir.join("journal");
+    let out = dir.join("a.tevot");
+    let mut args = train_args(out.to_str().unwrap(), "11");
+    args.extend(["--workers", "2", "--resume", journal.to_str().unwrap()].map(String::from));
+    run_ok(&args, &[]);
+    let first = std::fs::read(&out).unwrap();
+
+    // Damage the journal as a mid-write crash would: one shard loses its
+    // tail. The resumed run must detect it, recompute that unit, and
+    // still produce the identical model.
+    let victim = journal.join("cond-1.ckpt");
+    let bytes = std::fs::read(&victim).expect("journal must contain cond-1.ckpt");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    run_ok(&args, &[]);
+    assert_eq!(first, std::fs::read(&out).unwrap(), "resume over damage must be bit-identical");
+
+    // A different run configuration pointed at the same journal is a
+    // corrupt-data refusal (exit 4), not silent cross-contamination.
+    let mut foreign = train_args(dir.join("b.tevot").to_str().unwrap(), "999");
+    foreign.extend(["--workers", "2", "--resume", journal.to_str().unwrap()].map(String::from));
+    let status =
+        Command::new(TEVOT).args(&foreign).stderr(Stdio::null()).status().expect("spawn tevot");
+    assert_eq!(
+        status.code(),
+        Some(4),
+        "foreign journal must be refused with the corrupt exit code"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn http_get(addr: &str, path: &str) -> Option<(u16, String)> {
+    tevot_serve::http::get(addr, path).ok()
+}
+
+#[test]
+fn replicated_serve_survives_a_sigkilled_replica() {
+    let dir = scratch("serve");
+    let model = dir.join("model.tevot");
+    run_ok(
+        &[
+            "train",
+            "--fu",
+            "int-add",
+            "--out",
+            model.to_str().unwrap(),
+            "--voltages",
+            "0.9",
+            "--temps",
+            "25",
+            "--vectors",
+            "60",
+            "--trees",
+            "2",
+            "--seed",
+            "3",
+        ]
+        .map(String::from),
+        &[],
+    );
+
+    let port_file = dir.join("router.addr");
+    let child = Command::new(TEVOT)
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--replicas",
+            "2",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn replicated serve");
+    let _reaper = Reaper(child);
+
+    // The router publishes its address only after both replicas passed
+    // their first health probe.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&port_file) {
+            let addr = addr.trim().to_string();
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "router never published its port");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let predict = r#"{"voltage":0.9,"temperature":25,"clock_ps":1200,"a":3,"b":4}"#;
+    let (status, body) =
+        tevot_serve::http::post(&addr, "/predict", predict).expect("first predict");
+    assert_eq!(status, 200, "{body}");
+
+    // SIGKILL one replica — the strongest failure the router must
+    // absorb. Requests keep succeeding via ring failover while the
+    // health loop respawns the corpse.
+    let (_, status_body) = http_get(&addr, "/fleet/status").expect("fleet status");
+    let pid = status_body
+        .split("\"pid\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .expect("replica pid in /fleet/status");
+    assert!(Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("spawn kill")
+        .success());
+
+    for i in 0..10 {
+        let (status, body) =
+            tevot_serve::http::post(&addr, "/predict", predict).expect("predict under failure");
+        assert_eq!(status, 200, "request {i} after the kill must fail over cleanly: {body}");
+    }
+
+    // Ejection is observable, and the replacement is re-admitted.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some((200, body)) = http_get(&addr, "/router/healthz") {
+            if body.contains("\"healthy\":2") {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "killed replica was never respawned + re-admitted");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,222 @@
+//! The coordinator's work-unit ledger: leases with heartbeat expiry.
+//!
+//! Every sweep condition is one unit. A unit is `Pending` until a worker
+//! leases it, `Leased` while that worker holds it, and `Done` once a
+//! checkpoint shard for it has been committed. A lease is kept alive by
+//! the worker's heartbeats; when the deadline lapses — the worker
+//! crashed, hung, or was killed — [`LeaseTable::expire`] returns the
+//! unit to `Pending` and the next lease request hands it to a live
+//! worker. Completion is idempotent: a worker that commits its shard
+//! just before dying loses nothing, and a unit completed twice (the
+//! original lessee raced its replacement) is still just `Done` — the
+//! shards are byte-identical by construction.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// State of one work unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Unit {
+    Pending,
+    Leased { worker: String, deadline: Instant },
+    Done,
+}
+
+/// The coordinator's answer to a lease request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grant {
+    /// Work on this unit index.
+    Unit(usize),
+    /// Nothing free right now, but outstanding leases may still expire —
+    /// ask again after a short wait.
+    Wait,
+    /// Every unit is done; the worker should exit.
+    Done,
+}
+
+/// Lease-tracked unit states for a fixed-size batch of work.
+#[derive(Debug)]
+pub struct LeaseTable {
+    units: Vec<Unit>,
+    lease: Duration,
+    last_seen: HashMap<String, Instant>,
+}
+
+impl LeaseTable {
+    /// A table of `total` pending units with the given lease duration
+    /// (the heartbeat grace period before a silent worker's units are
+    /// reassigned).
+    pub fn new(total: usize, lease: Duration) -> LeaseTable {
+        LeaseTable { units: vec![Unit::Pending; total], lease, last_seen: HashMap::new() }
+    }
+
+    /// The lease duration units are granted for.
+    pub fn lease_duration(&self) -> Duration {
+        self.lease
+    }
+
+    /// Marks `unit` done without a lease — used when a resume pre-scan
+    /// finds a valid shard already on disk.
+    pub fn mark_done(&mut self, unit: usize) {
+        self.units[unit] = Unit::Done;
+    }
+
+    /// Leases the lowest pending unit to `worker` (also counts as a
+    /// heartbeat).
+    pub fn grant(&mut self, worker: &str) -> Grant {
+        let now = Instant::now();
+        self.last_seen.insert(worker.to_string(), now);
+        if self.done() {
+            return Grant::Done;
+        }
+        for (i, unit) in self.units.iter_mut().enumerate() {
+            if *unit == Unit::Pending {
+                *unit = Unit::Leased { worker: worker.to_string(), deadline: now + self.lease };
+                tevot_obs::metrics::FLEET_LEASES_GRANTED.incr();
+                return Grant::Unit(i);
+            }
+        }
+        Grant::Wait
+    }
+
+    /// Marks `unit` done. Idempotent, and valid from any worker: by the
+    /// time a completion arrives the shard is already committed, so a
+    /// late completion from an expired lease is still real work.
+    pub fn complete(&mut self, worker: &str, unit: usize) {
+        self.last_seen.insert(worker.to_string(), Instant::now());
+        if unit < self.units.len() && self.units[unit] != Unit::Done {
+            self.units[unit] = Unit::Done;
+            tevot_obs::metrics::FLEET_UNITS_COMPLETED.incr();
+        }
+    }
+
+    /// Records a heartbeat from `worker` and extends its lease
+    /// deadlines.
+    pub fn heartbeat(&mut self, worker: &str) {
+        let now = Instant::now();
+        self.last_seen.insert(worker.to_string(), now);
+        for unit in &mut self.units {
+            if let Unit::Leased { worker: w, deadline } = unit {
+                if w == worker {
+                    *deadline = now + self.lease;
+                }
+            }
+        }
+    }
+
+    /// Returns every unit whose lease deadline has lapsed to `Pending`
+    /// and reports how many were reassigned.
+    pub fn expire(&mut self) -> usize {
+        let now = Instant::now();
+        let mut expired = 0;
+        for unit in &mut self.units {
+            if let Unit::Leased { worker, deadline } = unit {
+                if *deadline < now {
+                    tevot_obs::warn!(
+                        "fleet: lease on a unit held by {worker} expired; reassigning"
+                    );
+                    *unit = Unit::Pending;
+                    expired += 1;
+                }
+            }
+        }
+        expired
+    }
+
+    /// Returns every unit leased by `worker` to `Pending` — called the
+    /// moment the coordinator observes the worker's death, without
+    /// waiting for the lease to lapse.
+    pub fn release_worker(&mut self, worker: &str) -> usize {
+        let mut released = 0;
+        for unit in &mut self.units {
+            if matches!(unit, Unit::Leased { worker: w, .. } if w == worker) {
+                *unit = Unit::Pending;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Whether every unit is done.
+    pub fn done(&self) -> bool {
+        self.units.iter().all(|u| *u == Unit::Done)
+    }
+
+    /// `(pending, leased, done)` unit counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for unit in &self.units {
+            match unit {
+                Unit::Pending => counts.0 += 1,
+                Unit::Leased { .. } => counts.1 += 1,
+                Unit::Done => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_lowest_pending_and_completes() {
+        let mut table = LeaseTable::new(3, Duration::from_secs(60));
+        assert_eq!(table.grant("a"), Grant::Unit(0));
+        assert_eq!(table.grant("b"), Grant::Unit(1));
+        table.complete("a", 0);
+        assert_eq!(table.grant("a"), Grant::Unit(2));
+        assert_eq!(table.grant("b"), Grant::Wait, "everything is leased or done");
+        table.complete("a", 2);
+        table.complete("b", 1);
+        assert!(table.done());
+        assert_eq!(table.grant("a"), Grant::Done);
+    }
+
+    #[test]
+    fn completion_is_idempotent_and_cross_worker() {
+        let mut table = LeaseTable::new(1, Duration::from_secs(60));
+        assert_eq!(table.grant("a"), Grant::Unit(0));
+        table.complete("b", 0); // replacement finished it first
+        table.complete("a", 0); // original's late completion is harmless
+        assert!(table.done());
+    }
+
+    #[test]
+    fn expired_leases_are_reassigned() {
+        let mut table = LeaseTable::new(2, Duration::from_millis(1));
+        assert_eq!(table.grant("doomed"), Grant::Unit(0));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(table.expire(), 1);
+        assert_eq!(table.grant("survivor"), Grant::Unit(0), "unit 0 is pending again");
+    }
+
+    #[test]
+    fn heartbeat_extends_the_deadline() {
+        let mut table = LeaseTable::new(1, Duration::from_millis(40));
+        assert_eq!(table.grant("w"), Grant::Unit(0));
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(15));
+            table.heartbeat("w");
+        }
+        assert_eq!(table.expire(), 0, "a heartbeating worker keeps its lease");
+    }
+
+    #[test]
+    fn release_worker_frees_all_its_leases() {
+        let mut table = LeaseTable::new(3, Duration::from_secs(60));
+        assert_eq!(table.grant("w"), Grant::Unit(0));
+        assert_eq!(table.grant("w"), Grant::Unit(1));
+        assert_eq!(table.release_worker("w"), 2);
+        assert_eq!(table.counts(), (3, 0, 0));
+    }
+
+    #[test]
+    fn resume_prescan_marks_done() {
+        let mut table = LeaseTable::new(2, Duration::from_secs(60));
+        table.mark_done(1);
+        assert_eq!(table.counts(), (1, 0, 1));
+        assert_eq!(table.grant("w"), Grant::Unit(0));
+    }
+}

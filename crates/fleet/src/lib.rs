@@ -1,0 +1,45 @@
+//! tevot-fleet — fault-tolerant multi-process fleets for TEVoT.
+//!
+//! Two production shapes, both built on the workspace's own substrate
+//! (the `tevot-serve` HTTP subset, `tevot-resil` checkpoint shards,
+//! `tevot-obs` counters) with zero external dependencies:
+//!
+//! * **Sharded sweeps** ([`sweep`], [`worker`], [`lease`]) — a
+//!   coordinator process shards a (V, T) condition grid across N worker
+//!   processes. Work units travel over a tiny loopback HTTP protocol
+//!   (`/fleet/lease`, `/fleet/complete`, `/fleet/heartbeat`) and every
+//!   completed unit is journaled as an atomic `tevot-resil` checkpoint
+//!   shard. A worker that crashes, hangs, or is `kill -9`ed simply stops
+//!   heartbeating: its leases expire and the units are reassigned. The
+//!   final assembly step *is* the single-process checkpointed sweep, so
+//!   the fleet's output is **bit-identical** to a serial run at any
+//!   worker count — even if every worker dies, the coordinator finishes
+//!   the remainder itself.
+//! * **Replicated serving** ([`router`], [`ring`]) — `tevot serve
+//!   --replicas N` puts N replica processes behind a consistent-hash
+//!   router keyed on (model, condition bucket). Health checks eject a
+//!   dead replica, respawn it, and re-admit it once `/healthz` answers
+//!   again; a request whose replica dies mid-exchange fails over along
+//!   the hash ring with bounded retry. Rolling deploys drain one replica
+//!   at a time, so a hot model swap never takes the service down.
+//!
+//! Chaos is first-class: the `TEVOT_FAIL` failpoint `fleet.task=kill`
+//! aborts a worker at a work-unit boundary, which is how CI proves the
+//! recovery paths instead of hoping for them (see the `fleet-chaos`
+//! job). Fleet activity is observable through the `fleet.*` counters and
+//! per-worker `fleet.worker` spans.
+
+pub mod lease;
+pub mod ring;
+pub mod router;
+pub mod service;
+pub mod sweep;
+pub mod worker;
+
+pub use lease::{Grant, LeaseTable};
+pub use ring::Ring;
+pub use router::{
+    InProcessLauncher, ProcessReplicaLauncher, ReplicaHandle, ReplicaLauncher, Router, RouterConfig,
+};
+pub use service::MiniServer;
+pub use sweep::{run_sweep, FleetSweepSpec, WorkerMode};

@@ -1,0 +1,136 @@
+//! Consistent hashing for the replica router.
+//!
+//! Each node contributes a fixed number of virtual nodes, placed on a
+//! 64-bit ring by FNV-1a hashing of `"{node}:{vnode}"`. A request key
+//! hashes to a point on the ring and walks clockwise; the first distinct
+//! nodes encountered are the failover order. Because node positions
+//! depend only on the node index, the mapping is stable across router
+//! restarts, and ejecting a node moves only the keys that hashed to it —
+//! the property that keeps per-replica caches warm through failures.
+
+use tevot_resil::codec::fnv1a64;
+
+/// Virtual nodes per physical node: enough to spread keys within a few
+/// percent of uniform at single-digit node counts.
+const VNODES_PER_NODE: usize = 64;
+
+/// FNV-1a alone clusters badly on the short, similar strings ring
+/// points are named by; a splitmix64-style finalizer gives the avalanche
+/// the ring needs for an even spread.
+fn ring_hash(key: &[u8]) -> u64 {
+    let mut h = fnv1a64(key);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring over `nodes` physical nodes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(position, node)` sorted by position.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl Ring {
+    /// A ring over node indices `0..nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero — an empty ring has no owner for any
+    /// key.
+    pub fn new(nodes: usize) -> Ring {
+        assert!(nodes > 0, "a ring needs at least one node");
+        let mut points = Vec::with_capacity(nodes * VNODES_PER_NODE);
+        for node in 0..nodes {
+            for vnode in 0..VNODES_PER_NODE {
+                points.push((ring_hash(format!("{node}:{vnode}").as_bytes()), node));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, nodes }
+    }
+
+    /// The number of physical nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Every node, ordered by ring distance from `key`: element 0 is the
+    /// key's owner, the rest are its failover sequence.
+    pub fn candidates(&self, key: &str) -> Vec<usize> {
+        let hash = ring_hash(key.as_bytes());
+        let start = self.points.partition_point(|&(pos, _)| pos < hash);
+        let mut order = Vec::with_capacity(self.nodes);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&node) {
+                order.push(node);
+                if order.len() == self.nodes {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The owner of `key` (the first candidate).
+    pub fn owner(&self, key: &str) -> usize {
+        self.candidates(key)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_cover_all_nodes_exactly_once() {
+        let ring = Ring::new(4);
+        for key in ["int-add|0.90|25", "int-mul|0.81|100", "x", ""] {
+            let mut candidates = ring.candidates(key);
+            assert_eq!(candidates.len(), 4);
+            candidates.sort_unstable();
+            assert_eq!(candidates, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let a = Ring::new(3);
+        let b = Ring::new(3);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            assert_eq!(a.candidates(&key), b.candidates(&key));
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_nodes() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[ring.owner(&format!("fu|{}|{}", i % 7, i))] += 1;
+        }
+        for (node, &count) in counts.iter().enumerate() {
+            assert!(count > 100, "node {node} owns only {count}/1000 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_keys() {
+        // Consistent hashing's defining property: keys owned by a
+        // surviving node keep their owner when another node leaves.
+        let four = Ring::new(4);
+        let three = Ring::new(3);
+        for i in 0..500 {
+            let key = format!("key-{i}");
+            let owner = four.owner(&key);
+            if owner < 3 {
+                assert_eq!(three.owner(&key), owner, "{key} moved needlessly");
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! A small embeddable HTTP server over the `tevot-serve` protocol
+//! subset.
+//!
+//! Both fleet control planes — the sweep coordinator's lease endpoints
+//! and the serving router — are plain request/response services with a
+//! handler function, no batching and no model registry, so they share
+//! this accept loop instead of dragging in the full `tevot-serve`
+//! server. Connections are keep-alive with the same idle-timeout /
+//! cancel-poll discipline as tevot-serve, and request parsing inherits
+//! every cap from [`tevot_serve::http`] (431/413 on abusive peers).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tevot_serve::http::{read_request, write_response, ReadError, Request, Response};
+
+/// How often blocked reads and the accept loop wake to poll for
+/// shutdown.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The handler invoked for every parsed request.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A minimal threaded HTTP server around a single handler function.
+pub struct MiniServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl MiniServer {
+    /// Binds `addr` (`host:0` picks a free port) and starts serving
+    /// `handler` on a thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, max_body: usize, handler: Handler) -> std::io::Result<MiniServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let stop = Arc::clone(&stop);
+                            let handler = Arc::clone(&handler);
+                            std::thread::spawn(move || {
+                                connection_loop(stream, max_body, &handler, &stop);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(_) => std::thread::sleep(POLL),
+                    }
+                }
+            })
+        };
+        Ok(MiniServer { addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and unblocks the accept thread. Connections
+    /// currently parked in an idle read notice within one poll period.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until [`Self::shutdown`] is called from another thread (or
+    /// the accept thread dies).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MiniServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn connection_loop(stream: TcpStream, max_body: usize, handler: &Handler, stop: &AtomicBool) {
+    stream.set_nodelay(true).ok();
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, max_body) {
+            Ok(req) => {
+                let response = handler(&req);
+                let close = req.wants_close() || stop.load(Ordering::Relaxed);
+                if write_response(&mut writer, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(ReadError::Eof) => return,
+            Err(ReadError::IdleTimeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(ReadError::Malformed(m)) => {
+                let body = format!("{{\"error\":{}}}", tevot_obs::json::Json::from(m.as_str()));
+                let _ = write_response(&mut writer, &Response::json(400, body), true);
+                return;
+            }
+            Err(ReadError::BodyTooLarge(n)) => {
+                let body = format!("{{\"error\":\"request body of {n} bytes too large\"}}");
+                let _ = write_response(&mut writer, &Response::json(413, body), true);
+                return;
+            }
+            Err(e @ (ReadError::HeadTooLarge(_) | ReadError::TooManyHeaders(_))) => {
+                let body = format!(
+                    "{{\"error\":{}}}",
+                    tevot_obs::json::Json::from(e.to_string().as_str())
+                );
+                let _ = write_response(&mut writer, &Response::json(431, body), true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            Response::json(
+                200,
+                format!("{{\"path\":{}}}", tevot_obs::json::Json::from(req.path.as_str())),
+            )
+        });
+        let mut server = MiniServer::start("127.0.0.1:0", 1 << 16, handler).unwrap();
+        let addr = server.local_addr().to_string();
+        let (status, body) = tevot_serve::http::get(&addr, "/ping").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("/ping"), "{body}");
+        let (status, body) = tevot_serve::http::post(&addr, "/echo", "{\"x\":1}").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("/echo"), "{body}");
+        server.shutdown();
+        assert!(
+            tevot_serve::http::get(&addr, "/ping").is_err(),
+            "a stopped server should refuse new connections"
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The sweep worker: lease a condition, simulate it, commit the shard.
+//!
+//! A worker is stateless on purpose. Its entire configuration arrives
+//! from `GET /fleet/config` — functional unit, workload recipe, grid,
+//! speedups, checkpoint directory, and the run fingerprint — and its
+//! only output is atomic checkpoint shards plus `POST /fleet/complete`
+//! acknowledgements. That makes a dead worker's half-finished unit
+//! trivially safe: either the shard rename happened (the unit is done,
+//! a replacement's recompute writes the identical bytes) or it did not
+//! (the lease expires and someone else computes it from scratch).
+//!
+//! Two defenses keep a confused worker from corrupting a run:
+//!
+//! * it recomputes the sweep fingerprint from the received config and
+//!   refuses to proceed if it disagrees with the coordinator's;
+//! * it binds the checkpoint manifest itself, so even a worker pointed
+//!   at the wrong directory cannot mix shards from different runs.
+//!
+//! The `fleet.task` failpoint fires at each work-unit boundary; with
+//! `TEVOT_FAIL=fleet.task=kill#N` the worker aborts mid-sweep, which is
+//! how the chaos tests produce real worker corpses on demand.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tevot::dta::Characterizer;
+use tevot::workload::random_workload;
+use tevot_netlist::fu::FunctionalUnit;
+use tevot_obs::json::Json;
+use tevot_resil::checkpoint::CheckpointDir;
+use tevot_resil::{ErrorKind, TevotError};
+use tevot_serve::http;
+use tevot_timing::{ClockSpeedup, OperatingCondition};
+
+/// Attempts to reach the coordinator before giving up (the coordinator
+/// binds its socket before spawning workers, so this only rides out
+/// scheduler lag).
+const CONNECT_ATTEMPTS: usize = 20;
+
+/// Delay between coordinator connection attempts.
+const CONNECT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Retries for individual protocol posts after the config is in hand.
+const POST_ATTEMPTS: usize = 3;
+
+/// The worker-side view of `/fleet/config`.
+#[derive(Debug)]
+struct WorkerConfig {
+    fu: FunctionalUnit,
+    vectors: usize,
+    seed: u64,
+    engine: tevot_sim::Engine,
+    conditions: Vec<OperatingCondition>,
+    speedups: Vec<ClockSpeedup>,
+    ckpt_dir: PathBuf,
+    fingerprint: u64,
+    lease: Duration,
+}
+
+/// Stops and joins the heartbeat thread when the worker exits — on
+/// success, error, *and* unwind, so an injected panic never leaves a
+/// zombie heartbeat keeping dead leases alive.
+struct HeartbeatGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one worker against the coordinator at `coordinator`
+/// (`host:port`), identifying itself as `worker_id`, until the sweep is
+/// done.
+///
+/// # Errors
+///
+/// [`ErrorKind::Io`] when the coordinator is unreachable,
+/// [`ErrorKind::Corrupt`] on a fingerprint or manifest mismatch,
+/// [`ErrorKind::Parse`] on a config document this version does not
+/// understand.
+pub fn run(coordinator: &str, worker_id: &str) -> Result<(), TevotError> {
+    let _span = tevot_obs::span!("fleet.worker.run", "{worker_id} -> {coordinator}");
+    let config = fetch_config(coordinator)?;
+    let characterizer = Characterizer::new(config.fu).with_engine(config.engine);
+    let workload = random_workload(config.fu, config.vectors, config.seed);
+
+    // Defense one: the fingerprint we compute from the config we
+    // received must match the one the coordinator advertised.
+    let local = characterizer.sweep_fingerprint(&config.conditions, &workload, &config.speedups);
+    if local != config.fingerprint {
+        return Err(TevotError::corrupt(format!(
+            "worker {worker_id}: config fingerprint {:#018x} != locally computed {local:#018x}",
+            config.fingerprint
+        )));
+    }
+    // Defense two: bind the manifest, like every other checkpoint user.
+    let ckpt = CheckpointDir::open(&config.ckpt_dir)?;
+    ckpt.bind_manifest(config.fingerprint)?;
+
+    let _heartbeat = start_heartbeat(coordinator, worker_id, config.lease);
+
+    loop {
+        let grant = post_with_retry(
+            coordinator,
+            "/fleet/lease",
+            &format!("{{\"worker\":{}}}", Json::from(worker_id)),
+        )?;
+        if grant.get("done").is_some() {
+            tevot_obs::info!("fleet: worker {worker_id} done, exiting");
+            return Ok(());
+        }
+        if let Some(wait) = grant.get("wait_ms").and_then(Json::as_u64) {
+            std::thread::sleep(Duration::from_millis(wait));
+            continue;
+        }
+        let Some(unit) = grant.get("unit").and_then(Json::as_u64).map(|u| u as usize) else {
+            return Err(TevotError::parse(format!(
+                "worker {worker_id}: unintelligible lease grant {grant}"
+            )));
+        };
+        let Some(condition) = config.conditions.get(unit).copied() else {
+            return Err(TevotError::corrupt(format!(
+                "worker {worker_id}: leased unit {unit} beyond the {}-condition grid",
+                config.conditions.len()
+            )));
+        };
+
+        let _unit_span = tevot_obs::span!("fleet.unit", "cond {unit}");
+        // The chaos harness's kill site: a work-unit boundary, where a
+        // real crash is most likely and recovery is fully exercised.
+        tevot_resil::fail::eval("fleet.task")
+            .map_err(|e| TevotError::from(e).context("fleet.task failpoint"))?;
+
+        // Exactly the single-process checkpointed sweep's compute path,
+        // which is what keeps shards byte-identical across runners.
+        let trace = characterizer.trace(condition, &workload);
+        let base = trace.fastest_error_free_period_ps();
+        let periods: Vec<u64> = config.speedups.iter().map(|s| s.apply_to_period(base)).collect();
+        let characterization = trace.characterization(&periods);
+        ckpt.write(&format!("cond-{unit}"), &characterization.to_bytes())?;
+
+        post_with_retry(
+            coordinator,
+            "/fleet/complete",
+            &format!("{{\"worker\":{},\"unit\":{unit}}}", Json::from(worker_id)),
+        )?;
+    }
+}
+
+/// Fetches and parses `/fleet/config`, retrying the initial connection.
+fn fetch_config(coordinator: &str) -> Result<WorkerConfig, TevotError> {
+    let mut last_err: Option<std::io::Error> = None;
+    for _ in 0..CONNECT_ATTEMPTS {
+        match http::get(coordinator, "/fleet/config") {
+            Ok((200, body)) => return parse_config(&body),
+            Ok((status, body)) => {
+                return Err(TevotError::new(
+                    ErrorKind::Io,
+                    format!("coordinator answered /fleet/config with {status}: {body}"),
+                ));
+            }
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(CONNECT_BACKOFF);
+            }
+        }
+    }
+    Err(TevotError::from(last_err.expect("at least one attempt"))
+        .context(format!("reach fleet coordinator at {coordinator}")))
+}
+
+/// Parses the `tevot-fleet/1` config document.
+fn parse_config(body: &str) -> Result<WorkerConfig, TevotError> {
+    let bad = |what: &str| TevotError::parse(format!("fleet config: {what}"));
+    let doc = tevot_obs::json::parse(body)
+        .map_err(|e| TevotError::parse(format!("fleet config: {e}")))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "tevot-fleet/1" {
+        return Err(bad(&format!("unsupported schema {schema:?}")));
+    }
+    let fu = doc
+        .get("fu")
+        .and_then(Json::as_str)
+        .and_then(FunctionalUnit::from_name)
+        .ok_or_else(|| bad("unknown functional unit"))?;
+    let vectors =
+        doc.get("vectors").and_then(Json::as_u64).ok_or_else(|| bad("missing vectors"))? as usize;
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| bad("missing seed"))?;
+    let engine = doc
+        .get("engine")
+        .and_then(Json::as_str)
+        .and_then(tevot_sim::Engine::from_name)
+        .ok_or_else(|| bad("unknown engine"))?;
+    let speedups = doc
+        .get("speedups")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing speedups"))?
+        .iter()
+        .map(|s| s.as_f64().map(ClockSpeedup::new).ok_or_else(|| bad("bad speedup")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let conditions = doc
+        .get("conditions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing conditions"))?
+        .iter()
+        .map(|c| match c.as_arr() {
+            Some([v, t]) => match (v.as_f64(), t.as_f64()) {
+                (Some(v), Some(t)) => Ok(OperatingCondition::new(v, t)),
+                _ => Err(bad("non-numeric condition")),
+            },
+            _ => Err(bad("condition is not a [V, T] pair")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let ckpt_dir = doc
+        .get("ckpt_dir")
+        .and_then(Json::as_str)
+        .map(PathBuf::from)
+        .ok_or_else(|| bad("missing ckpt_dir"))?;
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .ok_or_else(|| bad("missing fingerprint"))?;
+    let lease_ms = doc.get("lease_ms").and_then(Json::as_u64).unwrap_or(10_000);
+    Ok(WorkerConfig {
+        fu,
+        vectors,
+        seed,
+        engine,
+        conditions,
+        speedups,
+        ckpt_dir,
+        fingerprint,
+        lease: Duration::from_millis(lease_ms),
+    })
+}
+
+/// Starts the background heartbeat at a quarter of the lease period.
+/// Three consecutive failed posts mean the coordinator is gone and the
+/// thread exits on its own; the guard stops it on any worker exit path.
+fn start_heartbeat(coordinator: &str, worker_id: &str, lease: Duration) -> HeartbeatGuard {
+    let stop = Arc::new(AtomicBool::new(false));
+    let interval = (lease / 4).max(Duration::from_millis(25));
+    let coordinator = coordinator.to_string();
+    let body = format!("{{\"worker\":{}}}", Json::from(worker_id));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut misses = 0usize;
+            while !stop.load(Ordering::Relaxed) && misses < 3 {
+                // Sleep in short slices so the guard's join never waits
+                // out a full interval.
+                let mut left = interval;
+                while !stop.load(Ordering::Relaxed) && !left.is_zero() {
+                    let nap = left.min(Duration::from_millis(25));
+                    std::thread::sleep(nap);
+                    left = left.saturating_sub(nap);
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match http::post(&coordinator, "/fleet/heartbeat", &body) {
+                    Ok((200, _)) => misses = 0,
+                    _ => misses += 1,
+                }
+            }
+        })
+    };
+    HeartbeatGuard { stop, handle: Some(handle) }
+}
+
+/// Posts `body` to the coordinator with a short retry, parsing the JSON
+/// reply.
+fn post_with_retry(coordinator: &str, path: &str, body: &str) -> Result<Json, TevotError> {
+    let mut last: Option<TevotError> = None;
+    for attempt in 0..POST_ATTEMPTS {
+        match http::post(coordinator, path, body) {
+            Ok((200, reply)) => {
+                return tevot_obs::json::parse(&reply)
+                    .map_err(|e| TevotError::parse(format!("fleet reply to {path}: {e}")));
+            }
+            Ok((status, reply)) => {
+                return Err(TevotError::new(
+                    ErrorKind::Io,
+                    format!("coordinator answered {path} with {status}: {reply}"),
+                ));
+            }
+            Err(e) => {
+                last = Some(TevotError::from(e).context(format!("POST {path}")));
+                std::thread::sleep(CONNECT_BACKOFF * (attempt as u32 + 1));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trips_through_the_wire_format() {
+        let spec = crate::FleetSweepSpec::new(FunctionalUnit::IntAdd, 64, u64::MAX - 7, "/tmp/x");
+        let mut spec = spec;
+        spec.conditions =
+            vec![OperatingCondition::new(0.81, 25.0), OperatingCondition::new(1.0, 100.0)];
+        let body = crate::sweep::config_json(&spec, 0xFEED_FACE_CAFE_BEEF);
+        let parsed = parse_config(&body).expect("parse own config");
+        assert_eq!(parsed.fu, spec.fu);
+        assert_eq!(parsed.vectors, spec.vectors);
+        assert_eq!(parsed.seed, spec.seed, "u64 seeds must survive the wire exactly");
+        assert_eq!(parsed.engine, spec.engine);
+        assert_eq!(parsed.conditions, spec.conditions);
+        assert_eq!(parsed.speedups.len(), spec.speedups.len());
+        assert_eq!(parsed.fingerprint, 0xFEED_FACE_CAFE_BEEF);
+        assert_eq!(parsed.lease, spec.lease);
+    }
+
+    #[test]
+    fn foreign_schema_is_refused() {
+        let e = parse_config("{\"schema\":\"tevot-fleet/9\"}").unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Parse);
+    }
+}

@@ -330,12 +330,17 @@ mod tests {
     fn full_queue_sheds_instead_of_blocking() {
         let model = tiny_model();
         let cond = OperatingCondition::new(0.9, 25.0);
-        // A zero-worker... rather: stall the batcher by flooding faster
-        // than it can drain a long batch_wait window with batch=1 and a
-        // queue bound of 2.
         let batcher = Batcher::start(1, 2, 1, Duration::from_millis(50));
+        // Park the single worker on a job heavy enough to outlast the
+        // flood below; without it the outcome races on whether the
+        // drain loop keeps pace with the submit loop.
         let mut shed = 0;
         let mut receivers = Vec::new();
+        receivers.push(
+            batcher
+                .submit(Arc::clone(&model), cond, transitions(50_000), CancelToken::new(), None, 0)
+                .expect("first job fits an empty queue"),
+        );
         for _ in 0..64 {
             match batcher.submit(
                 Arc::clone(&model),

@@ -14,6 +14,9 @@ use std::io::{self, BufRead, Write};
 /// Upper bound on the request line + header section, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// Upper bound on the number of header fields per request.
+pub const MAX_HEADERS: usize = 64;
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -55,6 +58,13 @@ pub enum ReadError {
     Malformed(String),
     /// The declared body exceeds the configured limit (HTTP 413).
     BodyTooLarge(usize),
+    /// The request line + headers exceed [`MAX_HEAD_BYTES`]; detected
+    /// *before* the excess is buffered, so a malicious or broken peer
+    /// cannot make the server read an unbounded head (HTTP 431).
+    HeadTooLarge(usize),
+    /// The request carries more than [`MAX_HEADERS`] header fields
+    /// (HTTP 431).
+    TooManyHeaders(usize),
     /// Any other I/O failure (reset mid-request, timeout mid-body...).
     Io(io::Error),
 }
@@ -66,6 +76,12 @@ impl std::fmt::Display for ReadError {
             ReadError::IdleTimeout => write!(f, "idle timeout"),
             ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
             ReadError::BodyTooLarge(n) => write!(f, "request body of {n} bytes exceeds the limit"),
+            ReadError::HeadTooLarge(n) => {
+                write!(f, "request head exceeds the {n}-byte limit")
+            }
+            ReadError::TooManyHeaders(n) => {
+                write!(f, "request carries more than {n} header fields")
+            }
             ReadError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -91,12 +107,14 @@ fn is_timeout(e: &io::Error) -> bool {
 /// with 400/413 before closing.
 pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
     let mut line = Vec::new();
-    let mut head_bytes = 0usize;
-    match read_line(stream, &mut line, &mut head_bytes) {
+    let mut budget = MAX_HEAD_BYTES;
+    match read_line(stream, &mut line, &mut budget) {
         Ok(0) => return Err(ReadError::Eof),
         Ok(_) => {}
-        Err(e) if is_timeout(&e) => return Err(ReadError::IdleTimeout),
-        Err(e) => return Err(ReadError::Io(e)),
+        Err(ReadError::Io(e)) if is_timeout(&e) && line.is_empty() => {
+            return Err(ReadError::IdleTimeout)
+        }
+        Err(e) => return Err(e),
     }
     let request_line = String::from_utf8(line.clone())
         .map_err(|_| ReadError::Malformed("request line is not UTF-8".into()))?;
@@ -112,13 +130,16 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
     let mut headers = Vec::new();
     loop {
         line.clear();
-        match read_line(stream, &mut line, &mut head_bytes) {
+        match read_line(stream, &mut line, &mut budget) {
             Ok(0) => return Err(ReadError::Io(io::ErrorKind::UnexpectedEof.into())),
             Ok(_) => {}
-            Err(e) => return Err(ReadError::Io(e)),
+            Err(e) => return Err(e),
         }
         if line.is_empty() {
             break; // end of the header section
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::TooManyHeaders(MAX_HEADERS));
         }
         let text = String::from_utf8(line.clone())
             .map_err(|_| ReadError::Malformed("header is not UTF-8".into()))?;
@@ -143,21 +164,41 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, stripping the
-/// terminator; enforces [`MAX_HEAD_BYTES`] across the whole head.
+/// terminator. `budget` is the remaining head allowance; the read stops
+/// with [`ReadError::HeadTooLarge`] the moment a chunk would exceed it,
+/// so at most [`MAX_HEAD_BYTES`] of head are ever buffered — a peer
+/// streaming an endless header line cannot grow memory past the cap.
 fn read_line(
     stream: &mut impl BufRead,
     line: &mut Vec<u8>,
-    head_bytes: &mut usize,
-) -> io::Result<usize> {
-    let n = stream.read_until(b'\n', line)?;
-    *head_bytes += n;
-    if *head_bytes > MAX_HEAD_BYTES {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+    budget: &mut usize,
+) -> Result<usize, ReadError> {
+    let mut consumed = 0usize;
+    loop {
+        let buf = match stream.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) => return Err(ReadError::Io(e)),
+        };
+        if buf.is_empty() {
+            break; // EOF
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |pos| pos + 1);
+        if take > *budget {
+            return Err(ReadError::HeadTooLarge(MAX_HEAD_BYTES));
+        }
+        *budget -= take;
+        consumed += take;
+        line.extend_from_slice(&buf[..take]);
+        stream.consume(take);
+        if newline.is_some() {
+            break;
+        }
     }
     while matches!(line.last(), Some(b'\n' | b'\r')) {
         line.pop();
     }
-    Ok(n)
+    Ok(consumed)
 }
 
 /// One HTTP response, written with `Content-Length` framing.
@@ -198,6 +239,8 @@ impl Response {
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            502 => "Bad Gateway",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             504 => "Gateway Timeout",
@@ -233,10 +276,34 @@ pub fn write_response(stream: &mut impl Write, response: &Response, close: bool)
 /// Propagates connect/read failures and malformed responses as
 /// [`io::Error`].
 pub fn get(addr: &str, path: &str) -> io::Result<(u16, String)> {
-    use std::io::Read;
     let mut stream = std::net::TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
     write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    read_oneshot_response(stream)
+}
+
+/// A one-shot blocking `POST` with a JSON body; same scope and error
+/// contract as [`get`]. This is the client side of the fleet wire
+/// protocol (lease, complete, heartbeat).
+///
+/// # Errors
+///
+/// Propagates connect/read failures and malformed responses as
+/// [`io::Error`].
+pub fn post(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    read_oneshot_response(stream)
+}
+
+fn read_oneshot_response(mut stream: std::net::TcpStream) -> io::Result<(u16, String)> {
+    use std::io::Read;
     stream.flush()?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
@@ -321,9 +388,39 @@ mod tests {
     }
 
     #[test]
-    fn oversized_head_is_rejected() {
+    fn oversized_head_is_typed_431() {
         let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
-        assert!(matches!(parse(&huge), Err(ReadError::Io(_))));
+        assert!(matches!(parse(&huge), Err(ReadError::HeadTooLarge(MAX_HEAD_BYTES))));
+    }
+
+    #[test]
+    fn endless_header_line_stops_at_the_cap() {
+        // A single header line with no terminator at all: the reader must
+        // give up at MAX_HEAD_BYTES instead of buffering the whole thing.
+        let mut huge = String::from("GET / HTTP/1.1\r\nX-Pad: ");
+        huge.push_str(&"b".repeat(4 * MAX_HEAD_BYTES));
+        assert!(matches!(parse(&huge), Err(ReadError::HeadTooLarge(MAX_HEAD_BYTES))));
+    }
+
+    #[test]
+    fn too_many_header_fields_are_rejected() {
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            req.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        assert!(matches!(parse(&req), Err(ReadError::TooManyHeaders(MAX_HEADERS))));
+    }
+
+    #[test]
+    fn exactly_max_headers_is_accepted() {
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS {
+            req.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        let parsed = parse(&req).expect("a request at the cap parses");
+        assert_eq!(parsed.headers.len(), MAX_HEADERS);
     }
 
     #[test]
@@ -341,9 +438,14 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_status_table() {
-        for (code, phrase) in
-            [(200, "OK"), (400, "Bad Request"), (404, "Not Found"), (504, "Gateway Timeout")]
-        {
+        for (code, phrase) in [
+            (200, "OK"),
+            (400, "Bad Request"),
+            (404, "Not Found"),
+            (431, "Request Header Fields Too Large"),
+            (502, "Bad Gateway"),
+            (504, "Gateway Timeout"),
+        ] {
             assert_eq!(Response::json(code, "").reason(), phrase);
         }
     }

@@ -54,6 +54,9 @@ pub struct LoadReport {
     pub shed: usize,
     /// Any other non-200 response or transport failure.
     pub errors: usize,
+    /// Connections re-established after a transport failure (a reset or
+    /// short read mid-exchange, e.g. a replica dying under load).
+    pub reconnects: usize,
     /// Successful requests per second of wall-clock time.
     pub qps: f64,
     /// Median request latency, microseconds.
@@ -121,44 +124,118 @@ fn read_status(reader: &mut impl BufRead) -> std::io::Result<u16> {
     Ok(status)
 }
 
-/// One client connection's share of the run.
-fn client(config: &LoadConfig, indices: std::ops::Range<usize>) -> (usize, usize, usize, Vec<f64>) {
-    let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
-    let mut latencies = Vec::with_capacity(indices.len());
-    let Ok(stream) = TcpStream::connect(&config.addr) else {
-        return (0, 0, indices.len(), latencies);
-    };
-    stream.set_nodelay(true).ok();
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return (0, 0, indices.len(), latencies),
-    };
-    let mut reader = BufReader::new(stream);
-    for index in indices {
-        let body = body_for(config, index);
-        let request = format!(
-            "POST /predict HTTP/1.1\r\nHost: tevot\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        );
-        let start = Instant::now();
-        if writer.write_all(request.as_bytes()).is_err() {
-            errors += 1;
-            break;
+/// Initial-connect and reconnect retry budget: a replica that started
+/// moments ago may not be listening yet, and a router mid-failover may
+/// refuse briefly.
+const CONNECT_ATTEMPTS: usize = 20;
+/// Base reconnect backoff; doubles per attempt up to 16× the base.
+const CONNECT_BACKOFF_MS: u64 = 25;
+/// Give up after this many transport failures in a row — the server is
+/// down for good, not flaky — and charge the remaining share as errors.
+const MAX_CONSECUTIVE_FAILURES: usize = 20;
+
+/// One client connection's tally of the run.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    reconnects: usize,
+    latencies: Vec<f64>,
+}
+
+/// Connects with bounded exponential backoff; `None` means the server
+/// never answered within the whole retry budget.
+fn connect_with_retry(addr: &str) -> Option<(TcpStream, BufReader<TcpStream>)> {
+    for attempt in 0..CONNECT_ATTEMPTS {
+        if attempt > 0 {
+            let backoff = CONNECT_BACKOFF_MS << (attempt as u32 - 1).min(4);
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
         }
-        match read_status(&mut reader) {
-            Ok(200) => {
-                ok += 1;
-                latencies.push(start.elapsed().as_secs_f64() * 1e6);
-            }
-            Ok(503) => shed += 1,
-            Ok(_) => errors += 1,
-            Err(_) => {
-                errors += 1;
-                break;
+        if let Ok(stream) = TcpStream::connect(addr) {
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).ok();
+            if let Ok(writer) = stream.try_clone() {
+                return Some((writer, BufReader::new(stream)));
             }
         }
     }
-    (ok, shed, errors, latencies)
+    None
+}
+
+/// One request-response exchange; the latency is in microseconds.
+fn exchange(
+    config: &LoadConfig,
+    index: usize,
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<(u16, f64)> {
+    let body = body_for(config, index);
+    let request = format!(
+        "POST /predict HTTP/1.1\r\nHost: tevot\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let start = Instant::now();
+    writer.write_all(request.as_bytes())?;
+    let status = read_status(reader)?;
+    Ok((status, start.elapsed().as_secs_f64() * 1e6))
+}
+
+/// One client connection's share of the run.
+///
+/// Transport failures (resets, short reads) are recorded as errors and
+/// answered with a reconnect, so a replica dying mid-run costs exactly
+/// the requests that were in flight — not the rest of this connection's
+/// range.
+fn client(config: &LoadConfig, indices: std::ops::Range<usize>) -> Tally {
+    let mut tally = Tally::default();
+    let total = indices.len();
+    let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    let mut ever_connected = false;
+    let mut consecutive_failures = 0usize;
+    for (done, index) in indices.enumerate() {
+        if conn.is_none() {
+            match connect_with_retry(&config.addr) {
+                Some(c) => {
+                    if ever_connected {
+                        tally.reconnects += 1;
+                    }
+                    ever_connected = true;
+                    conn = Some(c);
+                }
+                None => {
+                    tally.errors += total - done;
+                    return tally;
+                }
+            }
+        }
+        let (writer, reader) = conn.as_mut().expect("connection was just established");
+        match exchange(config, index, writer, reader) {
+            Ok((200, latency)) => {
+                consecutive_failures = 0;
+                tally.ok += 1;
+                tally.latencies.push(latency);
+            }
+            Ok((503, _)) => {
+                consecutive_failures = 0;
+                tally.shed += 1;
+            }
+            Ok(_) => {
+                consecutive_failures = 0;
+                tally.errors += 1;
+            }
+            Err(_) => {
+                tally.errors += 1;
+                consecutive_failures += 1;
+                conn = None;
+                if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+                    tally.errors += total - done - 1;
+                    return tally;
+                }
+            }
+        }
+    }
+    tally
 }
 
 /// Runs the configured load and aggregates the outcome.
@@ -170,7 +247,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     let connections = config.connections.max(1);
     let per = config.requests.div_ceil(connections);
     let start = Instant::now();
-    let results: Vec<(usize, usize, usize, Vec<f64>)> = std::thread::scope(|scope| {
+    let results: Vec<Tally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
                 let lo = (c * per).min(config.requests);
@@ -182,12 +259,13 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     });
     let elapsed = start.elapsed().as_secs_f64();
     let mut latencies = Vec::new();
-    let (mut ok, mut shed, mut errors) = (0, 0, 0);
-    for (o, s, e, mut l) in results {
-        ok += o;
-        shed += s;
-        errors += e;
-        latencies.append(&mut l);
+    let (mut ok, mut shed, mut errors, mut reconnects) = (0, 0, 0, 0);
+    for mut tally in results {
+        ok += tally.ok;
+        shed += tally.shed;
+        errors += tally.errors;
+        reconnects += tally.reconnects;
+        latencies.append(&mut tally.latencies);
     }
     latencies.sort_by(f64::total_cmp);
     LoadReport {
@@ -195,6 +273,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         ok,
         shed,
         errors,
+        reconnects,
         qps: if elapsed > 0.0 { ok as f64 / elapsed } else { 0.0 },
         p50_us: quantile_sorted(&latencies, 0.5).unwrap_or(0.0),
         p99_us: quantile_sorted(&latencies, 0.99).unwrap_or(0.0),

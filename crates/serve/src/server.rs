@@ -256,6 +256,17 @@ fn connection_loop(stream: TcpStream, state: &ServeState, stop: &CancelToken, ma
                 let _ = write_response(&mut writer, &response, true);
                 return;
             }
+            Err(e @ (ReadError::HeadTooLarge(_) | ReadError::TooManyHeaders(_))) => {
+                let id = api::next_request_id();
+                let body = format!(
+                    "{{\"error\":{},\"kind\":\"usage\",\"request_id\":{id}}}",
+                    quoted(&e.to_string())
+                );
+                let response =
+                    Response::json(431, body).with_header("X-Request-Id", id.to_string());
+                let _ = write_response(&mut writer, &response, true);
+                return;
+            }
             Err(ReadError::Io(_)) => return,
         }
         let _ = writer.flush();
