@@ -15,9 +15,14 @@
 //! ```text
 //! serve_load (--addr host:port | --model-file model.tevot)
 //!            [--requests N] [--connections N] [--transitions N]
-//!            [--replicas N] [--label NAME] [--out report.json]
+//!            [--replicas N] [--dfs] [--label NAME] [--out report.json]
 //!            [--expect-clean] [--max-shed N]
 //! ```
+//!
+//! `--dfs` drives `POST /dfs` (clock recommendations) instead of
+//! `POST /predict`, and reports `serve.dfs_qps`/`serve.dfs_p50_us`/
+//! `serve.dfs_p99_us` so the two data paths stay distinct in tracked
+//! reports.
 //!
 //! `--out` writes a `tevot-bench/1` report with `serve.qps`,
 //! `serve.p50_us` and `serve.p99_us`, comparable with `bench_compare`.
@@ -38,7 +43,7 @@ use tevot_serve::{ServeConfig, Server, DEFAULT_MODEL};
 
 const USAGE: &str = "usage: serve_load (--addr host:port | --model-file model.tevot) \
                      [--requests N] [--connections N] [--transitions N] \
-                     [--replicas N] [--label NAME] [--out report.json] \
+                     [--replicas N] [--dfs] [--label NAME] [--out report.json] \
                      [--expect-clean] [--max-shed N]";
 
 fn usage_error(message: &str) -> ExitCode {
@@ -95,6 +100,7 @@ fn main() -> ExitCode {
                 };
             }
             "--expect-clean" => expect_clean = true,
+            "--dfs" => config.dfs = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -162,8 +168,9 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "serve_load: {} requests to {} over {} connections ({} transitions each{})",
+        "serve_load: {} {} requests to {} over {} connections ({} transitions each{})",
         outcome.requests,
+        if config.dfs { "/dfs" } else { "/predict" },
         config.addr,
         config.connections,
         config.transitions,
@@ -182,9 +189,15 @@ fn main() -> ExitCode {
 
     if let Some(out) = out {
         let mut report = BenchReport::new(&label);
-        report.push("serve.qps", outcome.qps, "req/s", true);
-        report.push("serve.p50_us", outcome.p50_us, "us", false);
-        report.push("serve.p99_us", outcome.p99_us, "us", false);
+        if config.dfs {
+            report.push("serve.dfs_qps", outcome.qps, "req/s", true);
+            report.push("serve.dfs_p50_us", outcome.p50_us, "us", false);
+            report.push("serve.dfs_p99_us", outcome.p99_us, "us", false);
+        } else {
+            report.push("serve.qps", outcome.qps, "req/s", true);
+            report.push("serve.p50_us", outcome.p50_us, "us", false);
+            report.push("serve.p99_us", outcome.p99_us, "us", false);
+        }
         if let Err(e) = report.save(&out) {
             eprintln!("serve_load: cannot write {}: {e}", out.display());
             return ExitCode::from(2);

@@ -300,7 +300,7 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
     // than the admission bound every request must be answered 200, so
     // the stage asserts a clean run and tracks end-to-end throughput
     // (serve.qps) and tail latency (serve.p99_us) in the gate.
-    {
+    let dfs_model = {
         let _span = tevot_obs::span!("bench.serve");
         let fu = scale.fus[0];
         let characterizer = Characterizer::new(fu);
@@ -319,13 +319,14 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
             ..tevot_serve::ServeConfig::default()
         };
         let server = tevot_serve::Server::start(config).expect("bind loopback");
-        server.state().registry.insert(tevot_serve::DEFAULT_MODEL, model);
+        server.state().registry.insert(tevot_serve::DEFAULT_MODEL, model.clone());
         let load = tevot_serve::loadgen::LoadConfig {
             addr: server.local_addr().to_string(),
             requests: scale.serve_requests,
             connections: 4,
             transitions: 4,
             model: tevot_serve::DEFAULT_MODEL.into(),
+            dfs: false,
         };
         let outcome = tevot_serve::loadgen::run(&load);
         server.shutdown();
@@ -336,6 +337,32 @@ pub fn run_suite(label: &str, scale: &SuiteScale) -> BenchReport {
         );
         report.push("serve.qps", outcome.qps, "req/s", true);
         report.push("serve.p99_us", outcome.p99_us, "us", false);
+        model
+    };
+
+    // Closed-loop clock-controller decision rate: the `tevot dfs` /
+    // `POST /dfs` hot path — one forest inference plus guardband
+    // arithmetic plus the PI policy update per cycle — on the serve
+    // stage's model.
+    {
+        let _span = tevot_obs::span!("bench.dfs");
+        let fu = scale.fus[0];
+        let work = random_workload(fu, scale.test_vectors.max(2), scale.seed + 23);
+        let ops = work.operands();
+        let policy = tevot_dfs::GuardbandPolicy::Feedback(tevot_dfs::FeedbackConfig::default());
+        let mut controller = tevot_dfs::ClockController::new(policy);
+        let t0 = Instant::now();
+        let mut total_t_clk = 0u64;
+        for t in 1..ops.len() {
+            let rec = controller.recommend(&dfs_model, cond, ops[t], ops[t - 1]);
+            total_t_clk += rec.t_clk_ps;
+            // Deterministic occasional "errors" keep the feedback-path
+            // update live in the measurement.
+            controller.observe(rec.t_clk_ps % 97 == 0);
+        }
+        let dfs_s = t0.elapsed().as_secs_f64();
+        assert!(total_t_clk > 0, "controller recommended no clock mass");
+        report.push("dfs.decisions_per_s", (ops.len() - 1) as f64 / dfs_s, "decisions/s", true);
     }
 
     // Watch hot paths in isolation: the per-tick cost of sampling every

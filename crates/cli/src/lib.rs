@@ -86,6 +86,10 @@ tevot — timing-error modeling of functional units (TEVoT, DAC 2020)
   tevot ter          --model model.tevot --voltage <V> --temperature <C>
                      --clock-ps <N> [--workload trace.txt | --fu <unit>
                      --vectors N] [--validate] [--seed S]
+  tevot dfs          --model model.tevot --voltage <V> --temperature <C>
+                     [--guardband-ps <X>] (--a <u32> --b <u32>
+                     [--prev-a] [--prev-b] | --workload trace.txt |
+                     --fu <unit> [--vectors N] [--seed S]) [--validate]
   tevot serve        --model model.tevot [--addr <host:port>]
                      [--max-queue N] [--batch N] [--batch-wait-ms N]
                      [--slo spec,spec] [--no-watch] [--watch-resolution-ms N]
@@ -107,7 +111,7 @@ serve (online inference; see DESIGN.md for the batching architecture):
                        HTTP 503 + Retry-After (default 256)
   --batch <N>          max jobs merged per microbatch (default 32)
   --batch-wait-ms <N>  how long a microbatch waits for company (default 1)
-  endpoints: POST /predict | POST /ter | POST /models/<name> |
+  endpoints: POST /predict | POST /ter | POST /dfs | POST /models/<name> |
              GET /models | GET /healthz | GET /metrics[?format=prom] |
              GET /watch | GET /profile  (folded stacks; sampling starts
              lazily on the first scrape)
@@ -188,6 +192,7 @@ pub fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         "predict" => cmd_predict(&args),
         "sweep" => cmd_sweep(&args),
         "ter" => cmd_ter(&args),
+        "dfs" => cmd_dfs(&args),
         "serve" => cmd_serve(&args),
         "fleet-worker" => cmd_fleet_worker(&args),
         "top" => cmd_top(&args),
@@ -334,6 +339,111 @@ fn cmd_ter(args: &Args) -> Result<(), Box<dyn Error>> {
         let characterizer = Characterizer::new(fu).with_engine(engine);
         let truth = characterizer.characterize_with_periods(cond, &work, &[clock]);
         outln!("  simulated TER: {:.2}%", truth.timing_error_rate(0) * 100.0);
+    }
+    Ok(())
+}
+
+/// `tevot dfs`: closed-loop adaptive clocking — recommend `t_clk` =
+/// predicted delay + guardband for one transition or a whole trace,
+/// optionally validated against the gate-level simulator as the error
+/// oracle. Served `/dfs` recommendations are bit-identical: both sides
+/// call [`tevot_dfs::recommended_t_clk_ps`] on the same predicted
+/// delays.
+fn cmd_dfs(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model = load_model(args.require("model")?)?;
+    let cond = condition(args)?;
+    let guardband: f64 = args.get_or("guardband-ps", 0.0)?;
+    if !guardband.is_finite() || guardband < 0.0 {
+        return Err(ArgError(format!(
+            "--guardband-ps must be a non-negative margin (got {guardband})"
+        ))
+        .into());
+    }
+    let single = args.get("a").is_some() || args.get("b").is_some();
+    if single {
+        let a = parse_u32(args.require("a")?)?;
+        let b = parse_u32(args.require("b")?)?;
+        let prev_a = args.get("prev-a").map(parse_u32).transpose()?.unwrap_or(0);
+        let prev_b = args.get("prev-b").map(parse_u32).transpose()?.unwrap_or(0);
+        args.finish()?;
+        let delay = {
+            let _span = tevot_obs::span!("dfs");
+            model.predict_delay_ps(cond, (a, b), (prev_a, prev_b))
+        };
+        let t_clk = tevot_dfs::recommended_t_clk_ps(delay, guardband);
+        outln!(
+            "({prev_a:#x}, {prev_b:#x}) -> ({a:#x}, {b:#x}) at {cond}, guardband {guardband} ps:"
+        );
+        outln!("  predicted dynamic delay: {delay:.0} ps");
+        outln!("  recommended t_clk: {t_clk} ps");
+        return Ok(());
+    }
+
+    let workload_path = args.get("workload").map(str::to_owned);
+    let fu = args.get("fu").map(parse_fu).transpose()?;
+    let vectors: usize = args.get_or("vectors", 400)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let validate = args.flag("validate");
+    let engine = engine_from_args(args)?;
+    args.finish()?;
+
+    let work = match workload_path {
+        Some(path) => {
+            let text = at_path(std::fs::read_to_string(&path), "read workload", &path)?;
+            tevot::Workload::from_text(&text).map_err(TevotError::parse)?
+        }
+        None => random_workload(fu.unwrap_or(FunctionalUnit::IntAdd), vectors, seed),
+    };
+    let ops = work.operands();
+    if ops.len() < 2 {
+        return Err(
+            ArgError("the workload needs at least 2 vectors (one transition)".into()).into()
+        );
+    }
+
+    let _span = tevot_obs::span!("dfs");
+    let mut controller =
+        tevot_dfs::ClockController::new(tevot_dfs::GuardbandPolicy::fixed(guardband));
+    let mut predicted_sum = 0.0f64;
+    let mut total_t_clk = 0u64;
+    for t in 1..ops.len() {
+        let rec = controller.recommend(&model, cond, ops[t], ops[t - 1]);
+        predicted_sum += rec.predicted_delay_ps;
+        total_t_clk += rec.t_clk_ps;
+    }
+    let transitions = ops.len() - 1;
+    outln!(
+        "adaptive clock over workload {:?} ({transitions} transitions) at {cond}, \
+         guardband {guardband} ps:",
+        work.name()
+    );
+    outln!("  mean predicted delay: {:.0} ps", predicted_sum / transitions as f64);
+    outln!("  mean t_clk: {:.0} ps", total_t_clk as f64 / transitions as f64);
+    outln!("  throughput: {:.3} ops/us", transitions as f64 * 1e6 / total_t_clk as f64);
+
+    if validate {
+        let fu = fu.ok_or_else(|| {
+            ArgError("--validate needs --fu to pick the gate-level netlist".into())
+        })?;
+        tevot_obs::info!("validating against gate-level simulation...");
+        let trace = Characterizer::new(fu).with_engine(engine).trace(cond, &work);
+        let actual: Vec<u64> = trace.cycles().iter().map(|c| c.dynamic_delay_ps()).collect();
+        let mut oracle =
+            tevot_dfs::ClockController::new(tevot_dfs::GuardbandPolicy::fixed(guardband));
+        let outcome = tevot_dfs::replay(&mut oracle, &model, cond, ops, &actual);
+        let safest = actual.iter().skip(1).copied().max().unwrap_or(1).max(1);
+        let fixed = tevot_dfs::fixed_clock_outcome(safest, &actual);
+        outln!(
+            "  observed error rate: {:.2}% ({} of {} cycles)",
+            outcome.error_rate() * 100.0,
+            outcome.errors,
+            outcome.cycles
+        );
+        outln!(
+            "  safest fixed clock on this trace: {safest} ps ({:.3} ops/us, {:.2}% errors)",
+            fixed.throughput_ops_per_us(),
+            fixed.error_rate() * 100.0
+        );
     }
     Ok(())
 }

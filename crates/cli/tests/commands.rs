@@ -441,3 +441,128 @@ fn train_predict_ter_roundtrip() {
     std::fs::remove_file(model).ok();
     std::fs::remove_file(trace).ok();
 }
+
+#[test]
+fn dfs_recommends_clocks_and_validates_against_the_oracle() {
+    let model = temp_path("dfs_model.tevot");
+    let trace = temp_path("dfs_trace.txt");
+    run(&[
+        "train",
+        "--fu",
+        "int-add",
+        "--out",
+        model.to_str().unwrap(),
+        "--vectors",
+        "150",
+        "--trees",
+        "3",
+    ])
+    .unwrap();
+    let model_arg = model.to_str().unwrap();
+
+    // Single transition: predicted delay + guardband -> t_clk.
+    run(&[
+        "dfs",
+        "--model",
+        model_arg,
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--guardband-ps",
+        "50",
+        "--a",
+        "0xFFFFFFFF",
+        "--b",
+        "1",
+    ])
+    .unwrap();
+
+    // Trace mode over a workload file.
+    std::fs::write(&trace, "# t\ndeadbeef 00000001\n00000002 00000003\nffffffff 00000000\n")
+        .unwrap();
+    run(&[
+        "dfs",
+        "--model",
+        model_arg,
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--workload",
+        trace.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    // Random-workload mode with the simulator as error oracle.
+    run(&[
+        "dfs",
+        "--model",
+        model_arg,
+        "--voltage",
+        "0.9",
+        "--temperature",
+        "25",
+        "--guardband-ps",
+        "100",
+        "--fu",
+        "int-add",
+        "--vectors",
+        "40",
+        "--validate",
+    ])
+    .unwrap();
+
+    // Usage errors: a negative guardband, --validate without --fu on a
+    // workload file, and a missing operand all exit 2.
+    assert_eq!(
+        run_code(&[
+            "dfs",
+            "--model",
+            model_arg,
+            "--voltage",
+            "0.9",
+            "--temperature",
+            "25",
+            "--guardband-ps",
+            "-5",
+            "--a",
+            "1",
+            "--b",
+            "2",
+        ]),
+        2
+    );
+    assert_eq!(
+        run_code(&[
+            "dfs",
+            "--model",
+            model_arg,
+            "--voltage",
+            "0.9",
+            "--temperature",
+            "25",
+            "--workload",
+            trace.to_str().unwrap(),
+            "--validate",
+        ]),
+        2
+    );
+    assert_eq!(
+        run_code(&[
+            "dfs",
+            "--model",
+            model_arg,
+            "--voltage",
+            "0.9",
+            "--temperature",
+            "25",
+            "--a",
+            "1"
+        ]),
+        2
+    );
+
+    std::fs::remove_file(model).ok();
+    std::fs::remove_file(trace).ok();
+}

@@ -155,10 +155,19 @@ impl TerBased {
             }
         }
         assert!(!entries.is_empty(), "no characterization runs supplied");
+        // Normalize every rate list once: ascending by period, one entry
+        // per period (the stable sort keeps run order among equals, so
+        // the earliest calibration run wins a duplicate period). The
+        // lookups below rely on this ordering to binary-search and to
+        // interpolate between *bracketing* periods.
+        for (_, rates) in &mut entries {
+            rates.sort_by_key(|&(p, _)| p);
+            rates.dedup_by_key(|&mut (p, _)| p);
+        }
         TerBased { entries, rng: SmallRng::seed_from_u64(seed) }
     }
 
-    /// The calibrated TER at `(cond, clock_ps)` (nearest calibrated clock).
+    /// The calibrated clock/TER curve answering for `cond`.
     ///
     /// An exactly calibrated condition is used when available; otherwise
     /// the **nearest** calibrated condition answers (distance measured
@@ -167,7 +176,7 @@ impl TerBased {
     /// 0–80 °C grid; ties resolve to the earliest calibration run).
     /// Earlier revisions panicked on uncalibrated conditions, which took
     /// down whole sweeps over off-grid points.
-    pub fn ter(&self, cond: OperatingCondition, clock_ps: u64) -> f64 {
+    fn rates_for(&self, cond: OperatingCondition) -> &[(u64, f64)] {
         let (_, rates) = self
             .entries
             .iter()
@@ -179,6 +188,40 @@ impl TerBased {
             })
             .expect("calibration has at least one condition");
         rates
+    }
+
+    /// The calibrated TER at `(cond, clock_ps)`, interpolated linearly
+    /// between the two bracketing calibrated clock periods.
+    ///
+    /// Exactly calibrated periods return their exact measured rate;
+    /// periods outside the calibrated range clamp to the nearest end of
+    /// the curve. Guardband sweeps that query between calibration points
+    /// therefore see a piecewise-linear TER curve instead of the
+    /// staircase artifacts the old nearest-point snap produced (still
+    /// available as [`ter_nearest`](Self::ter_nearest)). Off-grid
+    /// conditions answer from the nearest calibrated condition (see
+    /// `rates_for`).
+    pub fn ter(&self, cond: OperatingCondition, clock_ps: u64) -> f64 {
+        let rates = self.rates_for(cond);
+        match rates.binary_search_by_key(&clock_ps, |&(p, _)| p) {
+            Ok(i) => rates[i].1,
+            Err(0) => rates[0].1,
+            Err(i) if i == rates.len() => rates[rates.len() - 1].1,
+            Err(i) => {
+                let (p0, r0) = rates[i - 1];
+                let (p1, r1) = rates[i];
+                r0 + (r1 - r0) * (clock_ps - p0) as f64 / (p1 - p0) as f64
+            }
+        }
+    }
+
+    /// The raw nearest-point lookup: the TER measured at the calibrated
+    /// clock period closest to `clock_ps` (ties resolve to the faster
+    /// period). This is the pre-interpolation behaviour, kept for
+    /// callers that want the measured rate of an actual calibration
+    /// point rather than an interpolated estimate.
+    pub fn ter_nearest(&self, cond: OperatingCondition, clock_ps: u64) -> f64 {
+        self.rates_for(cond)
             .iter()
             .min_by_key(|(p, _)| p.abs_diff(clock_ps))
             .expect("calibration has at least one clock")
@@ -285,6 +328,62 @@ mod tests {
         // And prediction through the trait no longer panics off-grid.
         let mut tb = tb;
         let _ = tb.predict_error(OperatingCondition::new(1.2, 99.0), period, (0, 0), (0, 0));
+    }
+
+    #[test]
+    fn ter_interpolates_between_calibrated_periods() {
+        let cs = chars();
+        let cond = cs[0].condition();
+        let tb = TerBased::calibrate(&cs, 3);
+        // Pick two adjacent calibrated periods with distinct rates (the
+        // speedup sweep is monotone, so some pair must differ unless the
+        // whole curve is flat).
+        let mut periods: Vec<u64> = cs[0].clock_periods_ps().to_vec();
+        periods.sort_unstable();
+        for pair in periods.windows(2) {
+            let (p0, p1) = (pair[0], pair[1]);
+            let (r0, r1) = (tb.ter(cond, p0), tb.ter(cond, p1));
+            // Exact calibrated periods answer exactly.
+            assert_eq!(r0, tb.ter_nearest(cond, p0));
+            if p1 - p0 < 2 {
+                continue;
+            }
+            let mid = p0 + (p1 - p0) / 2;
+            let expect = r0 + (r1 - r0) * (mid - p0) as f64 / (p1 - p0) as f64;
+            let got = tb.ter(cond, mid);
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "midpoint {mid} between {p0}/{p1}: {got} vs {expect}"
+            );
+            // Interpolation is bracketed by the endpoint rates.
+            let (lo, hi) = (r0.min(r1), r0.max(r1));
+            assert!((lo..=hi).contains(&got));
+        }
+        // Outside the calibrated range the curve clamps to its ends.
+        let (min_p, max_p) = (periods[0], periods[periods.len() - 1]);
+        assert_eq!(tb.ter(cond, min_p / 2), tb.ter(cond, min_p));
+        assert_eq!(tb.ter(cond, max_p + 10_000), tb.ter(cond, max_p));
+    }
+
+    #[test]
+    fn ter_nearest_snaps_where_interpolation_blends() {
+        let cs = chars();
+        let cond = cs[0].condition();
+        let tb = TerBased::calibrate(&cs, 5);
+        let mut periods: Vec<u64> = cs[0].clock_periods_ps().to_vec();
+        periods.sort_unstable();
+        // Find an adjacent pair with distinct rates; just past the
+        // midpoint the nearest lookup snaps to one endpoint while the
+        // interpolated value sits strictly between.
+        let pair = periods
+            .windows(2)
+            .find(|w| w[1] - w[0] >= 4 && tb.ter(cond, w[0]) != tb.ter(cond, w[1]))
+            .expect("speedup sweep has adjacent periods with distinct rates");
+        let probe = pair[0] + (pair[1] - pair[0]) * 3 / 4;
+        assert_eq!(tb.ter_nearest(cond, probe), tb.ter(cond, pair[1]));
+        let blended = tb.ter(cond, probe);
+        let (r0, r1) = (tb.ter(cond, pair[0]), tb.ter(cond, pair[1]));
+        assert!(blended > r0.min(r1) && blended < r0.max(r1));
     }
 
     #[test]

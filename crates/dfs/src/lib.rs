@@ -1,0 +1,580 @@
+//! `tevot-dfs`: closed-loop adaptive clocking — the TEVoT delay model as
+//! an *actuator* instead of a classifier.
+//!
+//! The DFS papers in PAPERS.md ("A Unified Learning Platform for Dynamic
+//! Frequency Scaling in Pipelined Processors", "A Machine Learning
+//! Pipeline Stage for Adaptive Frequency Adjustment") close the loop the
+//! same way: predict the propagation delay of the *next* input
+//! transition, add a guardband, and clock the unit at the predicted-safe
+//! period. [`ClockController`] wraps a trained
+//! [`TevotModel`](tevot::TevotModel) in exactly that loop:
+//!
+//! ```text
+//! t_clk = ceil(predict_delay_ps(V, T, x[t], x[t-1]) + margin)
+//! ```
+//!
+//! with the margin supplied by a pluggable [`GuardbandPolicy`]:
+//!
+//! * [`GuardbandPolicy::Fixed`] — a constant margin in picoseconds.
+//! * [`GuardbandPolicy::Quantile`] — a margin calibrated offline as a
+//!   quantile of held-out prediction residuals (`actual − predicted`),
+//!   see [`quantile_margin_ps`].
+//! * [`GuardbandPolicy::Feedback`] — a PI-style policy that tightens or
+//!   relaxes the margin online from the *observed* error rate fed back
+//!   through [`ClockController::observe`].
+//!
+//! The arithmetic that turns a predicted delay plus a margin into a
+//! clock period lives in one pure function, [`recommended_t_clk_ps`], so
+//! the offline CLI (`tevot dfs`), the replay harness, and the served
+//! `POST /dfs` endpoint are bit-identical by construction.
+//!
+//! [`replay`] is the oracle-in-the-loop evaluation harness: it walks an
+//! operand trace through the controller against per-cycle ground-truth
+//! delays from the gate-level simulator (a cycle is erroneous iff its
+//! actual dynamic delay exceeds the recommended period) and accumulates
+//! the throughput-vs-error-rate outcome that the `dfs_pareto` experiment
+//! sweeps into Pareto tables.
+
+use tevot::reference::ReferenceStats;
+use tevot::TevotModel;
+use tevot_obs::metrics::{DFS_DECISIONS, DFS_ERRORS_OBSERVED};
+use tevot_timing::OperatingCondition;
+
+/// One clock decision: the model's predicted delay, the margin the
+/// policy applied, and the resulting recommended period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The model's predicted dynamic delay for the transition, ps.
+    pub predicted_delay_ps: f64,
+    /// The guardband the policy applied, ps (never negative).
+    pub margin_ps: f64,
+    /// The recommended clock period:
+    /// [`recommended_t_clk_ps`]`(predicted_delay_ps, margin_ps)`.
+    pub t_clk_ps: u64,
+}
+
+/// The single place where a predicted delay plus a guardband becomes a
+/// clock period — shared verbatim by the offline CLI, the replay
+/// harness, and the serve endpoint so their recommendations are
+/// bit-identical.
+///
+/// Non-finite or negative margins clamp to zero; the result is rounded
+/// *up* to an integral picosecond (a truncated period could sit below
+/// the predicted delay), is never below `ceil(predicted_delay_ps)`, and
+/// never below 1 ps.
+pub fn recommended_t_clk_ps(predicted_delay_ps: f64, margin_ps: f64) -> u64 {
+    let margin = if margin_ps.is_finite() { margin_ps.max(0.0) } else { 0.0 };
+    let predicted = if predicted_delay_ps.is_finite() { predicted_delay_ps.max(0.0) } else { 0.0 };
+    (predicted + margin).ceil().max(predicted.ceil()).max(1.0) as u64
+}
+
+/// Configuration of the PI-style feedback guardband policy.
+///
+/// Every observed cycle produces an error signal
+/// `e = observed_error − target_error_rate` (so a clean cycle pulls the
+/// margin down by roughly `kp_ps · target_error_rate` and an erroneous
+/// cycle pushes it up by roughly `kp_ps`); the margin is
+/// `initial_margin_ps + kp_ps · e + ki_ps · Σe`, clamped to
+/// `[min_margin_ps, max_margin_ps]`. The integral term is anti-windup
+/// clamped so it can never demand a margin outside the clamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackConfig {
+    /// The error rate the loop steers toward (e.g. `0.01` for 1%).
+    pub target_error_rate: f64,
+    /// Proportional gain, ps per unit error signal.
+    pub kp_ps: f64,
+    /// Integral gain, ps per unit accumulated error signal.
+    pub ki_ps: f64,
+    /// Hard lower clamp on the margin, ps.
+    pub min_margin_ps: f64,
+    /// Hard upper clamp on the margin, ps.
+    pub max_margin_ps: f64,
+    /// The margin before any feedback arrives, ps.
+    pub initial_margin_ps: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> FeedbackConfig {
+        FeedbackConfig {
+            target_error_rate: 0.01,
+            kp_ps: 40.0,
+            ki_ps: 4.0,
+            min_margin_ps: 0.0,
+            max_margin_ps: 400.0,
+            initial_margin_ps: 120.0,
+        }
+    }
+}
+
+impl FeedbackConfig {
+    fn validate(&self) {
+        assert!(
+            self.target_error_rate.is_finite() && (0.0..=1.0).contains(&self.target_error_rate),
+            "target_error_rate must be a rate in [0, 1]"
+        );
+        assert!(
+            self.kp_ps.is_finite() && self.kp_ps >= 0.0,
+            "kp_ps must be finite and non-negative"
+        );
+        assert!(
+            self.ki_ps.is_finite() && self.ki_ps >= 0.0,
+            "ki_ps must be finite and non-negative"
+        );
+        assert!(
+            self.min_margin_ps.is_finite()
+                && self.max_margin_ps.is_finite()
+                && 0.0 <= self.min_margin_ps
+                && self.min_margin_ps <= self.max_margin_ps,
+            "need 0 <= min_margin_ps <= max_margin_ps"
+        );
+        assert!(self.initial_margin_ps.is_finite(), "initial_margin_ps must be finite");
+    }
+}
+
+/// How a [`ClockController`] picks the guardband added to each predicted
+/// delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardbandPolicy {
+    /// A constant margin, ps.
+    Fixed {
+        /// The margin, ps (negative values clamp to zero at use).
+        margin_ps: f64,
+    },
+    /// A constant margin calibrated offline from held-out residuals
+    /// (see [`quantile_margin_ps`]); the quantile is carried along for
+    /// reporting.
+    Quantile {
+        /// The residual quantile the margin was calibrated at.
+        quantile: f64,
+        /// The calibrated margin, ps.
+        margin_ps: f64,
+    },
+    /// A PI-style margin driven by observed errors.
+    Feedback(FeedbackConfig),
+}
+
+impl GuardbandPolicy {
+    /// A fixed-margin policy.
+    pub fn fixed(margin_ps: f64) -> GuardbandPolicy {
+        GuardbandPolicy::Fixed { margin_ps }
+    }
+
+    /// A quantile policy calibrated from held-out residuals: the margin
+    /// is [`quantile_margin_ps`]`(residuals_ps, quantile)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `residuals_ps` is empty or `quantile` is outside
+    /// `[0, 1]`.
+    pub fn quantile_of(quantile: f64, residuals_ps: &[f64]) -> GuardbandPolicy {
+        GuardbandPolicy::Quantile {
+            quantile,
+            margin_ps: quantile_margin_ps(residuals_ps, quantile),
+        }
+    }
+
+    /// A short human-readable label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            GuardbandPolicy::Fixed { margin_ps } => format!("fixed+{margin_ps:.0}ps"),
+            GuardbandPolicy::Quantile { quantile, margin_ps } => {
+                format!("q{:.2}+{margin_ps:.0}ps", quantile)
+            }
+            GuardbandPolicy::Feedback(cfg) => {
+                format!("pi(target={:.3})", cfg.target_error_rate)
+            }
+        }
+    }
+
+    fn initial_margin_ps(&self) -> f64 {
+        match self {
+            GuardbandPolicy::Fixed { margin_ps } | GuardbandPolicy::Quantile { margin_ps, .. } => {
+                margin_ps.max(0.0)
+            }
+            GuardbandPolicy::Feedback(cfg) => {
+                cfg.initial_margin_ps.clamp(cfg.min_margin_ps, cfg.max_margin_ps)
+            }
+        }
+    }
+}
+
+/// The interpolated `quantile` (R-7 convention, matching
+/// [`tevot_obs::metrics::quantile_sorted`]) of the residuals, clamped to
+/// be non-negative — a negative guardband would undercut the predicted
+/// delay.
+///
+/// Residuals are `actual − predicted` over a held-out calibration
+/// trace; see [`calibration_residuals_ps`].
+///
+/// # Panics
+///
+/// Panics when `residuals_ps` has no finite entry or `quantile` is
+/// outside `[0, 1]`.
+pub fn quantile_margin_ps(residuals_ps: &[f64], quantile: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+    let mut sorted: Vec<f64> = residuals_ps.iter().copied().filter(|r| r.is_finite()).collect();
+    assert!(!sorted.is_empty(), "need at least one finite residual");
+    sorted.sort_by(f64::total_cmp);
+    tevot_obs::metrics::quantile_sorted(&sorted, quantile)
+        .expect("non-empty sorted residuals")
+        .max(0.0)
+}
+
+/// Per-cycle prediction residuals `actual − predicted` over a
+/// calibration trace, skipping the cold-start cycle 0 (its "previous"
+/// operands are undefined).
+///
+/// `operands[t]` transitions from `operands[t-1]`; `actual_delays_ps[t]`
+/// is the simulator's dynamic delay for that cycle.
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length.
+pub fn calibration_residuals_ps(
+    model: &TevotModel,
+    cond: OperatingCondition,
+    operands: &[(u32, u32)],
+    actual_delays_ps: &[u64],
+) -> Vec<f64> {
+    assert_eq!(operands.len(), actual_delays_ps.len(), "operands and delays must align");
+    (1..operands.len())
+        .map(|t| {
+            actual_delays_ps[t] as f64 - model.predict_delay_ps(cond, operands[t], operands[t - 1])
+        })
+        .collect()
+}
+
+/// True when `cond` falls inside the (V, T) envelope the model was
+/// trained on, judged against the non-empty bins of its
+/// [`ReferenceStats`] histograms.
+///
+/// The training sweep's voltage and temperature land in fixed global
+/// bins (50 mV / 10 °C); a condition in or between occupied bins is
+/// in-envelope, anything outside the occupied range is extrapolation.
+/// Serving uses this to refuse clock recommendations off the
+/// characterized grid — a guardband calibrated in-envelope says nothing
+/// about the model's error out there.
+pub fn condition_in_envelope(stats: &ReferenceStats, cond: OperatingCondition) -> bool {
+    let within = |hist: &tevot_obs::drift::ReferenceHist, x: f64| -> bool {
+        let occupied: Vec<usize> = (0..hist.counts.len()).filter(|&i| hist.counts[i] > 0).collect();
+        let (Some(&first), Some(&last)) = (occupied.first(), occupied.last()) else {
+            return true; // no reference data: nothing to judge against
+        };
+        let width = (hist.spec.hi - hist.spec.lo) / hist.spec.bins as f64;
+        let lo = hist.spec.lo + first as f64 * width;
+        let hi = hist.spec.lo + (last + 1) as f64 * width;
+        (lo..hi).contains(&x)
+    };
+    within(&stats.voltage, cond.voltage()) && within(&stats.temperature, cond.temperature())
+}
+
+/// A clock controller: a guardband policy plus its live feedback state.
+///
+/// Stateless policies (fixed, quantile) make `recommend*` a pure
+/// function of the predicted delay; the feedback policy additionally
+/// evolves its margin through [`observe`](Self::observe).
+#[derive(Debug, Clone)]
+pub struct ClockController {
+    policy: GuardbandPolicy,
+    margin_ps: f64,
+    integral: f64,
+    decisions: u64,
+    errors_observed: u64,
+}
+
+impl ClockController {
+    /// A controller running `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`FeedbackConfig`] (non-finite gains or
+    /// `min_margin_ps > max_margin_ps`).
+    pub fn new(policy: GuardbandPolicy) -> ClockController {
+        if let GuardbandPolicy::Feedback(cfg) = &policy {
+            cfg.validate();
+        }
+        let margin_ps = policy.initial_margin_ps();
+        ClockController { policy, margin_ps, integral: 0.0, decisions: 0, errors_observed: 0 }
+    }
+
+    /// The policy this controller runs.
+    pub fn policy(&self) -> &GuardbandPolicy {
+        &self.policy
+    }
+
+    /// The margin the next recommendation will apply, ps.
+    pub fn margin_ps(&self) -> f64 {
+        self.margin_ps
+    }
+
+    /// Recommendations issued so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Errors fed back through [`observe`](Self::observe) so far.
+    pub fn errors_observed(&self) -> u64 {
+        self.errors_observed
+    }
+
+    /// A recommendation for an already-predicted delay.
+    pub fn recommend_for_delay(&mut self, predicted_delay_ps: f64) -> Recommendation {
+        self.decisions += 1;
+        DFS_DECISIONS.incr();
+        let margin_ps = self.margin_ps.max(0.0);
+        Recommendation {
+            predicted_delay_ps,
+            margin_ps,
+            t_clk_ps: recommended_t_clk_ps(predicted_delay_ps, margin_ps),
+        }
+    }
+
+    /// Predicts the delay of `previous -> current` at `cond` and
+    /// recommends a clock period for it.
+    pub fn recommend(
+        &mut self,
+        model: &TevotModel,
+        cond: OperatingCondition,
+        current: (u32, u32),
+        previous: (u32, u32),
+    ) -> Recommendation {
+        let predicted = model.predict_delay_ps(cond, current, previous);
+        self.recommend_for_delay(predicted)
+    }
+
+    /// Feeds one observed cycle back into the controller; `erroneous`
+    /// is whether the cycle missed timing at the recommended period.
+    ///
+    /// Only the feedback policy moves its margin; the fixed and
+    /// quantile policies just count.
+    pub fn observe(&mut self, erroneous: bool) {
+        if erroneous {
+            self.errors_observed += 1;
+            DFS_ERRORS_OBSERVED.incr();
+        }
+        if let GuardbandPolicy::Feedback(cfg) = &self.policy {
+            let e = (erroneous as u8) as f64 - cfg.target_error_rate;
+            self.integral += e;
+            if cfg.ki_ps > 0.0 {
+                // Anti-windup: the integral may never demand a margin
+                // outside the clamp, so a long error-free run can't
+                // bank an arbitrarily large correction.
+                let lo = (cfg.min_margin_ps - cfg.initial_margin_ps) / cfg.ki_ps;
+                let hi = (cfg.max_margin_ps - cfg.initial_margin_ps) / cfg.ki_ps;
+                self.integral = self.integral.clamp(lo, hi);
+            }
+            self.margin_ps = (cfg.initial_margin_ps + cfg.kp_ps * e + cfg.ki_ps * self.integral)
+                .clamp(cfg.min_margin_ps, cfg.max_margin_ps);
+        }
+    }
+}
+
+/// The accumulated outcome of a closed-loop replay (or of fixed-clock
+/// operation over the same trace, via [`fixed_clock_outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOutcome {
+    /// Evaluated cycles (the cold-start cycle 0 is excluded).
+    pub cycles: usize,
+    /// Cycles whose actual dynamic delay exceeded the applied period.
+    pub errors: usize,
+    /// Sum of the applied clock periods, ps.
+    pub total_t_clk_ps: u64,
+}
+
+impl ReplayOutcome {
+    /// Observed timing-error rate (0 for an empty replay).
+    pub fn error_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean applied clock period, ps (0 for an empty replay).
+    pub fn mean_t_clk_ps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_t_clk_ps as f64 / self.cycles as f64
+        }
+    }
+
+    /// Operations per microsecond at the applied clocks — the
+    /// throughput axis of the Pareto tables.
+    pub fn throughput_ops_per_us(&self) -> f64 {
+        if self.total_t_clk_ps == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e6 / self.total_t_clk_ps as f64
+        }
+    }
+}
+
+/// Replays an operand trace through `controller` with ground-truth
+/// per-cycle delays as the error oracle.
+///
+/// For each cycle `t >= 1` the controller recommends a period for the
+/// transition `operands[t-1] -> operands[t]`; the cycle is erroneous iff
+/// `actual_delays_ps[t] > t_clk` (the simulator's clock-edge semantics),
+/// and the verdict is fed straight back through
+/// [`ClockController::observe`] — the closed loop. Cycle 0 is the
+/// cold start and is skipped, matching
+/// [`calibration_residuals_ps`].
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length.
+pub fn replay(
+    controller: &mut ClockController,
+    model: &TevotModel,
+    cond: OperatingCondition,
+    operands: &[(u32, u32)],
+    actual_delays_ps: &[u64],
+) -> ReplayOutcome {
+    assert_eq!(operands.len(), actual_delays_ps.len(), "operands and delays must align");
+    let _span = tevot_obs::span!("dfs.replay", "{} cycles", operands.len().saturating_sub(1));
+    let mut outcome = ReplayOutcome { cycles: 0, errors: 0, total_t_clk_ps: 0 };
+    for t in 1..operands.len() {
+        let rec = controller.recommend(model, cond, operands[t], operands[t - 1]);
+        let erroneous = actual_delays_ps[t] > rec.t_clk_ps;
+        controller.observe(erroneous);
+        outcome.cycles += 1;
+        outcome.errors += erroneous as usize;
+        outcome.total_t_clk_ps += rec.t_clk_ps;
+    }
+    outcome
+}
+
+/// The same trace clocked at a fixed `period_ps` — the baseline the
+/// adaptive controller is measured against. Cycle 0 is skipped exactly
+/// as in [`replay`].
+pub fn fixed_clock_outcome(period_ps: u64, actual_delays_ps: &[u64]) -> ReplayOutcome {
+    let cycles = actual_delays_ps.len().saturating_sub(1);
+    let errors = actual_delays_ps.iter().skip(1).filter(|&&d| d > period_ps).count();
+    ReplayOutcome { cycles, errors, total_t_clk_ps: period_ps * cycles as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_clk_rounds_up_and_floors_at_one() {
+        assert_eq!(recommended_t_clk_ps(900.2, 0.0), 901);
+        assert_eq!(recommended_t_clk_ps(900.0, 0.5), 901);
+        assert_eq!(recommended_t_clk_ps(0.0, 0.0), 1);
+        // Negative and non-finite margins clamp to zero.
+        assert_eq!(recommended_t_clk_ps(100.0, -50.0), 100);
+        assert_eq!(recommended_t_clk_ps(100.0, f64::NAN), 100);
+        assert_eq!(recommended_t_clk_ps(f64::NAN, 10.0), 10);
+    }
+
+    #[test]
+    fn fixed_policy_applies_constant_margin() {
+        let mut c = ClockController::new(GuardbandPolicy::fixed(50.0));
+        let r = c.recommend_for_delay(900.0);
+        assert_eq!(r.t_clk_ps, 950);
+        assert_eq!(r.margin_ps, 50.0);
+        // Feedback is a no-op for the fixed policy.
+        c.observe(true);
+        c.observe(true);
+        assert_eq!(c.recommend_for_delay(900.0).t_clk_ps, 950);
+        assert_eq!(c.errors_observed(), 2);
+        assert_eq!(c.decisions(), 2);
+    }
+
+    #[test]
+    fn quantile_margin_interpolates_and_clamps() {
+        let residuals = [-20.0, 0.0, 10.0, 30.0];
+        // R-7 interpolation over 4 points: q=0.5 sits between 0 and 10.
+        assert_eq!(quantile_margin_ps(&residuals, 0.5), 5.0);
+        assert_eq!(quantile_margin_ps(&residuals, 1.0), 30.0);
+        // All-negative residuals clamp to a zero margin.
+        assert_eq!(quantile_margin_ps(&[-5.0, -1.0], 1.0), 0.0);
+        let policy = GuardbandPolicy::quantile_of(1.0, &residuals);
+        assert_eq!(ClockController::new(policy).margin_ps(), 30.0);
+    }
+
+    #[test]
+    fn feedback_margin_rises_on_errors_and_decays_when_clean() {
+        let cfg = FeedbackConfig::default();
+        let mut c = ClockController::new(GuardbandPolicy::Feedback(cfg));
+        let initial = c.margin_ps();
+        c.observe(true);
+        assert!(c.margin_ps() > initial, "an error must widen the margin");
+        let widened = c.margin_ps();
+        for _ in 0..50 {
+            c.observe(false);
+        }
+        assert!(c.margin_ps() < widened, "a clean run must tighten the margin");
+        assert!(c.margin_ps() >= cfg.min_margin_ps && c.margin_ps() <= cfg.max_margin_ps);
+    }
+
+    #[test]
+    fn feedback_margin_saturates_at_clamp() {
+        let cfg = FeedbackConfig::default();
+        let mut c = ClockController::new(GuardbandPolicy::Feedback(cfg));
+        for _ in 0..10_000 {
+            c.observe(true);
+        }
+        assert_eq!(c.margin_ps(), cfg.max_margin_ps);
+        for _ in 0..10_000 {
+            c.observe(false);
+        }
+        assert_eq!(c.margin_ps(), cfg.min_margin_ps);
+        // And it recovers promptly after saturation (anti-windup).
+        for _ in 0..5 {
+            c.observe(true);
+        }
+        assert!(c.margin_ps() > cfg.min_margin_ps);
+    }
+
+    #[test]
+    fn replay_counts_errors_against_the_oracle() {
+        // A synthetic "model" is overkill here; drive the controller
+        // arithmetic directly through fixed_clock_outcome and the
+        // recommend_for_delay path.
+        let actual = [500u64, 900, 700, 1100, 800];
+        let fixed = fixed_clock_outcome(900, &actual);
+        assert_eq!(fixed.cycles, 4);
+        assert_eq!(fixed.errors, 1); // only the 1100 ps cycle misses
+        assert_eq!(fixed.total_t_clk_ps, 3600);
+        assert!((fixed.error_rate() - 0.25).abs() < 1e-12);
+        assert!((fixed.mean_t_clk_ps() - 900.0).abs() < 1e-12);
+        assert!((fixed.throughput_ops_per_us() - 4.0 * 1e6 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_accepts_training_grid_and_rejects_extrapolation() {
+        let conds = [
+            OperatingCondition::new(0.81, 0.0),
+            OperatingCondition::new(0.9, 50.0),
+            OperatingCondition::new(1.0, 100.0),
+        ];
+        let delays: Vec<f64> = (1..=20).map(f64::from).collect();
+        let stats = ReferenceStats::collect(&conds, &delays);
+        for c in conds {
+            assert!(condition_in_envelope(&stats, c), "training corner {c:?} must be in");
+        }
+        // Between training corners is fine; outside the occupied bins
+        // is extrapolation.
+        assert!(condition_in_envelope(&stats, OperatingCondition::new(0.9, 25.0)));
+        assert!(!condition_in_envelope(&stats, OperatingCondition::new(0.6, 25.0)));
+        assert!(!condition_in_envelope(&stats, OperatingCondition::new(1.2, 25.0)));
+        assert!(!condition_in_envelope(&stats, OperatingCondition::new(0.9, 130.0)));
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(GuardbandPolicy::fixed(50.0).label(), "fixed+50ps");
+        assert_eq!(
+            GuardbandPolicy::Quantile { quantile: 0.99, margin_ps: 42.0 }.label(),
+            "q0.99+42ps"
+        );
+        assert_eq!(
+            GuardbandPolicy::Feedback(FeedbackConfig::default()).label(),
+            "pi(target=0.010)"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Controller invariants under arbitrary inputs: the recommended period
+//! is monotone in the guardband, never undercuts the predicted delay,
+//! and the feedback margin respects its clamp under adversarial error
+//! sequences.
+
+use proptest::prelude::*;
+use tevot_dfs::{
+    recommended_t_clk_ps, ClockController, FeedbackConfig, GuardbandPolicy, ReplayOutcome,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// More guardband can only lengthen the recommended period.
+    #[test]
+    fn t_clk_is_monotone_in_guardband(
+        predicted in 0.0f64..50_000.0,
+        m1 in 0.0f64..10_000.0,
+        m2 in 0.0f64..10_000.0,
+    ) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(
+            recommended_t_clk_ps(predicted, lo) <= recommended_t_clk_ps(predicted, hi),
+            "margin {lo} -> {hi} shrank the period at predicted {predicted}"
+        );
+    }
+
+    /// The recommended period never undercuts the predicted delay, for
+    /// any margin the policies can produce (including junk).
+    #[test]
+    fn t_clk_never_below_predicted_delay(
+        predicted in 0.0f64..50_000.0,
+        margin in -10_000.0f64..10_000.0,
+    ) {
+        let t = recommended_t_clk_ps(predicted, margin);
+        prop_assert!(t as f64 >= predicted, "t_clk {t} below predicted {predicted}");
+        prop_assert!(t >= 1);
+    }
+
+    /// The controller's live margin honours the same bound: whatever the
+    /// policy state, a recommendation covers the predicted delay.
+    #[test]
+    fn controller_recommendation_covers_prediction(
+        predicted in 0.0f64..50_000.0,
+        margin in 0.0f64..5_000.0,
+        errors in prop::collection::vec(any::<bool>(), 0..64),
+    ) {
+        for policy in [
+            GuardbandPolicy::fixed(margin),
+            GuardbandPolicy::Feedback(FeedbackConfig::default()),
+        ] {
+            let mut c = ClockController::new(policy);
+            for &e in &errors {
+                c.observe(e);
+            }
+            let r = c.recommend_for_delay(predicted);
+            prop_assert!(r.t_clk_ps as f64 >= predicted);
+            prop_assert!(r.margin_ps >= 0.0);
+        }
+    }
+
+    /// Under any error sequence — including adversarial all-error and
+    /// all-clean runs — the feedback margin stays inside [min, max]
+    /// after every single observation.
+    #[test]
+    fn feedback_margin_stays_clamped(
+        target in 0.0f64..=1.0,
+        kp in 0.0f64..500.0,
+        ki in 0.0f64..100.0,
+        min in 0.0f64..1_000.0,
+        span in 0.0f64..1_000.0,
+        initial in -2_000.0f64..4_000.0,
+        errors in prop::collection::vec(any::<bool>(), 1..256),
+    ) {
+        let cfg = FeedbackConfig {
+            target_error_rate: target,
+            kp_ps: kp,
+            ki_ps: ki,
+            min_margin_ps: min,
+            max_margin_ps: min + span,
+            initial_margin_ps: initial,
+        };
+        let mut c = ClockController::new(GuardbandPolicy::Feedback(cfg));
+        prop_assert!(c.margin_ps() >= cfg.min_margin_ps && c.margin_ps() <= cfg.max_margin_ps);
+        for &e in &errors {
+            c.observe(e);
+            prop_assert!(
+                c.margin_ps() >= cfg.min_margin_ps && c.margin_ps() <= cfg.max_margin_ps,
+                "margin {} escaped [{}, {}]", c.margin_ps(), cfg.min_margin_ps, cfg.max_margin_ps
+            );
+        }
+    }
+
+    /// Replay accounting is internally consistent for any outcome.
+    #[test]
+    fn outcome_rates_are_consistent(
+        cycles in 1usize..10_000,
+        errors_frac in 0.0f64..=1.0,
+        period in 1u64..100_000,
+    ) {
+        let errors = (cycles as f64 * errors_frac) as usize;
+        let o = ReplayOutcome { cycles, errors, total_t_clk_ps: period * cycles as u64 };
+        prop_assert!((0.0..=1.0).contains(&o.error_rate()));
+        prop_assert!((o.mean_t_clk_ps() - period as f64).abs() < 1e-9);
+        let expected = 1e6 / period as f64;
+        prop_assert!((o.throughput_ops_per_us() - expected).abs() / expected < 1e-9);
+    }
+}

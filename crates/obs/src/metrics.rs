@@ -247,6 +247,11 @@ pub static SERVE_SHED: Counter = Counter::new("serve.shed");
 pub static SERVE_MODEL_SWAPS: Counter = Counter::new("serve.model_swaps");
 /// Requests answered with an HTTP error status (4xx/5xx).
 pub static SERVE_HTTP_ERRORS: Counter = Counter::new("serve.http_errors");
+/// Clock recommendations issued by `tevot-dfs` controllers.
+pub static DFS_DECISIONS: Counter = Counter::new("dfs.decisions");
+/// Timing errors fed back into `tevot-dfs` controllers (oracle replays
+/// and any other closed-loop observation source).
+pub static DFS_ERRORS_OBSERVED: Counter = Counter::new("dfs.errors_observed");
 /// SLO/drift alerts raised by `tevot-watch` monitors.
 pub static WATCH_ALERTS: Counter = Counter::new("watch.alerts");
 /// Sampler passes taken over the registry by the watch store.
@@ -304,6 +309,11 @@ pub static SERVE_TER_LATENCY_US: Histogram = Histogram::new(
     "serve.ter_latency_us",
     &[50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000],
 );
+/// `POST /dfs` wall-clock latency, in microseconds.
+pub static SERVE_DFS_LATENCY_US: Histogram = Histogram::new(
+    "serve.dfs_latency_us",
+    &[50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000],
+);
 /// Jobs merged into each executed microbatch.
 pub static SERVE_BATCH_JOBS: Histogram =
     Histogram::new("serve.batch_jobs", &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
@@ -311,7 +321,7 @@ pub static SERVE_BATCH_JOBS: Histogram =
 pub static SERVE_QUEUE_DEPTH: Histogram =
     Histogram::new("serve.queue_depth", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
 
-static COUNTERS: [&Counter; 38] = [
+static COUNTERS: [&Counter; 40] = [
     &SIM_CYCLES,
     &SIM_EVENTS,
     &SIM_GATE_EVALS,
@@ -334,6 +344,8 @@ static COUNTERS: [&Counter; 38] = [
     &SERVE_SHED,
     &SERVE_MODEL_SWAPS,
     &SERVE_HTTP_ERRORS,
+    &DFS_DECISIONS,
+    &DFS_ERRORS_OBSERVED,
     &WATCH_ALERTS,
     &WATCH_SAMPLES,
     &WATCH_SHADOW_REPLAYS,
@@ -352,11 +364,12 @@ static COUNTERS: [&Counter; 38] = [
     &ALLOC_BYTES,
 ];
 
-static HISTOGRAMS: [&Histogram; 6] = [
+static HISTOGRAMS: [&Histogram; 7] = [
     &SIM_CYCLE_DELAY_PS,
     &SIM_TOGGLES_PER_CYCLE,
     &SERVE_PREDICT_LATENCY_US,
     &SERVE_TER_LATENCY_US,
+    &SERVE_DFS_LATENCY_US,
     &SERVE_BATCH_JOBS,
     &SERVE_QUEUE_DEPTH,
 ];

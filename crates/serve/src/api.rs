@@ -4,6 +4,7 @@
 //! |------------------------|--------|-------------------------------------------|
 //! | `/predict`             | POST   | delays (+ verdicts) for operand transitions |
 //! | `/ter`                 | POST   | TER over a random workload at one condition |
+//! | `/dfs`                 | POST   | adaptive-clock recommendations per transition |
 //! | `/models`              | GET    | list registered model names               |
 //! | `/models/<name>`       | POST   | hot-swap: (re)load a model from disk      |
 //! | `/healthz`             | GET    | liveness + registered model count         |
@@ -40,7 +41,8 @@ use tevot::TevotModel;
 use tevot_netlist::fu::FunctionalUnit;
 use tevot_obs::json::{self, Json};
 use tevot_obs::metrics::{
-    SERVE_HTTP_ERRORS, SERVE_PREDICT_LATENCY_US, SERVE_REQUESTS, SERVE_TER_LATENCY_US,
+    DFS_DECISIONS, SERVE_DFS_LATENCY_US, SERVE_HTTP_ERRORS, SERVE_PREDICT_LATENCY_US,
+    SERVE_REQUESTS, SERVE_TER_LATENCY_US,
 };
 use tevot_obs::report::Snapshot;
 use tevot_resil::{CancelToken, ErrorKind, TevotError, Watchdog};
@@ -165,6 +167,7 @@ fn route(state: &ServeState, req: &Request) -> Response {
     match (req.method.as_str(), path) {
         ("POST", "/predict") => timed(&SERVE_PREDICT_LATENCY_US, || predict(state, req)),
         ("POST", "/ter") => timed(&SERVE_TER_LATENCY_US, || ter(state, req)),
+        ("POST", "/dfs") => timed(&SERVE_DFS_LATENCY_US, || dfs(state, req)),
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state, query),
         ("GET", "/watch") => watch_endpoint(state, query),
@@ -173,9 +176,11 @@ fn route(state: &ServeState, req: &Request) -> Response {
         ("POST", path) if path.strip_prefix("/models/").is_some_and(|n| !n.is_empty()) => {
             swap_model(state, req)
         }
-        (_, "/predict" | "/ter" | "/healthz" | "/metrics" | "/watch" | "/profile" | "/models") => {
-            error_response(405, "usage", &format!("method {} not allowed on {path}", req.method))
-        }
+        (
+            _,
+            "/predict" | "/ter" | "/dfs" | "/healthz" | "/metrics" | "/watch" | "/profile"
+            | "/models",
+        ) => error_response(405, "usage", &format!("method {} not allowed on {path}", req.method)),
         _ => error_response(404, "usage", &format!("no such endpoint {path:?}")),
     }
 }
@@ -497,6 +502,83 @@ fn ter(state: &ServeState, req: &Request) -> Response {
     response
 }
 
+/// `POST /dfs`: predict-then-recommend-clock. The body is a `/predict`
+/// body plus an optional `guardband_ps` margin (default 0); the answer
+/// carries the predicted delays *and* the recommended periods
+/// `t_clk_ps[i]` = [`tevot_dfs::recommended_t_clk_ps`]`(delays_ps[i],
+/// guardband_ps)` — the same pure function the offline `tevot dfs`
+/// command uses, so served recommendations are bit-identical to offline
+/// ones. A model that carries a train-time reference block refuses
+/// conditions outside its characterized (V, T) envelope with 422: a
+/// clock recommendation extrapolated off-grid is unsafe to act on.
+fn dfs(state: &ServeState, req: &Request) -> Response {
+    let started = Instant::now();
+    let outcome = (|| {
+        let doc = parse_body(req)?;
+        let cond = condition(&doc)?;
+        let guardband_ps = match doc.get("guardband_ps") {
+            None | Some(Json::Null) => 0.0,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| TevotError::usage("field \"guardband_ps\" must be a number"))?,
+        };
+        if !guardband_ps.is_finite() || guardband_ps < 0.0 {
+            return Err(TevotError::usage(format!(
+                "guardband_ps {guardband_ps} is not a non-negative margin"
+            )));
+        }
+        let deadline_ms = opt_u64(&doc, "deadline_ms")?;
+        let (name, model) = model_for(state, &doc)?;
+        if let Some(reference) = model.reference() {
+            if !tevot_dfs::condition_in_envelope(reference, cond) {
+                return Err(TevotError::new(
+                    ErrorKind::Corrupt,
+                    format!(
+                        "condition {cond} is outside the model's characterized (V, T) \
+                         envelope; refusing to extrapolate a clock recommendation"
+                    ),
+                ));
+            }
+        }
+        let transitions = transitions_of(&doc)?;
+        Ok((name, model, cond, guardband_ps, deadline_ms, transitions))
+    })();
+    let parse_ns = stage_ns(started);
+    let (name, model, cond, guardband_ps, deadline_ms, transitions) = match outcome {
+        Ok(parts) => parts,
+        Err(e) => return error_from(&e),
+    };
+    let batch_started = Instant::now();
+    let delays = match run_batched(state, model, cond, transitions, deadline_ms) {
+        Ok(delays) => delays,
+        Err(response) => return response,
+    };
+    let batch_ns = stage_ns(batch_started);
+    DFS_DECISIONS.add(delays.len() as u64);
+    if let Some(watch) = state.watch() {
+        watch.observe_predict(cond, &delays);
+    }
+    let serialize_started = Instant::now();
+    let t_clks: Vec<Json> = delays
+        .iter()
+        .map(|&d| Json::from(tevot_dfs::recommended_t_clk_ps(d, guardband_ps)))
+        .collect();
+    let response = ok(vec![
+        ("model", Json::from(name.as_str())),
+        ("count", Json::from(delays.len() as u64)),
+        ("guardband_ps", Json::Num(guardband_ps)),
+        ("delays_ps", Json::Arr(delays.iter().map(|&d| Json::Num(d)).collect())),
+        ("t_clk_ps", Json::Arr(t_clks)),
+    ]);
+    observe_exemplar(
+        state,
+        "/dfs",
+        started,
+        vec![("parse", parse_ns), ("batch", batch_ns), ("serialize", stage_ns(serialize_started))],
+    );
+    response
+}
+
 fn swap_model(state: &ServeState, req: &Request) -> Response {
     let name = req.path.strip_prefix("/models/").unwrap_or_default();
     if !valid_name(name) {
@@ -746,6 +828,101 @@ mod tests {
             let response = handle(&state, &post("/ter", body));
             assert_eq!(response.status, 400, "{body:?}");
         }
+    }
+
+    #[test]
+    fn dfs_recommendations_match_offline_arithmetic() {
+        let state = state_with_model();
+        let req = post(
+            "/dfs",
+            r#"{"voltage":0.9,"temperature":25,"guardband_ps":50,
+                "transitions":[{"a":3,"b":4},{"a":7,"b":9,"prev_a":3,"prev_b":4}]}"#,
+        );
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 200, "{:?}", String::from_utf8_lossy(&response.body));
+        let doc = body_json(&response);
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("guardband_ps").and_then(Json::as_f64), Some(50.0));
+        let delays = doc.get("delays_ps").and_then(Json::as_arr).unwrap();
+        let t_clks = doc.get("t_clk_ps").and_then(Json::as_arr).unwrap();
+        let model = state.registry.get(DEFAULT_MODEL).unwrap();
+        let cond = OperatingCondition::new(0.9, 25.0);
+        for (i, (current, previous)) in [((3, 4), (0, 0)), ((7, 9), (3, 4))].iter().enumerate() {
+            let direct = model.predict_delay_ps(cond, *current, *previous);
+            assert_eq!(delays[i].as_f64().unwrap().to_bits(), direct.to_bits());
+            assert_eq!(
+                t_clks[i].as_u64().unwrap(),
+                tevot_dfs::recommended_t_clk_ps(direct, 50.0),
+                "served t_clk must be the shared pure function of the served delay"
+            );
+            assert!(t_clks[i].as_u64().unwrap() as f64 >= direct);
+        }
+    }
+
+    #[test]
+    fn dfs_usage_errors_are_400_with_request_ids() {
+        let state = state_with_model();
+        for body in [
+            "",
+            "not json",
+            r#"{"voltage":0.9,"temperature":25}"#,
+            r#"{"voltage":-1,"temperature":25,"a":1,"b":2}"#,
+            r#"{"voltage":0.9,"temperature":25,"a":1,"b":2,"guardband_ps":-5}"#,
+            r#"{"voltage":0.9,"temperature":25,"a":1,"b":2,"guardband_ps":"big"}"#,
+            r#"{"voltage":0.9,"temperature":25,"transitions":[]}"#,
+        ] {
+            let response = handle(&state, &post("/dfs", body));
+            assert_eq!(response.status, 400, "{body:?}");
+            let doc = body_json(&response);
+            assert!(
+                doc.get("request_id").and_then(Json::as_u64).unwrap() > 0,
+                "error body must carry the request id: {body:?}"
+            );
+        }
+        // Unknown model: taxonomy Io → 404, same as /predict.
+        let req = post("/dfs", r#"{"model":"nope","voltage":0.9,"temperature":25,"a":1,"b":2}"#);
+        let response = handle(&state, &req);
+        assert_eq!(response.status, 404);
+        assert_eq!(body_json(&response).get("kind").and_then(Json::as_str), Some("io"));
+        // And method misuse is 405, like the sibling endpoints.
+        assert_eq!(handle(&state, &get("/dfs")).status, 405);
+    }
+
+    #[test]
+    fn dfs_refuses_conditions_outside_the_model_envelope_with_422() {
+        let state = ServeState::new(1, 64, 8, Duration::from_millis(1));
+        let mut model = tiny_model();
+        let grid = [
+            OperatingCondition::new(0.81, 0.0),
+            OperatingCondition::new(0.9, 50.0),
+            OperatingCondition::new(1.0, 100.0),
+        ];
+        model.set_reference(tevot::reference::ReferenceStats::collect(
+            &grid,
+            &(1..=20).map(f64::from).collect::<Vec<_>>(),
+        ));
+        state.registry.insert(DEFAULT_MODEL, model);
+
+        // In-envelope conditions (on and between grid points) serve.
+        for body in [
+            r#"{"voltage":0.9,"temperature":25,"a":1,"b":2}"#,
+            r#"{"voltage":0.81,"temperature":0,"a":1,"b":2}"#,
+        ] {
+            assert_eq!(handle(&state, &post("/dfs", body)).status, 200, "{body:?}");
+        }
+        // Off-envelope conditions are refused as Corrupt → 422.
+        let response =
+            handle(&state, &post("/dfs", r#"{"voltage":0.6,"temperature":25,"a":1,"b":2}"#));
+        assert_eq!(response.status, 422, "{:?}", String::from_utf8_lossy(&response.body));
+        let doc = body_json(&response);
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("corrupt"));
+        assert!(doc.get("request_id").and_then(Json::as_u64).unwrap() > 0);
+        // A model without a reference block (the usual tiny test model)
+        // cannot judge the envelope and keeps serving everywhere.
+        let free = state_with_model();
+        let response =
+            handle(&free, &post("/dfs", r#"{"voltage":0.6,"temperature":25,"a":1,"b":2}"#));
+        assert_eq!(response.status, 200);
     }
 
     #[test]

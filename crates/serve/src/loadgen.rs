@@ -29,6 +29,9 @@ pub struct LoadConfig {
     pub transitions: usize,
     /// Model name to query.
     pub model: String,
+    /// Drive `POST /dfs` (clock recommendations with a fixed guardband)
+    /// instead of `POST /predict`.
+    pub dfs: bool,
 }
 
 impl Default for LoadConfig {
@@ -39,6 +42,7 @@ impl Default for LoadConfig {
             connections: 4,
             transitions: 4,
             model: "default".into(),
+            dfs: false,
         }
     }
 }
@@ -83,11 +87,19 @@ fn body_for(config: &LoadConfig, index: usize) -> String {
             a.rotate_left(3),
         ));
     }
-    format!(
-        "{{\"model\":\"{}\",\"voltage\":0.9,\"temperature\":25,\"clock_ps\":1000,\
-         \"transitions\":[{transitions}]}}",
-        config.model
-    )
+    if config.dfs {
+        format!(
+            "{{\"model\":\"{}\",\"voltage\":0.9,\"temperature\":25,\"guardband_ps\":50,\
+             \"transitions\":[{transitions}]}}",
+            config.model
+        )
+    } else {
+        format!(
+            "{{\"model\":\"{}\",\"voltage\":0.9,\"temperature\":25,\"clock_ps\":1000,\
+             \"transitions\":[{transitions}]}}",
+            config.model
+        )
+    }
 }
 
 /// Reads one HTTP response (status line + headers + `Content-Length`
@@ -171,8 +183,9 @@ fn exchange(
     reader: &mut BufReader<TcpStream>,
 ) -> std::io::Result<(u16, f64)> {
     let body = body_for(config, index);
+    let path = if config.dfs { "/dfs" } else { "/predict" };
     let request = format!(
-        "POST /predict HTTP/1.1\r\nHost: tevot\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: tevot\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     let start = Instant::now();
@@ -294,6 +307,18 @@ mod tests {
             parsed.get("transitions").and_then(tevot_obs::json::Json::as_arr).map(<[_]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn dfs_mode_swaps_clock_for_guardband() {
+        let config = LoadConfig { transitions: 2, dfs: true, ..LoadConfig::default() };
+        let parsed = tevot_obs::json::parse(&body_for(&config, 0)).expect("valid JSON");
+        assert!(parsed.get("guardband_ps").is_some());
+        assert!(parsed.get("clock_ps").is_none());
+        let predict = LoadConfig { transitions: 2, ..LoadConfig::default() };
+        let parsed = tevot_obs::json::parse(&body_for(&predict, 0)).expect("valid JSON");
+        assert!(parsed.get("clock_ps").is_some());
+        assert!(parsed.get("guardband_ps").is_none());
     }
 
     #[test]

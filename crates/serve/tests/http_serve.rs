@@ -147,6 +147,55 @@ fn healthz_predict_and_metrics_share_one_keep_alive_connection() {
     server.shutdown();
 }
 
+/// `/dfs` over real TCP, alongside the `/predict` coverage: a served
+/// recommendation equals the offline arithmetic on the same model, and
+/// the malformed-payload / off-envelope error paths answer with the
+/// taxonomy-mapped 400/422 bodies carrying a `request_id`.
+#[test]
+fn dfs_endpoint_serves_recommendations_and_taxonomy_errors() {
+    let mut model = tiny_model(7);
+    let grid = [OperatingCondition::new(0.81, 0.0), OperatingCondition::new(1.0, 100.0)];
+    model.set_reference(ReferenceStats::collect(
+        &grid,
+        &(1..=20).map(f64::from).collect::<Vec<_>>(),
+    ));
+    let server = Server::start(ServeConfig::default()).expect("bind loopback");
+    server.state().registry.insert(DEFAULT_MODEL, model);
+    let mut client = Client::connect(server.local_addr());
+
+    // Happy path: t_clk is the shared pure function of the served delay.
+    let body = r#"{"voltage":0.9,"temperature":25,"guardband_ps":75,"a":3,"b":4}"#;
+    let reply = client.request("POST", "/dfs", body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let doc = reply.json();
+    let served_delay = doc.get("delays_ps").and_then(Json::as_arr).unwrap()[0].as_f64().unwrap();
+    let served_t_clk = doc.get("t_clk_ps").and_then(Json::as_arr).unwrap()[0].as_u64().unwrap();
+    let direct = server.state().registry.get(DEFAULT_MODEL).unwrap().predict_delay_ps(
+        OperatingCondition::new(0.9, 25.0),
+        (3, 4),
+        (0, 0),
+    );
+    assert_eq!(served_delay.to_bits(), direct.to_bits());
+    assert_eq!(served_t_clk, tevot_dfs::recommended_t_clk_ps(direct, 75.0));
+
+    // Malformed payload: 400 with a request_id that matches the header.
+    let reply = client.request("POST", "/dfs", r#"{"voltage":0.9,"temperature":25}"#);
+    assert_eq!(reply.status, 400);
+    let doc = reply.json();
+    let body_id = doc.get("request_id").and_then(Json::as_u64).unwrap();
+    assert!(body_id > 0);
+    assert_eq!(reply.header("x-request-id"), Some(body_id.to_string().as_str()));
+
+    // Off the model's characterized envelope: Corrupt → 422.
+    let reply = client.request("POST", "/dfs", r#"{"voltage":0.6,"temperature":25,"a":1,"b":2}"#);
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let doc = reply.json();
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("corrupt"));
+    assert!(doc.get("request_id").and_then(Json::as_u64).unwrap() > 0);
+
+    server.shutdown();
+}
+
 #[test]
 fn connection_close_is_honored() {
     let server = start_with_model(ServeConfig::default(), 7);
